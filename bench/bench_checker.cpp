@@ -1,0 +1,78 @@
+// Experiment E12 — methodological: the cost of deciding the paper's
+// properties. Positive verdicts (witness exists) are found via the heuristic
+// pre-pass; negative verdicts require the exhaustive multiset enumeration and
+// dominate. Also benchmarks the model-checking explorer on the Figure 2
+// algorithm, the repository's most expensive verification.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "hierarchy/discerning.hpp"
+#include "hierarchy/recording.hpp"
+#include "rc/team_consensus.hpp"
+#include "sim/explorer.hpp"
+#include "typesys/types/sn.hpp"
+#include "typesys/types/tn.hpp"
+#include "typesys/zoo.hpp"
+
+namespace {
+
+using namespace rcons;
+
+void BM_PositiveRecording(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  typesys::SnType sn(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hierarchy::is_recording(sn, n));
+  }
+}
+
+void BM_NegativeRecording(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  typesys::SnType sn(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hierarchy::is_recording(sn, n + 1));
+  }
+}
+
+void BM_NegativeDiscerning(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  typesys::TnType tn(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hierarchy::is_discerning(tn, n + 1));
+  }
+}
+
+void BM_ExplorerTeamConsensus(benchmark::State& state) {
+  const int crash_budget = static_cast<int>(state.range(0));
+  std::shared_ptr<const typesys::ObjectType> type = typesys::make_type("Sn(3)");
+  for (auto _ : state) {
+    rc::TeamConsensusSystem system = rc::make_team_consensus_system(*type, 3, 1, 2);
+    sim::ExplorerConfig config;
+    config.crash_budget = crash_budget;
+    config.valid_outputs = {1, 2};
+    sim::Explorer explorer(std::move(system.memory), std::move(system.processes),
+                           config);
+    benchmark::DoNotOptimize(explorer.run());
+    state.counters["states"] = static_cast<double>(explorer.stats().visited);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_PositiveRecording)->DenseRange(2, 8);
+BENCHMARK(BM_NegativeRecording)->DenseRange(2, 8);
+BENCHMARK(BM_NegativeDiscerning)->DenseRange(4, 8);
+BENCHMARK(BM_ExplorerTeamConsensus)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  std::cout << "=== E12: decision-procedure cost ===\n"
+            << "Positive checks short-circuit via the heuristic pre-pass;\n"
+            << "negative checks pay for exhaustive enumeration; explorer cost\n"
+            << "grows with the crash budget.\n\n";
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

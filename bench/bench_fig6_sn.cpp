@@ -1,0 +1,77 @@
+// Experiment E6 — Figure 6 / Proposition 21: the S_n family populates every
+// level of the recoverable consensus hierarchy with rcons = cons = n.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "hierarchy/discerning.hpp"
+#include "hierarchy/recording.hpp"
+#include "typesys/types/sn.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rcons;
+
+void print_transition_diagram(int n) {
+  typesys::SnType sn(n);
+  const auto ops = sn.operations(n);
+  std::cout << "--- S_" << n << " transition table (Figure 6; all ops return ack) ---\n";
+  for (const typesys::StateRepr& q : sn.initial_states(n)) {
+    std::cout << sn.format_state(q) << ":";
+    for (const typesys::Operation& op : ops) {
+      std::cout << "  " << op.name << "-> " << sn.format_state(sn.apply(q, op).next);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+}
+
+void print_sweep() {
+  util::Table table({"n", "n-recording", "(n+1)-recording", "(n+1)-discerning",
+                     "rcons(Sn)", "cons(Sn)"});
+  for (int n = 2; n <= 8; ++n) {
+    typesys::SnType sn(n);
+    const bool rec_n = hierarchy::is_recording(sn, n);
+    const bool rec_n1 = hierarchy::is_recording(sn, n + 1);
+    const bool disc_n1 = hierarchy::is_discerning(sn, n + 1);
+    table.add_row({std::to_string(n), rec_n ? "yes" : "NO",
+                   rec_n1 ? "YES (unexpected)" : "no",
+                   disc_n1 ? "YES (unexpected)" : "no", std::to_string(n),
+                   std::to_string(n)});
+  }
+  std::cout << "=== Proposition 21 sweep: rcons(Sn) = cons(Sn) = n ===\n\n";
+  table.print(std::cout);
+  std::cout << std::endl;
+}
+
+void BM_SnRecordingCheck(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  typesys::SnType sn(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hierarchy::is_recording(sn, n));
+  }
+}
+
+void BM_SnNotDiscerningCheck(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  typesys::SnType sn(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hierarchy::is_discerning(sn, n + 1));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_SnRecordingCheck)->DenseRange(2, 8);
+BENCHMARK(BM_SnNotDiscerningCheck)->DenseRange(2, 8);
+
+int main(int argc, char** argv) {
+  print_transition_diagram(4);
+  print_sweep();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Experiment E4 — Theorem 1 / Figure 4: the simultaneous-crash transform.
+// Prints the measured relationship between the number of simultaneous crash
+// events and the rounds/steps the algorithm consumes (the paper's Appendix A
+// notes the construction inherently uses more consensus instances as crashes
+// accumulate — Golab proved unboundedly many are necessary).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "rc/race.hpp"
+#include "rc/simultaneous.hpp"
+#include "sim/random_runner.hpp"
+#include "typesys/zoo.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rcons;
+
+using Fig4 = rc::SimultaneousRCProgram<rc::RaceConsensusProgram, rc::RaceInstance>;
+
+std::pair<sim::Memory, std::vector<sim::Process>> make_fig4(int n, int max_rounds) {
+  sim::Memory memory;
+  std::shared_ptr<const typesys::ObjectType> type =
+      typesys::make_type("consensus-object");
+  auto cache = std::make_shared<typesys::TransitionCache>(type, n);
+  auto layout = rc::install_simultaneous<rc::RaceInstance>(
+      memory, n, max_rounds, [&]() { return rc::install_race(memory, cache); });
+  std::vector<sim::Process> processes;
+  for (int i = 0; i < n; ++i) processes.emplace_back(Fig4(layout, i, i + 1));
+  return {std::move(memory), std::move(processes)};
+}
+
+void print_crash_sweep() {
+  const int n = 4;
+  util::Table table({"max simultaneous crashes", "avg steps", "avg crashes",
+                     "completed (of 40 seeds)"});
+  for (const int crashes : {0, 1, 2, 4, 8}) {
+    long total_steps = 0;
+    long total_crashes = 0;
+    int completed = 0;
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+      auto [memory, processes] = make_fig4(n, crashes + 3);
+      sim::RandomRunConfig config;
+      config.seed = seed;
+      config.crash_model = sim::CrashModel::kSimultaneous;
+      config.crash_per_mille = crashes == 0 ? 0 : 60;
+      config.max_crashes = crashes;
+      const auto report = sim::run_random(std::move(memory), std::move(processes),
+                                          config);
+      total_steps += report.steps;
+      total_crashes += report.crashes;
+      completed += report.all_decided ? 1 : 0;
+    }
+    table.add_row({std::to_string(crashes), std::to_string(total_steps / 40),
+                   std::to_string(total_crashes / 40), std::to_string(completed)});
+  }
+  std::cout << "=== E4: Figure 4 under simultaneous crashes (n=4) ===\n"
+            << "Shape: steps grow with crash count — each crash burst forces a\n"
+            << "new round and a fresh consensus instance (Appendix A).\n\n";
+  table.print(std::cout);
+  std::cout << std::endl;
+}
+
+void BM_Fig4FullDecide(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto [memory, processes] = make_fig4(n, 2);
+    sim::RandomRunConfig config;
+    config.seed = 7;
+    config.crash_per_mille = 0;
+    benchmark::DoNotOptimize(
+        sim::run_random(std::move(memory), std::move(processes), config));
+  }
+}
+
+void BM_Fig4WithCrashes(benchmark::State& state) {
+  const int crashes = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto [memory, processes] = make_fig4(4, crashes + 3);
+    sim::RandomRunConfig config;
+    config.seed = seed++;
+    config.crash_model = sim::CrashModel::kSimultaneous;
+    config.crash_per_mille = crashes == 0 ? 0 : 80;
+    config.max_crashes = crashes;
+    benchmark::DoNotOptimize(
+        sim::run_random(std::move(memory), std::move(processes), config));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig4FullDecide)->DenseRange(2, 8);
+BENCHMARK(BM_Fig4WithCrashes)->Arg(0)->Arg(2)->Arg(4)->Arg(8);
+
+int main(int argc, char** argv) {
+  print_crash_sweep();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

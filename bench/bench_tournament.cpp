@@ -1,0 +1,94 @@
+// Experiment E3 — the Proposition 30 tournament: full recoverable consensus
+// latency as the participant count grows. The paper treats this
+// qualitatively; the executable shape is ⌈log2 k⌉ team-consensus stages per
+// decide (printed below), with latency growing logarithmically.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "runtime/harness.hpp"
+#include "runtime/recoverable.hpp"
+#include "typesys/types/rmw.hpp"
+#include "typesys/types/sn.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rcons;
+
+void print_depth_table() {
+  util::Table table({"participants k", "witness", "instances", "depth (stages)"});
+  for (int k = 2; k <= 8; ++k) {
+    typesys::SnType sn(k);
+    runtime::RTournament tournament(sn, k, k);
+    table.add_row({std::to_string(k), "Sn(" + std::to_string(k) + ")",
+                   std::to_string(tournament.instances()),
+                   std::to_string(tournament.depth())});
+  }
+  std::cout << "=== E3: tournament structure (depth ~ log2 k over balanced "
+               "witnesses; k-1 instances) ===\n\n";
+  table.print(std::cout);
+  std::cout << std::endl;
+}
+
+void BM_TournamentAllDecideSequential(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  typesys::SnType sn(k);
+  runtime::RTournament tournament(sn, k, k);
+  runtime::CrashInjector none = runtime::CrashInjector::none();
+  for (auto _ : state) {
+    tournament.reset();
+    for (int p = 0; p < k; ++p) {
+      benchmark::DoNotOptimize(tournament.decide(p, p + 1, none));
+    }
+  }
+  state.counters["per_decide_ns"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * k, benchmark::Counter::kIsRate |
+                                                       benchmark::Counter::kInvert);
+}
+
+void BM_TournamentCasWitness(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  typesys::CompareAndSwapType cas;
+  runtime::RTournament tournament(cas, k, k);
+  runtime::CrashInjector none = runtime::CrashInjector::none();
+  for (auto _ : state) {
+    tournament.reset();
+    for (int p = 0; p < k; ++p) {
+      benchmark::DoNotOptimize(tournament.decide(p, p + 1, none));
+    }
+  }
+}
+
+void BM_TournamentConcurrentThreads(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  typesys::SnType sn(k);
+  runtime::RTournament tournament(sn, k, k);
+  std::uint64_t seed = 42;
+  for (auto _ : state) {
+    tournament.reset();
+    const runtime::HarnessReport report = runtime::run_crashy_workers(
+        k,
+        [&](int role, runtime::CrashInjector& crash) {
+          return tournament.decide(role, role + 1, crash);
+        },
+        seed++, /*crash_per_mille=*/0, /*max_crashes=*/0);
+    benchmark::DoNotOptimize(report.outputs.front());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_TournamentAllDecideSequential)->DenseRange(2, 8);
+BENCHMARK(BM_TournamentCasWitness)->DenseRange(2, 8);
+BENCHMARK(BM_TournamentConcurrentThreads)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond)->Iterations(200);
+
+int main(int argc, char** argv) {
+  print_depth_table();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Brute-force transcriptions of Definitions 2 and 4.
+//
+// These enumerate raw sequences of distinct process indices with bitmasks —
+// no class symmetry, no memoized reachability — and exist purely to
+// cross-check the optimized checkers in qsets/discerning/recording. They are
+// exponential in n and intended for n ≤ 6.
+#ifndef RCONS_HIERARCHY_BRUTE_HPP
+#define RCONS_HIERARCHY_BRUTE_HPP
+
+#include "hierarchy/assignment.hpp"
+#include "typesys/transition_cache.hpp"
+
+namespace rcons::hierarchy {
+
+// Literal Definition 4 evaluation for a per-process assignment.
+bool brute_check_recording(typesys::TransitionCache& cache, typesys::StateId q0,
+                           const std::vector<int>& team,
+                           const std::vector<typesys::OpId>& ops);
+
+// Literal Definition 2 evaluation for a per-process assignment.
+bool brute_check_discerning(typesys::TransitionCache& cache, typesys::StateId q0,
+                            const std::vector<int>& team,
+                            const std::vector<typesys::OpId>& ops);
+
+}  // namespace rcons::hierarchy
+
+#endif  // RCONS_HIERARCHY_BRUTE_HPP

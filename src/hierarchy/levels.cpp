@@ -1,0 +1,58 @@
+#include "hierarchy/levels.hpp"
+
+#include <algorithm>
+
+#include "hierarchy/discerning.hpp"
+#include "hierarchy/recording.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::hierarchy {
+
+std::string Level::format() const {
+  if (capped) return ">=" + std::to_string(level);
+  return std::to_string(level);
+}
+
+namespace {
+
+template <typename CheckFn>
+Level scan(const typesys::ObjectType& type, int cap, CheckFn check) {
+  RCONS_ASSERT(cap >= 2);
+  Level result;
+  for (int n = 2; n <= cap; ++n) {
+    if (!check(type, n)) return result;
+    result.level = n;
+  }
+  result.capped = true;
+  return result;
+}
+
+}  // namespace
+
+Level max_discerning_level(const typesys::ObjectType& type, int cap) {
+  return scan(type, cap, [](const typesys::ObjectType& t, int n) {
+    return is_discerning(t, n);
+  });
+}
+
+Level max_recording_level(const typesys::ObjectType& type, int cap) {
+  return scan(type, cap, [](const typesys::ObjectType& t, int n) {
+    return is_recording(t, n);
+  });
+}
+
+HierarchyBounds bounds_for_readable(const Level& discerning, const Level& recording) {
+  HierarchyBounds b;
+  b.cons = discerning.capped ? kUnboundedLevel : discerning.level;
+  b.rcons_lo = recording.level;  // Theorem 8 (1 means "registers only")
+  if (recording.capped) {
+    b.rcons_hi = kUnboundedLevel;
+  } else if (b.cons == kUnboundedLevel) {
+    b.rcons_hi = recording.level + 1;  // Theorem 14
+  } else {
+    b.rcons_hi = std::min(recording.level + 1, b.cons);  // Thm 14 + Cor 17
+  }
+  return b;
+}
+
+}  // namespace rcons::hierarchy

@@ -1,0 +1,44 @@
+// Hierarchy levels: the largest n for which a type is n-discerning or
+// n-recording, and the cons/rcons bounds the paper derives from them.
+#ifndef RCONS_HIERARCHY_LEVELS_HPP
+#define RCONS_HIERARCHY_LEVELS_HPP
+
+#include <string>
+
+#include "typesys/object_type.hpp"
+
+namespace rcons::hierarchy {
+
+// Result of a bounded max-level scan. `level` is the largest n in [2, cap]
+// for which the property holds, or 1 if it fails already at n = 2. When
+// `capped` is true the property still held at n = cap, so the true level is
+// "at least cap" (finitely checkable fragment of consensus number ∞).
+struct Level {
+  int level = 1;
+  bool capped = false;
+
+  std::string format() const;
+};
+
+// Scans n = 2, 3, …, cap, stopping at the first failure. Stopping is exact:
+// by Observation 6 (and its analogue for the discerning property), failing at
+// n implies failing at every n' > n.
+Level max_discerning_level(const typesys::ObjectType& type, int cap);
+Level max_recording_level(const typesys::ObjectType& type, int cap);
+
+// cons/rcons bounds implied by the paper for a *readable* type with the given
+// levels (Theorems 3, 8, 14): cons = disc level exactly; rcons is in
+// [recording level, recording level + 1], additionally clipped from above by
+// cons (Corollary 17).
+struct HierarchyBounds {
+  int cons = 1;              // exact (Theorem 3), kUnboundedLevel if capped
+  int rcons_lo = 1;          // Theorem 8
+  int rcons_hi = 1;          // Theorem 14 + Corollary 17
+};
+inline constexpr int kUnboundedLevel = -1;
+
+HierarchyBounds bounds_for_readable(const Level& discerning, const Level& recording);
+
+}  // namespace rcons::hierarchy
+
+#endif  // RCONS_HIERARCHY_LEVELS_HPP

@@ -1,0 +1,87 @@
+#include "hierarchy/product.hpp"
+
+#include "util/assert.hpp"
+
+namespace rcons::hierarchy {
+
+using typesys::Operation;
+using typesys::StateRepr;
+using typesys::Transition;
+
+namespace {
+// Operation kinds route to a component; the component's own kind/arg are
+// rebuilt from the encoded composite kind.
+constexpr int kComponentStride = 1 << 20;
+}  // namespace
+
+ProductType::ProductType(std::unique_ptr<typesys::ObjectType> first,
+                         std::unique_ptr<typesys::ObjectType> second)
+    : first_(std::move(first)), second_(std::move(second)) {
+  RCONS_ASSERT(first_ != nullptr && second_ != nullptr);
+}
+
+std::string ProductType::name() const {
+  return first_->name() + "x" + second_->name();
+}
+
+bool ProductType::readable() const {
+  return first_->readable() && second_->readable();
+}
+
+std::vector<Operation> ProductType::operations(int n) const {
+  std::vector<Operation> ops;
+  for (const Operation& op : first_->operations(n)) {
+    ops.push_back({op.kind, op.arg, op.name + "@1"});
+  }
+  for (const Operation& op : second_->operations(n)) {
+    ops.push_back({op.kind + kComponentStride, op.arg, op.name + "@2"});
+  }
+  return ops;
+}
+
+std::vector<StateRepr> ProductType::initial_states(int n) const {
+  std::vector<StateRepr> states;
+  for (const StateRepr& a : first_->initial_states(n)) {
+    for (const StateRepr& b : second_->initial_states(n)) {
+      states.push_back(join(a, b));
+    }
+  }
+  return states;
+}
+
+Transition ProductType::apply(const StateRepr& state, const Operation& op) const {
+  const Split parts = split(state);
+  if (op.kind < kComponentStride) {
+    Transition t = first_->apply(parts.first, {op.kind, op.arg, op.name});
+    return Transition{join(t.next, parts.second), t.response};
+  }
+  Transition t =
+      second_->apply(parts.second, {op.kind - kComponentStride, op.arg, op.name});
+  return Transition{join(parts.first, t.next), t.response};
+}
+
+std::string ProductType::format_state(const StateRepr& state) const {
+  const Split parts = split(state);
+  return first_->format_state(parts.first) + "x" + second_->format_state(parts.second);
+}
+
+ProductType::Split ProductType::split(const StateRepr& state) const {
+  RCONS_ASSERT(!state.empty());
+  const auto len = static_cast<std::size_t>(state[0]);
+  RCONS_ASSERT(state.size() >= 1 + len);
+  Split parts;
+  parts.first.assign(state.begin() + 1, state.begin() + 1 + static_cast<long>(len));
+  parts.second.assign(state.begin() + 1 + static_cast<long>(len), state.end());
+  return parts;
+}
+
+StateRepr ProductType::join(const StateRepr& first, const StateRepr& second) {
+  StateRepr state;
+  state.reserve(1 + first.size() + second.size());
+  state.push_back(static_cast<typesys::Value>(first.size()));
+  state.insert(state.end(), first.begin(), first.end());
+  state.insert(state.end(), second.begin(), second.end());
+  return state;
+}
+
+}  // namespace rcons::hierarchy

@@ -1,0 +1,44 @@
+// Product types: a pair of objects of two base types viewed as one object,
+// each operation acting on one component. Used to probe Theorem 22
+// experimentally: a set of readable types used together can solve RC for at
+// most one more process than the strongest member alone, so the recording
+// level of product(T1, T2) must not exceed max(level(T1), level(T2)) + 1.
+#ifndef RCONS_HIERARCHY_PRODUCT_HPP
+#define RCONS_HIERARCHY_PRODUCT_HPP
+
+#include <memory>
+
+#include "typesys/object_type.hpp"
+
+namespace rcons::hierarchy {
+
+class ProductType final : public typesys::ObjectType {
+ public:
+  ProductType(std::unique_ptr<typesys::ObjectType> first,
+              std::unique_ptr<typesys::ObjectType> second);
+
+  std::string name() const override;
+  bool readable() const override;
+  std::vector<typesys::Operation> operations(int n) const override;
+  std::vector<typesys::StateRepr> initial_states(int n) const override;
+  typesys::Transition apply(const typesys::StateRepr& state,
+                            const typesys::Operation& op) const override;
+  std::string format_state(const typesys::StateRepr& state) const override;
+
+ private:
+  // State encoding: {len_first, <first component...>, <second component...>}.
+  struct Split {
+    typesys::StateRepr first;
+    typesys::StateRepr second;
+  };
+  Split split(const typesys::StateRepr& state) const;
+  static typesys::StateRepr join(const typesys::StateRepr& first,
+                                 const typesys::StateRepr& second);
+
+  std::unique_ptr<typesys::ObjectType> first_;
+  std::unique_ptr<typesys::ObjectType> second_;
+};
+
+}  // namespace rcons::hierarchy
+
+#endif  // RCONS_HIERARCHY_PRODUCT_HPP

@@ -1,0 +1,170 @@
+#include "hierarchy/qsets.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rcons::hierarchy {
+
+using typesys::StateId;
+using typesys::TransitionCache;
+
+namespace {
+
+// Mixed-radix encoding of per-class usage counts.
+struct CountCodec {
+  std::vector<std::uint64_t> stride;
+  std::vector<int> cap;  // max usable processes per class
+  std::uint64_t total = 1;
+
+  CountCodec(const Assignment& assignment, int excluded_class) {
+    stride.reserve(assignment.classes.size());
+    cap.reserve(assignment.classes.size());
+    for (std::size_t c = 0; c < assignment.classes.size(); ++c) {
+      int capacity = assignment.classes[c].count;
+      if (static_cast<int>(c) == excluded_class) capacity -= 1;
+      stride.push_back(total);
+      cap.push_back(capacity);
+      total *= static_cast<std::uint64_t>(capacity) + 1;
+    }
+  }
+};
+
+}  // namespace
+
+std::unordered_set<StateId> q_set(TransitionCache& cache, StateId q0,
+                                  const Assignment& assignment, int team) {
+  const CountCodec codec(assignment, /*excluded_class=*/-1);
+  std::unordered_set<std::uint64_t> visited;
+  std::unordered_set<StateId> result;
+
+  struct Node {
+    StateId state;
+    std::uint64_t idx;
+    std::vector<int> used;
+  };
+  std::vector<Node> stack;
+
+  auto try_push = [&](StateId state, std::uint64_t idx, std::vector<int> used) {
+    const std::uint64_t key = static_cast<std::uint64_t>(static_cast<std::uint32_t>(state)) *
+                                  codec.total +
+                              idx;
+    if (visited.insert(key).second) {
+      result.insert(state);
+      stack.push_back(Node{state, idx, std::move(used)});
+    }
+  };
+
+  // Seed with every possible first move by a process on `team`.
+  for (std::size_t c = 0; c < assignment.classes.size(); ++c) {
+    if (assignment.classes[c].team != team || codec.cap[c] < 1) continue;
+    const auto step = cache.apply(q0, assignment.classes[c].op);
+    std::vector<int> used(assignment.classes.size(), 0);
+    used[c] = 1;
+    try_push(step.next, codec.stride[c], std::move(used));
+  }
+
+  while (!stack.empty()) {
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    for (std::size_t c = 0; c < assignment.classes.size(); ++c) {
+      if (node.used[c] >= codec.cap[c]) continue;
+      const auto step = cache.apply(node.state, assignment.classes[c].op);
+      std::vector<int> used = node.used;
+      used[c] += 1;
+      try_push(step.next, node.idx + codec.stride[c], std::move(used));
+    }
+  }
+  return result;
+}
+
+int ResponseIntern::intern(typesys::Value response) {
+  auto [it, inserted] = ids_.try_emplace(response, static_cast<int>(ids_.size()));
+  if (inserted) values_.push_back(response);
+  return it->second;
+}
+
+RespStateSet r_set_pairs(TransitionCache& cache, StateId q0, const Assignment& assignment,
+                         std::size_t cls_index, int team) {
+  ResponseIntern responses;
+  const auto encoded = r_set(cache, q0, assignment, cls_index, team, responses);
+  RespStateSet result;
+  result.reserve(encoded.size());
+  for (const RPair pair : encoded) {
+    const int resp_id = static_cast<int>(pair >> 32);
+    const auto state = static_cast<StateId>(static_cast<std::uint32_t>(pair));
+    result.insert(RespState{responses.values()[static_cast<std::size_t>(resp_id)], state});
+  }
+  return result;
+}
+
+std::unordered_set<RPair> r_set(TransitionCache& cache, StateId q0,
+                                const Assignment& assignment, std::size_t cls_index,
+                                int team, ResponseIntern& responses) {
+  RCONS_ASSERT(cls_index < assignment.classes.size());
+  RCONS_ASSERT(assignment.classes[cls_index].count >= 1);
+  const CountCodec codec(assignment, static_cast<int>(cls_index));
+  const typesys::OpId my_op = assignment.classes[cls_index].op;
+  const int my_team = assignment.classes[cls_index].team;
+  constexpr int kNoResponse = -1;
+
+  // Visited sets per response layer (layer 0 = distinguished process not yet
+  // applied; layer r+1 = applied with interned response r).
+  std::vector<std::unordered_set<std::uint64_t>> visited;
+  std::unordered_set<RPair> result;
+
+  struct Node {
+    StateId state;
+    std::uint64_t idx;
+    int resp;
+    std::vector<int> used;
+  };
+  std::vector<Node> stack;
+
+  auto try_push = [&](StateId state, std::uint64_t idx, int resp, std::vector<int> used) {
+    const std::size_t layer = static_cast<std::size_t>(resp + 1);
+    if (visited.size() <= layer) visited.resize(layer + 1);
+    const std::uint64_t key = static_cast<std::uint64_t>(static_cast<std::uint32_t>(state)) *
+                                  codec.total +
+                              idx;
+    if (visited[layer].insert(key).second) {
+      if (resp != kNoResponse) result.insert(encode_rpair(resp, state));
+      stack.push_back(Node{state, idx, resp, std::move(used)});
+    }
+  };
+
+  // Seeds: the distinguished process moves first (allowed when its team is
+  // the required first-mover team), or any classmate/other-class process on
+  // the required team moves first.
+  if (my_team == team) {
+    const auto step = cache.apply(q0, my_op);
+    try_push(step.next, 0, responses.intern(step.response),
+             std::vector<int>(assignment.classes.size(), 0));
+  }
+  for (std::size_t c = 0; c < assignment.classes.size(); ++c) {
+    if (assignment.classes[c].team != team || codec.cap[c] < 1) continue;
+    const auto step = cache.apply(q0, assignment.classes[c].op);
+    std::vector<int> used(assignment.classes.size(), 0);
+    used[c] = 1;
+    try_push(step.next, codec.stride[c], kNoResponse, std::move(used));
+  }
+
+  while (!stack.empty()) {
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    if (node.resp == kNoResponse) {
+      const auto step = cache.apply(node.state, my_op);
+      try_push(step.next, node.idx, responses.intern(step.response), node.used);
+    }
+    for (std::size_t c = 0; c < assignment.classes.size(); ++c) {
+      if (node.used[c] >= codec.cap[c]) continue;
+      const auto step = cache.apply(node.state, assignment.classes[c].op);
+      std::vector<int> used = node.used;
+      used[c] += 1;
+      try_push(step.next, node.idx + codec.stride[c], node.resp, std::move(used));
+    }
+  }
+  return result;
+}
+
+}  // namespace rcons::hierarchy

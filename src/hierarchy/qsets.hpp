@@ -1,0 +1,85 @@
+// Reachable-state and response-state sets underlying the paper's two
+// characterizations.
+//
+// Q_X(q0, op_1, …, op_n)  (Definition 4 notation): the set of states q such
+// that some sequence of operations by *distinct* processes, whose first
+// performer is on team X, takes an object from q0 to q.
+//
+// R_{X,j}  (Definition 2 notation): the set of (response, state) pairs (r, q)
+// such that some sequence of operations by distinct processes including p_j,
+// whose first performer is on team X, takes the object from q0 to q while
+// p_j's operation returns r.
+//
+// Both sets are computed by depth-first search over (object state, per-class
+// usage counts) — processes in the same (team, op) class are interchangeable,
+// so tracking counts instead of process sets is exact and exponentially
+// smaller.
+#ifndef RCONS_HIERARCHY_QSETS_HPP
+#define RCONS_HIERARCHY_QSETS_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "hierarchy/assignment.hpp"
+#include "typesys/transition_cache.hpp"
+
+namespace rcons::hierarchy {
+
+// Encoded (response, final-state) pair for R-set membership.
+using RPair = std::uint64_t;
+
+constexpr RPair encode_rpair(int response_index, typesys::StateId state) {
+  return (static_cast<RPair>(static_cast<std::uint32_t>(response_index)) << 32) |
+         static_cast<std::uint32_t>(state);
+}
+
+// Q_X for team `team` (kTeamA or kTeamB).
+std::unordered_set<typesys::StateId> q_set(typesys::TransitionCache& cache,
+                                           typesys::StateId q0,
+                                           const Assignment& assignment, int team);
+
+// Interns response values so R-sets for teams A and B of the same process
+// class are comparable. One instance must be shared across the paired calls.
+class ResponseIntern {
+ public:
+  int intern(typesys::Value response);
+
+  // Interned values by id (for decoding RPairs back to raw responses).
+  const std::vector<typesys::Value>& values() const { return values_; }
+
+ private:
+  std::unordered_map<typesys::Value, int> ids_;
+  std::vector<typesys::Value> values_;
+};
+
+// R_{X,c}: the R-set of a distinguished process of class `cls_index` when the
+// first mover must belong to `team`.
+std::unordered_set<RPair> r_set(typesys::TransitionCache& cache, typesys::StateId q0,
+                                const Assignment& assignment, std::size_t cls_index,
+                                int team, ResponseIntern& responses);
+
+// Decoded R-set entry: raw response value plus final object state. Used by
+// the Theorem 3 consensus algorithm, which tests (response, state) membership
+// at runtime.
+struct RespState {
+  typesys::Value response = 0;
+  typesys::StateId state = typesys::kNoState;
+  bool operator==(const RespState&) const = default;
+};
+struct RespStateHash {
+  std::size_t operator()(const RespState& p) const {
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(p.response) * 0x9e3779b97f4a7c15ULL) ^
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.state)));
+  }
+};
+using RespStateSet = std::unordered_set<RespState, RespStateHash>;
+
+// R_{X,c} with raw (response, state) pairs.
+RespStateSet r_set_pairs(typesys::TransitionCache& cache, typesys::StateId q0,
+                         const Assignment& assignment, std::size_t cls_index, int team);
+
+}  // namespace rcons::hierarchy
+
+#endif  // RCONS_HIERARCHY_QSETS_HPP

@@ -1,0 +1,71 @@
+#include "hierarchy/recording.hpp"
+
+#include "hierarchy/qsets.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::hierarchy {
+
+using typesys::StateId;
+using typesys::TransitionCache;
+
+std::string RecordingWitness::format(const TransitionCache& cache) const {
+  return "q0=" + cache.type().format_state(cache.repr(q0)) + " " +
+         assignment.format(cache) + " |Q_A|=" + std::to_string(q_a.size()) +
+         " |Q_B|=" + std::to_string(q_b.size());
+}
+
+bool check_recording_assignment(TransitionCache& cache, StateId q0,
+                                const Assignment& assignment) {
+  const auto q_a = q_set(cache, q0, assignment, kTeamA);
+  const auto q_b = q_set(cache, q0, assignment, kTeamB);
+  // Condition 1: Q_A ∩ Q_B = ∅.
+  const auto& small = q_a.size() <= q_b.size() ? q_a : q_b;
+  const auto& large = q_a.size() <= q_b.size() ? q_b : q_a;
+  for (const StateId q : small) {
+    if (large.contains(q)) return false;
+  }
+  // Condition 2: q0 ∉ Q_A or |B| = 1.
+  if (q_a.contains(q0) && assignment.team_size[kTeamB] != 1) return false;
+  // Condition 3: q0 ∉ Q_B or |A| = 1.
+  if (q_b.contains(q0) && assignment.team_size[kTeamA] != 1) return false;
+  return true;
+}
+
+std::optional<RecordingWitness> find_recording_witness(TransitionCache& cache) {
+  const int n = cache.num_processes();
+  std::optional<RecordingWitness> witness;
+  auto visit_with = [&](StateId q0) {
+    return [&cache, &witness, q0, n](const Assignment& assignment) {
+      if (!check_recording_assignment(cache, q0, assignment)) return false;
+      RecordingWitness w;
+      w.n = n;
+      w.q0 = q0;
+      w.assignment = assignment;
+      assignment.expand(w.team, w.ops);
+      w.q_a = q_set(cache, q0, assignment, kTeamA);
+      w.q_b = q_set(cache, q0, assignment, kTeamB);
+      RCONS_ASSERT(static_cast<int>(w.team.size()) == n);
+      witness = std::move(w);
+      return true;
+    };
+  };
+  std::vector<StateId> candidates;
+  std::unordered_set<StateId> seen;
+  for (const StateId q0 : cache.initial_states()) {
+    if (seen.insert(q0).second) candidates.push_back(q0);
+  }
+  for (const StateId q0 : candidates) {
+    if (for_each_likely_assignment(n, cache.num_ops(), visit_with(q0))) return witness;
+  }
+  for (const StateId q0 : candidates) {
+    if (for_each_assignment(n, cache.num_ops(), visit_with(q0))) return witness;
+  }
+  return std::nullopt;
+}
+
+bool is_recording(const typesys::ObjectType& type, int n) {
+  TransitionCache cache(type, n);
+  return find_recording_witness(cache).has_value();
+}
+
+}  // namespace rcons::hierarchy

@@ -1,0 +1,64 @@
+#include "nvram/closed_table.hpp"
+
+#include "util/assert.hpp"
+
+namespace rcons::nvram {
+
+std::shared_ptr<const ClosedTable> ClosedTable::build(
+    std::shared_ptr<typesys::TransitionCache> cache, std::size_t max_states) {
+  RCONS_ASSERT(cache != nullptr);
+  auto table = std::shared_ptr<ClosedTable>(new ClosedTable());
+  table->cache_ = cache;
+  table->num_ops_ = cache->num_ops();
+
+  // BFS over state ids; the cache interns new states densely, so the frontier
+  // is just "ids we have not expanded yet".
+  std::vector<std::uint8_t> expanded;
+  std::vector<typesys::StateId> frontier = cache->initial_states();
+  auto ensure = [&](typesys::StateId s) {
+    const auto idx = static_cast<std::size_t>(s);
+    if (idx >= expanded.size()) expanded.resize(idx + 1, 0);
+  };
+  for (const typesys::StateId s : frontier) ensure(s);
+
+  std::size_t cursor = 0;
+  while (cursor < frontier.size()) {
+    const typesys::StateId s = frontier[cursor++];
+    ensure(s);
+    if (expanded[static_cast<std::size_t>(s)] != 0) continue;
+    expanded[static_cast<std::size_t>(s)] = 1;
+    RCONS_ASSERT_MSG(cache->discovered_states() <= max_states,
+                     "transition closure exceeds max_states; type unsuitable for "
+                     "the lock-free runtime");
+    for (typesys::OpId op = 0; op < table->num_ops_; ++op) {
+      const auto step = cache->apply(s, op);
+      ensure(step.next);
+      if (expanded[static_cast<std::size_t>(step.next)] == 0) {
+        frontier.push_back(step.next);
+      }
+    }
+  }
+
+  // Materialize the dense table for every discovered state.
+  const std::size_t num_states = cache->discovered_states();
+  table->entries_.resize(num_states * static_cast<std::size_t>(table->num_ops_));
+  for (std::size_t s = 0; s < num_states; ++s) {
+    for (typesys::OpId op = 0; op < table->num_ops_; ++op) {
+      const auto step = cache->apply(static_cast<typesys::StateId>(s), op);
+      table->entries_[s * static_cast<std::size_t>(table->num_ops_) +
+                      static_cast<std::size_t>(op)] = Entry{step.next, step.response};
+    }
+  }
+  return table;
+}
+
+ClosedTable::Entry ClosedTable::apply(typesys::StateId state, typesys::OpId op) const {
+  RCONS_ASSERT(op >= 0 && op < num_ops_);
+  const std::size_t index =
+      static_cast<std::size_t>(state) * static_cast<std::size_t>(num_ops_) +
+      static_cast<std::size_t>(op);
+  RCONS_ASSERT(index < entries_.size());
+  return entries_[index];
+}
+
+}  // namespace rcons::nvram

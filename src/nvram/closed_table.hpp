@@ -1,0 +1,52 @@
+// Precomputed transition closure for lock-free atomic objects.
+//
+// The thread runtime realizes an "atomic object of type T" as a CAS loop over
+// an interned state id. That requires the full set of states reachable from
+// the initial states under the candidate operations to be known up front, so
+// the transition function can be an immutable table shared by all threads
+// without synchronization. The closure is finite for every type the paper's
+// constructions run on (T_n, S_n, test-and-set, CAS, sticky bit, bounded
+// containers); the builder enforces a cap and reports overflow.
+#ifndef RCONS_NVRAM_CLOSED_TABLE_HPP
+#define RCONS_NVRAM_CLOSED_TABLE_HPP
+
+#include <memory>
+#include <vector>
+
+#include "typesys/transition_cache.hpp"
+
+namespace rcons::nvram {
+
+class ClosedTable {
+ public:
+  struct Entry {
+    typesys::StateId next = typesys::kNoState;
+    typesys::Value response = typesys::kAck;
+  };
+
+  // Builds the closure of `cache`'s candidate initial states under all of its
+  // candidate operations. Throws via assertion if more than `max_states`
+  // states are discovered. State ids are shared with `cache` (so witness sets
+  // like Q_A remain valid).
+  static std::shared_ptr<const ClosedTable> build(
+      std::shared_ptr<typesys::TransitionCache> cache, std::size_t max_states = 200'000);
+
+  int num_ops() const { return num_ops_; }
+  std::size_t num_states() const { return entries_.size() / static_cast<std::size_t>(num_ops_); }
+
+  // Safe for concurrent use: purely a table lookup.
+  Entry apply(typesys::StateId state, typesys::OpId op) const;
+
+  const typesys::TransitionCache& cache() const { return *cache_; }
+
+ private:
+  ClosedTable() = default;
+
+  std::shared_ptr<typesys::TransitionCache> cache_;
+  int num_ops_ = 0;
+  std::vector<Entry> entries_;  // [state * num_ops + op]
+};
+
+}  // namespace rcons::nvram
+
+#endif  // RCONS_NVRAM_CLOSED_TABLE_HPP

@@ -1,0 +1,100 @@
+// Simulated non-volatile shared memory for the real-thread runtime.
+//
+// The paper's model: shared memory survives crashes, per-process local state
+// does not. In the thread runtime a "process crash" unwinds the worker's
+// stack (CrashException) and discards all of its locals; these cells and
+// objects simply persist. An optional persistence-cost model charges a busy
+// wait per persistent store, so benchmarks can expose the qualitative cost a
+// real NVRAM flush would add (the paper itself makes no such measurement; the
+// knob defaults to zero, i.e. the paper's idealized model).
+#ifndef RCONS_NVRAM_NVRAM_HPP
+#define RCONS_NVRAM_NVRAM_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "nvram/closed_table.hpp"
+#include "typesys/core.hpp"
+
+namespace rcons::nvram {
+
+// Busy-wait persistence model shared by the cells of one heap.
+struct PersistenceModel {
+  long delay_ns = 0;
+
+  void on_persist() const {
+    if (delay_ns <= 0) return;
+    const auto until = std::chrono::steady_clock::now() + std::chrono::nanoseconds(delay_ns);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+  }
+};
+
+// A non-volatile atomic word.
+class NvRegister {
+ public:
+  explicit NvRegister(typesys::Value initial = typesys::kBottom,
+                      const PersistenceModel* persistence = nullptr)
+      : value_(initial), persistence_(persistence) {}
+
+  typesys::Value read() const { return value_.load(); }
+
+  void write(typesys::Value value) {
+    value_.store(value);
+    if (persistence_ != nullptr) persistence_->on_persist();
+  }
+
+  // Returns the previous value; installs `desired` only if the cell held
+  // `expected`. (The primitive behind the RC cell of Section 4.)
+  typesys::Value compare_and_swap(typesys::Value expected, typesys::Value desired) {
+    typesys::Value current = expected;
+    if (value_.compare_exchange_strong(current, desired)) {
+      if (persistence_ != nullptr) persistence_->on_persist();
+      return expected;
+    }
+    return current;
+  }
+
+ private:
+  std::atomic<typesys::Value> value_;
+  const PersistenceModel* persistence_;
+};
+
+// A non-volatile atomic object of an arbitrary deterministic type, realized
+// as a CAS loop over a precomputed transition table (lock-free, linearizable
+// at the CAS that installs the successor state).
+class NvObject {
+ public:
+  NvObject(std::shared_ptr<const ClosedTable> table, typesys::StateId q0,
+           const PersistenceModel* persistence = nullptr)
+      : table_(std::move(table)), state_(q0), persistence_(persistence) {}
+
+  typesys::Value apply(typesys::OpId op) {
+    typesys::StateId current = state_.load();
+    for (;;) {
+      const ClosedTable::Entry entry = table_->apply(current, op);
+      if (state_.compare_exchange_weak(current, entry.next)) {
+        if (persistence_ != nullptr) persistence_->on_persist();
+        return entry.response;
+      }
+      // current reloaded by compare_exchange_weak; retry.
+    }
+  }
+
+  // The Read operation of a readable type.
+  typesys::StateId read_state() const { return state_.load(); }
+
+  void reset(typesys::StateId q0) { state_.store(q0); }
+
+  const ClosedTable& table() const { return *table_; }
+
+ private:
+  std::shared_ptr<const ClosedTable> table_;
+  std::atomic<typesys::StateId> state_;
+  const PersistenceModel* persistence_;
+};
+
+}  // namespace rcons::nvram
+
+#endif  // RCONS_NVRAM_NVRAM_HPP

@@ -1,0 +1,15 @@
+#include "rc/race.hpp"
+
+namespace rcons::rc {
+
+RaceInstance install_race(sim::Memory& memory,
+                          std::shared_ptr<typesys::TransitionCache> cache) {
+  RCONS_ASSERT(cache != nullptr);
+  RaceInstance instance;
+  const typesys::StateId q0 = cache->intern({typesys::kBottom});
+  instance.obj = memory.add_object(cache, q0);
+  instance.cache = std::move(cache);
+  return instance;
+}
+
+}  // namespace rcons::rc

@@ -1,0 +1,57 @@
+// One-step racing consensus on a "recording-forever" object (compare-and-swap
+// or an idealized consensus object).
+//
+// The baseline showing why rcons(CAS) = ∞: a single CAS(⊥, v) both decides
+// and durably records the decision, so the algorithm is trivially recoverable
+// — a re-run after a crash just observes the recorded winner. Inputs must be
+// drawn from {1..n} so they map onto the type's candidate operations
+// CAS(⊥,1)…CAS(⊥,n) / Propose(1)…Propose(n).
+#ifndef RCONS_RC_RACE_HPP
+#define RCONS_RC_RACE_HPP
+
+#include <memory>
+#include <vector>
+
+#include "sim/memory.hpp"
+#include "sim/process.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::rc {
+
+struct RaceInstance {
+  std::shared_ptr<typesys::TransitionCache> cache;
+  sim::ObjId obj = -1;
+};
+
+// Installs one race object initialized to the ⊥ state.
+RaceInstance install_race(sim::Memory& memory,
+                          std::shared_ptr<typesys::TransitionCache> cache);
+
+class RaceConsensusProgram {
+ public:
+  // `role` is unused (present for StagedProgram/Figure-4 compatibility).
+  RaceConsensusProgram(RaceInstance instance, int role, typesys::Value input)
+      : instance_(std::move(instance)), input_(input) {
+    (void)role;
+    RCONS_ASSERT(input_ >= 1 && input_ <= instance_.cache->num_ops());
+  }
+
+  sim::StepResult step(sim::Memory& memory) {
+    // Candidate op `input-1` is CAS(⊥, input) / Propose(input). A ⊥ response
+    // means the object was unset — our value won; any other response is the
+    // recorded winner.
+    const typesys::Value response =
+        memory.apply(instance_.obj, static_cast<typesys::OpId>(input_ - 1));
+    return sim::StepResult::decided(response == typesys::kBottom ? input_ : response);
+  }
+
+  void encode(std::vector<typesys::Value>& out) const { out.push_back(0); }
+
+ private:
+  RaceInstance instance_;
+  typesys::Value input_;
+};
+
+}  // namespace rcons::rc
+
+#endif  // RCONS_RC_RACE_HPP

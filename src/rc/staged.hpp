@@ -1,0 +1,127 @@
+// Staged (tournament) composition of two-team consensus protocols.
+//
+// Proposition 30 (Appendix B) reduces full (recoverable) consensus to team
+// consensus: processes agree recursively inside each team, then the two
+// teams' representatives run team consensus on the agreed values. The
+// recursion bottoms out at singleton groups. Each process therefore executes
+// a fixed chain of team-consensus stages along its leaf-to-root path, feeding
+// each stage's decision into the next.
+//
+// The composition is itself recoverable when the inner protocol is: after a
+// crash the process re-runs the chain from stage 0, and the inner agreement
+// property guarantees each re-run stage re-decides the same value, so the
+// inputs fed forward are stable across runs (the paper's footnote on stable
+// inputs).
+#ifndef RCONS_RC_STAGED_HPP
+#define RCONS_RC_STAGED_HPP
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/memory.hpp"
+#include "sim/process.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::rc {
+
+template <typename InnerInstance>
+struct Stage {
+  InnerInstance instance;
+  int role = 0;
+};
+
+// Chains InnerProgram invocations; InnerProgram must be constructible as
+// InnerProgram(InnerInstance, int role, Value input) and satisfy the step
+// machine concept.
+template <typename InnerProgram, typename InnerInstance>
+class StagedProgram {
+ public:
+  StagedProgram(std::shared_ptr<const std::vector<Stage<InnerInstance>>> stages,
+                typesys::Value input)
+      : stages_(std::move(stages)), input_(input), value_(input) {
+    RCONS_ASSERT(stages_ != nullptr);
+  }
+
+  sim::StepResult step(sim::Memory& memory) {
+    if (stage_index_ >= stages_->size()) {
+      // Singleton group: no stages; decide own input without memory access.
+      return sim::StepResult::decided(value_);
+    }
+    if (!inner_.has_value()) {
+      const Stage<InnerInstance>& stage = (*stages_)[stage_index_];
+      inner_.emplace(stage.instance, stage.role, value_);
+    }
+    const sim::StepResult result = inner_->step(memory);
+    if (result.kind == sim::StepResult::Kind::kDecided) {
+      value_ = result.decision;
+      inner_.reset();
+      stage_index_ += 1;
+      if (stage_index_ == stages_->size()) return sim::StepResult::decided(value_);
+    }
+    return sim::StepResult::running();
+  }
+
+  void encode(std::vector<typesys::Value>& out) const {
+    out.push_back(static_cast<typesys::Value>(stage_index_));
+    out.push_back(value_);
+    out.push_back(inner_.has_value() ? 1 : 0);
+    if (inner_.has_value()) inner_->encode(out);
+  }
+
+ private:
+  std::shared_ptr<const std::vector<Stage<InnerInstance>>> stages_;
+  typesys::Value input_;
+  // Volatile run state:
+  typesys::Value value_;
+  std::size_t stage_index_ = 0;
+  std::optional<InnerProgram> inner_;
+};
+
+// Builds the tournament stage lists for `k` participants over an inner
+// protocol whose witness partitions `role_teams.size()` processes into teams
+// given by role_teams (0 = A, 1 = B). `install()` allocates a fresh inner
+// instance for each tree node (capturing whatever memory it installs into).
+// Returns one stage chain per participant, ordered leaf-to-root.
+template <typename InnerInstance, typename Installer>
+std::vector<std::vector<Stage<InnerInstance>>> build_tournament_stages(
+    int k, const std::vector<int>& role_teams, Installer&& install) {
+  RCONS_ASSERT(k >= 1);
+  std::vector<int> a_roles;
+  std::vector<int> b_roles;
+  for (std::size_t r = 0; r < role_teams.size(); ++r) {
+    (role_teams[r] == 0 ? a_roles : b_roles).push_back(static_cast<int>(r));
+  }
+  RCONS_ASSERT(!a_roles.empty() && !b_roles.empty());
+  RCONS_ASSERT(k <= static_cast<int>(role_teams.size()));
+
+  std::vector<std::vector<Stage<InnerInstance>>> stages(static_cast<std::size_t>(k));
+
+  // Recursive splitting; participants are [first, first + size).
+  auto build = [&](auto&& self, int first, int size) -> void {
+    if (size <= 1) return;
+    const int a_cap = static_cast<int>(a_roles.size());
+    const int b_cap = static_cast<int>(b_roles.size());
+    int a = std::max(1, size - b_cap);
+    a = std::min({a, a_cap, size - 1});
+    self(self, first, a);
+    self(self, first + a, size - a);
+
+    const InnerInstance instance = install();
+    for (int i = 0; i < a; ++i) {
+      stages[static_cast<std::size_t>(first + i)].push_back(
+          Stage<InnerInstance>{instance, a_roles[static_cast<std::size_t>(i)]});
+    }
+    for (int i = 0; i < size - a; ++i) {
+      stages[static_cast<std::size_t>(first + a + i)].push_back(
+          Stage<InnerInstance>{instance, b_roles[static_cast<std::size_t>(i)]});
+    }
+  };
+  build(build, 0, k);
+  return stages;
+}
+
+}  // namespace rcons::rc
+
+#endif  // RCONS_RC_STAGED_HPP

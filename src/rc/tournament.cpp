@@ -1,0 +1,42 @@
+#include "rc/tournament.hpp"
+
+#include <algorithm>
+
+#include "hierarchy/recording.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::rc {
+
+TournamentSystem make_rc_tournament(const typesys::ObjectType& type, int witness_n,
+                                    const std::vector<typesys::Value>& inputs) {
+  RCONS_ASSERT(!inputs.empty());
+  RCONS_ASSERT(static_cast<int>(inputs.size()) <= witness_n);
+
+  auto cache = std::make_shared<typesys::TransitionCache>(type, witness_n);
+  auto witness = hierarchy::find_recording_witness(*cache);
+  RCONS_ASSERT_MSG(witness.has_value(), "type is not witness_n-recording");
+  auto plan = TeamConsensusPlan::create(cache, *witness);
+
+  TournamentSystem system;
+  system.plan = plan;
+
+  int instances = 0;
+  auto install = [&]() {
+    instances += 1;
+    return install_team_consensus(system.memory, plan);
+  };
+  auto stages = build_tournament_stages<TeamConsensusInstance>(
+      static_cast<int>(inputs.size()), plan->team, install);
+  system.instances = instances;
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    system.max_stages =
+        std::max(system.max_stages, static_cast<int>(stages[i].size()));
+    auto chain = std::make_shared<const std::vector<Stage<TeamConsensusInstance>>>(
+        std::move(stages[i]));
+    system.processes.emplace_back(RcTournamentProgram(chain, inputs[i]));
+  }
+  return system;
+}
+
+}  // namespace rcons::rc

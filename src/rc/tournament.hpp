@@ -1,0 +1,33 @@
+// Full n-process recoverable consensus from an n-recording readable type:
+// Figure 2 team consensus composed through the Proposition 30 tournament.
+// This realizes the sufficiency direction of Theorem 8 end-to-end.
+#ifndef RCONS_RC_TOURNAMENT_HPP
+#define RCONS_RC_TOURNAMENT_HPP
+
+#include <memory>
+#include <vector>
+
+#include "rc/staged.hpp"
+#include "rc/team_consensus.hpp"
+
+namespace rcons::rc {
+
+using RcTournamentProgram = StagedProgram<TeamConsensusProgram, TeamConsensusInstance>;
+
+struct TournamentSystem {
+  std::shared_ptr<const TeamConsensusPlan> plan;
+  sim::Memory memory;
+  std::vector<sim::Process> processes;  // one per input
+  int instances = 0;                    // team-consensus instances allocated
+  int max_stages = 0;                   // tournament depth (longest chain)
+};
+
+// Builds recoverable consensus for inputs.size() ≤ witness_n participants
+// using an n-recording witness for `type` with n = witness_n. Asserts the
+// witness exists (check is_recording(type, witness_n) first if unsure).
+TournamentSystem make_rc_tournament(const typesys::ObjectType& type, int witness_n,
+                                    const std::vector<typesys::Value>& inputs);
+
+}  // namespace rcons::rc
+
+#endif  // RCONS_RC_TOURNAMENT_HPP

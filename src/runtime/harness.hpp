@@ -1,0 +1,73 @@
+// Thread harness: runs one OS thread per simulated process, with crash
+// injection and crash-restart (recovery) semantics, and collects outputs for
+// agreement/validity verification. Used by tests and benchmarks.
+#ifndef RCONS_RUNTIME_HARNESS_HPP
+#define RCONS_RUNTIME_HARNESS_HPP
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/crash.hpp"
+#include "typesys/core.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::runtime {
+
+struct HarnessReport {
+  std::vector<typesys::Value> outputs;  // one per worker
+  int total_crashes = 0;
+  bool agreement = true;
+
+  // True if every output appears in `inputs`.
+  bool valid_against(const std::vector<typesys::Value>& inputs) const {
+    for (const typesys::Value out : outputs) {
+      bool found = false;
+      for (const typesys::Value in : inputs) found = found || in == out;
+      if (!found) return false;
+    }
+    return true;
+  }
+};
+
+// `task(role, injector)` must return the worker's decision and may throw
+// CrashException (from the injector); the harness restarts it — the model's
+// crash-recover-rerun loop. Each worker gets an independent deterministic
+// injector derived from `seed`.
+template <typename Task>
+HarnessReport run_crashy_workers(int n, Task task, std::uint64_t seed,
+                                 int crash_per_mille, int max_crashes_per_worker) {
+  RCONS_ASSERT(n >= 1);
+  HarnessReport report;
+  report.outputs.assign(static_cast<std::size_t>(n), 0);
+  std::vector<int> crashes(static_cast<std::size_t>(n), 0);
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(n));
+  for (int role = 0; role < n; ++role) {
+    workers.emplace_back([&, role] {
+      CrashInjector injector(seed + static_cast<std::uint64_t>(role) * 0x9e3779b9ULL,
+                             crash_per_mille, max_crashes_per_worker);
+      for (;;) {
+        try {
+          report.outputs[static_cast<std::size_t>(role)] = task(role, injector);
+          break;
+        } catch (const CrashException&) {
+          // recovery: local state discarded, re-run from the top
+        }
+      }
+      crashes[static_cast<std::size_t>(role)] = injector.crashes();
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  for (const int c : crashes) report.total_crashes += c;
+  for (const typesys::Value out : report.outputs) {
+    report.agreement = report.agreement && out == report.outputs.front();
+  }
+  return report;
+}
+
+}  // namespace rcons::runtime
+
+#endif  // RCONS_RUNTIME_HARNESS_HPP

@@ -1,0 +1,102 @@
+#include "runtime/recoverable.hpp"
+
+#include <algorithm>
+
+#include "hierarchy/recording.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::runtime {
+
+using typesys::Value;
+
+RTeamConsensus::RTeamConsensus(std::shared_ptr<const rc::TeamConsensusPlan> plan,
+                               std::shared_ptr<const nvram::ClosedTable> table,
+                               const nvram::PersistenceModel* persistence)
+    : plan_(std::move(plan)),
+      object_(std::move(table), plan_->q0, persistence),
+      reg_a_(typesys::kBottom, persistence),
+      reg_b_(typesys::kBottom, persistence) {
+  RCONS_ASSERT(plan_ != nullptr);
+}
+
+Value RTeamConsensus::decide(int role, Value input, CrashInjector& crash) {
+  RCONS_ASSERT(role >= 0 && role < plan_->n());
+  const bool on_team_a = plan_->team[static_cast<std::size_t>(role)] == hierarchy::kTeamA;
+  nvram::NvRegister& my_reg = on_team_a ? reg_a_ : reg_b_;
+
+  crash.point();
+  my_reg.write(input);  // line 5 / 16: announce my team's input
+
+  crash.point();
+  typesys::StateId q = object_.read_state();  // line 6 / 17
+  if (q == plan_->q0) {
+    if (!on_team_a && plan_->team_size[hierarchy::kTeamB] == 1) {
+      crash.point();
+      const Value announced = reg_a_.read();  // line 19
+      if (announced != typesys::kBottom) return announced;  // line 20: defer to A
+      crash.point();
+      object_.apply(plan_->ops[static_cast<std::size_t>(role)]);  // line 22
+      crash.point();
+      q = object_.read_state();  // line 23
+    } else {
+      crash.point();
+      object_.apply(plan_->ops[static_cast<std::size_t>(role)]);  // line 8 / 22
+      crash.point();
+      q = object_.read_state();  // line 9 / 23
+    }
+  }
+  crash.point();
+  const bool a_won = plan_->q_a.contains(q);  // lines 11-12 / 26-27
+  return (a_won ? reg_a_ : reg_b_).read();
+}
+
+void RTeamConsensus::reset() {
+  object_.reset(plan_->q0);
+  reg_a_.write(typesys::kBottom);
+  reg_b_.write(typesys::kBottom);
+}
+
+RTournament::RTournament(const typesys::ObjectType& type, int witness_n, int k,
+                         const nvram::PersistenceModel* persistence) {
+  RCONS_ASSERT(k >= 1 && k <= witness_n);
+  auto cache = std::make_shared<typesys::TransitionCache>(type, witness_n);
+  auto witness = hierarchy::find_recording_witness(*cache);
+  RCONS_ASSERT_MSG(witness.has_value(), "type is not witness_n-recording");
+  plan_ = rc::TeamConsensusPlan::create(cache, *witness);
+  // The closure must be built after the witness search so state ids line up
+  // with the plan's Q_A set (both share `cache`).
+  auto table = nvram::ClosedTable::build(cache);
+
+  auto install = [&]() {
+    nodes_.push_back(std::make_unique<RTeamConsensus>(plan_, table, persistence));
+    return nodes_.size() - 1;
+  };
+  auto stages = rc::build_tournament_stages<std::size_t>(k, plan_->team, install);
+  chains_.resize(static_cast<std::size_t>(k));
+  for (std::size_t p = 0; p < stages.size(); ++p) {
+    for (const auto& stage : stages[p]) {
+      chains_[p].push_back(StageRef{stage.instance, stage.role});
+    }
+  }
+}
+
+Value RTournament::decide(int participant, Value input, CrashInjector& crash) {
+  RCONS_ASSERT(participant >= 0 && participant < participants());
+  Value value = input;
+  for (const StageRef& stage : chains_[static_cast<std::size_t>(participant)]) {
+    value = nodes_[stage.node]->decide(stage.role, value, crash);
+  }
+  return value;
+}
+
+void RTournament::reset() {
+  for (const auto& node : nodes_) node->reset();
+}
+
+int RTournament::depth() const {
+  std::size_t depth = 0;
+  for (const auto& chain : chains_) depth = std::max(depth, chain.size());
+  return static_cast<int>(depth);
+}
+
+}  // namespace rcons::runtime

@@ -1,0 +1,94 @@
+// Blocking-style (production-shaped) implementations of the paper's
+// recoverable consensus algorithms for the real-thread runtime.
+//
+// These mirror the sim/ step machines (which are the exhaustively
+// model-checked reference); here the algorithms are written as ordinary
+// sequential code over NVRAM cells, with crash points between shared
+// accesses. Tests cross-check both implementations.
+#ifndef RCONS_RUNTIME_RECOVERABLE_HPP
+#define RCONS_RUNTIME_RECOVERABLE_HPP
+
+#include <memory>
+#include <vector>
+
+#include "nvram/nvram.hpp"
+#include "rc/staged.hpp"
+#include "rc/team_consensus.hpp"
+#include "runtime/crash.hpp"
+
+namespace rcons::runtime {
+
+// Figure 2 over NVRAM: one shared object of an n-recording type plus the two
+// team registers. decide() may throw CrashException (when the injector
+// fires); calling decide() again with the same arguments is the recovery.
+class RTeamConsensus {
+ public:
+  RTeamConsensus(std::shared_ptr<const rc::TeamConsensusPlan> plan,
+                 std::shared_ptr<const nvram::ClosedTable> table,
+                 const nvram::PersistenceModel* persistence = nullptr);
+
+  typesys::Value decide(int role, typesys::Value input, CrashInjector& crash);
+
+  // Re-initializes the instance (benchmark iterations only; not part of the
+  // algorithm).
+  void reset();
+
+  const rc::TeamConsensusPlan& plan() const { return *plan_; }
+
+ private:
+  std::shared_ptr<const rc::TeamConsensusPlan> plan_;
+  nvram::NvObject object_;
+  nvram::NvRegister reg_a_;
+  nvram::NvRegister reg_b_;
+};
+
+// Full recoverable consensus: the Proposition 30 tournament over
+// RTeamConsensus instances.
+class RTournament {
+ public:
+  // Builds a tournament for `k` participants over a witness_n-recording
+  // witness of `type` (asserts one exists).
+  RTournament(const typesys::ObjectType& type, int witness_n, int k,
+              const nvram::PersistenceModel* persistence = nullptr);
+
+  typesys::Value decide(int participant, typesys::Value input, CrashInjector& crash);
+
+  void reset();
+
+  int participants() const { return static_cast<int>(chains_.size()); }
+  int instances() const { return static_cast<int>(nodes_.size()); }
+  int depth() const;
+
+ private:
+  struct StageRef {
+    std::size_t node = 0;
+    int role = 0;
+  };
+
+  std::shared_ptr<const rc::TeamConsensusPlan> plan_;
+  std::vector<std::unique_ptr<RTeamConsensus>> nodes_;
+  std::vector<std::vector<StageRef>> chains_;
+};
+
+// The CAS-racing baseline (rcons(CAS) = ∞): one NVRAM word decides and
+// records the outcome in a single step; recovery re-reads the record.
+class RRaceConsensus {
+ public:
+  explicit RRaceConsensus(const nvram::PersistenceModel* persistence = nullptr)
+      : cell_(typesys::kBottom, persistence) {}
+
+  typesys::Value decide(typesys::Value input, CrashInjector& crash) {
+    crash.point();
+    const typesys::Value previous = cell_.compare_and_swap(typesys::kBottom, input);
+    return previous == typesys::kBottom ? input : previous;
+  }
+
+  void reset() { cell_.write(typesys::kBottom); }
+
+ private:
+  nvram::NvRegister cell_;
+};
+
+}  // namespace rcons::runtime
+
+#endif  // RCONS_RUNTIME_RECOVERABLE_HPP

@@ -1,0 +1,110 @@
+// Exhaustive model checking of step-machine algorithms under crashes.
+//
+// The explorer enumerates every interleaving of process steps and every
+// placement of up to `crash_budget` crash events (independent per-process
+// crashes, or simultaneous all-process crashes — the paper's two failure
+// models), checking:
+//
+//   * Agreement  — all outputs ever produced (across processes and across
+//     multiple runs of the same process) are equal.
+//   * Validity   — every output is in the configured input set.
+//   * Recoverable wait-freedom — no run of any process exceeds the configured
+//     per-run step bound without crashing or deciding.
+//
+// Exploration deduplicates global states (shared memory + every process's
+// local state + crash budget + decision constraint), which keeps the search
+// tractable; dedup keys are 128-bit hashes of the canonical encoding, making
+// a pruning collision astronomically unlikely (documented trade-off).
+#ifndef RCONS_SIM_EXPLORER_HPP
+#define RCONS_SIM_EXPLORER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/memory.hpp"
+#include "sim/process.hpp"
+
+namespace rcons::sim {
+
+enum class CrashModel {
+  kIndependent,   // processes crash and recover individually (paper Section 3)
+  kSimultaneous,  // all processes crash together (paper Section 2)
+};
+
+struct ExplorerConfig {
+  CrashModel crash_model = CrashModel::kIndependent;
+  int crash_budget = 2;
+  long max_steps_per_run = 500;
+  std::uint64_t max_visited = 20'000'000;
+  std::vector<typesys::Value> valid_outputs;  // empty disables the validity check
+  bool crash_after_decide = true;
+};
+
+struct Violation {
+  std::string description;
+  std::string trace;  // the event schedule that produced it
+};
+
+struct ExplorerStats {
+  std::uint64_t visited = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t terminal_states = 0;
+  bool truncated = false;  // hit max_visited — verdict incomplete
+};
+
+class Explorer {
+ public:
+  Explorer(Memory initial, std::vector<Process> processes, ExplorerConfig config);
+
+  // Explores the full (deduplicated) execution tree. Returns the first
+  // violation found, or nullopt if every execution satisfies the properties.
+  std::optional<Violation> run();
+
+  const ExplorerStats& stats() const { return stats_; }
+
+ private:
+  struct Node {
+    Memory memory;
+    std::vector<Process> processes;
+    std::vector<std::uint8_t> done;
+    std::vector<long> steps_in_run;
+    int crashes_used = 0;
+    bool has_decision = false;
+    typesys::Value decision = 0;
+  };
+
+  struct Event {
+    enum class Kind { kStep, kCrash, kCrashAll };
+    Kind kind;
+    int process;
+  };
+
+  std::optional<Violation> dfs(const Node& node);
+  std::optional<Violation> apply_step(Node& node, int process) const;
+  bool insert_visited(const Node& node);
+  std::string format_trace() const;
+  Violation make_violation(std::string description) const;
+
+  Memory initial_memory_;
+  std::vector<Process> initial_processes_;
+  ExplorerConfig config_;
+  ExplorerStats stats_;
+  struct U128 {
+    std::uint64_t lo, hi;
+    bool operator==(const U128&) const = default;
+  };
+  struct U128Hash {
+    std::size_t operator()(const U128& v) const { return v.lo ^ (v.hi * 0x9e3779b97f4a7c15ULL); }
+  };
+  std::unordered_set<U128, U128Hash> visited_;
+  std::vector<Event> path_;
+  std::vector<typesys::Value> scratch_;
+};
+
+}  // namespace rcons::sim
+
+#endif  // RCONS_SIM_EXPLORER_HPP

@@ -1,0 +1,63 @@
+// Simulated non-volatile shared memory for the single-threaded simulator.
+//
+// Matches the paper's model: registers and typed objects live here and are
+// never affected by crashes; the simulator discards process-local state (the
+// step machines) instead. Memory has value semantics so the exhaustive
+// explorer can snapshot global states cheaply; object behaviour is shared
+// through a TransitionCache, so copies stay small (interned state ids).
+#ifndef RCONS_SIM_MEMORY_HPP
+#define RCONS_SIM_MEMORY_HPP
+
+#include <memory>
+#include <vector>
+
+#include "typesys/transition_cache.hpp"
+
+namespace rcons::sim {
+
+using RegId = int;
+using ObjId = int;
+
+class Memory {
+ public:
+  Memory() = default;
+
+  // --- layout construction (before simulation starts) ---
+
+  RegId add_register(typesys::Value initial = typesys::kBottom);
+
+  // Adds an object of the cache's type, initialized to state `q0`.
+  ObjId add_object(std::shared_ptr<typesys::TransitionCache> cache, typesys::StateId q0);
+
+  // --- simulated accesses (each counts as one shared-memory step) ---
+
+  typesys::Value read(RegId reg) const;
+  void write(RegId reg, typesys::Value value);
+
+  // Applies the cache-candidate operation `op` and returns its response.
+  typesys::Value apply(ObjId obj, typesys::OpId op);
+
+  // Read operation of a readable type: returns the interned current state.
+  typesys::StateId object_state(ObjId obj) const;
+
+  typesys::TransitionCache& cache(ObjId obj) const;
+
+  int num_registers() const { return static_cast<int>(registers_.size()); }
+  int num_objects() const { return static_cast<int>(objects_.size()); }
+
+  // Canonical encoding of the entire shared state (for visited-state sets).
+  void encode(std::vector<typesys::Value>& out) const;
+
+ private:
+  struct Object {
+    std::shared_ptr<typesys::TransitionCache> cache;
+    typesys::StateId state = typesys::kNoState;
+  };
+
+  std::vector<typesys::Value> registers_;
+  std::vector<Object> objects_;
+};
+
+}  // namespace rcons::sim
+
+#endif  // RCONS_SIM_MEMORY_HPP

@@ -1,0 +1,93 @@
+// Value-semantic step-machine processes.
+//
+// Every algorithm in this repository is written once, as a copyable struct
+// whose step() performs *exactly one* shared-memory access (local computation
+// is folded into the adjacent access, matching the usual atomic-step model).
+// A Process type-erases such a program while keeping value semantics, and
+// remembers the pristine initial program so that a crash — which in the
+// paper's model wipes local memory including the program counter — is
+// modelled by reset() back to the initial invocation.
+//
+// Program concept:
+//   struct P {
+//     StepResult step(Memory& memory);            // one access per call
+//     void encode(std::vector<Value>& out) const; // canonical local state
+//   };
+#ifndef RCONS_SIM_PROCESS_HPP
+#define RCONS_SIM_PROCESS_HPP
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/memory.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::sim {
+
+struct StepResult {
+  enum class Kind { kRunning, kDecided };
+  Kind kind = Kind::kRunning;
+  typesys::Value decision = 0;  // meaningful when kind == kDecided
+
+  static StepResult running() { return {Kind::kRunning, 0}; }
+  static StepResult decided(typesys::Value value) { return {Kind::kDecided, value}; }
+};
+
+class Process {
+ public:
+  template <typename P>
+  explicit Process(P program)
+      : initial_(std::make_unique<Model<P>>(program)),
+        current_(std::make_unique<Model<P>>(std::move(program))) {}
+
+  Process(const Process& other)
+      : initial_(other.initial_->clone()), current_(other.current_->clone()) {}
+  Process& operator=(const Process& other) {
+    if (this != &other) {
+      initial_ = other.initial_->clone();
+      current_ = other.current_->clone();
+    }
+    return *this;
+  }
+  Process(Process&&) noexcept = default;
+  Process& operator=(Process&&) noexcept = default;
+
+  // Performs the next shared-memory access of the current run.
+  StepResult step(Memory& memory) { return current_->step(memory); }
+
+  // Crash: discard all local state; the next step() begins a fresh run of the
+  // algorithm from the top (shared memory is untouched).
+  void reset() { current_ = initial_->clone(); }
+
+  // Canonical encoding of the current run's local state.
+  void encode(std::vector<typesys::Value>& out) const { current_->encode(out); }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual std::unique_ptr<Concept> clone() const = 0;
+    virtual StepResult step(Memory& memory) = 0;
+    virtual void encode(std::vector<typesys::Value>& out) const = 0;
+  };
+
+  template <typename P>
+  struct Model final : Concept {
+    explicit Model(P p) : program(std::move(p)) {}
+    std::unique_ptr<Concept> clone() const override {
+      return std::make_unique<Model<P>>(program);
+    }
+    StepResult step(Memory& memory) override { return program.step(memory); }
+    void encode(std::vector<typesys::Value>& out) const override {
+      program.encode(out);
+    }
+    P program;
+  };
+
+  std::unique_ptr<Concept> initial_;
+  std::unique_ptr<Concept> current_;
+};
+
+}  // namespace rcons::sim
+
+#endif  // RCONS_SIM_PROCESS_HPP

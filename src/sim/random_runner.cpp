@@ -1,0 +1,97 @@
+#include "sim/random_runner.hpp"
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace rcons::sim {
+
+using typesys::Value;
+
+RandomRunReport run_random(Memory memory, std::vector<Process> processes,
+                           const RandomRunConfig& config) {
+  RCONS_ASSERT(!processes.empty());
+  util::Rng rng(config.seed);
+  const int n = static_cast<int>(processes.size());
+  std::vector<std::uint8_t> done(processes.size(), 0);
+  std::vector<long> steps_in_run(processes.size(), 0);
+  RandomRunReport report;
+
+  auto check_output = [&](int process, Value value) -> bool {
+    report.outputs.push_back(value);
+    if (!config.valid_outputs.empty()) {
+      bool valid = false;
+      for (const Value v : config.valid_outputs) valid = valid || v == value;
+      if (!valid) {
+        report.violation = "validity violated by process " + std::to_string(process) +
+                           ": output " + std::to_string(value);
+        return false;
+      }
+    }
+    if (report.outputs.front() != value) {
+      report.violation = "agreement violated by process " + std::to_string(process) +
+                         ": output " + std::to_string(value) + " vs earlier " +
+                         std::to_string(report.outputs.front());
+      return false;
+    }
+    return true;
+  };
+
+  while (report.steps < config.max_total_steps) {
+    // Count runnable processes.
+    int runnable = 0;
+    for (int i = 0; i < n; ++i) runnable += done[static_cast<std::size_t>(i)] == 0;
+    if (runnable == 0) {
+      report.all_decided = true;
+      return report;
+    }
+
+    // Crash injection.
+    if (report.crashes < config.max_crashes &&
+        rng.chance(static_cast<std::uint64_t>(config.crash_per_mille), 1000)) {
+      if (config.crash_model == CrashModel::kSimultaneous) {
+        for (int i = 0; i < n; ++i) {
+          const auto idx = static_cast<std::size_t>(i);
+          processes[idx].reset();
+          done[idx] = 0;
+          steps_in_run[idx] = 0;
+        }
+        report.crashes += 1;
+        continue;
+      }
+      const int victim = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+      const auto idx = static_cast<std::size_t>(victim);
+      if (done[idx] == 0 || config.crash_after_decide) {
+        processes[idx].reset();
+        done[idx] = 0;
+        steps_in_run[idx] = 0;
+        report.crashes += 1;
+        continue;
+      }
+    }
+
+    // Pick a runnable process uniformly.
+    int pick = static_cast<int>(rng.below(static_cast<std::uint64_t>(runnable)));
+    int chosen = -1;
+    for (int i = 0; i < n; ++i) {
+      if (done[static_cast<std::size_t>(i)] != 0) continue;
+      if (pick-- == 0) {
+        chosen = i;
+        break;
+      }
+    }
+    RCONS_ASSERT(chosen >= 0);
+
+    const auto idx = static_cast<std::size_t>(chosen);
+    const StepResult result = processes[idx].step(memory);
+    report.steps += 1;
+    steps_in_run[idx] += 1;
+    if (result.kind == StepResult::Kind::kDecided) {
+      done[idx] = 1;
+      steps_in_run[idx] = 0;
+      if (!check_output(chosen, result.decision)) return report;
+    }
+  }
+  return report;  // all_decided stays false: starvation/livelock suspicion
+}
+
+}  // namespace rcons::sim

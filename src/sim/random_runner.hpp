@@ -1,0 +1,44 @@
+// Seeded random executions with crash injection, for instances too large to
+// explore exhaustively. Any reported violation is reproducible from the seed.
+#ifndef RCONS_SIM_RANDOM_RUNNER_HPP
+#define RCONS_SIM_RANDOM_RUNNER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/explorer.hpp"
+#include "sim/memory.hpp"
+#include "sim/process.hpp"
+
+namespace rcons::sim {
+
+struct RandomRunConfig {
+  std::uint64_t seed = 1;
+  CrashModel crash_model = CrashModel::kIndependent;
+  // Probability (numerator / 1000) that a scheduling slot injects a crash
+  // instead of a step, while crash budget remains.
+  int crash_per_mille = 50;
+  int max_crashes = 8;
+  long max_total_steps = 1'000'000;
+  std::vector<typesys::Value> valid_outputs;
+  bool crash_after_decide = true;
+};
+
+struct RandomRunReport {
+  bool all_decided = false;
+  std::vector<typesys::Value> outputs;  // every output event, in order
+  long steps = 0;
+  int crashes = 0;
+  std::optional<std::string> violation;
+};
+
+// Runs one randomly scheduled execution to completion (all processes decided)
+// or until max_total_steps.
+RandomRunReport run_random(Memory memory, std::vector<Process> processes,
+                           const RandomRunConfig& config);
+
+}  // namespace rcons::sim
+
+#endif  // RCONS_SIM_RANDOM_RUNNER_HPP

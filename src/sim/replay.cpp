@@ -1,0 +1,57 @@
+#include "sim/replay.hpp"
+
+#include "util/assert.hpp"
+
+namespace rcons::sim {
+
+ReplayReport replay(Memory memory, std::vector<Process> processes,
+                    const std::vector<ScheduleEvent>& schedule) {
+  ReplayReport report;
+  report.decisions.assign(processes.size(), std::nullopt);
+  std::vector<std::uint8_t> done(processes.size(), 0);
+
+  for (const ScheduleEvent& event : schedule) {
+    switch (event.kind) {
+      case ScheduleEvent::Kind::kStep: {
+        RCONS_ASSERT(event.process >= 0 &&
+                     event.process < static_cast<int>(processes.size()));
+        const auto idx = static_cast<std::size_t>(event.process);
+        if (done[idx] != 0) break;
+        const StepResult result = processes[idx].step(memory);
+        if (result.kind == StepResult::Kind::kDecided) {
+          done[idx] = 1;
+          report.decisions[idx] = result.decision;
+          report.outputs.push_back(result.decision);
+          if (report.outputs.front() != result.decision && !report.violation) {
+            report.violation = "agreement violated: process " +
+                               std::to_string(event.process) + " output " +
+                               std::to_string(result.decision) + " vs earlier " +
+                               std::to_string(report.outputs.front());
+          }
+        }
+        break;
+      }
+      case ScheduleEvent::Kind::kCrash: {
+        RCONS_ASSERT(event.process >= 0 &&
+                     event.process < static_cast<int>(processes.size()));
+        const auto idx = static_cast<std::size_t>(event.process);
+        processes[idx].reset();
+        done[idx] = 0;
+        report.decisions[idx] = std::nullopt;
+        break;
+      }
+      case ScheduleEvent::Kind::kCrashAll: {
+        for (std::size_t idx = 0; idx < processes.size(); ++idx) {
+          processes[idx].reset();
+          done[idx] = 0;
+          report.decisions[idx] = std::nullopt;
+        }
+        break;
+      }
+    }
+  }
+  report.final_memory = std::move(memory);
+  return report;
+}
+
+}  // namespace rcons::sim

@@ -1,0 +1,43 @@
+// Scripted schedules: deterministic replay of a fixed event sequence.
+// Used for regression tests of the specific adversarial scenarios discussed
+// in the paper (Section 3.1's two "bad scenario" discussions) and for
+// debugging explorer-found traces.
+#ifndef RCONS_SIM_REPLAY_HPP
+#define RCONS_SIM_REPLAY_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/memory.hpp"
+#include "sim/process.hpp"
+
+namespace rcons::sim {
+
+struct ScheduleEvent {
+  enum class Kind { kStep, kCrash, kCrashAll };
+  Kind kind = Kind::kStep;
+  int process = 0;
+
+  static ScheduleEvent step(int p) { return {Kind::kStep, p}; }
+  static ScheduleEvent crash(int p) { return {Kind::kCrash, p}; }
+  static ScheduleEvent crash_all() { return {Kind::kCrashAll, -1}; }
+};
+
+struct ReplayReport {
+  // Latest decision per process (nullopt if none yet in its current run).
+  std::vector<std::optional<typesys::Value>> decisions;
+  // Every output event across all runs, in schedule order.
+  std::vector<typesys::Value> outputs;
+  std::optional<std::string> violation;  // agreement violation, if any
+  Memory final_memory;
+};
+
+// Runs the events in order. Stepping a process that already decided in its
+// current run is ignored (it has returned).
+ReplayReport replay(Memory memory, std::vector<Process> processes,
+                    const std::vector<ScheduleEvent>& schedule);
+
+}  // namespace rcons::sim
+
+#endif  // RCONS_SIM_REPLAY_HPP

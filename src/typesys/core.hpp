@@ -1,0 +1,56 @@
+// Core vocabulary for deterministic sequential object specifications.
+//
+// The paper (Section 3) works with deterministic shared object types: a
+// sequential specification gives, for each (state, operation) pair, a unique
+// response and successor state. We encode abstract states canonically as
+// vectors of 64-bit values so that types with structurally different state
+// (a register's value, a stack's contents, T_n's (winner,row,col) triple) all
+// flow through the same checker and simulator machinery.
+#ifndef RCONS_TYPESYS_CORE_HPP
+#define RCONS_TYPESYS_CORE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcons::typesys {
+
+// Values stored in states, passed as operation arguments and returned as
+// operation responses.
+using Value = std::int64_t;
+
+// Canonical encoding of an object's abstract state. Equal states must have
+// equal encodings (the checkers compare states for equality only, never
+// interpret the contents).
+using StateRepr = std::vector<Value>;
+
+// Distinguished values. kBottom encodes the paper's ⊥ (unwritten register,
+// empty-pop response, unset sticky bit). kAck is the information-free
+// response of operations like Write.
+inline constexpr Value kBottom = INT64_MIN / 2;
+inline constexpr Value kAck = INT64_MIN / 2 + 1;
+
+// An update operation with any argument baked in ("Write(42)", "Push(1)",
+// "opA"). Definition 2 and Definition 4 quantify over such closed operations.
+struct Operation {
+  int kind = 0;       // type-private operation code
+  Value arg = 0;      // type-private argument (ignored by nullary operations)
+  std::string name;   // human-readable rendering, e.g. "Write(42)"
+};
+
+// Result of applying one operation to one state.
+struct Transition {
+  StateRepr next;
+  Value response = kAck;
+};
+
+// Index of an operation within a type's candidate operation list.
+using OpId = int;
+
+// Dense id of an interned state within a StateSpace.
+using StateId = std::int32_t;
+inline constexpr StateId kNoState = -1;
+
+}  // namespace rcons::typesys
+
+#endif  // RCONS_TYPESYS_CORE_HPP

@@ -1,0 +1,22 @@
+#include "typesys/object_type.hpp"
+
+#include <sstream>
+
+namespace rcons::typesys {
+
+std::string ObjectType::format_state(const StateRepr& state) const {
+  std::ostringstream out;
+  out << '(';
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    if (i > 0) out << ',';
+    if (state[i] == kBottom) {
+      out << "⊥";
+    } else {
+      out << state[i];
+    }
+  }
+  out << ')';
+  return out.str();
+}
+
+}  // namespace rcons::typesys

@@ -1,0 +1,58 @@
+// Deterministic (optionally readable) shared-object types.
+#ifndef RCONS_TYPESYS_OBJECT_TYPE_HPP
+#define RCONS_TYPESYS_OBJECT_TYPE_HPP
+
+#include <string>
+#include <vector>
+
+#include "typesys/core.hpp"
+
+namespace rcons::typesys {
+
+// A deterministic shared object type, given by its sequential specification
+// (Section 3 of the paper).
+//
+// The candidate operation list and candidate initial states are parameterized
+// by the number of processes `n` taking part in an analysis: types whose
+// operations carry arguments (Write(v), Push(v), CAS(0,v)) supply one distinct
+// argument per process, which is sufficient for the paper's properties by the
+// usual symmetry argument (processes can only compare values for equality, so
+// witnesses are invariant under renaming of arguments). For the finite types
+// that carry the paper's named results (T_n, S_n, test-and-set, sticky bit)
+// the candidate sets are exhaustive and checker verdicts are exact.
+class ObjectType {
+ public:
+  virtual ~ObjectType() = default;
+
+  ObjectType(const ObjectType&) = delete;
+  ObjectType& operator=(const ObjectType&) = delete;
+
+  // Short unique name, e.g. "register", "Tn(6)".
+  virtual std::string name() const = 0;
+
+  // True if the type is equipped with a Read operation returning the entire
+  // state without changing it. Readability is what makes Theorem 3 / Theorem 8
+  // applicable; the bare sequential spec (and hence the checkers) is the same
+  // either way.
+  virtual bool readable() const = 0;
+
+  // Candidate update operations for an n-process analysis.
+  virtual std::vector<Operation> operations(int n) const = 0;
+
+  // Candidate initial states q0 for an n-process analysis.
+  virtual std::vector<StateRepr> initial_states(int n) const = 0;
+
+  // The sequential specification: applies `op` to `state`, returning the
+  // successor state and the response. Must be deterministic and total.
+  virtual Transition apply(const StateRepr& state, const Operation& op) const = 0;
+
+  // Human-readable rendering of a state (for witnesses, traces, diagrams).
+  virtual std::string format_state(const StateRepr& state) const;
+
+ protected:
+  ObjectType() = default;
+};
+
+}  // namespace rcons::typesys
+
+#endif  // RCONS_TYPESYS_OBJECT_TYPE_HPP

@@ -1,0 +1,36 @@
+#include "typesys/transition_cache.hpp"
+
+#include "util/assert.hpp"
+
+namespace rcons::typesys {
+
+TransitionCache::TransitionCache(const ObjectType& type, int num_processes)
+    : type_(&type), num_processes_(num_processes), ops_(type.operations(num_processes)) {
+  RCONS_ASSERT(num_processes >= 1);
+  RCONS_ASSERT_MSG(!ops_.empty(), "type must offer at least one update operation");
+  for (const StateRepr& q : type.initial_states(num_processes)) {
+    initial_states_.push_back(space_.intern(q));
+  }
+  RCONS_ASSERT_MSG(!initial_states_.empty(), "type must offer a candidate initial state");
+}
+
+TransitionCache::TransitionCache(std::shared_ptr<const ObjectType> type,
+                                 int num_processes)
+    : TransitionCache(*type, num_processes) {
+  owner_ = std::move(type);
+}
+
+TransitionCache::Step TransitionCache::apply(StateId s, OpId op) {
+  RCONS_ASSERT(op >= 0 && op < num_ops());
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(s)) << 32) |
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(op));
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+  Transition t = type_->apply(space_.repr(s), ops_[static_cast<std::size_t>(op)]);
+  Step step{space_.intern(t.next), t.response};
+  memo_.emplace(key, step);
+  return step;
+}
+
+}  // namespace rcons::typesys

@@ -1,0 +1,76 @@
+#include "typesys/types/containers.hpp"
+
+#include "util/assert.hpp"
+
+namespace rcons::typesys {
+
+namespace {
+constexpr int kPush = 0;  // also Enqueue
+constexpr int kPop = 1;   // also Dequeue
+}  // namespace
+
+// --- StackType ---
+
+std::vector<Operation> StackType::operations(int n) const {
+  std::vector<Operation> ops;
+  for (int v = 1; v <= n; ++v) {
+    ops.push_back({kPush, v, "Push(" + std::to_string(v) + ")"});
+  }
+  ops.push_back({kPop, 0, "Pop"});
+  return ops;
+}
+
+std::vector<StateRepr> StackType::initial_states(int /*n*/) const {
+  // Empty, a one-element stack (the classic 2-consensus witness pops it) and
+  // a two-element stack. Not exhaustive: the state space is unbounded.
+  return {StateRepr{}, StateRepr{1}, StateRepr{2, 1}};
+}
+
+Transition StackType::apply(const StateRepr& state, const Operation& op) const {
+  if (op.kind == kPush) {
+    if (state.size() >= static_cast<std::size_t>(capacity_)) {
+      return Transition{state, kAck};
+    }
+    StateRepr next = state;
+    next.push_back(op.arg);
+    return Transition{std::move(next), kAck};
+  }
+  RCONS_ASSERT(op.kind == kPop);
+  if (state.empty()) return Transition{state, kBottom};
+  StateRepr next = state;
+  const Value top = next.back();
+  next.pop_back();
+  return Transition{std::move(next), top};
+}
+
+// --- QueueType ---
+
+std::vector<Operation> QueueType::operations(int n) const {
+  std::vector<Operation> ops;
+  for (int v = 1; v <= n; ++v) {
+    ops.push_back({kPush, v, "Enqueue(" + std::to_string(v) + ")"});
+  }
+  ops.push_back({kPop, 0, "Dequeue"});
+  return ops;
+}
+
+std::vector<StateRepr> QueueType::initial_states(int /*n*/) const {
+  return {StateRepr{}, StateRepr{1}, StateRepr{1, 2}};
+}
+
+Transition QueueType::apply(const StateRepr& state, const Operation& op) const {
+  if (op.kind == kPush) {
+    if (state.size() >= static_cast<std::size_t>(capacity_)) {
+      return Transition{state, kAck};
+    }
+    StateRepr next = state;
+    next.push_back(op.arg);
+    return Transition{std::move(next), kAck};
+  }
+  RCONS_ASSERT(op.kind == kPop);
+  if (state.empty()) return Transition{state, kBottom};
+  StateRepr next(state.begin() + 1, state.end());
+  return Transition{std::move(next), state.front()};
+}
+
+}  // namespace rcons::typesys

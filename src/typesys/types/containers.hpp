@@ -1,0 +1,61 @@
+// Bounded stack and queue types (Appendix H of the paper).
+//
+// The paper's Appendix H proves rcons(stack) = 1 for the *standard*
+// (non-readable) stack via a valency argument, while cons(stack) = 2
+// (Herlihy). The bare sequential specification of a stack nonetheless
+// satisfies the n-recording property for every n (distinct pushes record the
+// full arrival order in the state), which makes the stack the repository's
+// showcase for why Theorem 8 requires readability: a readable stack has
+// rcons = ∞, the standard stack has rcons = 1. Both variants share one
+// specification and differ only in readable().
+#ifndef RCONS_TYPESYS_TYPES_CONTAINERS_HPP
+#define RCONS_TYPESYS_TYPES_CONTAINERS_HPP
+
+#include "typesys/object_type.hpp"
+
+namespace rcons::typesys {
+
+// State: the stack contents bottom-to-top. Push(v) appends; Pop removes the
+// top and returns it (⊥ on empty). Push on a full stack (capacity
+// `capacity_`) is a silent no-op so the specification stays total.
+class StackType final : public ObjectType {
+ public:
+  explicit StackType(bool readable, int capacity = 12)
+      : readable_(readable), capacity_(capacity) {}
+
+  std::string name() const override {
+    return readable_ ? "readable-stack" : "stack";
+  }
+  bool readable() const override { return readable_; }
+  std::vector<Operation> operations(int n) const override;
+  std::vector<StateRepr> initial_states(int n) const override;
+  Transition apply(const StateRepr& state, const Operation& op) const override;
+
+ private:
+  bool readable_;
+  int capacity_;
+};
+
+// State: the queue contents front-to-back. Enqueue(v) appends at the back;
+// Dequeue removes the front and returns it (⊥ on empty).
+class QueueType final : public ObjectType {
+ public:
+  explicit QueueType(bool readable, int capacity = 12)
+      : readable_(readable), capacity_(capacity) {}
+
+  std::string name() const override {
+    return readable_ ? "readable-queue" : "queue";
+  }
+  bool readable() const override { return readable_; }
+  std::vector<Operation> operations(int n) const override;
+  std::vector<StateRepr> initial_states(int n) const override;
+  Transition apply(const StateRepr& state, const Operation& op) const override;
+
+ private:
+  bool readable_;
+  int capacity_;
+};
+
+}  // namespace rcons::typesys
+
+#endif  // RCONS_TYPESYS_TYPES_CONTAINERS_HPP

@@ -1,0 +1,28 @@
+#include "typesys/types/register.hpp"
+
+#include "util/assert.hpp"
+
+namespace rcons::typesys {
+
+std::vector<Operation> RegisterType::operations(int n) const {
+  std::vector<Operation> ops;
+  ops.reserve(static_cast<std::size_t>(n));
+  for (int v = 1; v <= n; ++v) {
+    ops.push_back({/*kind=*/0, /*arg=*/v, "Write(" + std::to_string(v) + ")"});
+  }
+  return ops;
+}
+
+std::vector<StateRepr> RegisterType::initial_states(int n) const {
+  std::vector<StateRepr> states;
+  states.push_back({kBottom});
+  for (int v = 1; v <= n; ++v) states.push_back({v});
+  return states;
+}
+
+Transition RegisterType::apply(const StateRepr& state, const Operation& op) const {
+  RCONS_ASSERT(state.size() == 1);
+  return Transition{{op.arg}, kAck};
+}
+
+}  // namespace rcons::typesys

@@ -1,0 +1,24 @@
+// Read/write register: the weakest readable type (consensus number 1).
+#ifndef RCONS_TYPESYS_TYPES_REGISTER_HPP
+#define RCONS_TYPESYS_TYPES_REGISTER_HPP
+
+#include "typesys/object_type.hpp"
+
+namespace rcons::typesys {
+
+// State: {value}. Operations: Write(v) for one distinct v per process.
+// Writes overwrite unconditionally, so neither responses nor the final state
+// can reveal which process wrote first: the register is neither 2-discerning
+// nor 2-recording (cons = rcons = 1).
+class RegisterType final : public ObjectType {
+ public:
+  std::string name() const override { return "register"; }
+  bool readable() const override { return true; }
+  std::vector<Operation> operations(int n) const override;
+  std::vector<StateRepr> initial_states(int n) const override;
+  Transition apply(const StateRepr& state, const Operation& op) const override;
+};
+
+}  // namespace rcons::typesys
+
+#endif  // RCONS_TYPESYS_TYPES_REGISTER_HPP

@@ -1,0 +1,51 @@
+#include "typesys/types/sn.hpp"
+
+#include "util/assert.hpp"
+
+namespace rcons::typesys {
+
+namespace {
+constexpr int kOpA = 0;
+constexpr int kOpB = 1;
+}  // namespace
+
+SnType::SnType(int n) : n_(n) {
+  RCONS_ASSERT_MSG(n >= 2, "S_n is defined for n >= 2 (Proposition 21)");
+}
+
+std::vector<Operation> SnType::operations(int /*n*/) const {
+  return {{kOpA, 0, "opA"}, {kOpB, 0, "opB"}};
+}
+
+std::vector<StateRepr> SnType::initial_states(int /*n*/) const {
+  // The full (finite) state space, so checker verdicts about S_n are exact.
+  std::vector<StateRepr> states;
+  for (Value winner : {kWinnerA, kWinnerB}) {
+    for (Value row = 0; row < n_; ++row) states.push_back({winner, row});
+  }
+  return states;
+}
+
+Transition SnType::apply(const StateRepr& state, const Operation& op) const {
+  RCONS_ASSERT(state.size() == 2);
+  Value winner = state[0];
+  Value row = state[1];
+  if (op.kind == kOpA) {
+    if (winner == kWinnerB && row == 0) {
+      return Transition{{kWinnerA, row}, kAck};
+    }
+    return Transition{{kWinnerB, 0}, kAck};
+  }
+  RCONS_ASSERT(op.kind == kOpB);
+  row = (row + 1) % n_;
+  if (row == 0) winner = kWinnerB;
+  return Transition{{winner, row}, kAck};
+}
+
+std::string SnType::format_state(const StateRepr& state) const {
+  RCONS_ASSERT(state.size() == 2);
+  return std::string("(") + (state[0] == kWinnerA ? "A" : "B") + "," +
+         std::to_string(state[1]) + ")";
+}
+
+}  // namespace rcons::typesys

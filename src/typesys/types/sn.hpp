@@ -1,0 +1,47 @@
+// The type family S_n from Proposition 21 / Figure 6 of the paper.
+//
+// S_n populates every level of both hierarchies with equality:
+// rcons(S_n) = cons(S_n) = n. It is n-recording (so rcons ≥ n by Theorem 8)
+// but not (n+1)-discerning (so cons ≤ n by Theorem 3).
+#ifndef RCONS_TYPESYS_TYPES_SN_HPP
+#define RCONS_TYPESYS_TYPES_SN_HPP
+
+#include "typesys/object_type.hpp"
+
+namespace rcons::typesys {
+
+// States: (winner, row) with winner ∈ {A, B}, 0 ≤ row < n. Two update
+// operations (Figure 6, lines 81–96), both returning ack — the type is only
+// useful through its readable state:
+//
+//   opA: if (winner,row) = (B,0) then winner ← A
+//        else { winner ← B; row ← 0 }
+//   opB: row ← (row+1) mod n; if row = 0 then winner ← B
+//
+// From q0 = (B,0), the winner component records which operation came first;
+// the object forgets (returns to (B,0)) only after opA runs twice or opB runs
+// n times — more operations than n processes performing one update each (one
+// opA + at most n-1 opB's) can produce.
+class SnType final : public ObjectType {
+ public:
+  static constexpr Value kWinnerA = 1;
+  static constexpr Value kWinnerB = 2;
+
+  explicit SnType(int n);
+
+  int family_n() const { return n_; }
+
+  std::string name() const override { return "Sn(" + std::to_string(n_) + ")"; }
+  bool readable() const override { return true; }
+  std::vector<Operation> operations(int n) const override;
+  std::vector<StateRepr> initial_states(int n) const override;
+  Transition apply(const StateRepr& state, const Operation& op) const override;
+  std::string format_state(const StateRepr& state) const override;
+
+ private:
+  int n_;
+};
+
+}  // namespace rcons::typesys
+
+#endif  // RCONS_TYPESYS_TYPES_SN_HPP

@@ -1,0 +1,76 @@
+#include "typesys/types/tn.hpp"
+
+#include "util/assert.hpp"
+
+namespace rcons::typesys {
+
+namespace {
+// winner encoding inside StateRepr {winner, row, col}
+constexpr Value kWinnerBottom = 0;
+constexpr Value kWinnerA = 1;
+constexpr Value kWinnerB = 2;
+
+constexpr int kOpA = 0;
+constexpr int kOpB = 1;
+}  // namespace
+
+TnType::TnType(int n) : n_(n), row_mod_((n + 1) / 2), col_mod_(n / 2) {
+  RCONS_ASSERT_MSG(n >= 4, "T_n is defined for n >= 4 (Proposition 19)");
+}
+
+std::vector<Operation> TnType::operations(int /*n*/) const {
+  return {{kOpA, 0, "opA"}, {kOpB, 0, "opB"}};
+}
+
+std::vector<StateRepr> TnType::initial_states(int /*n*/) const {
+  // The full (finite) state space, so checker verdicts about T_n are exact.
+  std::vector<StateRepr> states;
+  states.push_back({kWinnerBottom, 0, 0});
+  for (Value winner : {kWinnerA, kWinnerB}) {
+    for (Value row = 0; row < row_mod_; ++row) {
+      for (Value col = 0; col < col_mod_; ++col) {
+        states.push_back({winner, row, col});
+      }
+    }
+  }
+  return states;
+}
+
+Transition TnType::apply(const StateRepr& state, const Operation& op) const {
+  RCONS_ASSERT(state.size() == 3);
+  Value winner = state[0];
+  Value row = state[1];
+  Value col = state[2];
+  if (op.kind == kOpA) {
+    if (winner == kWinnerBottom) {
+      return Transition{{kWinnerA, row, col}, kRespA};
+    }
+    const Value result = winner == kWinnerA ? kRespA : kRespB;
+    col = (col + 1) % col_mod_;
+    if (col == 0) {
+      winner = kWinnerBottom;
+      row = 0;
+    }
+    return Transition{{winner, row, col}, result};
+  }
+  RCONS_ASSERT(op.kind == kOpB);
+  if (winner == kWinnerBottom) {
+    return Transition{{kWinnerB, row, col}, kRespB};
+  }
+  const Value result = winner == kWinnerA ? kRespA : kRespB;
+  row = (row + 1) % row_mod_;
+  if (row == 0) {
+    winner = kWinnerBottom;
+    col = 0;
+  }
+  return Transition{{winner, row, col}, result};
+}
+
+std::string TnType::format_state(const StateRepr& state) const {
+  RCONS_ASSERT(state.size() == 3);
+  const char* w = state[0] == kWinnerA ? "A" : state[0] == kWinnerB ? "B" : "⊥";
+  return std::string("(") + w + "," + std::to_string(state[1]) + "," +
+         std::to_string(state[2]) + ")";
+}
+
+}  // namespace rcons::typesys

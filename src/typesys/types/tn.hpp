@@ -1,0 +1,51 @@
+// The type family T_n from Proposition 19 / Figure 5 of the paper.
+//
+// T_n separates the consensus and recoverable-consensus hierarchies: it is
+// n-discerning (so cons(T_n) = n by Theorem 3) but not (n-1)-recording (so,
+// by Theorem 14, T_n cannot solve RC among n processes; rcons(T_n) < n).
+#ifndef RCONS_TYPESYS_TYPES_TN_HPP
+#define RCONS_TYPESYS_TYPES_TN_HPP
+
+#include "typesys/object_type.hpp"
+
+namespace rcons::typesys {
+
+// States: (winner, row, col) with winner ∈ {⊥, A, B}, 0 ≤ row < ⌈n/2⌉,
+// 0 ≤ col < ⌊n/2⌋, where winner = ⊥ only in the single state (⊥,0,0).
+// Two update operations opA and opB (Figure 5, lines 53–80):
+//
+//   opA: if winner = ⊥ then winner ← A; return A
+//        else r ← winner; col ← (col+1) mod ⌊n/2⌋;
+//             if col = 0 then { winner ← ⊥; row ← 0 }; return r
+//   opB: symmetric with row, modulus ⌈n/2⌉.
+//
+// The object records who updated first, but "forgets" (returns to (⊥,0,0))
+// once opA is performed more than ⌊n/2⌋ times or opB more than ⌈n/2⌉ times —
+// exactly often enough that n-1 crash-prone processes can erase the evidence,
+// while n crash-free processes cannot.
+class TnType final : public ObjectType {
+ public:
+  // Encoded responses of opA/opB when a winner had already been installed.
+  static constexpr Value kRespA = 1;
+  static constexpr Value kRespB = 2;
+
+  explicit TnType(int n);
+
+  int family_n() const { return n_; }
+
+  std::string name() const override { return "Tn(" + std::to_string(n_) + ")"; }
+  bool readable() const override { return true; }
+  std::vector<Operation> operations(int n) const override;
+  std::vector<StateRepr> initial_states(int n) const override;
+  Transition apply(const StateRepr& state, const Operation& op) const override;
+  std::string format_state(const StateRepr& state) const override;
+
+ private:
+  int n_;
+  int row_mod_;  // ⌈n/2⌉
+  int col_mod_;  // ⌊n/2⌋
+};
+
+}  // namespace rcons::typesys
+
+#endif  // RCONS_TYPESYS_TYPES_TN_HPP

@@ -1,0 +1,47 @@
+// The type zoo: every object type studied in this repository, together with
+// its expected hierarchy numbers from the paper and the literature. Tests
+// assert the checkers reproduce these; the bench harness prints them as the
+// Figure 1 / hierarchy table.
+#ifndef RCONS_TYPESYS_ZOO_HPP
+#define RCONS_TYPESYS_ZOO_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "typesys/object_type.hpp"
+
+namespace rcons::typesys {
+
+// Sentinel for "n-discerning / n-recording for every n we can check"
+// (consensus number ∞ in the paper's terms).
+inline constexpr int kUnbounded = -1;
+
+struct ZooEntry {
+  std::unique_ptr<ObjectType> type;
+
+  // Largest n (>= 2) for which the type is n-discerning, or 1 if it is not
+  // even 2-discerning, or kUnbounded. For readable types this equals cons(T)
+  // by Theorem 3.
+  int expected_max_discerning = 1;
+
+  // Largest n for which the type is n-recording (same conventions). For
+  // readable types, Theorems 8 and 14 bound rcons(T) within
+  // [max_recording, max_recording + 1].
+  int expected_max_recording = 1;
+
+  // Where the expected numbers come from (paper section or literature).
+  std::string provenance;
+};
+
+// Builds the full zoo. `family_n` picks the instantiation of the T_n / S_n
+// families included (the benches sweep this).
+std::vector<ZooEntry> make_zoo(int family_n = 5);
+
+// Convenience: a single zoo type by name (nullptr if unknown). Names follow
+// ObjectType::name(): "register", "test-and-set", "Tn(6)", "Sn(4)", ...
+std::unique_ptr<ObjectType> make_type(const std::string& name);
+
+}  // namespace rcons::typesys
+
+#endif  // RCONS_TYPESYS_ZOO_HPP

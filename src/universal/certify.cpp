@@ -1,0 +1,101 @@
+#include "universal/certify.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rcons::universal {
+
+namespace {
+
+CertResult fail(std::string error) {
+  CertResult result;
+  result.ok = false;
+  result.error = std::move(error);
+  return result;
+}
+
+}  // namespace
+
+CertResult certify_history(const Universal& universal,
+                           const std::vector<OpRecord>& records) {
+  const std::vector<int> order = universal.list_order();
+
+  // 1. Structure.
+  std::unordered_map<int, long> seq_of;  // node -> seq
+  long expected_seq = 2;                 // dummy holds 1
+  for (const int node : order) {
+    const Universal::NodeInfo info = universal.node_info(node);
+    if (info.seq != expected_seq) {
+      return fail("list seq not contiguous at node " + std::to_string(node) +
+                  ": expected " + std::to_string(expected_seq) + ", found " +
+                  std::to_string(info.seq));
+    }
+    if (!seq_of.emplace(node, info.seq).second) {
+      return fail("node " + std::to_string(node) + " appears twice in the list");
+    }
+    expected_seq += 1;
+  }
+
+  // 2. Sequential conformance: replay the list through the specification.
+  typesys::StateId state = universal.initial_state();
+  for (const int node : order) {
+    const Universal::NodeInfo info = universal.node_info(node);
+    const nvram::ClosedTable::Entry entry = universal.table().apply(state, info.op);
+    if (entry.next != info.new_state || entry.response != info.response) {
+      return fail("node " + std::to_string(node) +
+                  " does not conform to the sequential specification");
+    }
+    state = entry.next;
+  }
+
+  // 3. Completed-op inclusion with matching responses, and 5. at-most-once.
+  std::unordered_set<int> seen_nodes;
+  for (const OpRecord& record : records) {
+    if (!record.completed) continue;
+    if (!seen_nodes.insert(record.node).second) {
+      return fail("node " + std::to_string(record.node) +
+                  " completed by two invocations");
+    }
+    auto it = seq_of.find(record.node);
+    if (it == seq_of.end()) {
+      return fail("completed op (node " + std::to_string(record.node) +
+                  ") missing from the list");
+    }
+    if (universal.node_info(record.node).response != record.response) {
+      return fail("node " + std::to_string(record.node) +
+                  " response mismatch vs caller observation");
+    }
+  }
+
+  // 4. Real-time order among completed ops: sort by seq, then check that no
+  // later-linearized op returned before an earlier-linearized op was invoked
+  // (via a suffix-minimum of return timestamps).
+  std::vector<const OpRecord*> completed;
+  for (const OpRecord& record : records) {
+    if (record.completed) completed.push_back(&record);
+  }
+  std::sort(completed.begin(), completed.end(),
+            [&](const OpRecord* a, const OpRecord* b) {
+              return seq_of.at(a->node) < seq_of.at(b->node);
+            });
+  std::vector<long> suffix_min_return(completed.size() + 1,
+                                      std::numeric_limits<long>::max());
+  for (std::size_t i = completed.size(); i-- > 0;) {
+    suffix_min_return[i] = std::min(suffix_min_return[i + 1], completed[i]->return_ts);
+  }
+  for (std::size_t i = 0; i < completed.size(); ++i) {
+    // Ops linearized after position i must not have returned before this
+    // op's invocation.
+    if (suffix_min_return[i + 1] < completed[i]->invoke_ts) {
+      return fail("real-time order violated around node " +
+                  std::to_string(completed[i]->node));
+    }
+  }
+
+  CertResult result;
+  result.list_length = order.size();
+  return result;
+}
+
+}  // namespace rcons::universal

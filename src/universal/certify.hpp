@@ -1,0 +1,49 @@
+// Linearizability certification for Universal histories.
+//
+// The construction is its own certificate: the list order *is* the claimed
+// linearization. Certification checks, for a quiescent Universal instance and
+// the op records collected by the harness:
+//
+//   1. Structure — the list's sequence numbers are contiguous from 2 and each
+//      node appears at most once.
+//   2. Sequential conformance — replaying the list's operations through the
+//      type's sequential specification from the initial state reproduces
+//      every node's persisted (new_state, response).
+//   3. Completed-op inclusion — every completed invocation's node appears in
+//      the list with the response the caller observed.
+//   4. Real-time order — if op A returned before op B was invoked, A is
+//      linearized before B.
+//   5. Crash semantics — an operation interrupted by a crash is linearized at
+//      most once; whether it appears at all matches what detectable recovery
+//      reported (strict/persistent linearizability in the paper's terms).
+#ifndef RCONS_UNIVERSAL_CERTIFY_HPP
+#define RCONS_UNIVERSAL_CERTIFY_HPP
+
+#include <string>
+#include <vector>
+
+#include "universal/universal.hpp"
+
+namespace rcons::universal {
+
+struct OpRecord {
+  int node = 0;       // node id returned by invoke/recover
+  int process = 0;
+  long invoke_ts = 0;  // global logical clock at invocation
+  long return_ts = 0;  // global logical clock at completion
+  typesys::Value response = 0;
+  bool completed = false;  // false: crashed and recovery reported "not executed"
+};
+
+struct CertResult {
+  bool ok = true;
+  std::string error;
+  std::size_t list_length = 0;
+};
+
+CertResult certify_history(const Universal& universal,
+                           const std::vector<OpRecord>& records);
+
+}  // namespace rcons::universal
+
+#endif  // RCONS_UNIVERSAL_CERTIFY_HPP

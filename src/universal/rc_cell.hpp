@@ -1,0 +1,39 @@
+// A wait-free recoverable consensus cell for arbitrary (non-⊥) values.
+//
+// This is the "RC instance associated with each next pointer" of the paper's
+// RUniversal (Figure 7). Backed by a single NVRAM compare-and-swap word —
+// rcons(CAS) = ∞, so one cell serves any number of processes, and the first
+// successful CAS durably records the decision (recovery just re-reads it).
+// Section 4's point is that *any* type with rcons ≥ n could stand in here;
+// the tests exercise RUniversal with tournament-based RC cells built from
+// S_n objects to demonstrate exactly that.
+#ifndef RCONS_UNIVERSAL_RC_CELL_HPP
+#define RCONS_UNIVERSAL_RC_CELL_HPP
+
+#include "nvram/nvram.hpp"
+#include "typesys/core.hpp"
+
+namespace rcons::universal {
+
+class RcCell {
+ public:
+  explicit RcCell(const nvram::PersistenceModel* persistence = nullptr)
+      : cell_(typesys::kBottom, persistence) {}
+
+  // Recoverable consensus: returns the cell's decided value, which is
+  // `proposal` if this call decided. Idempotent across crashes and re-runs.
+  typesys::Value decide(typesys::Value proposal) {
+    const typesys::Value previous = cell_.compare_and_swap(typesys::kBottom, proposal);
+    return previous == typesys::kBottom ? proposal : previous;
+  }
+
+  // ⊥ if undecided.
+  typesys::Value peek() const { return cell_.read(); }
+
+ private:
+  nvram::NvRegister cell_;
+};
+
+}  // namespace rcons::universal
+
+#endif  // RCONS_UNIVERSAL_RC_CELL_HPP

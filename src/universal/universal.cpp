@@ -1,0 +1,139 @@
+#include "universal/universal.hpp"
+
+#include "util/assert.hpp"
+
+namespace rcons::universal {
+
+using runtime::CrashInjector;
+using typesys::Value;
+
+Universal::Universal(std::shared_ptr<const nvram::ClosedTable> table,
+                     typesys::StateId q0, int n, Options options)
+    : table_(std::move(table)),
+      q0_(q0),
+      n_(n),
+      options_(options),
+      nodes_(1 + static_cast<std::size_t>(n) *
+                     static_cast<std::size_t>(options.nodes_per_process)),
+      announce_(static_cast<std::size_t>(n)),
+      head_(static_cast<std::size_t>(n)),
+      next_free_(static_cast<std::size_t>(n)) {
+  RCONS_ASSERT(table_ != nullptr);
+  RCONS_ASSERT(n_ >= 1);
+  // Dummy node at index 0: seq 1, carries the initial state (Appendix F).
+  nodes_[0].seq.store(1);
+  nodes_[0].new_state.store(q0_);
+  for (int i = 0; i < n_; ++i) {
+    announce_[static_cast<std::size_t>(i)].store(0);
+    head_[static_cast<std::size_t>(i)].store(0);
+    next_free_[static_cast<std::size_t>(i)].store(0);
+  }
+}
+
+int Universal::alloc_node(int process) {
+  // Bump allocation from the process's private region. The counter is
+  // advanced before the node is used, so a crash mid-invocation leaks at most
+  // one node — never reuses one (no ABA on next cells).
+  const int offset = next_free_[static_cast<std::size_t>(process)].fetch_add(1);
+  RCONS_ASSERT_MSG(offset < options_.nodes_per_process, "node pool exhausted");
+  return 1 + process * options_.nodes_per_process + offset;
+}
+
+Universal::Completion Universal::invoke(int process, typesys::OpId op,
+                                        CrashInjector& crash) {
+  RCONS_ASSERT(process >= 0 && process < n_);
+  // Figure 7, Universal(op): prepare and announce a fresh node.
+  crash.point();
+  const int nd = alloc_node(process);
+  nodes_[static_cast<std::size_t>(nd)].op.store(op);
+  crash.point();
+  announce_[static_cast<std::size_t>(process)].store(nd);
+
+  // Lines 121-125: make sure Head[i] is not too far out of date.
+  for (int j = 0; j < n_; ++j) {
+    crash.point();
+    const int theirs = head_[static_cast<std::size_t>(j)].load();
+    const int mine = head_[static_cast<std::size_t>(process)].load();
+    if (nodes_[static_cast<std::size_t>(theirs)].seq.load() >
+        nodes_[static_cast<std::size_t>(mine)].seq.load()) {
+      head_[static_cast<std::size_t>(process)].store(theirs);
+    }
+  }
+  return apply_operation(process, crash);
+}
+
+Universal::Completion Universal::recover(int process, CrashInjector& crash) {
+  RCONS_ASSERT(process >= 0 && process < n_);
+  return apply_operation(process, crash);
+}
+
+Universal::Completion Universal::apply_operation(int process, CrashInjector& crash) {
+  const auto pidx = static_cast<std::size_t>(process);
+  for (;;) {
+    crash.point();
+    const int my = announce_[pidx].load();
+    Node& my_node = nodes_[static_cast<std::size_t>(my)];
+    if (my_node.seq.load() != 0) {
+      return Completion{my, my_node.response.load()};
+    }
+
+    const int h = head_[pidx].load();
+    Node& head = nodes_[static_cast<std::size_t>(h)];
+    const long head_seq = head.seq.load();
+
+    // Round-robin helping: the process whose id matches the next position
+    // gets priority (guarantees wait-freedom).
+    const int priority = static_cast<int>((head_seq + 1) % n_);
+    crash.point();
+    const int candidate = announce_[static_cast<std::size_t>(priority)].load();
+    const int pointer =
+        nodes_[static_cast<std::size_t>(candidate)].seq.load() == 0 ? candidate : my;
+
+    // Recoverable consensus on the next pointer.
+    crash.point();
+    const int winner = static_cast<int>(head.next.decide(pointer));
+    Node& winner_node = nodes_[static_cast<std::size_t>(winner)];
+
+    // Fill in the winner's fields (helpers race but write identical values,
+    // all derived deterministically from the same predecessor); then publish
+    // the sequence number LAST — apply_operation treats seq != 0 as "fields
+    // final", and the head chain transfers the necessary ordering.
+    const nvram::ClosedTable::Entry entry =
+        table_->apply(head.new_state.load(), winner_node.op.load());
+    crash.point();
+    winner_node.new_state.store(entry.next);
+    winner_node.response.store(entry.response);
+    if (options_.persistence != nullptr) options_.persistence->on_persist();
+    crash.point();
+    winner_node.seq.store(head_seq + 1);
+    if (options_.persistence != nullptr) options_.persistence->on_persist();
+    crash.point();
+    head_[pidx].store(winner);
+  }
+}
+
+int Universal::last_announced(int process) const {
+  RCONS_ASSERT(process >= 0 && process < n_);
+  return announce_[static_cast<std::size_t>(process)].load();
+}
+
+std::vector<int> Universal::list_order() const {
+  std::vector<int> order;
+  int current = 0;
+  for (;;) {
+    const Value next = nodes_[static_cast<std::size_t>(current)].next.peek();
+    if (next == typesys::kBottom) break;
+    current = static_cast<int>(next);
+    // Include only fully appended nodes (seq published).
+    if (nodes_[static_cast<std::size_t>(current)].seq.load() == 0) break;
+    order.push_back(current);
+  }
+  return order;
+}
+
+Universal::NodeInfo Universal::node_info(int node) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  return NodeInfo{n.op.load(), n.response.load(), n.new_state.load(), n.seq.load()};
+}
+
+}  // namespace rcons::universal

@@ -1,0 +1,103 @@
+// The recoverable universal construction RUniversal (paper Section 4,
+// pseudocode in Appendix F / Figure 7).
+//
+// A wait-free, linearizable, *recoverable* implementation of any
+// deterministic object type: operations are threaded onto a linked list whose
+// next-pointers are decided by recoverable consensus; the list order is the
+// linearization order. All structures live in (simulated) NVRAM. After a
+// crash, the recovery function finishes the process's last announced
+// operation — giving detectability: the process learns whether its in-flight
+// operation took effect, and if so obtains its persisted response.
+//
+// Used without crash injection (and without a persistence cost model) this is
+// exactly Herlihy's original universal construction, which serves as the
+// halting-failure baseline in the benchmarks.
+#ifndef RCONS_UNIVERSAL_UNIVERSAL_HPP
+#define RCONS_UNIVERSAL_UNIVERSAL_HPP
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "nvram/closed_table.hpp"
+#include "nvram/nvram.hpp"
+#include "runtime/crash.hpp"
+#include "universal/rc_cell.hpp"
+
+namespace rcons::universal {
+
+class Universal {
+ public:
+  struct Options {
+    int nodes_per_process = 1 << 14;
+    const nvram::PersistenceModel* persistence = nullptr;
+  };
+
+  // Implements the type described by `table`, initialized to state `q0`, for
+  // `n` processes.
+  Universal(std::shared_ptr<const nvram::ClosedTable> table, typesys::StateId q0, int n,
+            Options options);
+  Universal(std::shared_ptr<const nvram::ClosedTable> table, typesys::StateId q0, int n)
+      : Universal(std::move(table), q0, n, Options{}) {}
+
+  struct Completion {
+    int node = 0;
+    typesys::Value response = 0;
+  };
+
+  // Executes `op` for `process`. May throw CrashException at injected crash
+  // points; shared state stays consistent and the op may or may not have been
+  // announced (see last_announced / recover).
+  Completion invoke(int process, typesys::OpId op, runtime::CrashInjector& crash);
+
+  // The recovery function (Figure 7, Recover): finishes the last announced
+  // operation of `process` and returns its node and persisted response.
+  Completion recover(int process, runtime::CrashInjector& crash);
+
+  // Node id currently announced by `process` (0 = the dummy node; used by
+  // callers for detectability: compare before/after a crash).
+  int last_announced(int process) const;
+
+  // --- certificate access (see certify.hpp) ---
+
+  int num_processes() const { return n_; }
+  typesys::StateId initial_state() const { return q0_; }
+  const nvram::ClosedTable& table() const { return *table_; }
+
+  // Node ids in list order, excluding the dummy node. Call only when
+  // quiescent (no concurrent invocations).
+  std::vector<int> list_order() const;
+
+  struct NodeInfo {
+    typesys::OpId op = 0;
+    typesys::Value response = 0;
+    typesys::StateId new_state = typesys::kNoState;
+    long seq = 0;
+  };
+  NodeInfo node_info(int node) const;
+
+ private:
+  struct Node {
+    std::atomic<long> seq{0};  // 0 = not yet appended; dummy holds 1
+    std::atomic<typesys::OpId> op{0};
+    std::atomic<typesys::StateId> new_state{typesys::kNoState};
+    std::atomic<typesys::Value> response{typesys::kAck};
+    RcCell next;
+  };
+
+  Completion apply_operation(int process, runtime::CrashInjector& crash);
+  int alloc_node(int process);
+
+  std::shared_ptr<const nvram::ClosedTable> table_;
+  typesys::StateId q0_;
+  int n_;
+  Options options_;
+  std::vector<Node> nodes_;                      // [0] is the dummy
+  std::vector<std::atomic<int>> announce_;       // per process, node ids
+  std::vector<std::atomic<int>> head_;           // per process, node ids
+  std::vector<std::atomic<int>> next_free_;      // per-process bump allocator
+};
+
+}  // namespace rcons::universal
+
+#endif  // RCONS_UNIVERSAL_UNIVERSAL_HPP

@@ -1,0 +1,33 @@
+// Internal invariant checking.
+//
+// RCONS_ASSERT is active in all build types: the properties this library
+// verifies (agreement, validity, linearizability) are the deliverable, so
+// silently skipping checks in release builds would defeat the point.
+#ifndef RCONS_UTIL_ASSERT_HPP
+#define RCONS_UTIL_ASSERT_HPP
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rcons::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "rcons assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace rcons::util
+
+#define RCONS_ASSERT(expr)                                                \
+  do {                                                                    \
+    if (!(expr)) ::rcons::util::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (false)
+
+#define RCONS_ASSERT_MSG(expr, msg)                                       \
+  do {                                                                    \
+    if (!(expr)) ::rcons::util::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#endif  // RCONS_UTIL_ASSERT_HPP

@@ -1,0 +1,29 @@
+// Minimal fixed-width text table used by benchmarks and examples to print
+// paper-style tables (type zoo summaries, experiment rows).
+#ifndef RCONS_UTIL_TABLE_HPP
+#define RCONS_UTIL_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rcons::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds one row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with per-column padding and a header separator.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rcons::util
+
+#endif  // RCONS_UTIL_TABLE_HPP

@@ -1,0 +1,83 @@
+#include "hierarchy/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "typesys/types/rmw.hpp"
+
+namespace rcons::hierarchy {
+namespace {
+
+long count_assignments(int n, int num_ops) {
+  long count = 0;
+  for_each_assignment(n, num_ops, [&](const Assignment&) {
+    count += 1;
+    return false;
+  });
+  return count;
+}
+
+TEST(AssignmentTest, EnumerationCountsMatchStarsAndBars) {
+  // Compositions of n into 2k cells, minus those leaving a team empty:
+  // C(n+2k-1, 2k-1) - 2*C(n+k-1, k-1).
+  EXPECT_EQ(count_assignments(2, 1), 1);   // 1A+1B only
+  EXPECT_EQ(count_assignments(3, 1), 2);   // 1+2, 2+1
+  EXPECT_EQ(count_assignments(2, 2), 4);   // C(5,3)=10 minus 2*C(3,1)=6
+  EXPECT_EQ(count_assignments(3, 2), 12);  // C(6,3)=20 minus 2*C(4,1)=8
+}
+
+TEST(AssignmentTest, AllAssignmentsHaveNonEmptyTeams) {
+  for_each_assignment(4, 2, [](const Assignment& a) {
+    EXPECT_GE(a.team_size[0], 1);
+    EXPECT_GE(a.team_size[1], 1);
+    EXPECT_EQ(a.num_processes(), 4);
+    return false;
+  });
+}
+
+TEST(AssignmentTest, ExpandProducesPerProcessArrays) {
+  Assignment a;
+  a.classes.push_back({kTeamA, 0, 2});
+  a.classes.push_back({kTeamB, 1, 1});
+  a.team_size[0] = 2;
+  a.team_size[1] = 1;
+  std::vector<int> team;
+  std::vector<typesys::OpId> ops;
+  a.expand(team, ops);
+  EXPECT_EQ(team, (std::vector<int>{kTeamA, kTeamA, kTeamB}));
+  EXPECT_EQ(ops, (std::vector<typesys::OpId>{0, 0, 1}));
+}
+
+TEST(AssignmentTest, EarlyExitStopsEnumeration) {
+  int visits = 0;
+  const bool found = for_each_assignment(4, 2, [&](const Assignment&) {
+    visits += 1;
+    return visits == 3;
+  });
+  EXPECT_TRUE(found);
+  EXPECT_EQ(visits, 3);
+}
+
+TEST(AssignmentTest, LikelyShapesAreValidAssignments) {
+  int visits = 0;
+  for_each_likely_assignment(5, 3, [&](const Assignment& a) {
+    EXPECT_EQ(a.num_processes(), 5);
+    EXPECT_GE(a.team_size[0], 1);
+    EXPECT_GE(a.team_size[1], 1);
+    visits += 1;
+    return false;
+  });
+  EXPECT_GT(visits, 0);
+}
+
+TEST(AssignmentTest, FormatNamesOps) {
+  typesys::TestAndSetType tas;
+  typesys::TransitionCache cache(tas, 2);
+  Assignment a;
+  a.classes.push_back({kTeamA, 0, 1});
+  a.classes.push_back({kTeamB, 0, 1});
+  a.team_size[0] = a.team_size[1] = 1;
+  EXPECT_EQ(a.format(cache), "A:{1xTestAndSet} B:{1xTestAndSet}");
+}
+
+}  // namespace
+}  // namespace rcons::hierarchy

@@ -1,0 +1,108 @@
+// Zoo-wide sweep: the checkers must reproduce every expected hierarchy level
+// recorded in the zoo (sourced from the paper and the classic literature).
+#include "hierarchy/levels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "typesys/zoo.hpp"
+
+namespace rcons::hierarchy {
+namespace {
+
+constexpr int kCap = 6;
+
+struct ZooCase {
+  std::string name;
+  int expected_discerning;
+  int expected_recording;
+};
+
+std::vector<ZooCase> zoo_cases() {
+  std::vector<ZooCase> cases;
+  for (const typesys::ZooEntry& entry : typesys::make_zoo(5)) {
+    cases.push_back(
+        {entry.type->name(), entry.expected_max_discerning, entry.expected_max_recording});
+  }
+  return cases;
+}
+
+class ZooLevelsTest : public ::testing::TestWithParam<ZooCase> {};
+
+TEST_P(ZooLevelsTest, DiscerningLevelMatchesLiterature) {
+  const ZooCase& c = GetParam();
+  auto type = typesys::make_type(c.name);
+  ASSERT_NE(type, nullptr);
+  const Level level = max_discerning_level(*type, kCap);
+  if (c.expected_discerning == typesys::kUnbounded) {
+    EXPECT_TRUE(level.capped) << c.name << " got " << level.format();
+  } else {
+    EXPECT_FALSE(level.capped) << c.name;
+    EXPECT_EQ(level.level, c.expected_discerning) << c.name;
+  }
+}
+
+TEST_P(ZooLevelsTest, RecordingLevelMatchesPaper) {
+  const ZooCase& c = GetParam();
+  auto type = typesys::make_type(c.name);
+  ASSERT_NE(type, nullptr);
+  const Level level = max_recording_level(*type, kCap);
+  if (c.expected_recording == typesys::kUnbounded) {
+    EXPECT_TRUE(level.capped) << c.name << " got " << level.format();
+  } else {
+    EXPECT_FALSE(level.capped) << c.name;
+    EXPECT_EQ(level.level, c.expected_recording) << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ZooLevelsTest, ::testing::ValuesIn(zoo_cases()),
+                         [](const ::testing::TestParamInfo<ZooCase>& param_info) {
+                           std::string name = param_info.param.name;
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(BoundsTest, ReadableBoundsFollowTheorems) {
+  // Tn(5): cons = 5, recording level 3 ⇒ rcons ∈ [3, 4] — strictly below
+  // cons (Corollary 20).
+  auto tn = typesys::make_type("Tn(5)");
+  const HierarchyBounds b = bounds_for_readable(max_discerning_level(*tn, 6),
+                                                max_recording_level(*tn, 6));
+  EXPECT_EQ(b.cons, 5);
+  EXPECT_EQ(b.rcons_lo, 3);
+  EXPECT_EQ(b.rcons_hi, 4);
+  EXPECT_LT(b.rcons_hi, b.cons);
+}
+
+TEST(BoundsTest, SnBoundsCollapse) {
+  // Sn(4): recording level 4 = discerning level 4 ⇒ rcons = cons = 4
+  // (Proposition 21).
+  auto sn = typesys::make_type("Sn(4)");
+  const HierarchyBounds b = bounds_for_readable(max_discerning_level(*sn, 6),
+                                                max_recording_level(*sn, 6));
+  EXPECT_EQ(b.cons, 4);
+  EXPECT_EQ(b.rcons_lo, 4);
+  EXPECT_EQ(b.rcons_hi, 4);
+}
+
+TEST(BoundsTest, CorollarySeventeenHoldsAcrossZoo) {
+  // cons(T) - 2 ≤ rcons(T) ≤ cons(T) for every readable zoo type with finite
+  // levels: equivalently recording level ≥ discerning level - 2.
+  for (const typesys::ZooEntry& entry : typesys::make_zoo(5)) {
+    if (!entry.type->readable()) continue;
+    const Level disc = max_discerning_level(*entry.type, kCap);
+    const Level rec = max_recording_level(*entry.type, kCap);
+    if (disc.capped) continue;
+    EXPECT_GE(rec.level, disc.level - 2) << entry.type->name();
+    EXPECT_LE(rec.level, disc.level) << entry.type->name();
+  }
+}
+
+TEST(LevelFormatTest, Formats) {
+  EXPECT_EQ((Level{3, false}).format(), "3");
+  EXPECT_EQ((Level{6, true}).format(), ">=6");
+}
+
+}  // namespace
+}  // namespace rcons::hierarchy

@@ -1,0 +1,120 @@
+#include "hierarchy/recording.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hierarchy/qsets.hpp"
+#include "typesys/types/sn.hpp"
+#include "typesys/zoo.hpp"
+
+namespace rcons::hierarchy {
+namespace {
+
+TEST(RecordingTest, RegisterIsNot2Recording) {
+  EXPECT_FALSE(is_recording(*typesys::make_type("register"), 2));
+}
+
+TEST(RecordingTest, TestAndSetIsNot2Recording) {
+  // The state after any update is {1}: the identity of the first updater is
+  // not recorded. (With Theorem 14 this caps rcons(TAS) ≤ 2 despite
+  // cons(TAS) = 2.)
+  EXPECT_FALSE(is_recording(*typesys::make_type("test-and-set"), 2));
+}
+
+TEST(RecordingTest, SwapAndFaiAreNot2Recording) {
+  EXPECT_FALSE(is_recording(*typesys::make_type("swap"), 2));
+  EXPECT_FALSE(is_recording(*typesys::make_type("fetch-and-increment"), 2));
+}
+
+TEST(RecordingTest, CasAndStickyRecordForLargeN) {
+  for (int n = 2; n <= 8; ++n) {
+    EXPECT_TRUE(is_recording(*typesys::make_type("compare-and-swap"), n)) << n;
+    EXPECT_TRUE(is_recording(*typesys::make_type("sticky-bit"), n)) << n;
+  }
+}
+
+TEST(RecordingTest, SnIsNRecordingButNotNPlus1) {
+  // Proposition 21 (first half).
+  for (int n = 2; n <= 6; ++n) {
+    auto sn = typesys::make_type("Sn(" + std::to_string(n) + ")");
+    EXPECT_TRUE(is_recording(*sn, n)) << n;
+    EXPECT_FALSE(is_recording(*sn, n + 1)) << n;
+  }
+}
+
+TEST(RecordingTest, TnIsNotNMinus1Recording) {
+  // Proposition 19 (second half): the separation T_n witnesses.
+  for (int n = 4; n <= 7; ++n) {
+    auto tn = typesys::make_type("Tn(" + std::to_string(n) + ")");
+    EXPECT_FALSE(is_recording(*tn, n - 1)) << n;
+  }
+}
+
+TEST(RecordingTest, TnIsNMinus2Recording) {
+  // Theorem 16's guarantee realized concretely.
+  for (int n = 4; n <= 7; ++n) {
+    auto tn = typesys::make_type("Tn(" + std::to_string(n) + ")");
+    EXPECT_TRUE(is_recording(*tn, n - 2)) << n;
+  }
+}
+
+TEST(RecordingTest, BareStackAndQueueAreRecording) {
+  // The bare machines record push order in the state — but only the readable
+  // variants can use Theorem 8 (Appendix H: rcons(standard stack) = 1).
+  for (int n = 2; n <= 6; ++n) {
+    EXPECT_TRUE(is_recording(*typesys::make_type("stack"), n)) << n;
+    EXPECT_TRUE(is_recording(*typesys::make_type("queue"), n)) << n;
+  }
+}
+
+TEST(RecordingTest, WitnessExpandsConsistently) {
+  const int n = 4;
+  auto sn = typesys::make_type("Sn(4)");
+  typesys::TransitionCache cache(*sn, n);
+  const auto witness = find_recording_witness(cache);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->n, n);
+  EXPECT_EQ(witness->team.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(witness->ops.size(), static_cast<std::size_t>(n));
+  // Q sets must be disjoint (condition 1) and consistent with the teams.
+  for (const typesys::StateId q : witness->q_a) {
+    EXPECT_FALSE(witness->q_b.contains(q));
+  }
+  // Conditions 2 and 3 as found.
+  const bool q0_in_a = witness->q_a.contains(witness->q0);
+  const bool q0_in_b = witness->q_b.contains(witness->q0);
+  int team_size[2] = {0, 0};
+  for (const int t : witness->team) team_size[t] += 1;
+  EXPECT_TRUE(!q0_in_a || team_size[kTeamB] == 1);
+  EXPECT_TRUE(!q0_in_b || team_size[kTeamA] == 1);
+}
+
+TEST(RecordingTest, CheckSpecificSnWitness) {
+  // Verify the paper's exact witness for S_n rather than just any witness.
+  const int n = 5;
+  typesys::SnType sn(n);
+  typesys::TransitionCache cache(sn, n);
+  const typesys::StateId q0 = cache.intern({typesys::SnType::kWinnerB, 0});
+  Assignment assignment;
+  assignment.classes.push_back({kTeamA, /*opA=*/0, 1});
+  assignment.classes.push_back({kTeamB, /*opB=*/1, n - 1});
+  assignment.team_size[0] = 1;
+  assignment.team_size[1] = n - 1;
+  EXPECT_TRUE(check_recording_assignment(cache, q0, assignment));
+}
+
+TEST(RecordingTest, SnWrongInitialStateFails) {
+  // From (A, 0) the roles collapse; the paper's witness conditions fail.
+  const int n = 3;
+  typesys::SnType sn(n);
+  typesys::TransitionCache cache(sn, n);
+  const typesys::StateId bad_q0 = cache.intern({typesys::SnType::kWinnerA, 1});
+  Assignment assignment;
+  assignment.classes.push_back({kTeamA, 0, 1});
+  assignment.classes.push_back({kTeamB, 1, n - 1});
+  assignment.team_size[0] = 1;
+  assignment.team_size[1] = n - 1;
+  EXPECT_FALSE(check_recording_assignment(cache, bad_q0, assignment));
+}
+
+}  // namespace
+}  // namespace rcons::hierarchy

@@ -1,0 +1,92 @@
+// Theorem 22 probes: a set of readable types used together solves RC for at
+// most max individual level + 1. We test the product-object proxy: the
+// recording level of T1×T2 (one object of each type fused, operations acting
+// componentwise) never exceeds max(level(T1), level(T2)) + 1.
+#include "hierarchy/product.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hierarchy/levels.hpp"
+#include "typesys/zoo.hpp"
+
+namespace rcons::hierarchy {
+namespace {
+
+struct PairCase {
+  std::string first;
+  std::string second;
+};
+
+std::vector<PairCase> pairs() {
+  return {
+      {"test-and-set", "test-and-set"},
+      {"test-and-set", "register"},
+      {"swap", "fetch-and-increment"},
+      {"register", "register"},
+      {"test-and-set", "Sn(3)"},
+      {"Sn(3)", "Sn(3)"},
+  };
+}
+
+class ProductRobustnessTest : public ::testing::TestWithParam<PairCase> {};
+
+TEST_P(ProductRobustnessTest, RecordingGainsAtMostOneLevel) {
+  auto t1 = typesys::make_type(GetParam().first);
+  auto t2 = typesys::make_type(GetParam().second);
+  ASSERT_NE(t1, nullptr);
+  ASSERT_NE(t2, nullptr);
+  const Level l1 = max_recording_level(*t1, 5);
+  const Level l2 = max_recording_level(*t2, 5);
+  ASSERT_FALSE(l1.capped);
+  ASSERT_FALSE(l2.capped);
+  ProductType product(typesys::make_type(GetParam().first),
+                      typesys::make_type(GetParam().second));
+  const Level lp = max_recording_level(product, 5);
+  ASSERT_FALSE(lp.capped);
+  EXPECT_LE(lp.level, std::max(l1.level, l2.level) + 1)
+      << GetParam().first << " x " << GetParam().second;
+  // And combining can never hurt.
+  EXPECT_GE(lp.level, std::max(l1.level, l2.level));
+}
+
+TEST_P(ProductRobustnessTest, DiscerningRobustAcrossPairs) {
+  // Ruppert's robustness for readable types: cons(T1×T2) = max(cons).
+  auto t1 = typesys::make_type(GetParam().first);
+  auto t2 = typesys::make_type(GetParam().second);
+  const Level l1 = max_discerning_level(*t1, 5);
+  const Level l2 = max_discerning_level(*t2, 5);
+  ASSERT_FALSE(l1.capped);
+  ASSERT_FALSE(l2.capped);
+  ProductType product(typesys::make_type(GetParam().first),
+                      typesys::make_type(GetParam().second));
+  const Level lp = max_discerning_level(product, 5);
+  ASSERT_FALSE(lp.capped);
+  EXPECT_EQ(lp.level, std::max(l1.level, l2.level))
+      << GetParam().first << " x " << GetParam().second;
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, ProductRobustnessTest, ::testing::ValuesIn(pairs()),
+                         [](const ::testing::TestParamInfo<PairCase>& param_info) {
+                           std::string name = param_info.param.first + "_x_" + param_info.param.second;
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ProductTypeTest, ComponentsEvolveIndependently) {
+  ProductType product(typesys::make_type("test-and-set"), typesys::make_type("register"));
+  const auto ops = product.operations(2);
+  // TAS ops first, then register writes, suffixed by component.
+  ASSERT_GE(ops.size(), 3u);
+  EXPECT_EQ(ops[0].name, "TestAndSet@1");
+  const auto initial = product.initial_states(2);
+  ASSERT_FALSE(initial.empty());
+  const auto after = product.apply(initial.front(), ops[0]);
+  // Applying the TAS op must not disturb the register component.
+  const auto again = product.apply(after.next, ops[0]);
+  EXPECT_EQ(again.response, 1);  // TAS already set
+}
+
+}  // namespace
+}  // namespace rcons::hierarchy

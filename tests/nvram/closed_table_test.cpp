@@ -1,0 +1,58 @@
+#include "nvram/closed_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "typesys/zoo.hpp"
+
+namespace rcons::nvram {
+namespace {
+
+TEST(ClosedTableTest, TasClosureHasTwoStates) {
+  auto tas = typesys::make_type("test-and-set");
+  auto cache = std::make_shared<typesys::TransitionCache>(*tas, 2);
+  auto table = ClosedTable::build(cache);
+  EXPECT_EQ(table->num_states(), 2u);
+  EXPECT_EQ(table->num_ops(), 1);
+}
+
+TEST(ClosedTableTest, MatchesCacheTransitions) {
+  auto sn = typesys::make_type("Sn(4)");
+  auto cache = std::make_shared<typesys::TransitionCache>(*sn, 4);
+  auto table = ClosedTable::build(cache);
+  for (std::size_t s = 0; s < table->num_states(); ++s) {
+    for (typesys::OpId op = 0; op < table->num_ops(); ++op) {
+      const auto expected = cache->apply(static_cast<typesys::StateId>(s), op);
+      const ClosedTable::Entry entry = table->apply(static_cast<typesys::StateId>(s), op);
+      EXPECT_EQ(entry.next, expected.next);
+      EXPECT_EQ(entry.response, expected.response);
+    }
+  }
+}
+
+TEST(ClosedTableTest, SnClosureIsFullStateSpace) {
+  auto sn = typesys::make_type("Sn(5)");
+  auto cache = std::make_shared<typesys::TransitionCache>(*sn, 5);
+  auto table = ClosedTable::build(cache);
+  EXPECT_EQ(table->num_states(), 10u);  // 2n states, all reachable
+}
+
+TEST(ClosedTableTest, CounterClosureIsBoundedByCap) {
+  // An unbounded counter would blow past the cap; the builder must detect it.
+  auto counter = typesys::make_type("counter");
+  auto cache = std::make_shared<typesys::TransitionCache>(*counter, 2);
+  EXPECT_DEATH((void)ClosedTable::build(cache, /*max_states=*/50),
+               "transition closure exceeds max_states");
+}
+
+TEST(ClosedTableTest, SharesStateIdsWithCache) {
+  // Q_A-style sets computed on the cache must stay valid: ids are shared.
+  auto cas = typesys::make_type("compare-and-swap");
+  auto cache = std::make_shared<typesys::TransitionCache>(*cas, 3);
+  const typesys::StateId q0 = cache->intern({typesys::kBottom});
+  auto table = ClosedTable::build(cache);
+  const ClosedTable::Entry entry = table->apply(q0, 0);
+  EXPECT_EQ(cache->repr(entry.next), typesys::StateRepr{1});
+}
+
+}  // namespace
+}  // namespace rcons::nvram

@@ -1,0 +1,92 @@
+#include "nvram/nvram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "typesys/types/rmw.hpp"
+#include "typesys/zoo.hpp"
+
+namespace rcons::nvram {
+namespace {
+
+TEST(NvRegisterTest, ReadWriteCas) {
+  NvRegister reg(typesys::kBottom);
+  EXPECT_EQ(reg.read(), typesys::kBottom);
+  reg.write(5);
+  EXPECT_EQ(reg.read(), 5);
+  EXPECT_EQ(reg.compare_and_swap(5, 7), 5);  // success returns expected
+  EXPECT_EQ(reg.read(), 7);
+  EXPECT_EQ(reg.compare_and_swap(5, 9), 7);  // failure returns current
+  EXPECT_EQ(reg.read(), 7);
+}
+
+TEST(NvObjectTest, AppliesSequentialSpec) {
+  auto tas = typesys::make_type("test-and-set");
+  auto cache = std::make_shared<typesys::TransitionCache>(*tas, 2);
+  const typesys::StateId q0 = cache->intern({0});
+  NvObject object(ClosedTable::build(cache), q0);
+  EXPECT_EQ(object.apply(0), 0);
+  EXPECT_EQ(object.apply(0), 1);
+  object.reset(q0);
+  EXPECT_EQ(object.apply(0), 0);
+}
+
+TEST(NvObjectTest, ConcurrentFetchAndIncrementIsLinearizable) {
+  // k threads × m F&I ops: every response 0..k*m-1 must appear exactly once —
+  // the CAS-loop object is an atomic RMW. The modulus bounds the closure
+  // above the number of increments, so no wrap occurs during the test.
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 250;
+  typesys::FetchAndIncrementType fai(kThreads * kOpsPerThread + 1);
+  auto cache = std::make_shared<typesys::TransitionCache>(fai, 2);
+  const typesys::StateId q0 = cache->intern({0});
+  NvObject object(ClosedTable::build(cache, /*max_states=*/2000), q0);
+
+  std::vector<std::vector<typesys::Value>> responses(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        responses[static_cast<std::size_t>(t)].push_back(object.apply(0));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::vector<bool> seen(kThreads * kOpsPerThread, false);
+  for (const auto& per_thread : responses) {
+    typesys::Value last = -1;
+    for (const typesys::Value response : per_thread) {
+      ASSERT_GE(response, 0);
+      ASSERT_LT(response, kThreads * kOpsPerThread);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(response)]) << "duplicate response";
+      seen[static_cast<std::size_t>(response)] = true;
+      EXPECT_GT(response, last) << "per-thread responses must be monotone";
+      last = response;
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_TRUE(seen[i]) << "missing response " << i;
+  }
+}
+
+TEST(PersistenceModelTest, ZeroDelayIsFree) {
+  PersistenceModel model;
+  model.on_persist();  // must not hang
+  SUCCEED();
+}
+
+TEST(PersistenceModelTest, DelaySlowsWrites) {
+  PersistenceModel slow{200'000};  // 0.2 ms per persist
+  NvRegister reg(0, &slow);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) reg.write(i);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count(),
+            1500);
+}
+
+}  // namespace
+}  // namespace rcons::nvram

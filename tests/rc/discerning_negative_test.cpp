@@ -1,0 +1,100 @@
+// The gap between the two hierarchies, demonstrated behaviourally: Ruppert's
+// Theorem 3 construction solves consensus in the halting model, and the
+// explorer proves it; add a single crash and the explorer exhibits an
+// agreement violation — the evidence-destruction failure mode the paper's
+// n-recording property is designed to rule out.
+#include "rc/discerning_consensus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/explorer.hpp"
+#include "typesys/zoo.hpp"
+
+namespace rcons::rc {
+namespace {
+
+struct HaltingCase {
+  std::string type_name;
+  int witness_n;
+  int participants;
+};
+
+class HaltingConsensusTest : public ::testing::TestWithParam<HaltingCase> {};
+
+TEST_P(HaltingConsensusTest, CorrectWithoutCrashes) {
+  const HaltingCase& c = GetParam();
+  auto type = typesys::make_type(c.type_name);
+  std::vector<typesys::Value> inputs;
+  for (int i = 0; i < c.participants; ++i) inputs.push_back(100 + i);
+  HaltingConsensusSystem system = make_halting_consensus(*type, c.witness_n, inputs);
+  sim::ExplorerConfig config;
+  config.crash_budget = 0;
+  config.valid_outputs = inputs;
+  sim::Explorer explorer(std::move(system.memory), std::move(system.processes), config);
+  const auto violation = explorer.run();
+  EXPECT_FALSE(violation.has_value())
+      << violation->description << "\n  trace: " << violation->trace;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HaltingConsensusTest,
+    ::testing::Values(HaltingCase{"test-and-set", 2, 2},
+                      HaltingCase{"fetch-and-increment", 2, 2},
+                      HaltingCase{"swap", 2, 2}, HaltingCase{"Tn(4)", 4, 4},
+                      HaltingCase{"Tn(5)", 5, 4}, HaltingCase{"Sn(3)", 3, 3},
+                      HaltingCase{"compare-and-swap", 4, 4}),
+    [](const ::testing::TestParamInfo<HaltingCase>& param_info) {
+      std::string name = param_info.param.type_name + "_w" +
+                         std::to_string(param_info.param.witness_n) + "_k" +
+                         std::to_string(param_info.param.participants);
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+TEST(HaltingNegativeTest, TasConsensusBreaksUnderOneCrash) {
+  auto type = typesys::make_type("test-and-set");
+  HaltingConsensusSystem system = make_halting_consensus(*type, 2, {5, 6});
+  sim::ExplorerConfig config;
+  config.crash_budget = 1;
+  config.valid_outputs = {5, 6};
+  sim::Explorer explorer(std::move(system.memory), std::move(system.processes), config);
+  const auto violation = explorer.run();
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->description.find("agreement"), std::string::npos);
+}
+
+TEST(HaltingNegativeTest, TnConsensusBreaksUnderCrashes) {
+  // cons(T_4) = 4 but rcons(T_4) < 4: the halting algorithm over T_4 must
+  // fail for 4 processes once crashes are possible (Theorem 14 says nothing
+  // recoverable exists; this exhibits the concrete failure of this
+  // particular algorithm).
+  auto type = typesys::make_type("Tn(4)");
+  HaltingConsensusSystem system = make_halting_consensus(*type, 4, {1, 2, 3, 4});
+  sim::ExplorerConfig config;
+  config.crash_budget = 2;
+  config.valid_outputs = {1, 2, 3, 4};
+  config.max_visited = 40'000'000;
+  sim::Explorer explorer(std::move(system.memory), std::move(system.processes), config);
+  const auto violation = explorer.run();
+  ASSERT_TRUE(violation.has_value());
+}
+
+TEST(HaltingNegativeTest, EvenCasBreaksWhenAlgorithmIsResponseBased) {
+  // Subtle: rcons(CAS) = ∞, yet the *response-based* Theorem 3 algorithm
+  // still breaks under crashes — a re-run re-applies CAS and observes a
+  // (response, state) pair outside both R-sets, deciding the wrong register.
+  // Solving RC with CAS requires the state-based Figure 2 algorithm; this
+  // test pins down that the weakness is the algorithm, not the type.
+  auto type = typesys::make_type("compare-and-swap");
+  HaltingConsensusSystem system = make_halting_consensus(*type, 2, {5, 6});
+  sim::ExplorerConfig config;
+  config.crash_budget = 2;
+  config.valid_outputs = {5, 6};
+  sim::Explorer explorer(std::move(system.memory), std::move(system.processes), config);
+  EXPECT_TRUE(explorer.run().has_value());
+}
+
+}  // namespace
+}  // namespace rcons::rc

@@ -1,0 +1,64 @@
+// The CAS-racing RC baseline: one step, recoverable by construction.
+#include "rc/race.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/explorer.hpp"
+#include "typesys/zoo.hpp"
+
+namespace rcons::rc {
+namespace {
+
+std::pair<sim::Memory, std::vector<sim::Process>> make_system(const std::string& type,
+                                                              int n) {
+  std::shared_ptr<const typesys::ObjectType> object_type = typesys::make_type(type);
+  auto cache = std::make_shared<typesys::TransitionCache>(object_type, n);
+  sim::Memory memory;
+  const RaceInstance instance = install_race(memory, cache);
+  std::vector<sim::Process> processes;
+  for (int i = 0; i < n; ++i) {
+    processes.emplace_back(RaceConsensusProgram(instance, i, i + 1));
+  }
+  return {std::move(memory), std::move(processes)};
+}
+
+TEST(RaceTest, ExhaustiveWithCasObject) {
+  auto [memory, processes] = make_system("compare-and-swap", 3);
+  sim::ExplorerConfig config;
+  config.crash_budget = 3;
+  config.valid_outputs = {1, 2, 3};
+  sim::Explorer explorer(std::move(memory), std::move(processes), config);
+  const auto violation = explorer.run();
+  EXPECT_FALSE(violation.has_value()) << violation->description;
+}
+
+TEST(RaceTest, ExhaustiveWithConsensusObject) {
+  auto [memory, processes] = make_system("consensus-object", 4);
+  sim::ExplorerConfig config;
+  config.crash_budget = 2;
+  config.valid_outputs = {1, 2, 3, 4};
+  sim::Explorer explorer(std::move(memory), std::move(processes), config);
+  EXPECT_FALSE(explorer.run().has_value());
+}
+
+TEST(RaceTest, WinnerIsFirstApplier) {
+  auto [memory, processes] = make_system("compare-and-swap", 2);
+  const sim::StepResult first = processes[1].step(memory);
+  ASSERT_EQ(first.kind, sim::StepResult::Kind::kDecided);
+  EXPECT_EQ(first.decision, 2);  // p1 raced first with input 2
+  const sim::StepResult second = processes[0].step(memory);
+  ASSERT_EQ(second.kind, sim::StepResult::Kind::kDecided);
+  EXPECT_EQ(second.decision, 2);  // p0 observes the recorded winner
+}
+
+TEST(RaceTest, RerunAfterCrashObservesRecord) {
+  auto [memory, processes] = make_system("compare-and-swap", 2);
+  ASSERT_EQ(processes[0].step(memory).decision, 1);
+  processes[0].reset();  // crash after deciding
+  const sim::StepResult rerun = processes[0].step(memory);
+  ASSERT_EQ(rerun.kind, sim::StepResult::Kind::kDecided);
+  EXPECT_EQ(rerun.decision, 1);  // durable record
+}
+
+}  // namespace
+}  // namespace rcons::rc

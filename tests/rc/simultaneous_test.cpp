@@ -1,0 +1,140 @@
+// Theorem 1 / Figure 4: recoverable consensus under SIMULTANEOUS crashes from
+// ordinary consensus instances.
+#include "rc/simultaneous.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rc/discerning_consensus.hpp"
+#include "rc/race.hpp"
+#include "sim/explorer.hpp"
+#include "sim/random_runner.hpp"
+#include "typesys/zoo.hpp"
+
+namespace rcons::rc {
+namespace {
+
+using RaceFig4 = SimultaneousRCProgram<RaceConsensusProgram, RaceInstance>;
+using TasFig4 = SimultaneousRCProgram<DiscerningConsensusProgram, DiscerningInstance>;
+
+// Figure 4 over idealized consensus-object rounds.
+std::pair<sim::Memory, std::vector<sim::Process>> make_race_fig4(int n, int max_rounds) {
+  sim::Memory memory;
+  std::shared_ptr<const typesys::ObjectType> object_type =
+      typesys::make_type("consensus-object");
+  auto cache = std::make_shared<typesys::TransitionCache>(object_type, n);
+  auto layout = install_simultaneous<RaceInstance>(
+      memory, n, max_rounds, [&]() { return install_race(memory, cache); });
+  std::vector<sim::Process> processes;
+  for (int i = 0; i < n; ++i) {
+    // Inputs must lie in 1..n for the race inner (maps to Propose(v)).
+    processes.emplace_back(RaceFig4(layout, i, i + 1));
+  }
+  return {std::move(memory), std::move(processes)};
+}
+
+// Figure 4 over Theorem-3 (NON-recoverable) consensus built from TAS — only
+// safe because crashes are simultaneous and the Round guards keep every
+// process from re-entering an instance (Lemma 27).
+std::pair<sim::Memory, std::vector<sim::Process>> make_tas_fig4(int n, int max_rounds) {
+  RCONS_ASSERT(n == 2);
+  sim::Memory memory;
+  std::shared_ptr<const typesys::ObjectType> tas = typesys::make_type("test-and-set");
+  auto cache = std::make_shared<typesys::TransitionCache>(tas, n);
+  auto witness = hierarchy::find_discerning_witness(*cache);
+  RCONS_ASSERT(witness.has_value());
+  auto plan = DiscerningPlan::create(cache, *witness);
+  auto layout = install_simultaneous<DiscerningInstance>(
+      memory, n, max_rounds, [&]() { return install_discerning(memory, plan); });
+  std::vector<sim::Process> processes;
+  for (int i = 0; i < n; ++i) {
+    processes.emplace_back(TasFig4(layout, i, 100 + i));
+  }
+  return {std::move(memory), std::move(processes)};
+}
+
+TEST(SimultaneousTest, NoCrashesSingleRoundDecides) {
+  auto [memory, processes] = make_race_fig4(3, /*max_rounds=*/2);
+  sim::ExplorerConfig config;
+  config.crash_budget = 0;
+  config.valid_outputs = {1, 2, 3};
+  sim::Explorer explorer(std::move(memory), std::move(processes), config);
+  const auto violation = explorer.run();
+  EXPECT_FALSE(violation.has_value())
+      << violation->description << "\n  trace: " << violation->trace;
+}
+
+TEST(SimultaneousTest, ExhaustiveUnderSimultaneousCrashes) {
+  for (int crashes = 1; crashes <= 2; ++crashes) {
+    auto [memory, processes] = make_race_fig4(2, /*max_rounds=*/crashes + 2);
+    sim::ExplorerConfig config;
+    config.crash_model = sim::CrashModel::kSimultaneous;
+    config.crash_budget = crashes;
+    config.valid_outputs = {1, 2};
+    sim::Explorer explorer(std::move(memory), std::move(processes), config);
+    const auto violation = explorer.run();
+    EXPECT_FALSE(violation.has_value())
+        << "crashes=" << crashes << ": " << violation->description
+        << "\n  trace: " << violation->trace;
+  }
+}
+
+TEST(SimultaneousTest, TheoremOneWithNonRecoverableInner) {
+  // The heart of Theorem 1: the inner consensus need not be recoverable.
+  auto [memory, processes] = make_tas_fig4(2, /*max_rounds=*/4);
+  sim::ExplorerConfig config;
+  config.crash_model = sim::CrashModel::kSimultaneous;
+  config.crash_budget = 2;
+  config.valid_outputs = {100, 101};
+  sim::Explorer explorer(std::move(memory), std::move(processes), config);
+  const auto violation = explorer.run();
+  EXPECT_FALSE(violation.has_value())
+      << violation->description << "\n  trace: " << violation->trace;
+}
+
+TEST(SimultaneousTest, RandomStressManySimultaneousCrashes) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    auto [memory, processes] = make_race_fig4(4, /*max_rounds=*/14);
+    sim::RandomRunConfig config;
+    config.seed = seed;
+    config.crash_model = sim::CrashModel::kSimultaneous;
+    config.crash_per_mille = 40;
+    config.max_crashes = 10;
+    config.valid_outputs = {1, 2, 3, 4};
+    const auto report = run_random(std::move(memory), std::move(processes), config);
+    EXPECT_TRUE(report.all_decided) << "seed " << seed;
+    EXPECT_FALSE(report.violation.has_value())
+        << "seed " << seed << ": " << *report.violation;
+  }
+}
+
+TEST(SimultaneousTest, RoundsGrowWithCrashes) {
+  // The shape behind Appendix A: more simultaneous crash events force later
+  // rounds (unbounded instances in the limit — Golab's lower bound).
+  long steps_low = 0;
+  long steps_high = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    {
+      auto [memory, processes] = make_race_fig4(3, 4);
+      sim::RandomRunConfig config;
+      config.seed = seed;
+      config.crash_model = sim::CrashModel::kSimultaneous;
+      config.crash_per_mille = 0;
+      const auto report = run_random(std::move(memory), std::move(processes), config);
+      steps_low += report.steps;
+    }
+    {
+      auto [memory, processes] = make_race_fig4(3, 14);
+      sim::RandomRunConfig config;
+      config.seed = seed;
+      config.crash_model = sim::CrashModel::kSimultaneous;
+      config.crash_per_mille = 60;
+      config.max_crashes = 10;
+      const auto report = run_random(std::move(memory), std::move(processes), config);
+      steps_high += report.steps;
+    }
+  }
+  EXPECT_GT(steps_high, steps_low);
+}
+
+}  // namespace
+}  // namespace rcons::rc

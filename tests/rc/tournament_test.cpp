@@ -1,0 +1,104 @@
+// End-to-end recoverable consensus via the Proposition 30 tournament over
+// Figure 2 team consensus.
+#include "rc/tournament.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/explorer.hpp"
+#include "sim/random_runner.hpp"
+#include "typesys/zoo.hpp"
+
+namespace rcons::rc {
+namespace {
+
+TEST(TournamentTest, StructureMatchesParticipants) {
+  auto type = typesys::make_type("Sn(4)");
+  const TournamentSystem system = make_rc_tournament(*type, 4, {1, 2, 3, 4});
+  EXPECT_EQ(system.processes.size(), 4u);
+  EXPECT_EQ(system.instances, 3);  // binary tree over 4 leaves
+  EXPECT_GE(system.max_stages, 2);
+}
+
+TEST(TournamentTest, SingleParticipantDecidesOwnInput) {
+  auto type = typesys::make_type("Sn(3)");
+  TournamentSystem system = make_rc_tournament(*type, 3, {77});
+  sim::Memory memory = std::move(system.memory);
+  const sim::StepResult result = system.processes.front().step(memory);
+  ASSERT_EQ(result.kind, sim::StepResult::Kind::kDecided);
+  EXPECT_EQ(result.decision, 77);
+}
+
+struct TournamentCase {
+  std::string type_name;
+  int witness_n;
+  int participants;
+  int crash_budget;
+};
+
+class TournamentModelTest : public ::testing::TestWithParam<TournamentCase> {};
+
+TEST_P(TournamentModelTest, ExhaustiveAgreementUnderCrashes) {
+  const TournamentCase& c = GetParam();
+  auto type = typesys::make_type(c.type_name);
+  std::vector<typesys::Value> inputs;
+  for (int i = 0; i < c.participants; ++i) inputs.push_back(10 + i);
+  TournamentSystem system = make_rc_tournament(*type, c.witness_n, inputs);
+  sim::ExplorerConfig config;
+  config.crash_budget = c.crash_budget;
+  config.valid_outputs = inputs;
+  sim::Explorer explorer(std::move(system.memory), std::move(system.processes), config);
+  const auto violation = explorer.run();
+  EXPECT_FALSE(violation.has_value())
+      << violation->description << "\n  trace: " << violation->trace;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TournamentModelTest,
+    ::testing::Values(TournamentCase{"Sn(2)", 2, 2, 2},
+                      TournamentCase{"Sn(3)", 3, 3, 1},
+                      TournamentCase{"Sn(4)", 4, 3, 1},
+                      TournamentCase{"compare-and-swap", 3, 3, 1},
+                      TournamentCase{"sticky-bit", 2, 2, 2}),
+    [](const ::testing::TestParamInfo<TournamentCase>& param_info) {
+      std::string name = param_info.param.type_name + "_w" +
+                         std::to_string(param_info.param.witness_n) + "_k" +
+                         std::to_string(param_info.param.participants) + "_c" +
+                         std::to_string(param_info.param.crash_budget);
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+TEST(TournamentTest, RandomStressSn6) {
+  auto type = typesys::make_type("Sn(6)");
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    std::vector<typesys::Value> inputs = {10, 20, 30, 40, 50, 60};
+    TournamentSystem system = make_rc_tournament(*type, 6, inputs);
+    sim::RandomRunConfig config;
+    config.seed = seed;
+    config.crash_per_mille = 120;
+    config.max_crashes = 15;
+    config.valid_outputs = inputs;
+    const auto report =
+        run_random(std::move(system.memory), std::move(system.processes), config);
+    EXPECT_TRUE(report.all_decided) << "seed " << seed;
+    EXPECT_FALSE(report.violation.has_value())
+        << "seed " << seed << ": " << *report.violation;
+  }
+}
+
+TEST(TournamentTest, FewerParticipantsThanWitness) {
+  // Proposition 30's remark: the n-process team consensus still works when
+  // only k < n processes use it.
+  auto type = typesys::make_type("Sn(5)");
+  TournamentSystem system = make_rc_tournament(*type, 5, {4, 8});
+  sim::ExplorerConfig config;
+  config.crash_budget = 2;
+  config.valid_outputs = {4, 8};
+  sim::Explorer explorer(std::move(system.memory), std::move(system.processes), config);
+  EXPECT_FALSE(explorer.run().has_value());
+}
+
+}  // namespace
+}  // namespace rcons::rc

@@ -1,0 +1,44 @@
+#include "runtime/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace rcons::runtime {
+namespace {
+
+TEST(HarnessTest, CollectsOutputsPerRole) {
+  const HarnessReport report = run_crashy_workers(
+      4, [](int role, CrashInjector&) { return typesys::Value{role * 10}; },
+      /*seed=*/1, /*crash_per_mille=*/0, /*max_crashes=*/0);
+  ASSERT_EQ(report.outputs.size(), 4u);
+  EXPECT_EQ(report.outputs[3], 30);
+  EXPECT_FALSE(report.agreement);  // different outputs — harness must notice
+  EXPECT_EQ(report.total_crashes, 0);
+}
+
+TEST(HarnessTest, AgreementDetectedWhenEqual) {
+  const HarnessReport report = run_crashy_workers(
+      3, [](int, CrashInjector&) { return typesys::Value{7}; }, 1, 0, 0);
+  EXPECT_TRUE(report.agreement);
+  EXPECT_TRUE(report.valid_against({7}));
+  EXPECT_FALSE(report.valid_against({8}));
+}
+
+TEST(HarnessTest, RestartsCrashedWorkers) {
+  std::atomic<int> attempts{0};
+  const HarnessReport report = run_crashy_workers(
+      2,
+      [&](int, CrashInjector& crash) {
+        attempts.fetch_add(1);
+        crash.point();  // may throw, forcing a re-run
+        return typesys::Value{1};
+      },
+      /*seed=*/7, /*crash_per_mille=*/700, /*max_crashes=*/3);
+  EXPECT_TRUE(report.agreement);
+  EXPECT_EQ(report.total_crashes, attempts.load() - 2);  // retries = crashes
+  EXPECT_GT(report.total_crashes, 0);
+}
+
+}  // namespace
+}  // namespace rcons::runtime

@@ -1,0 +1,63 @@
+#include "sim/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "typesys/types/rmw.hpp"
+
+namespace rcons::sim {
+namespace {
+
+TEST(MemoryTest, RegistersReadWrite) {
+  Memory memory;
+  const RegId r0 = memory.add_register();
+  const RegId r1 = memory.add_register(42);
+  EXPECT_EQ(memory.read(r0), typesys::kBottom);
+  EXPECT_EQ(memory.read(r1), 42);
+  memory.write(r0, 7);
+  EXPECT_EQ(memory.read(r0), 7);
+  EXPECT_EQ(memory.num_registers(), 2);
+}
+
+TEST(MemoryTest, ObjectsApplyAndRead) {
+  typesys::TestAndSetType tas;
+  auto cache = std::make_shared<typesys::TransitionCache>(tas, 2);
+  Memory memory;
+  const ObjId obj = memory.add_object(cache, cache->initial_states().front());
+  const typesys::StateId before = memory.object_state(obj);
+  EXPECT_EQ(memory.apply(obj, 0), 0);  // old bit
+  EXPECT_NE(memory.object_state(obj), before);
+  EXPECT_EQ(memory.apply(obj, 0), 1);
+}
+
+TEST(MemoryTest, ValueSemanticsSnapshots) {
+  typesys::TestAndSetType tas;
+  auto cache = std::make_shared<typesys::TransitionCache>(tas, 2);
+  Memory memory;
+  const RegId reg = memory.add_register(1);
+  const ObjId obj = memory.add_object(cache, cache->initial_states().front());
+
+  Memory snapshot = memory;  // copy
+  memory.write(reg, 2);
+  memory.apply(obj, 0);
+  EXPECT_EQ(snapshot.read(reg), 1);
+  EXPECT_EQ(snapshot.object_state(obj), cache->initial_states().front());
+}
+
+TEST(MemoryTest, EncodeCoversRegistersAndObjects) {
+  typesys::TestAndSetType tas;
+  auto cache = std::make_shared<typesys::TransitionCache>(tas, 2);
+  Memory memory;
+  memory.add_register(5);
+  memory.add_object(cache, cache->initial_states().front());
+  std::vector<typesys::Value> a;
+  memory.encode(a);
+  EXPECT_EQ(a.size(), 2u);
+
+  memory.apply(0, 0);
+  std::vector<typesys::Value> b;
+  memory.encode(b);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace rcons::sim

@@ -1,0 +1,38 @@
+// Shared test helpers.
+#ifndef RCONS_TESTS_SUPPORT_HELPERS_HPP
+#define RCONS_TESTS_SUPPORT_HELPERS_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "typesys/object_type.hpp"
+#include "typesys/transition_cache.hpp"
+#include "typesys/zoo.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::test {
+
+// Applies a named operation sequence to a state via the type's spec.
+inline typesys::StateRepr apply_sequence(const typesys::ObjectType& type,
+                                         typesys::StateRepr state,
+                                         const std::vector<typesys::Operation>& ops) {
+  for (const typesys::Operation& op : ops) {
+    state = type.apply(state, op).next;
+  }
+  return state;
+}
+
+// Finds a candidate operation by name for an n-process analysis.
+inline typesys::Operation op_by_name(const typesys::ObjectType& type, int n,
+                                     const std::string& name) {
+  for (const typesys::Operation& op : type.operations(n)) {
+    if (op.name == name) return op;
+  }
+  RCONS_ASSERT_MSG(false, ("no candidate operation named " + name).c_str());
+  return {};
+}
+
+}  // namespace rcons::test
+
+#endif  // RCONS_TESTS_SUPPORT_HELPERS_HPP

@@ -1,0 +1,83 @@
+#include "typesys/types/containers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/helpers.hpp"
+
+namespace rcons::typesys {
+namespace {
+
+TEST(StackTypeTest, PushPopLifo) {
+  StackType stack(/*readable=*/true);
+  const Operation push1 = test::op_by_name(stack, 3, "Push(1)");
+  const Operation push2 = test::op_by_name(stack, 3, "Push(2)");
+  const Operation pop = test::op_by_name(stack, 3, "Pop");
+  StateRepr s = test::apply_sequence(stack, {}, {push1, push2});
+  EXPECT_EQ(s, (StateRepr{1, 2}));
+  const Transition t = stack.apply(s, pop);
+  EXPECT_EQ(t.response, 2);  // LIFO
+  EXPECT_EQ(t.next, StateRepr{1});
+}
+
+TEST(StackTypeTest, PopOnEmptyReturnsBottom) {
+  StackType stack(true);
+  const Operation pop = test::op_by_name(stack, 2, "Pop");
+  const Transition t = stack.apply({}, pop);
+  EXPECT_EQ(t.response, kBottom);
+  EXPECT_TRUE(t.next.empty());
+}
+
+TEST(StackTypeTest, PushOnFullIsNoOp) {
+  StackType stack(true, /*capacity=*/2);
+  const Operation push1 = test::op_by_name(stack, 2, "Push(1)");
+  const StateRepr full = test::apply_sequence(stack, {}, {push1, push1});
+  const Transition t = stack.apply(full, push1);
+  EXPECT_EQ(t.next, full);
+}
+
+TEST(StackTypeTest, StateRecordsPushOrder) {
+  // This is why the bare stack machine is n-recording for every n — yet the
+  // paper's Appendix H proves rcons(stack) = 1, because the standard stack is
+  // not readable and cannot exploit this record (Theorem 8 needs Read).
+  StackType stack(false);
+  const Operation push1 = test::op_by_name(stack, 2, "Push(1)");
+  const Operation push2 = test::op_by_name(stack, 2, "Push(2)");
+  EXPECT_NE(test::apply_sequence(stack, {}, {push1, push2}),
+            test::apply_sequence(stack, {}, {push2, push1}));
+}
+
+TEST(StackTypeTest, ReadabilityIsAVariant) {
+  EXPECT_FALSE(StackType(false).readable());
+  EXPECT_TRUE(StackType(true).readable());
+  EXPECT_EQ(StackType(false).name(), "stack");
+  EXPECT_EQ(StackType(true).name(), "readable-stack");
+}
+
+TEST(QueueTypeTest, EnqueueDequeueFifo) {
+  QueueType queue(true);
+  const Operation enq1 = test::op_by_name(queue, 3, "Enqueue(1)");
+  const Operation enq2 = test::op_by_name(queue, 3, "Enqueue(2)");
+  const Operation deq = test::op_by_name(queue, 3, "Dequeue");
+  StateRepr s = test::apply_sequence(queue, {}, {enq1, enq2});
+  EXPECT_EQ(s, (StateRepr{1, 2}));
+  const Transition t = queue.apply(s, deq);
+  EXPECT_EQ(t.response, 1);  // FIFO
+  EXPECT_EQ(t.next, StateRepr{2});
+}
+
+TEST(QueueTypeTest, DequeueOnEmptyReturnsBottom) {
+  QueueType queue(false);
+  const Operation deq = test::op_by_name(queue, 2, "Dequeue");
+  EXPECT_EQ(queue.apply({}, deq).response, kBottom);
+}
+
+TEST(QueueTypeTest, CandidateInitialStatesIncludeNonEmpty) {
+  QueueType queue(true);
+  const auto states = queue.initial_states(2);
+  ASSERT_GE(states.size(), 2u);
+  EXPECT_TRUE(states[0].empty());
+  EXPECT_FALSE(states[1].empty());
+}
+
+}  // namespace
+}  // namespace rcons::typesys

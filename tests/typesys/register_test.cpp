@@ -1,0 +1,54 @@
+#include "typesys/types/register.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/helpers.hpp"
+
+namespace rcons::typesys {
+namespace {
+
+TEST(RegisterTypeTest, InitialStateIsBottom) {
+  RegisterType reg;
+  const auto states = reg.initial_states(2);
+  ASSERT_FALSE(states.empty());
+  EXPECT_EQ(states.front(), StateRepr{kBottom});
+}
+
+TEST(RegisterTypeTest, OffersOneWritePerProcess) {
+  RegisterType reg;
+  EXPECT_EQ(reg.operations(2).size(), 2u);
+  EXPECT_EQ(reg.operations(5).size(), 5u);
+  EXPECT_EQ(reg.operations(5)[2].name, "Write(3)");
+}
+
+TEST(RegisterTypeTest, WriteInstallsValueAndAcks) {
+  RegisterType reg;
+  const Operation write2 = test::op_by_name(reg, 3, "Write(2)");
+  const Transition t = reg.apply({kBottom}, write2);
+  EXPECT_EQ(t.next, StateRepr{2});
+  EXPECT_EQ(t.response, kAck);
+}
+
+TEST(RegisterTypeTest, WritesOverwrite) {
+  RegisterType reg;
+  const Operation write1 = test::op_by_name(reg, 3, "Write(1)");
+  const Operation write3 = test::op_by_name(reg, 3, "Write(3)");
+  const StateRepr end = test::apply_sequence(reg, {kBottom}, {write1, write3});
+  EXPECT_EQ(end, StateRepr{3});
+  // Order of the last write is all that matters.
+  const StateRepr end2 = test::apply_sequence(reg, {kBottom}, {write3, write1, write3});
+  EXPECT_EQ(end2, StateRepr{3});
+}
+
+TEST(RegisterTypeTest, IsReadable) {
+  EXPECT_TRUE(RegisterType().readable());
+}
+
+TEST(RegisterTypeTest, FormatStateShowsBottom) {
+  RegisterType reg;
+  EXPECT_EQ(reg.format_state({kBottom}), "(⊥)");
+  EXPECT_EQ(reg.format_state({7}), "(7)");
+}
+
+}  // namespace
+}  // namespace rcons::typesys

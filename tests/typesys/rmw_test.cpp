@@ -1,0 +1,129 @@
+#include "typesys/types/rmw.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/helpers.hpp"
+
+namespace rcons::typesys {
+namespace {
+
+// --- TestAndSet ---
+
+TEST(TestAndSetTest, ReturnsOldBitAndSets) {
+  TestAndSetType tas;
+  const Operation op = tas.operations(2).front();
+  Transition t = tas.apply({0}, op);
+  EXPECT_EQ(t.response, 0);
+  EXPECT_EQ(t.next, StateRepr{1});
+  t = tas.apply({1}, op);
+  EXPECT_EQ(t.response, 1);
+  EXPECT_EQ(t.next, StateRepr{1});
+}
+
+TEST(TestAndSetTest, StateForgetsWinner) {
+  // The key fact behind "TAS is not 2-recording": the post-update state is
+  // {1} regardless of who updated first.
+  TestAndSetType tas;
+  const Operation op = tas.operations(2).front();
+  EXPECT_EQ(test::apply_sequence(tas, {0}, {op}), StateRepr{1});
+  EXPECT_EQ(test::apply_sequence(tas, {0}, {op, op}), StateRepr{1});
+}
+
+// --- FetchAndIncrement ---
+
+TEST(FetchAndIncrementTest, ReturnsOldCount) {
+  FetchAndIncrementType fai;
+  const Operation op = fai.operations(2).front();
+  EXPECT_EQ(fai.apply({0}, op).response, 0);
+  EXPECT_EQ(fai.apply({41}, op).response, 41);
+  EXPECT_EQ(fai.apply({41}, op).next, StateRepr{42});
+}
+
+// --- Swap ---
+
+TEST(SwapTest, ReturnsOldValueInstallsNew) {
+  SwapType swap;
+  const Operation swap2 = test::op_by_name(swap, 3, "Swap(2)");
+  const Transition t = swap.apply({kBottom}, swap2);
+  EXPECT_EQ(t.response, kBottom);
+  EXPECT_EQ(t.next, StateRepr{2});
+}
+
+TEST(SwapTest, LastSwapWinsInState) {
+  SwapType swap;
+  const Operation swap1 = test::op_by_name(swap, 3, "Swap(1)");
+  const Operation swap2 = test::op_by_name(swap, 3, "Swap(2)");
+  EXPECT_EQ(test::apply_sequence(swap, {kBottom}, {swap1, swap2}), StateRepr{2});
+  EXPECT_EQ(test::apply_sequence(swap, {kBottom}, {swap2, swap1}), StateRepr{1});
+}
+
+// --- CompareAndSwap ---
+
+TEST(CompareAndSwapTest, FirstCasWinsForever) {
+  CompareAndSwapType cas;
+  const Operation cas1 = test::op_by_name(cas, 3, "CAS(⊥,1)");
+  const Operation cas2 = test::op_by_name(cas, 3, "CAS(⊥,2)");
+  Transition t = cas.apply({kBottom}, cas1);
+  EXPECT_EQ(t.response, kBottom);  // success signalled by returning ⊥
+  EXPECT_EQ(t.next, StateRepr{1});
+  t = cas.apply({1}, cas2);
+  EXPECT_EQ(t.response, 1);  // failure returns the recorded winner
+  EXPECT_EQ(t.next, StateRepr{1});
+}
+
+TEST(CompareAndSwapTest, StateRecordsWinnerPermanently) {
+  CompareAndSwapType cas;
+  const Operation cas1 = test::op_by_name(cas, 4, "CAS(⊥,1)");
+  const Operation cas3 = test::op_by_name(cas, 4, "CAS(⊥,3)");
+  const Operation cas4 = test::op_by_name(cas, 4, "CAS(⊥,4)");
+  EXPECT_EQ(test::apply_sequence(cas, {kBottom}, {cas3, cas1, cas4, cas1}),
+            StateRepr{3});
+}
+
+// --- StickyBit ---
+
+TEST(StickyBitTest, SticksOnFirstWrite) {
+  StickyBitType sticky;
+  const Operation stick0 = test::op_by_name(sticky, 2, "Stick(0)");
+  const Operation stick1 = test::op_by_name(sticky, 2, "Stick(1)");
+  Transition t = sticky.apply({kBottom}, stick1);
+  EXPECT_EQ(t.response, 1);
+  EXPECT_EQ(t.next, StateRepr{1});
+  t = sticky.apply({1}, stick0);
+  EXPECT_EQ(t.response, 1);  // already stuck
+  EXPECT_EQ(t.next, StateRepr{1});
+}
+
+// --- ConsensusObject ---
+
+TEST(ConsensusObjectTest, FirstProposalDecides) {
+  ConsensusObjectType cons;
+  const Operation p1 = test::op_by_name(cons, 3, "Propose(1)");
+  const Operation p2 = test::op_by_name(cons, 3, "Propose(2)");
+  Transition t = cons.apply({kBottom}, p2);
+  EXPECT_EQ(t.response, 2);
+  t = cons.apply(t.next, p1);
+  EXPECT_EQ(t.response, 2);  // everyone learns the decision
+  EXPECT_EQ(t.next, StateRepr{2});
+}
+
+// --- Counter / MaxRegister (the weak commutative types) ---
+
+TEST(CounterTest, IncrementAcksAndCounts) {
+  CounterType counter;
+  const Operation inc = counter.operations(2).front();
+  const Transition t = counter.apply({7}, inc);
+  EXPECT_EQ(t.response, kAck);
+  EXPECT_EQ(t.next, StateRepr{8});
+}
+
+TEST(MaxRegisterTest, KeepsMaximum) {
+  MaxRegisterType maxreg;
+  const Operation w2 = test::op_by_name(maxreg, 3, "WriteMax(2)");
+  const Operation w3 = test::op_by_name(maxreg, 3, "WriteMax(3)");
+  EXPECT_EQ(test::apply_sequence(maxreg, {0}, {w3, w2}), StateRepr{3});
+  EXPECT_EQ(test::apply_sequence(maxreg, {0}, {w2, w3}), StateRepr{3});
+}
+
+}  // namespace
+}  // namespace rcons::typesys

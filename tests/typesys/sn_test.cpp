@@ -1,0 +1,82 @@
+// Conformance of S_n to Figure 6 of the paper (Proposition 21).
+#include "typesys/types/sn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/helpers.hpp"
+
+namespace rcons::typesys {
+namespace {
+
+class SnFamilyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SnFamilyTest, OpAFromInitialInstallsA) {
+  const int n = GetParam();
+  SnType sn(n);
+  const Operation op_a = test::op_by_name(sn, n, "opA");
+  const Transition t = sn.apply({SnType::kWinnerB, 0}, op_a);
+  EXPECT_EQ(t.next, (StateRepr{SnType::kWinnerA, 0}));
+  EXPECT_EQ(t.response, kAck);
+}
+
+TEST_P(SnFamilyTest, OpAElsewhereResetsToInitial) {
+  // Figure 6, lines 84-86: opA from any state other than (B,0) goes to (B,0).
+  const int n = GetParam();
+  SnType sn(n);
+  const Operation op_a = test::op_by_name(sn, n, "opA");
+  EXPECT_EQ(sn.apply({SnType::kWinnerA, 0}, op_a).next,
+            (StateRepr{SnType::kWinnerB, 0}));
+  EXPECT_EQ(sn.apply({SnType::kWinnerB, 1}, op_a).next,
+            (StateRepr{SnType::kWinnerB, 0}));
+}
+
+TEST_P(SnFamilyTest, OpBCountsRowsAndPreservesWinner) {
+  const int n = GetParam();
+  SnType sn(n);
+  const Operation op_b = test::op_by_name(sn, n, "opB");
+  StateRepr state{SnType::kWinnerA, 0};
+  for (int i = 1; i < n; ++i) {
+    state = sn.apply(state, op_b).next;
+    EXPECT_EQ(state[0], SnType::kWinnerA) << "winner must persist below the wrap";
+    EXPECT_EQ(state[1], i);
+  }
+}
+
+TEST_P(SnFamilyTest, NthOpBForgets) {
+  // After n opB's the row wraps and the winner is forced back to B — more
+  // opB's than the n-1 processes of team B can perform (one each).
+  const int n = GetParam();
+  SnType sn(n);
+  const Operation op_b = test::op_by_name(sn, n, "opB");
+  StateRepr state{SnType::kWinnerA, 0};
+  for (int i = 0; i < n; ++i) state = sn.apply(state, op_b).next;
+  EXPECT_EQ(state, (StateRepr{SnType::kWinnerB, 0}));
+}
+
+TEST_P(SnFamilyTest, AllOperationsReturnAck) {
+  // Figure 6: every operation of S_n returns ack — the type is useful only
+  // through its readable state, making it the cleanest n-recording witness.
+  const int n = GetParam();
+  SnType sn(n);
+  for (const Operation& op : sn.operations(n)) {
+    for (const StateRepr& q : sn.initial_states(n)) {
+      EXPECT_EQ(sn.apply(q, op).response, kAck);
+    }
+  }
+}
+
+TEST_P(SnFamilyTest, StateSpaceIs2N) {
+  const int n = GetParam();
+  EXPECT_EQ(SnType(n).initial_states(n).size(), static_cast<std::size_t>(2 * n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Family, SnFamilyTest, ::testing::Values(2, 3, 4, 5, 6, 8));
+
+TEST(SnTypeTest, FormatState) {
+  SnType sn(4);
+  EXPECT_EQ(sn.format_state({SnType::kWinnerA, 3}), "(A,3)");
+  EXPECT_EQ(sn.format_state({SnType::kWinnerB, 0}), "(B,0)");
+}
+
+}  // namespace
+}  // namespace rcons::typesys

@@ -1,0 +1,97 @@
+// Conformance of T_n to Figure 5 of the paper (Proposition 19).
+#include "typesys/types/tn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/helpers.hpp"
+
+namespace rcons::typesys {
+namespace {
+
+constexpr Value kB = 0;  // ⊥ winner encoding
+constexpr Value kA = 1;
+constexpr Value kBwin = 2;
+
+class TnFamilyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TnFamilyTest, FirstUpdateInstallsWinnerAndReturnsIt) {
+  TnType tn(GetParam());
+  const Operation op_a = test::op_by_name(tn, GetParam(), "opA");
+  const Operation op_b = test::op_by_name(tn, GetParam(), "opB");
+  Transition t = tn.apply({kB, 0, 0}, op_a);
+  EXPECT_EQ(t.next, (StateRepr{kA, 0, 0}));
+  EXPECT_EQ(t.response, TnType::kRespA);
+  t = tn.apply({kB, 0, 0}, op_b);
+  EXPECT_EQ(t.next, (StateRepr{kBwin, 0, 0}));
+  EXPECT_EQ(t.response, TnType::kRespB);
+}
+
+TEST_P(TnFamilyTest, SubsequentUpdatesReturnRecordedWinner) {
+  TnType tn(GetParam());
+  const Operation op_a = test::op_by_name(tn, GetParam(), "opA");
+  const Operation op_b = test::op_by_name(tn, GetParam(), "opB");
+  // After opB goes first, an opA by another process still learns "B".
+  const Transition first = tn.apply({kB, 0, 0}, op_b);
+  const Transition second = tn.apply(first.next, op_a);
+  EXPECT_EQ(second.response, TnType::kRespB);
+}
+
+TEST_P(TnFamilyTest, ForgetsAfterTooManyOpAs) {
+  // Figure 5: performing opA more than ⌊n/2⌋ times wraps col and resets the
+  // object to (⊥,0,0) — the "forgetting" that breaks (n-1)-recording.
+  const int n = GetParam();
+  TnType tn(n);
+  const Operation op_a = test::op_by_name(tn, n, "opA");
+  StateRepr state{kB, 0, 0};
+  const int col_mod = n / 2;
+  for (int i = 0; i < col_mod + 1; ++i) state = tn.apply(state, op_a).next;
+  EXPECT_EQ(state, (StateRepr{kB, 0, 0}));
+}
+
+TEST_P(TnFamilyTest, ForgetsAfterTooManyOpBs) {
+  const int n = GetParam();
+  TnType tn(n);
+  const Operation op_b = test::op_by_name(tn, n, "opB");
+  StateRepr state{kB, 0, 0};
+  const int row_mod = (n + 1) / 2;
+  for (int i = 0; i < row_mod + 1; ++i) state = tn.apply(state, op_b).next;
+  EXPECT_EQ(state, (StateRepr{kB, 0, 0}));
+}
+
+TEST_P(TnFamilyTest, MixedSequenceWithinBudgetKeepsWinner) {
+  // One process per team member: ⌊n/2⌋ opA's and ⌈n/2⌉ opB's total never
+  // wrap when the first update is counted (first does not advance counters).
+  const int n = GetParam();
+  TnType tn(n);
+  const Operation op_a = test::op_by_name(tn, n, "opA");
+  const Operation op_b = test::op_by_name(tn, n, "opB");
+  StateRepr state{kB, 0, 0};
+  state = tn.apply(state, op_a).next;  // A wins
+  for (int i = 1; i < n / 2; ++i) state = tn.apply(state, op_a).next;
+  for (int i = 0; i < (n + 1) / 2; ++i) {
+    const Transition t = tn.apply(state, op_b);
+    EXPECT_EQ(t.response, TnType::kRespA) << "winner must persist";
+    state = t.next;
+  }
+}
+
+TEST_P(TnFamilyTest, StateSpaceMatchesFigure5) {
+  const int n = GetParam();
+  TnType tn(n);
+  // 1 + 2 * ⌈n/2⌉ * ⌊n/2⌋ states.
+  const std::size_t expected =
+      1 + 2 * static_cast<std::size_t>((n + 1) / 2) * static_cast<std::size_t>(n / 2);
+  EXPECT_EQ(tn.initial_states(n).size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Family, TnFamilyTest, ::testing::Values(4, 5, 6, 7, 8));
+
+TEST(TnTypeTest, FormatState) {
+  TnType tn(6);
+  EXPECT_EQ(tn.format_state({0, 0, 0}), "(⊥,0,0)");
+  EXPECT_EQ(tn.format_state({1, 2, 1}), "(A,2,1)");
+  EXPECT_EQ(tn.format_state({2, 0, 2}), "(B,0,2)");
+}
+
+}  // namespace
+}  // namespace rcons::typesys

@@ -1,0 +1,60 @@
+#include "typesys/zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace rcons::typesys {
+namespace {
+
+TEST(ZooTest, AllEntriesHaveDistinctNames) {
+  const auto zoo = make_zoo(5);
+  std::unordered_set<std::string> names;
+  for (const ZooEntry& entry : zoo) {
+    EXPECT_TRUE(names.insert(entry.type->name()).second)
+        << "duplicate zoo entry: " << entry.type->name();
+  }
+  EXPECT_GE(zoo.size(), 14u);
+}
+
+TEST(ZooTest, MakeTypeRoundTripsEveryZooName) {
+  for (const ZooEntry& entry : make_zoo(6)) {
+    auto rebuilt = make_type(entry.type->name());
+    ASSERT_NE(rebuilt, nullptr) << entry.type->name();
+    EXPECT_EQ(rebuilt->name(), entry.type->name());
+    EXPECT_EQ(rebuilt->readable(), entry.type->readable());
+  }
+}
+
+TEST(ZooTest, MakeTypeParsesFamilies) {
+  auto tn = make_type("Tn(7)");
+  ASSERT_NE(tn, nullptr);
+  EXPECT_EQ(tn->name(), "Tn(7)");
+  auto sn = make_type("Sn(2)");
+  ASSERT_NE(sn, nullptr);
+  EXPECT_EQ(sn->name(), "Sn(2)");
+}
+
+TEST(ZooTest, MakeTypeRejectsUnknown) {
+  EXPECT_EQ(make_type("flux-capacitor"), nullptr);
+}
+
+TEST(ZooTest, EveryTypeHasTotalSpecOnCandidates) {
+  // Property sweep: apply every candidate op to every candidate initial state
+  // — the specification must be total and deterministic.
+  for (const ZooEntry& entry : make_zoo(5)) {
+    const auto ops = entry.type->operations(4);
+    ASSERT_FALSE(ops.empty()) << entry.type->name();
+    for (const StateRepr& q : entry.type->initial_states(4)) {
+      for (const Operation& op : ops) {
+        const Transition once = entry.type->apply(q, op);
+        const Transition twice = entry.type->apply(q, op);
+        EXPECT_EQ(once.next, twice.next) << entry.type->name();
+        EXPECT_EQ(once.response, twice.response) << entry.type->name();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rcons::typesys

@@ -1,0 +1,113 @@
+// The certifier must reject corrupted histories — otherwise the green
+// concurrent tests prove nothing.
+#include "universal/certify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "typesys/types/rmw.hpp"
+#include "universal/universal.hpp"
+
+namespace rcons::universal {
+namespace {
+
+Universal make_counter(int n) {
+  auto cache = std::make_shared<typesys::TransitionCache>(
+      std::make_shared<const typesys::FetchAndIncrementType>(128), n);
+  const typesys::StateId zero = cache->intern({0});
+  auto table = nvram::ClosedTable::build(cache);
+  return Universal(table, zero, n);
+}
+
+TEST(CertifyTest, AcceptsHonestHistory) {
+  Universal universal = make_counter(2);
+  runtime::CrashInjector none = runtime::CrashInjector::none();
+  std::vector<OpRecord> records;
+  long clock = 0;
+  for (int i = 0; i < 6; ++i) {
+    OpRecord record;
+    record.process = 0;
+    record.invoke_ts = clock++;
+    const Universal::Completion completion = universal.invoke(0, 0, none);
+    record.node = completion.node;
+    record.response = completion.response;
+    record.return_ts = clock++;
+    record.completed = true;
+    records.push_back(record);
+  }
+  const CertResult cert = certify_history(universal, records);
+  EXPECT_TRUE(cert.ok) << cert.error;
+  EXPECT_EQ(cert.list_length, 6u);
+}
+
+TEST(CertifyTest, RejectsResponseMismatch) {
+  Universal universal = make_counter(2);
+  runtime::CrashInjector none = runtime::CrashInjector::none();
+  const Universal::Completion completion = universal.invoke(0, 0, none);
+  OpRecord record;
+  record.node = completion.node;
+  record.response = completion.response + 1;  // lie about what we observed
+  record.completed = true;
+  record.invoke_ts = 0;
+  record.return_ts = 1;
+  const CertResult cert = certify_history(universal, {record});
+  EXPECT_FALSE(cert.ok);
+  EXPECT_NE(cert.error.find("response mismatch"), std::string::npos);
+}
+
+TEST(CertifyTest, RejectsMissingCompletedOp) {
+  Universal universal = make_counter(2);
+  OpRecord record;
+  record.node = 12345;  // never appended
+  record.completed = true;
+  const CertResult cert = certify_history(universal, {record});
+  EXPECT_FALSE(cert.ok);
+  EXPECT_NE(cert.error.find("missing from the list"), std::string::npos);
+}
+
+TEST(CertifyTest, RejectsRealTimeInversion) {
+  Universal universal = make_counter(2);
+  runtime::CrashInjector none = runtime::CrashInjector::none();
+  const Universal::Completion first = universal.invoke(0, 0, none);
+  const Universal::Completion second = universal.invoke(0, 0, none);
+  // Claim the SECOND-linearized op finished before the first was invoked.
+  OpRecord a;
+  a.node = first.node;
+  a.response = first.response;
+  a.completed = true;
+  a.invoke_ts = 10;
+  a.return_ts = 11;
+  OpRecord b;
+  b.node = second.node;
+  b.response = second.response;
+  b.completed = true;
+  b.invoke_ts = 0;
+  b.return_ts = 1;  // returned before a was invoked, yet linearized later
+  const CertResult cert = certify_history(universal, {a, b});
+  EXPECT_FALSE(cert.ok);
+  EXPECT_NE(cert.error.find("real-time"), std::string::npos);
+}
+
+TEST(CertifyTest, RejectsDoubleCompletion) {
+  Universal universal = make_counter(2);
+  runtime::CrashInjector none = runtime::CrashInjector::none();
+  const Universal::Completion completion = universal.invoke(0, 0, none);
+  OpRecord record;
+  record.node = completion.node;
+  record.response = completion.response;
+  record.completed = true;
+  const CertResult cert = certify_history(universal, {record, record});
+  EXPECT_FALSE(cert.ok);
+  EXPECT_NE(cert.error.find("two invocations"), std::string::npos);
+}
+
+TEST(CertifyTest, IncompleteRecordsAreUnconstrained) {
+  Universal universal = make_counter(2);
+  OpRecord record;
+  record.completed = false;
+  record.node = 999;  // nonsense is fine for incomplete ops
+  const CertResult cert = certify_history(universal, {record});
+  EXPECT_TRUE(cert.ok) << cert.error;
+}
+
+}  // namespace
+}  // namespace rcons::universal

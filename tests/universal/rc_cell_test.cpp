@@ -1,0 +1,48 @@
+#include "universal/rc_cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rcons::universal {
+namespace {
+
+TEST(RcCellTest, FirstProposalWins) {
+  RcCell cell;
+  EXPECT_EQ(cell.peek(), typesys::kBottom);
+  EXPECT_EQ(cell.decide(5), 5);
+  EXPECT_EQ(cell.decide(9), 5);
+  EXPECT_EQ(cell.peek(), 5);
+}
+
+TEST(RcCellTest, IdempotentAcrossReRuns) {
+  RcCell cell;
+  const typesys::Value first = cell.decide(3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(cell.decide(3), first);  // same process re-running after crashes
+  }
+}
+
+TEST(RcCellTest, ConcurrentRacersAgree) {
+  for (int round = 0; round < 50; ++round) {
+    RcCell cell;
+    constexpr int kThreads = 8;
+    std::vector<typesys::Value> outcomes(kThreads, 0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        outcomes[static_cast<std::size_t>(t)] = cell.decide(100 + t);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    for (const typesys::Value outcome : outcomes) {
+      EXPECT_EQ(outcome, outcomes.front());
+      EXPECT_GE(outcome, 100);
+      EXPECT_LT(outcome, 100 + kThreads);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rcons::universal

@@ -1,0 +1,127 @@
+// Single-process conformance of the universal construction: implemented
+// objects must behave exactly like their sequential specification.
+#include "universal/universal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/helpers.hpp"
+#include "typesys/types/containers.hpp"
+#include "typesys/types/register.hpp"
+#include "typesys/types/rmw.hpp"
+#include "typesys/zoo.hpp"
+
+namespace rcons::universal {
+namespace {
+
+std::shared_ptr<const nvram::ClosedTable> table_for(const typesys::ObjectType& type,
+                                                    int n) {
+  auto cache = std::make_shared<typesys::TransitionCache>(type, n);
+  return nvram::ClosedTable::build(cache);
+}
+
+TEST(UniversalSequentialTest, ImplementsTestAndSet) {
+  typesys::TestAndSetType tas;
+  auto table = table_for(tas, 2);
+  auto cache_q0 = table->cache().initial_states().front();
+  Universal universal(table, cache_q0, 2);
+  runtime::CrashInjector none = runtime::CrashInjector::none();
+  EXPECT_EQ(universal.invoke(0, 0, none).response, 0);
+  EXPECT_EQ(universal.invoke(0, 0, none).response, 1);
+  EXPECT_EQ(universal.invoke(1, 0, none).response, 1);
+}
+
+TEST(UniversalSequentialTest, ImplementsBoundedQueueFifo) {
+  typesys::QueueType queue(/*readable=*/true, /*capacity=*/8);
+  auto cache = std::make_shared<typesys::TransitionCache>(queue, 3);
+  const typesys::StateId empty = cache->intern({});
+  auto table = nvram::ClosedTable::build(cache, /*max_states=*/100'000);
+  Universal universal(table, empty, 2);
+  runtime::CrashInjector none = runtime::CrashInjector::none();
+  // Candidate ops: Enqueue(1), Enqueue(2), Enqueue(3), Dequeue.
+  universal.invoke(0, 0, none);  // Enqueue(1)
+  universal.invoke(0, 1, none);  // Enqueue(2)
+  EXPECT_EQ(universal.invoke(1, 3, none).response, 1);  // Dequeue → 1 (FIFO)
+  EXPECT_EQ(universal.invoke(1, 3, none).response, 2);
+  EXPECT_EQ(universal.invoke(1, 3, none).response, typesys::kBottom);
+}
+
+TEST(UniversalSequentialTest, ListOrderMatchesInvocationOrder) {
+  typesys::FetchAndIncrementType fai(64);
+  auto cache = std::make_shared<typesys::TransitionCache>(fai, 2);
+  const typesys::StateId zero = cache->intern({0});
+  auto table = nvram::ClosedTable::build(cache);
+  Universal universal(table, zero, 2);
+  runtime::CrashInjector none = runtime::CrashInjector::none();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(universal.invoke(0, 0, none).response, i);
+  }
+  const std::vector<int> order = universal.list_order();
+  EXPECT_EQ(order.size(), 5u);
+  long seq = 2;  // dummy is 1
+  for (const int node : order) {
+    EXPECT_EQ(universal.node_info(node).seq, seq++);
+  }
+}
+
+TEST(UniversalSequentialTest, RecoverAfterCrashCompletesAnnouncedOp) {
+  typesys::FetchAndIncrementType fai(64);
+  auto cache = std::make_shared<typesys::TransitionCache>(fai, 2);
+  const typesys::StateId zero = cache->intern({0});
+  auto table = nvram::ClosedTable::build(cache);
+  Universal universal(table, zero, 2);
+  runtime::CrashInjector none = runtime::CrashInjector::none();
+  universal.invoke(0, 0, none);  // response 0
+
+  // Crash at every possible point of the next invocation; recovery must
+  // yield a consistent world: the op executed iff it was announced
+  // (detectability, via the NRL property of Section 4).
+  typesys::Value expected_next = 1;
+  for (int crash_at = 1; crash_at <= 12; ++crash_at) {
+    const int before = universal.last_announced(0);
+    const long ops_before = static_cast<long>(universal.list_order().size());
+    runtime::CrashInjector exact = runtime::CrashInjector::at(crash_at);
+    bool crashed = false;
+    typesys::Value response = -1;
+    try {
+      response = universal.invoke(0, 0, exact).response;
+    } catch (const runtime::CrashException&) {
+      crashed = true;
+    }
+    runtime::CrashInjector clean = runtime::CrashInjector::none();
+    if (!crashed) {
+      EXPECT_EQ(response, expected_next);
+      expected_next += 1;
+    } else if (universal.last_announced(0) != before) {
+      // Announced: recovery must complete it with the next counter value.
+      const Universal::Completion completion = universal.recover(0, clean);
+      EXPECT_EQ(universal.last_announced(0), completion.node);
+      EXPECT_EQ(completion.response, expected_next);
+      expected_next += 1;
+    } else {
+      // Not announced: the op never happened.
+      EXPECT_EQ(static_cast<long>(universal.list_order().size()), ops_before);
+    }
+  }
+}
+
+TEST(UniversalSequentialTest, NodeInfoConformsAfterManyOps) {
+  typesys::RegisterType reg;
+  auto cache = std::make_shared<typesys::TransitionCache>(reg, 3);
+  const typesys::StateId bottom = cache->intern({typesys::kBottom});
+  auto table = nvram::ClosedTable::build(cache);
+  Universal universal(table, bottom, 3);
+  runtime::CrashInjector none = runtime::CrashInjector::none();
+  universal.invoke(0, 0, none);  // Write(1)
+  universal.invoke(1, 1, none);  // Write(2)
+  universal.invoke(2, 2, none);  // Write(3)
+  const auto order = universal.list_order();
+  ASSERT_EQ(order.size(), 3u);
+  // Final state must be the last write in list order.
+  const auto last = universal.node_info(order.back());
+  const auto& final_state = table->cache().repr(last.new_state);
+  EXPECT_EQ(final_state.size(), 1u);
+  EXPECT_GT(final_state[0], 0);
+}
+
+}  // namespace
+}  // namespace rcons::universal
