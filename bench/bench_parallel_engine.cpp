@@ -1,0 +1,152 @@
+// Speedup benchmark: sequential `sim::Explorer` vs `engine::ParallelExplorer`
+// at 1/2/4/8 threads, on exhaustive team-consensus instances (the acceptance
+// instance is Sn(3) with 3 processes and crash budget 2). Verifies that every
+// configuration reports the same verdict and visited-state count before
+// trusting a timing.
+//
+// Plain chrono timing rather than Google Benchmark: each run is seconds long
+// and we want a speedup table, not per-iteration statistics.
+//
+// Usage: bench_parallel_engine [repeats]
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/parallel_explorer.hpp"
+#include "rc/team_consensus.hpp"
+#include "sim/explorer.hpp"
+#include "typesys/zoo.hpp"
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rcons;
+
+constexpr typesys::Value kInputA = 101;
+constexpr typesys::Value kInputB = 202;
+
+struct Instance {
+  std::string label;
+  rc::TeamConsensusSystem system;
+  int crash_budget;
+};
+
+Instance make_instance(const std::string& type_name, int n, int crash_budget) {
+  auto type = typesys::make_type(type_name);
+  RCONS_ASSERT(type != nullptr);
+  Instance instance;
+  instance.label = type_name + " n=" + std::to_string(n) +
+                   " crashes=" + std::to_string(crash_budget);
+  instance.system = rc::make_team_consensus_system(*type, n, kInputA, kInputB);
+  instance.crash_budget = crash_budget;
+  return instance;
+}
+
+double median_seconds(const std::vector<double>& samples) {
+  std::vector<double> sorted = samples;
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    for (std::size_t j = i; j > 0 && sorted[j] < sorted[j - 1]; --j) {
+      std::swap(sorted[j], sorted[j - 1]);
+    }
+  }
+  return sorted[sorted.size() / 2];
+}
+
+struct RunOutcome {
+  bool clean = false;
+  std::uint64_t visited = 0;
+  double seconds = 0.0;
+};
+
+template <typename F>
+RunOutcome timed(int repeats, F&& run_once) {
+  RunOutcome outcome;
+  std::vector<double> samples;
+  for (int i = 0; i < repeats; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto [clean, visited] = run_once();
+    const auto end = std::chrono::steady_clock::now();
+    samples.push_back(std::chrono::duration<double>(end - start).count());
+    outcome.clean = clean;
+    outcome.visited = visited;
+  }
+  outcome.seconds = median_seconds(samples);
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int repeats = argc > 1 ? std::atoi(argv[1]) : 3;
+  if (repeats < 1) repeats = 1;
+
+  std::cout << "=== Parallel exploration engine — speedup vs sequential Explorer ===\n"
+            << "Hardware concurrency: " << std::thread::hardware_concurrency()
+            << " (speedup beyond that count is not expected)\n\n";
+
+  // 3-process, crash-budget-2 team-consensus instances (readable-stack has
+  // the largest state space of the 3-recording zoo types), plus a 4-process
+  // instance for a larger-state-space scaling read.
+  std::vector<Instance> instances;
+  instances.push_back(make_instance("readable-stack", 3, 2));
+  instances.push_back(make_instance("Sn(3)", 3, 2));
+  instances.push_back(make_instance("Sn(4)", 4, 1));
+
+  util::Table table({"instance", "config", "verdict", "visited", "time(s)", "speedup"});
+  bool verdicts_consistent = true;
+
+  for (const Instance& instance : instances) {
+    sim::ExplorerConfig base;
+    base.crash_budget = instance.crash_budget;
+    base.valid_outputs = {kInputA, kInputB};
+
+    const RunOutcome sequential = timed(repeats, [&] {
+      sim::Explorer explorer(instance.system.memory, instance.system.processes, base);
+      const bool clean = !explorer.run().has_value();
+      return std::pair<bool, std::uint64_t>(clean, explorer.stats().visited);
+    });
+    std::ostringstream seq_time;
+    seq_time.precision(3);
+    seq_time << std::fixed << sequential.seconds;
+    table.add_row({instance.label, "sequential", sequential.clean ? "clean" : "VIOLATION",
+                   std::to_string(sequential.visited), seq_time.str(), "1.00x"});
+
+    for (const int threads : {1, 2, 4, 8}) {
+      engine::ParallelExplorerConfig config;
+      static_cast<sim::ExplorerConfig&>(config) = base;
+      config.num_threads = threads;
+      const RunOutcome parallel = timed(repeats, [&] {
+        engine::ParallelExplorer explorer(instance.system.memory,
+                                          instance.system.processes, config);
+        const bool clean = !explorer.run().has_value();
+        return std::pair<bool, std::uint64_t>(clean, explorer.stats().visited);
+      });
+      if (parallel.clean != sequential.clean || parallel.visited != sequential.visited) {
+        verdicts_consistent = false;
+      }
+      std::ostringstream time, speedup;
+      time.precision(3);
+      time << std::fixed << parallel.seconds;
+      speedup.precision(2);
+      speedup << std::fixed << (sequential.seconds / parallel.seconds) << "x";
+      table.add_row({instance.label, "parallel t=" + std::to_string(threads),
+                     parallel.clean ? "clean" : "VIOLATION",
+                     std::to_string(parallel.visited), time.str(), speedup.str()});
+    }
+  }
+
+  table.print(std::cout);
+  if (!verdicts_consistent) {
+    std::cout << "\nERROR: parallel and sequential disagreed on verdict or "
+                 "visited-state count.\n";
+    return 1;
+  }
+  std::cout << "\nAll configurations agree on verdict and visited-state count.\n";
+  return 0;
+}

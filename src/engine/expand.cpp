@@ -1,0 +1,192 @@
+#include "engine/expand.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rcons::engine {
+
+using typesys::Value;
+
+Node make_root(sim::Memory initial, std::vector<sim::Process> processes) {
+  RCONS_ASSERT(!processes.empty());
+  Node root;
+  root.memory = std::move(initial);
+  root.processes = std::move(processes);
+  root.done.assign(root.processes.size(), 0);
+  root.steps_in_run.assign(root.processes.size(), 0);
+  return root;
+}
+
+void enumerate_events(const Node& node, const sim::ExplorerConfig& config,
+                      std::vector<Event>& out) {
+  out.clear();
+  const int n = static_cast<int>(node.processes.size());
+
+  // Step moves.
+  for (int i = 0; i < n; ++i) {
+    if (node.done[static_cast<std::size_t>(i)] != 0) continue;
+    out.push_back(Event{Event::Kind::kStep, i});
+  }
+
+  // Crash moves.
+  if (node.crashes_used >= config.crash_budget) return;
+  if (config.crash_model == sim::CrashModel::kIndependent) {
+    for (int i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const bool is_done = node.done[idx] != 0;
+      if (is_done && !config.crash_after_decide) continue;
+      // Crashing a process that has not taken a step in its current run
+      // only burns budget; the resulting state is strictly weaker.
+      if (!is_done && node.steps_in_run[idx] == 0) continue;
+      out.push_back(Event{Event::Kind::kCrash, i});
+    }
+  } else {
+    bool useful = false;
+    for (int i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      useful = useful || node.done[idx] != 0 || node.steps_in_run[idx] > 0;
+    }
+    if (useful) out.push_back(Event{Event::Kind::kCrashAll, -1});
+  }
+}
+
+bool is_terminal(const Node& node) {
+  for (const std::uint8_t d : node.done) {
+    if (d == 0) return false;
+  }
+  return true;
+}
+
+namespace {
+
+std::optional<std::string> apply_step(Node& node, int process,
+                                      const sim::ExplorerConfig& config) {
+  const auto idx = static_cast<std::size_t>(process);
+  const sim::StepResult result = node.processes[idx].step(node.memory);
+  node.steps_in_run[idx] += 1;
+  if (node.steps_in_run[idx] > config.max_steps_per_run) {
+    return "recoverable wait-freedom violated: process " + std::to_string(process) +
+           " exceeded " + std::to_string(config.max_steps_per_run) +
+           " steps in a single run";
+  }
+  if (result.kind == sim::StepResult::Kind::kDecided) {
+    if (!config.valid_outputs.empty()) {
+      bool valid = false;
+      for (const Value v : config.valid_outputs) valid = valid || v == result.decision;
+      if (!valid) {
+        return "validity violated: process " + std::to_string(process) + " decided " +
+               std::to_string(result.decision) + ", which is not among the inputs";
+      }
+    }
+    if (node.has_decision && node.decision != result.decision) {
+      return "agreement violated: process " + std::to_string(process) + " decided " +
+             std::to_string(result.decision) + " but an earlier output was " +
+             std::to_string(node.decision);
+    }
+    node.has_decision = true;
+    node.decision = result.decision;
+    node.done[idx] = 1;
+    node.steps_in_run[idx] = 0;
+    // Canonicalize the local state of decided processes so equivalent global
+    // states deduplicate regardless of how the decision was reached.
+    node.processes[idx].reset();
+  }
+  return std::nullopt;
+}
+
+void crash_process(Node& node, int process) {
+  const auto idx = static_cast<std::size_t>(process);
+  node.done[idx] = 0;
+  node.steps_in_run[idx] = 0;
+  node.processes[idx].reset();
+}
+
+}  // namespace
+
+std::optional<std::string> apply_event(Node& node, const Event& event,
+                                       const sim::ExplorerConfig& config) {
+  switch (event.kind) {
+    case Event::Kind::kStep:
+      return apply_step(node, event.process, config);
+    case Event::Kind::kCrash:
+      node.crashes_used += 1;
+      crash_process(node, event.process);
+      return std::nullopt;
+    case Event::Kind::kCrashAll:
+      node.crashes_used += 1;
+      for (int i = 0; i < static_cast<int>(node.processes.size()); ++i) {
+        crash_process(node, i);
+      }
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void encode_node(const Node& node, std::vector<Value>& scratch) {
+  scratch.clear();
+  scratch.push_back(node.crashes_used);
+  scratch.push_back(node.has_decision ? 1 : 0);
+  scratch.push_back(node.has_decision ? node.decision : 0);
+  node.memory.encode(scratch);
+  for (std::size_t i = 0; i < node.processes.size(); ++i) {
+    scratch.push_back(node.done[i] != 0 ? 1 : 0);
+    node.processes[i].encode(scratch);
+  }
+}
+
+util::U128 fingerprint(const Node& node, std::vector<Value>& scratch) {
+  encode_node(node, scratch);
+  const std::uint64_t lo = util::hash_range(scratch.data(), scratch.size());
+  // Independent second hash: remix every element with a different stream.
+  std::uint64_t hi = 0x6a09e667f3bcc909ULL ^ scratch.size();
+  for (const Value v : scratch) {
+    hi = util::mix64(hi + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(v + 1));
+  }
+  return util::U128{lo, hi};
+}
+
+bool event_less(const Event& a, const Event& b) {
+  if (a.kind != b.kind) return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  return a.process < b.process;
+}
+
+bool path_less(const std::vector<Event>& a, const std::vector<Event>& b) {
+  const std::size_t common = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < common; ++i) {
+    if (event_less(a[i], b[i])) return true;
+    if (event_less(b[i], a[i])) return false;
+  }
+  return a.size() < b.size();
+}
+
+std::vector<Event> materialize_path(const PathLink* tail) {
+  std::vector<Event> path;
+  for (const PathLink* link = tail; link != nullptr; link = link->parent.get()) {
+    path.push_back(link->event);
+  }
+  for (std::size_t i = 0, j = path.size(); i + 1 < j; ++i, --j) {
+    std::swap(path[i], path[j - 1]);
+  }
+  return path;
+}
+
+std::string format_trace(const std::vector<Event>& path) {
+  std::ostringstream out;
+  for (const Event& event : path) {
+    switch (event.kind) {
+      case Event::Kind::kStep:
+        out << "step(p" << event.process << ") ";
+        break;
+      case Event::Kind::kCrash:
+        out << "CRASH(p" << event.process << ") ";
+        break;
+      case Event::Kind::kCrashAll:
+        out << "CRASH(all) ";
+        break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace rcons::engine

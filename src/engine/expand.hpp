@@ -1,0 +1,95 @@
+// Node-expansion core shared by the sequential `sim::Explorer` and the
+// parallel `engine::ParallelExplorer`.
+//
+// A `Node` is one deduplicatable global state: shared memory, every process's
+// local step machine, the per-process decided/steps-in-run bookkeeping, the
+// crash budget spent, and the decision constraint. Expansion enumerates the
+// applicable events (process steps, then crash placements, in a fixed
+// deterministic order), applies them to copies, and checks the three verified
+// properties — agreement, validity, recoverable wait-freedom — on the way.
+//
+// Keeping this logic in one place is what makes the two explorers provably
+// explore the same deduplicated graph: they differ only in traversal order
+// and in how the visited set is stored.
+#ifndef RCONS_ENGINE_EXPAND_HPP
+#define RCONS_ENGINE_EXPAND_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/explorer_config.hpp"
+#include "sim/memory.hpp"
+#include "sim/process.hpp"
+#include "util/hash.hpp"
+
+namespace rcons::engine {
+
+struct Node {
+  sim::Memory memory;
+  std::vector<sim::Process> processes;
+  std::vector<std::uint8_t> done;
+  std::vector<long> steps_in_run;
+  int crashes_used = 0;
+  bool has_decision = false;
+  typesys::Value decision = 0;
+};
+
+struct Event {
+  enum class Kind : std::uint8_t { kStep = 0, kCrash = 1, kCrashAll = 2 };
+  Kind kind = Kind::kStep;
+  int process = -1;
+};
+
+// The root node for an exploration: pristine memory and processes, nothing
+// decided, no crashes spent.
+Node make_root(sim::Memory initial, std::vector<sim::Process> processes);
+
+// Enumerates the events applicable at `node`, in the canonical order the
+// sequential explorer uses: step(p0) < step(p1) < ... < crash moves. Crash
+// placements that only burn budget without changing reachability (crashing a
+// process that has not taken a step in its current run, or an all-crash when
+// nobody has progressed) are pruned here, identically for both explorers.
+void enumerate_events(const Node& node, const sim::ExplorerConfig& config,
+                      std::vector<Event>& out);
+
+// True when every process has decided (no step moves exist).
+bool is_terminal(const Node& node);
+
+// Applies `event` to `node` in place. For step events this performs one
+// shared-memory access and checks validity, agreement, and the per-run step
+// bound; a violated property is reported as its description (the caller owns
+// trace formatting). Crash events discard the victims' local state.
+std::optional<std::string> apply_event(Node& node, const Event& event,
+                                       const sim::ExplorerConfig& config);
+
+// Canonical encoding of the node (crash budget spent, decision constraint,
+// shared memory, per-process done bit + local state) and its 128-bit
+// fingerprint. `scratch` is caller-provided to avoid per-node allocation.
+void encode_node(const Node& node, std::vector<typesys::Value>& scratch);
+util::U128 fingerprint(const Node& node, std::vector<typesys::Value>& scratch);
+
+// Deterministic total order on events / event paths, matching the enumeration
+// order above. Used for "lowest trace wins" violation selection in the
+// parallel explorer.
+bool event_less(const Event& a, const Event& b);
+bool path_less(const std::vector<Event>& a, const std::vector<Event>& b);
+
+// Immutable backlink chain recording how a node was first reached. Work items
+// share their ancestors' links, so extending a path is O(1) instead of
+// copying the root-to-node event vector per child; the full path is only
+// materialized (root-first) when a violation needs a trace.
+struct PathLink {
+  Event event;
+  std::shared_ptr<const PathLink> parent;
+};
+std::vector<Event> materialize_path(const PathLink* tail);
+
+// Human-readable schedule, e.g. "step(p0) CRASH(p1) step(p0) ".
+std::string format_trace(const std::vector<Event>& path);
+
+}  // namespace rcons::engine
+
+#endif  // RCONS_ENGINE_EXPAND_HPP

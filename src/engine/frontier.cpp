@@ -1,0 +1,73 @@
+#include "engine/frontier.hpp"
+
+#include "util/assert.hpp"
+
+namespace rcons::engine {
+
+Frontier::Frontier(int num_workers) {
+  RCONS_ASSERT(num_workers >= 1);
+  deques_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    deques_.push_back(std::make_unique<Deque>());
+  }
+}
+
+void Frontier::push(int worker, std::unique_ptr<WorkItem> item) {
+  Deque& deque = *deques_[static_cast<std::size_t>(worker)];
+  std::lock_guard<std::mutex> lock(deque.mu);
+  deque.items.push_back(std::move(item));
+}
+
+bool Frontier::steal_into(int thief, int victim) {
+  Deque& from = *deques_[static_cast<std::size_t>(victim)];
+  Deque& to = *deques_[static_cast<std::size_t>(thief)];
+  // Lock ordering by worker index prevents deadlock between mutual stealers.
+  std::unique_lock<std::mutex> first(victim < thief ? from.mu : to.mu, std::defer_lock);
+  std::unique_lock<std::mutex> second(victim < thief ? to.mu : from.mu, std::defer_lock);
+  first.lock();
+  second.lock();
+  if (from.items.empty()) return false;
+  std::size_t take = (from.items.size() + 1) / 2;
+  if (take > kMaxStealBatch) take = kMaxStealBatch;
+  for (std::size_t i = 0; i < take; ++i) {
+    to.items.push_back(std::move(from.items.front()));
+    from.items.pop_front();
+  }
+  steals_.fetch_add(1, std::memory_order_relaxed);
+  stolen_items_.fetch_add(take, std::memory_order_relaxed);
+  return true;
+}
+
+std::unique_ptr<WorkItem> Frontier::pop(int worker) {
+  Deque& own = *deques_[static_cast<std::size_t>(worker)];
+  {
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.items.empty()) {
+      std::unique_ptr<WorkItem> item = std::move(own.items.back());
+      own.items.pop_back();
+      return item;
+    }
+  }
+
+  const int n = static_cast<int>(deques_.size());
+  for (int offset = 1; offset < n; ++offset) {
+    const int victim = (worker + offset) % n;
+    if (!steal_into(worker, victim)) continue;
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.items.empty()) {
+      std::unique_ptr<WorkItem> item = std::move(own.items.back());
+      own.items.pop_back();
+      return item;
+    }
+  }
+  return nullptr;
+}
+
+Frontier::Stats Frontier::stats() const {
+  Stats stats;
+  stats.steals = steals_.load(std::memory_order_relaxed);
+  stats.stolen_items = stolen_items_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace rcons::engine

@@ -1,0 +1,68 @@
+// Work-stealing frontier for parallel state-space exploration.
+//
+// Each worker owns a deque of pending exploration items. A worker pushes the
+// children it generates onto the back of its own deque and pops from the back
+// (LIFO: depth-first-ish traversal, hot caches, frontier stays shallow). A
+// worker whose deque runs dry steals from the *front* of a victim's deque —
+// the oldest, shallowest nodes, which tend to root the largest unexplored
+// subtrees — and takes a batch (half the victim's items, capped) in one lock
+// acquisition so a starving worker doesn't come back for every node.
+#ifndef RCONS_ENGINE_FRONTIER_HPP
+#define RCONS_ENGINE_FRONTIER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "engine/expand.hpp"
+
+namespace rcons::engine {
+
+// One pending unit of work: a deduplicated global state plus a backlink to
+// the event path that first reached it (materialized only for trace
+// reporting).
+struct WorkItem {
+  Node node;
+  std::shared_ptr<const PathLink> tail;
+};
+
+class Frontier {
+ public:
+  explicit Frontier(int num_workers);
+
+  // Pushes onto `worker`'s own deque. Thread-safe (stealers lock the same
+  // deque), but `worker` must identify the calling worker.
+  void push(int worker, std::unique_ptr<WorkItem> item);
+
+  // Pops the most recent local item, or steals a batch from the busiest
+  // other worker. Returns nullptr when every deque is (momentarily) empty —
+  // the caller decides via its pending-work counter whether that means done.
+  std::unique_ptr<WorkItem> pop(int worker);
+
+  struct Stats {
+    std::uint64_t steals = 0;          // successful batch steals
+    std::uint64_t stolen_items = 0;    // items moved by those steals
+  };
+  Stats stats() const;
+
+ private:
+  static constexpr std::size_t kMaxStealBatch = 32;
+
+  struct alignas(64) Deque {
+    mutable std::mutex mu;
+    std::deque<std::unique_ptr<WorkItem>> items;
+  };
+
+  bool steal_into(int thief, int victim);
+
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> stolen_items_{0};
+};
+
+}  // namespace rcons::engine
+
+#endif  // RCONS_ENGINE_FRONTIER_HPP

@@ -1,0 +1,157 @@
+#include "engine/parallel_explorer.hpp"
+
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace rcons::engine {
+
+ParallelExplorer::ParallelExplorer(sim::Memory initial,
+                                   std::vector<sim::Process> processes,
+                                   ParallelExplorerConfig config)
+    : initial_memory_(std::move(initial)),
+      initial_processes_(std::move(processes)),
+      config_(std::move(config)) {
+  RCONS_ASSERT(!initial_processes_.empty());
+  RCONS_ASSERT(config_.crash_budget >= 0);
+  num_threads_ = config_.num_threads;
+  if (num_threads_ <= 0) {
+    num_threads_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads_ <= 0) num_threads_ = 1;
+  }
+}
+
+void ParallelExplorer::offer_violation(std::vector<Event> path,
+                                       std::string description) {
+  std::lock_guard<std::mutex> lock(violation_mu_);
+  if (!has_violation_ || path_less(path, best_path_)) {
+    has_violation_ = true;
+    best_path_ = std::move(path);
+    best_description_ = std::move(description);
+  }
+}
+
+void ParallelExplorer::record_truncation(const WorkItem& item, const Event& event) {
+  stop_.store(true, std::memory_order_relaxed);
+  // Best-effort trace of where the budget ran out (like the sequential
+  // explorer's partial trace); first recorder wins.
+  std::lock_guard<std::mutex> lock(violation_mu_);
+  if (!truncated_.load(std::memory_order_relaxed)) {
+    truncated_.store(true, std::memory_order_relaxed);
+    truncation_path_ = materialize_path(item.tail.get());
+    truncation_path_.push_back(event);
+  }
+}
+
+void ParallelExplorer::expand(const WorkItem& item, int id, Frontier& frontier,
+                              ShardedVisited& visited,
+                              std::atomic<std::uint64_t>& pending,
+                              WorkerStats& local, std::vector<Event>& events,
+                              std::vector<typesys::Value>& scratch) {
+  enumerate_events(item.node, config_, events);
+  if (is_terminal(item.node)) local.terminal_states += 1;
+
+  for (const Event& event : events) {
+    if (stop_.load(std::memory_order_relaxed)) return;
+    local.transitions += 1;
+    auto child = std::make_unique<WorkItem>();
+    child->node = item.node;
+    if (auto description = apply_event(child->node, event, config_)) {
+      std::vector<Event> path = materialize_path(item.tail.get());
+      path.push_back(event);
+      offer_violation(std::move(path), std::move(*description));
+      continue;  // a violating edge is never expanded further
+    }
+    if (child->node.has_decision && !item.node.has_decision) local.decisions += 1;
+    if (!visited.insert(fingerprint(child->node, scratch))) continue;
+
+    const std::uint64_t count =
+        visited_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (count > config_.max_visited) {
+      record_truncation(item, event);
+      return;
+    }
+    child->tail = std::make_shared<const PathLink>(PathLink{event, item.tail});
+    pending.fetch_add(1, std::memory_order_release);
+    frontier.push(id, std::move(child));
+  }
+}
+
+void ParallelExplorer::worker(int id, Frontier& frontier, ShardedVisited& visited,
+                              std::atomic<std::uint64_t>& pending,
+                              WorkerStats& local) {
+  std::vector<Event> events;
+  std::vector<typesys::Value> scratch;
+  for (;;) {
+    std::unique_ptr<WorkItem> item = frontier.pop(id);
+    if (item == nullptr) {
+      // pending counts items queued or mid-expansion; 0 means fully drained.
+      // After a stop, queued items are still popped (and skipped) below, so
+      // the counter always reaches 0.
+      if (pending.load(std::memory_order_acquire) == 0) return;
+      std::this_thread::yield();
+      continue;
+    }
+    if (!stop_.load(std::memory_order_relaxed)) {
+      expand(*item, id, frontier, visited, pending, local, events, scratch);
+    }
+    pending.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+std::optional<sim::Violation> ParallelExplorer::run() {
+  stats_ = sim::ExplorerStats{};
+  visited_count_.store(0, std::memory_order_relaxed);
+  stop_.store(false, std::memory_order_relaxed);
+  truncated_.store(false, std::memory_order_relaxed);
+  has_violation_ = false;
+  best_path_.clear();
+  best_description_.clear();
+  truncation_path_.clear();
+
+  Frontier frontier(num_threads_);
+  ShardedVisited visited(config_.shard_bits);
+  std::atomic<std::uint64_t> pending{0};
+
+  auto root = std::make_unique<WorkItem>();
+  root->node = make_root(initial_memory_, initial_processes_);
+  {
+    std::vector<typesys::Value> scratch;
+    visited.insert(fingerprint(root->node, scratch));
+  }
+  pending.fetch_add(1, std::memory_order_release);
+  frontier.push(0, std::move(root));
+
+  std::vector<WorkerStats> worker_stats(static_cast<std::size_t>(num_threads_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_threads_));
+  for (int id = 0; id < num_threads_; ++id) {
+    threads.emplace_back([this, id, &frontier, &visited, &pending, &worker_stats] {
+      worker(id, frontier, visited, pending, worker_stats[static_cast<std::size_t>(id)]);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Like the sequential explorer, `visited` counts the states inserted during
+  // expansion (the root insert is not counted).
+  stats_.visited = visited_count_.load(std::memory_order_relaxed);
+  stats_.truncated = truncated_.load(std::memory_order_relaxed);
+  for (const WorkerStats& local : worker_stats) {
+    stats_.transitions += local.transitions;
+    stats_.decisions += local.decisions;
+    stats_.terminal_states += local.terminal_states;
+  }
+  visited_stats_ = visited.load_stats();
+  frontier_stats_ = frontier.stats();
+
+  if (has_violation_) {
+    return sim::Violation{best_description_, format_trace(best_path_)};
+  }
+  if (stats_.truncated) {
+    return sim::Violation{"state space exceeded max_visited; verdict incomplete",
+                          format_trace(truncation_path_)};
+  }
+  return std::nullopt;
+}
+
+}  // namespace rcons::engine

@@ -1,0 +1,102 @@
+// Multi-threaded exhaustive exploration with the same contract as
+// `sim::Explorer`.
+//
+// Workers expand nodes taken from a work-stealing frontier and deduplicate
+// through a sharded visited set; each reachable global state is claimed by
+// exactly one worker and expanded exactly once. On runs that complete (no
+// max_visited truncation) this makes the *verdict* (violation-or-clean), the
+// visited/transition/decision/terminal counts, and the set of violating
+// edges all independent of scheduling. Truncated runs stop racily: counts
+// then vary run to run and `visited` can overshoot max_visited by up to one
+// state per worker. What a race can change on complete runs is which path
+// first claims a state, and therefore the trace prefix attached to a
+// violation; the engine reports the lexicographically lowest trace among
+// every violation discovered (same event order the sequential DFS uses),
+// which pins the report for algorithms whose local state advances every
+// step — all of the repository's real ones.
+//
+// Unlike the sequential explorer, which stops at the first violation its DFS
+// meets, the parallel engine keeps exploring until the frontier drains (or
+// `max_visited` truncates the search) and then reports the best violation.
+// On clean instances — the expensive case that motivates parallelism — the
+// two explorers do identical work.
+#ifndef RCONS_ENGINE_PARALLEL_EXPLORER_HPP
+#define RCONS_ENGINE_PARALLEL_EXPLORER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "engine/expand.hpp"
+#include "engine/frontier.hpp"
+#include "engine/visited.hpp"
+#include "sim/explorer_config.hpp"
+#include "sim/memory.hpp"
+#include "sim/process.hpp"
+
+namespace rcons::engine {
+
+struct ParallelExplorerConfig : sim::ExplorerConfig {
+  int num_threads = 0;  // 0 = std::thread::hardware_concurrency()
+  int shard_bits = 6;   // 64 visited-set shards by default
+};
+
+class ParallelExplorer {
+ public:
+  ParallelExplorer(sim::Memory initial, std::vector<sim::Process> processes,
+                   ParallelExplorerConfig config);
+
+  // Explores the full (deduplicated) execution graph. Returns the lowest-
+  // trace violation found, or nullopt if every execution satisfies the
+  // properties. Callable repeatedly; each call restarts from the root.
+  std::optional<sim::Violation> run();
+
+  const sim::ExplorerStats& stats() const { return stats_; }
+
+  // Visited-set shard occupancy and frontier steal counts of the last run().
+  const ShardedVisited::LoadStats& visited_stats() const { return visited_stats_; }
+  const Frontier::Stats& frontier_stats() const { return frontier_stats_; }
+
+  int num_threads() const { return num_threads_; }
+
+ private:
+  struct WorkerStats {
+    std::uint64_t transitions = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t terminal_states = 0;
+  };
+
+  void worker(int id, Frontier& frontier, ShardedVisited& visited,
+              std::atomic<std::uint64_t>& pending, WorkerStats& local);
+  void expand(const WorkItem& item, int id, Frontier& frontier,
+              ShardedVisited& visited, std::atomic<std::uint64_t>& pending,
+              WorkerStats& local, std::vector<Event>& events,
+              std::vector<typesys::Value>& scratch);
+  void offer_violation(std::vector<Event> path, std::string description);
+  void record_truncation(const WorkItem& item, const Event& event);
+
+  sim::Memory initial_memory_;
+  std::vector<sim::Process> initial_processes_;
+  ParallelExplorerConfig config_;
+  int num_threads_;
+
+  sim::ExplorerStats stats_;
+  ShardedVisited::LoadStats visited_stats_;
+  Frontier::Stats frontier_stats_;
+
+  std::atomic<std::uint64_t> visited_count_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> truncated_{false};
+
+  std::mutex violation_mu_;
+  bool has_violation_ = false;
+  std::vector<Event> best_path_;
+  std::string best_description_;
+  std::vector<Event> truncation_path_;  // guarded by violation_mu_
+};
+
+}  // namespace rcons::engine
+
+#endif  // RCONS_ENGINE_PARALLEL_EXPLORER_HPP

@@ -1,0 +1,104 @@
+#include "engine/portfolio.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "rc/team_consensus.hpp"
+#include "typesys/object_type.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::engine {
+
+namespace {
+constexpr typesys::Value kInputA = 101;
+constexpr typesys::Value kInputB = 202;
+}  // namespace
+
+const char* crash_model_name(sim::CrashModel model) {
+  return model == sim::CrashModel::kIndependent ? "independent" : "simultaneous";
+}
+
+Portfolio::Portfolio(PortfolioConfig config) : config_(config) {}
+
+void Portfolio::add(Scenario scenario) {
+  RCONS_ASSERT(scenario.build != nullptr);
+  scenarios_.push_back(std::move(scenario));
+}
+
+void Portfolio::add_team_consensus(const typesys::ObjectType& type, int n,
+                                   sim::CrashModel crash_model, int crash_budget) {
+  // Materialize once (witness search is the expensive part); the builder
+  // hands out value-semantic copies so every run starts pristine.
+  rc::TeamConsensusSystem system =
+      rc::make_team_consensus_system(type, n, kInputA, kInputB);
+  auto shared = std::make_shared<rc::TeamConsensusSystem>(std::move(system));
+
+  Scenario scenario;
+  scenario.crash_model = crash_model;
+  scenario.crash_budget = crash_budget;
+  scenario.num_processes = n;
+  scenario.object_type = type.name();
+  std::ostringstream name;
+  name << "team-consensus/" << type.name() << "/n=" << n << "/"
+       << crash_model_name(crash_model) << "/c=" << crash_budget;
+  scenario.name = name.str();
+  scenario.build = [shared] {
+    ScenarioSystem out;
+    out.memory = shared->memory;
+    out.processes = shared->processes;
+    out.valid_outputs = {kInputA, kInputB};
+    return out;
+  };
+  scenarios_.push_back(std::move(scenario));
+}
+
+std::vector<ScenarioResult> Portfolio::run_all() const {
+  std::vector<ScenarioResult> results;
+  results.reserve(scenarios_.size());
+  for (const Scenario& scenario : scenarios_) {
+    ScenarioResult result;
+    result.scenario = scenario;
+
+    ScenarioSystem system = scenario.build();
+    ParallelExplorerConfig config;
+    config.crash_model = scenario.crash_model;
+    config.crash_budget = scenario.crash_budget;
+    config.max_steps_per_run = config_.max_steps_per_run;
+    config.max_visited = config_.max_visited;
+    config.crash_after_decide = config_.crash_after_decide;
+    config.valid_outputs = system.valid_outputs;
+    config.num_threads = config_.num_threads;
+    config.shard_bits = config_.shard_bits;
+
+    ParallelExplorer explorer(std::move(system.memory), std::move(system.processes),
+                              config);
+    const auto start = std::chrono::steady_clock::now();
+    result.violation = explorer.run();
+    const auto end = std::chrono::steady_clock::now();
+    result.seconds = std::chrono::duration<double>(end - start).count();
+    result.clean = !result.violation.has_value();
+    result.stats = explorer.stats();
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+util::Table Portfolio::verdict_table(const std::vector<ScenarioResult>& results) {
+  util::Table table({"scenario", "model", "crashes", "n", "verdict", "visited",
+                     "transitions", "time(s)"});
+  for (const ScenarioResult& result : results) {
+    std::ostringstream time;
+    time.precision(3);
+    time << std::fixed << result.seconds;
+    std::string verdict = result.clean ? "clean" : "VIOLATION";
+    if (result.stats.truncated) verdict = "TRUNCATED";
+    table.add_row({result.scenario.name, crash_model_name(result.scenario.crash_model),
+                   std::to_string(result.scenario.crash_budget),
+                   std::to_string(result.scenario.num_processes), verdict,
+                   std::to_string(result.stats.visited),
+                   std::to_string(result.stats.transitions), time.str()});
+  }
+  return table;
+}
+
+}  // namespace rcons::engine

@@ -1,0 +1,93 @@
+// Scenario portfolios: fan a set of {crash model, crash budget, object type,
+// process count} model-checking scenarios across the parallel engine and
+// aggregate a verdict table.
+//
+// A scenario owns a builder that materializes its system (shared memory,
+// processes, valid outputs) on demand, so adding a scenario is cheap and a
+// portfolio can be re-run. The canned `team_consensus_scenario` family wraps
+// the paper's Figure 2 algorithm over any n-recording type from the zoo;
+// arbitrary systems plug in through the builder.
+#ifndef RCONS_ENGINE_PORTFOLIO_HPP
+#define RCONS_ENGINE_PORTFOLIO_HPP
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/parallel_explorer.hpp"
+#include "sim/explorer_config.hpp"
+#include "sim/memory.hpp"
+#include "sim/process.hpp"
+#include "util/table.hpp"
+
+namespace rcons::typesys {
+class ObjectType;
+}
+
+namespace rcons::engine {
+
+struct ScenarioSystem {
+  sim::Memory memory;
+  std::vector<sim::Process> processes;
+  std::vector<typesys::Value> valid_outputs;
+};
+
+struct Scenario {
+  std::string name;
+  sim::CrashModel crash_model = sim::CrashModel::kIndependent;
+  int crash_budget = 2;
+  int num_processes = 0;        // informational, shown in the verdict table
+  std::string object_type;      // informational, shown in the verdict table
+  std::function<ScenarioSystem()> build;
+};
+
+struct ScenarioResult {
+  Scenario scenario;
+  bool clean = false;
+  std::optional<sim::Violation> violation;
+  sim::ExplorerStats stats;
+  double seconds = 0.0;
+};
+
+struct PortfolioConfig {
+  int num_threads = 0;  // per scenario; 0 = hardware concurrency
+  int shard_bits = 6;
+  long max_steps_per_run = 500;
+  std::uint64_t max_visited = 20'000'000;
+  bool crash_after_decide = true;
+};
+
+class Portfolio {
+ public:
+  explicit Portfolio(PortfolioConfig config = {});
+
+  void add(Scenario scenario);
+
+  // Figure 2 recoverable team consensus over `type` with n roles; asserts the
+  // type is n-recording. Inputs are fixed, distinct per team, and become the
+  // validity set.
+  void add_team_consensus(const typesys::ObjectType& type, int n,
+                          sim::CrashModel crash_model, int crash_budget);
+
+  std::size_t size() const { return scenarios_.size(); }
+
+  // Runs every scenario through the parallel engine, in order. Scenarios run
+  // one at a time; each one uses all configured threads internally (state
+  // spaces dwarf scenario counts, so intra-scenario parallelism wins).
+  std::vector<ScenarioResult> run_all() const;
+
+  // Paper-style verdict table: one row per scenario with model, budget,
+  // verdict, visited states, and wall time.
+  static util::Table verdict_table(const std::vector<ScenarioResult>& results);
+
+ private:
+  PortfolioConfig config_;
+  std::vector<Scenario> scenarios_;
+};
+
+const char* crash_model_name(sim::CrashModel model);
+
+}  // namespace rcons::engine
+
+#endif  // RCONS_ENGINE_PORTFOLIO_HPP

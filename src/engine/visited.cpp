@@ -1,0 +1,55 @@
+#include "engine/visited.hpp"
+
+#include "util/assert.hpp"
+
+namespace rcons::engine {
+
+ShardedVisited::ShardedVisited(int shard_bits) : shard_bits_(shard_bits) {
+  RCONS_ASSERT_MSG(shard_bits >= 0 && shard_bits <= 16,
+                   "shard_bits must be in [0, 16]");
+  shards_.reserve(static_cast<std::size_t>(1) << shard_bits);
+  for (std::size_t i = 0; i < (static_cast<std::size_t>(1) << shard_bits); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool ShardedVisited::insert(util::U128 key) {
+  Shard& shard = *shards_[shard_index(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const bool inserted = shard.set.insert(key).second;
+  if (!inserted) shard.duplicate_inserts += 1;
+  return inserted;
+}
+
+std::uint64_t ShardedVisited::size() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->set.size();
+  }
+  return total;
+}
+
+ShardedVisited::LoadStats ShardedVisited::load_stats() const {
+  LoadStats stats;
+  stats.min_shard = ~0ULL;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const std::uint64_t count = shard->set.size();
+    stats.total += count;
+    if (count < stats.min_shard) stats.min_shard = count;
+    if (count > stats.max_shard) stats.max_shard = count;
+    stats.duplicate_inserts += shard->duplicate_inserts;
+  }
+  if (stats.total == 0) {
+    stats.min_shard = 0;
+    stats.imbalance = 1.0;
+  } else {
+    const double even = static_cast<double>(stats.total) /
+                        static_cast<double>(shards_.size());
+    stats.imbalance = even > 0 ? static_cast<double>(stats.max_shard) / even : 1.0;
+  }
+  return stats;
+}
+
+}  // namespace rcons::engine

@@ -1,0 +1,71 @@
+// Sharded visited-state set for parallel exploration.
+//
+// The sequential explorer keeps one `std::unordered_set`; under T workers a
+// single set (or a single lock) serializes every insert. Here the 128-bit
+// fingerprint space is split across 2^shard_bits independent shards, each a
+// mutex-protected open-hashing table, so concurrent inserts only contend when
+// they land in the same shard (probability 2^-k for unrelated states). Shard
+// selection uses the top bits of the `hi` half; the intra-shard bucket index
+// comes from `util::U128Hash`, which mixes both halves, so shard selection
+// does not degrade bucket distribution.
+#ifndef RCONS_ENGINE_VISITED_HPP
+#define RCONS_ENGINE_VISITED_HPP
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace rcons::engine {
+
+class ShardedVisited {
+ public:
+  // Valid shard_bits: 0 (a single shard — degenerates to the sequential
+  // layout) through 16.
+  explicit ShardedVisited(int shard_bits);
+
+  // Inserts `key`; returns true when it was not already present. Thread-safe.
+  bool insert(util::U128 key);
+
+  // Exact at quiescence; a racy snapshot while workers are inserting.
+  std::uint64_t size() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  // Occupancy statistics for tuning shard_bits: total entries, the
+  // fullest/emptiest shard, and the imbalance ratio max/(total/shards)
+  // (1.0 = perfectly even). Collisions counts inserts that found the key
+  // already present (revisits deduplicated away).
+  struct LoadStats {
+    std::uint64_t total = 0;
+    std::uint64_t min_shard = 0;
+    std::uint64_t max_shard = 0;
+    double imbalance = 1.0;
+    std::uint64_t duplicate_inserts = 0;
+  };
+  LoadStats load_stats() const;
+
+ private:
+  // Shards are cache-line separated so neighbouring locks don't false-share.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_set<util::U128, util::U128Hash> set;
+    std::uint64_t duplicate_inserts = 0;
+  };
+
+  std::size_t shard_index(util::U128 key) const {
+    return shard_bits_ == 0
+               ? 0
+               : static_cast<std::size_t>(key.hi >> (64 - shard_bits_));
+  }
+
+  int shard_bits_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace rcons::engine
+
+#endif  // RCONS_ENGINE_VISITED_HPP

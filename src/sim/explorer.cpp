@@ -1,13 +1,8 @@
 #include "sim/explorer.hpp"
 
-#include <sstream>
-
 #include "util/assert.hpp"
-#include "util/hash.hpp"
 
 namespace rcons::sim {
-
-using typesys::Value;
 
 Explorer::Explorer(Memory initial, std::vector<Process> processes, ExplorerConfig config)
     : initial_memory_(std::move(initial)),
@@ -22,108 +17,30 @@ std::optional<Violation> Explorer::run() {
   visited_.clear();
   path_.clear();
 
-  Node root;
-  root.memory = initial_memory_;
-  root.processes = initial_processes_;
-  root.done.assign(initial_processes_.size(), 0);
-  root.steps_in_run.assign(initial_processes_.size(), 0);
+  engine::Node root = engine::make_root(initial_memory_, initial_processes_);
   insert_visited(root);
   return dfs(root);
 }
 
-std::optional<Violation> Explorer::apply_step(Node& node, int process) const {
-  const auto idx = static_cast<std::size_t>(process);
-  const StepResult result = node.processes[idx].step(node.memory);
-  node.steps_in_run[idx] += 1;
-  if (node.steps_in_run[idx] > config_.max_steps_per_run) {
-    return Violation{"recoverable wait-freedom violated: process " +
-                         std::to_string(process) + " exceeded " +
-                         std::to_string(config_.max_steps_per_run) +
-                         " steps in a single run",
-                     ""};
-  }
-  if (result.kind == StepResult::Kind::kDecided) {
-    if (!config_.valid_outputs.empty()) {
-      bool valid = false;
-      for (const Value v : config_.valid_outputs) valid = valid || v == result.decision;
-      if (!valid) {
-        return Violation{"validity violated: process " + std::to_string(process) +
-                             " decided " + std::to_string(result.decision) +
-                             ", which is not among the inputs",
-                         ""};
-      }
-    }
-    if (node.has_decision && node.decision != result.decision) {
-      return Violation{"agreement violated: process " + std::to_string(process) +
-                           " decided " + std::to_string(result.decision) +
-                           " but an earlier output was " + std::to_string(node.decision),
-                       ""};
-    }
-    node.has_decision = true;
-    node.decision = result.decision;
-    node.done[idx] = 1;
-    node.steps_in_run[idx] = 0;
-    // Canonicalize the local state of decided processes so equivalent global
-    // states deduplicate regardless of how the decision was reached.
-    node.processes[idx].reset();
-  }
-  return std::nullopt;
+bool Explorer::insert_visited(const engine::Node& node) {
+  return visited_.insert(engine::fingerprint(node, scratch_)).second;
 }
 
-bool Explorer::insert_visited(const Node& node) {
-  scratch_.clear();
-  scratch_.push_back(node.crashes_used);
-  scratch_.push_back(node.has_decision ? 1 : 0);
-  scratch_.push_back(node.has_decision ? node.decision : 0);
-  node.memory.encode(scratch_);
-  for (std::size_t i = 0; i < node.processes.size(); ++i) {
-    scratch_.push_back(node.done[i] != 0 ? 1 : 0);
-    node.processes[i].encode(scratch_);
-  }
-  const std::uint64_t lo = util::hash_range(scratch_.data(), scratch_.size());
-  // Independent second hash: remix every element with a different stream.
-  std::uint64_t hi = 0x6a09e667f3bcc909ULL ^ scratch_.size();
-  for (const Value v : scratch_) {
-    hi = util::mix64(hi + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(v + 1));
-  }
-  return visited_.insert(U128{lo, hi}).second;
-}
+std::optional<Violation> Explorer::dfs(const engine::Node& node) {
+  // Depth-indexed scratch: one event buffer per recursion level, reused
+  // across siblings so expansion does not allocate per node.
+  const std::size_t depth = path_.size();
+  while (events_pool_.size() <= depth) events_pool_.emplace_back();
+  std::vector<engine::Event>& events = events_pool_[depth];
+  engine::enumerate_events(node, config_, events);
+  if (engine::is_terminal(node)) stats_.terminal_states += 1;
 
-std::string Explorer::format_trace() const {
-  std::ostringstream out;
-  for (const Event& event : path_) {
-    switch (event.kind) {
-      case Event::Kind::kStep:
-        out << "step(p" << event.process << ") ";
-        break;
-      case Event::Kind::kCrash:
-        out << "CRASH(p" << event.process << ") ";
-        break;
-      case Event::Kind::kCrashAll:
-        out << "CRASH(all) ";
-        break;
-    }
-  }
-  return out.str();
-}
-
-Violation Explorer::make_violation(std::string description) const {
-  return Violation{std::move(description), format_trace()};
-}
-
-std::optional<Violation> Explorer::dfs(const Node& node) {
-  const int n = static_cast<int>(node.processes.size());
-  bool terminal = true;
-
-  // Step moves.
-  for (int i = 0; i < n; ++i) {
-    if (node.done[static_cast<std::size_t>(i)] != 0) continue;
-    terminal = false;
-    Node child = node;
-    path_.push_back(Event{Event::Kind::kStep, i});
+  for (const engine::Event& event : events) {
+    engine::Node child = node;
+    path_.push_back(event);
     stats_.transitions += 1;
-    if (auto violation = apply_step(child, i)) {
-      violation->trace = format_trace();
+    if (auto description = engine::apply_event(child, event, config_)) {
+      Violation violation{std::move(*description), engine::format_trace(path_)};
       path_.pop_back();
       return violation;
     }
@@ -132,8 +49,10 @@ std::optional<Violation> Explorer::dfs(const Node& node) {
       stats_.visited += 1;
       if (stats_.visited > config_.max_visited) {
         stats_.truncated = true;
+        Violation violation{"state space exceeded max_visited; verdict incomplete",
+                            engine::format_trace(path_)};
         path_.pop_back();
-        return make_violation("state space exceeded max_visited; verdict incomplete");
+        return violation;
       }
       if (auto violation = dfs(child)) {
         path_.pop_back();
@@ -143,62 +62,6 @@ std::optional<Violation> Explorer::dfs(const Node& node) {
     path_.pop_back();
   }
 
-  // Crash moves.
-  if (node.crashes_used < config_.crash_budget) {
-    if (config_.crash_model == CrashModel::kIndependent) {
-      for (int i = 0; i < n; ++i) {
-        const auto idx = static_cast<std::size_t>(i);
-        const bool is_done = node.done[idx] != 0;
-        if (is_done && !config_.crash_after_decide) continue;
-        // Crashing a process that has not taken a step in its current run
-        // only burns budget; the resulting state is strictly weaker.
-        if (!is_done && node.steps_in_run[idx] == 0) continue;
-        Node child = node;
-        child.crashes_used += 1;
-        child.done[idx] = 0;
-        child.steps_in_run[idx] = 0;
-        child.processes[idx].reset();
-        path_.push_back(Event{Event::Kind::kCrash, i});
-        stats_.transitions += 1;
-        if (insert_visited(child)) {
-          stats_.visited += 1;
-          if (auto violation = dfs(child)) {
-            path_.pop_back();
-            return violation;
-          }
-        }
-        path_.pop_back();
-      }
-    } else {
-      bool useful = false;
-      for (int i = 0; i < n; ++i) {
-        const auto idx = static_cast<std::size_t>(i);
-        useful = useful || node.done[idx] != 0 || node.steps_in_run[idx] > 0;
-      }
-      if (useful) {
-        Node child = node;
-        child.crashes_used += 1;
-        for (int i = 0; i < n; ++i) {
-          const auto idx = static_cast<std::size_t>(i);
-          child.done[idx] = 0;
-          child.steps_in_run[idx] = 0;
-          child.processes[idx].reset();
-        }
-        path_.push_back(Event{Event::Kind::kCrashAll, -1});
-        stats_.transitions += 1;
-        if (insert_visited(child)) {
-          stats_.visited += 1;
-          if (auto violation = dfs(child)) {
-            path_.pop_back();
-            return violation;
-          }
-        }
-        path_.pop_back();
-      }
-    }
-  }
-
-  if (terminal) stats_.terminal_states += 1;
   return std::nullopt;
 }
 

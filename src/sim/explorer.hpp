@@ -15,46 +15,27 @@
 // local state + crash budget + decision constraint), which keeps the search
 // tractable; dedup keys are 128-bit hashes of the canonical encoding, making
 // a pruning collision astronomically unlikely (documented trade-off).
+//
+// This is the single-threaded depth-first traversal; node expansion,
+// property checking, and fingerprinting are shared with the multi-threaded
+// `engine::ParallelExplorer` through `engine/expand.hpp`.
 #ifndef RCONS_SIM_EXPLORER_HPP
 #define RCONS_SIM_EXPLORER_HPP
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "engine/expand.hpp"
+#include "sim/explorer_config.hpp"
 #include "sim/memory.hpp"
 #include "sim/process.hpp"
+#include "util/hash.hpp"
 
 namespace rcons::sim {
-
-enum class CrashModel {
-  kIndependent,   // processes crash and recover individually (paper Section 3)
-  kSimultaneous,  // all processes crash together (paper Section 2)
-};
-
-struct ExplorerConfig {
-  CrashModel crash_model = CrashModel::kIndependent;
-  int crash_budget = 2;
-  long max_steps_per_run = 500;
-  std::uint64_t max_visited = 20'000'000;
-  std::vector<typesys::Value> valid_outputs;  // empty disables the validity check
-  bool crash_after_decide = true;
-};
-
-struct Violation {
-  std::string description;
-  std::string trace;  // the event schedule that produced it
-};
-
-struct ExplorerStats {
-  std::uint64_t visited = 0;
-  std::uint64_t transitions = 0;
-  std::uint64_t decisions = 0;
-  std::uint64_t terminal_states = 0;
-  bool truncated = false;  // hit max_visited — verdict incomplete
-};
 
 class Explorer {
  public:
@@ -67,41 +48,19 @@ class Explorer {
   const ExplorerStats& stats() const { return stats_; }
 
  private:
-  struct Node {
-    Memory memory;
-    std::vector<Process> processes;
-    std::vector<std::uint8_t> done;
-    std::vector<long> steps_in_run;
-    int crashes_used = 0;
-    bool has_decision = false;
-    typesys::Value decision = 0;
-  };
-
-  struct Event {
-    enum class Kind { kStep, kCrash, kCrashAll };
-    Kind kind;
-    int process;
-  };
-
-  std::optional<Violation> dfs(const Node& node);
-  std::optional<Violation> apply_step(Node& node, int process) const;
-  bool insert_visited(const Node& node);
-  std::string format_trace() const;
-  Violation make_violation(std::string description) const;
+  std::optional<Violation> dfs(const engine::Node& node);
+  bool insert_visited(const engine::Node& node);
 
   Memory initial_memory_;
   std::vector<Process> initial_processes_;
   ExplorerConfig config_;
   ExplorerStats stats_;
-  struct U128 {
-    std::uint64_t lo, hi;
-    bool operator==(const U128&) const = default;
-  };
-  struct U128Hash {
-    std::size_t operator()(const U128& v) const { return v.lo ^ (v.hi * 0x9e3779b97f4a7c15ULL); }
-  };
-  std::unordered_set<U128, U128Hash> visited_;
-  std::vector<Event> path_;
+  std::unordered_set<util::U128, util::U128Hash> visited_;
+  std::vector<engine::Event> path_;
+  // Per-depth event buffers, reused across siblings. A deque because deeper
+  // recursion grows it while shallower frames hold references into it, and
+  // deque growth at the end never invalidates existing elements.
+  std::deque<std::vector<engine::Event>> events_pool_;
   std::vector<typesys::Value> scratch_;
 };
 

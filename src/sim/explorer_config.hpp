@@ -1,0 +1,47 @@
+// Shared contract of the exhaustive explorers (sequential `sim::Explorer` and
+// parallel `engine::ParallelExplorer`): crash models, configuration, the
+// violation report, and run statistics.
+//
+// These live in their own header so `engine/` can depend on the contract
+// without pulling in the sequential explorer (and vice versa).
+#ifndef RCONS_SIM_EXPLORER_CONFIG_HPP
+#define RCONS_SIM_EXPLORER_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "typesys/core.hpp"
+
+namespace rcons::sim {
+
+enum class CrashModel {
+  kIndependent,   // processes crash and recover individually (paper Section 3)
+  kSimultaneous,  // all processes crash together (paper Section 2)
+};
+
+struct ExplorerConfig {
+  CrashModel crash_model = CrashModel::kIndependent;
+  int crash_budget = 2;
+  long max_steps_per_run = 500;
+  std::uint64_t max_visited = 20'000'000;
+  std::vector<typesys::Value> valid_outputs;  // empty disables the validity check
+  bool crash_after_decide = true;
+};
+
+struct Violation {
+  std::string description;
+  std::string trace;  // the event schedule that produced it
+};
+
+struct ExplorerStats {
+  std::uint64_t visited = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t terminal_states = 0;
+  bool truncated = false;  // hit max_visited — verdict incomplete
+};
+
+}  // namespace rcons::sim
+
+#endif  // RCONS_SIM_EXPLORER_CONFIG_HPP

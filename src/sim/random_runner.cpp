@@ -10,6 +10,8 @@ using typesys::Value;
 RandomRunReport run_random(Memory memory, std::vector<Process> processes,
                            const RandomRunConfig& config) {
   RCONS_ASSERT(!processes.empty());
+  RCONS_ASSERT_MSG(config.crash_per_mille >= 0 && config.crash_per_mille <= 1000,
+                   "crash_per_mille is a numerator over 1000");
   util::Rng rng(config.seed);
   const int n = static_cast<int>(processes.size());
   std::vector<std::uint8_t> done(processes.size(), 0);

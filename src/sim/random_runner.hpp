@@ -18,7 +18,9 @@ struct RandomRunConfig {
   std::uint64_t seed = 1;
   CrashModel crash_model = CrashModel::kIndependent;
   // Probability (numerator / 1000) that a scheduling slot injects a crash
-  // instead of a step, while crash budget remains.
+  // instead of a step, while crash budget remains. Must be in [0, 1000]
+  // (asserted by run_random): 0 never crashes, 1000 crashes every slot until
+  // max_crashes is spent.
   int crash_per_mille = 50;
   int max_crashes = 8;
   long max_total_steps = 1'000'000;

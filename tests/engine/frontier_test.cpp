@@ -1,0 +1,89 @@
+#include "engine/frontier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+namespace rcons::engine {
+namespace {
+
+std::unique_ptr<WorkItem> item_with_depth(std::size_t depth) {
+  auto item = std::make_unique<WorkItem>();
+  for (std::size_t i = 0; i < depth; ++i) {
+    item->tail = std::make_shared<const PathLink>(
+        PathLink{Event{Event::Kind::kStep, 0}, item->tail});
+  }
+  return item;
+}
+
+std::size_t depth_of(const WorkItem& item) {
+  return materialize_path(item.tail.get()).size();
+}
+
+TEST(FrontierTest, LocalPopIsLifo) {
+  Frontier frontier(2);
+  frontier.push(0, item_with_depth(1));
+  frontier.push(0, item_with_depth(2));
+  frontier.push(0, item_with_depth(3));
+  EXPECT_EQ(depth_of(*frontier.pop(0)), 3u);
+  EXPECT_EQ(depth_of(*frontier.pop(0)), 2u);
+  EXPECT_EQ(depth_of(*frontier.pop(0)), 1u);
+  EXPECT_EQ(frontier.pop(0), nullptr);
+}
+
+TEST(FrontierTest, StealTakesOldestItemsInBatch) {
+  Frontier frontier(2);
+  for (std::size_t depth = 1; depth <= 8; ++depth) {
+    frontier.push(0, item_with_depth(depth));
+  }
+  // Worker 1 is empty: its pop steals half of worker 0's deque from the
+  // front (depths 1..4) and serves the most recent of the stolen batch.
+  const auto stolen = frontier.pop(1);
+  ASSERT_NE(stolen, nullptr);
+  EXPECT_EQ(depth_of(*stolen), 4u);
+  EXPECT_EQ(frontier.stats().steals, 1u);
+  EXPECT_EQ(frontier.stats().stolen_items, 4u);
+  // Worker 0 still owns the newest items.
+  EXPECT_EQ(depth_of(*frontier.pop(0)), 8u);
+}
+
+TEST(FrontierTest, SingleWorkerNeverSteals) {
+  Frontier frontier(1);
+  frontier.push(0, item_with_depth(1));
+  EXPECT_NE(frontier.pop(0), nullptr);
+  EXPECT_EQ(frontier.pop(0), nullptr);
+  EXPECT_EQ(frontier.stats().steals, 0u);
+}
+
+TEST(FrontierTest, ConcurrentPushPopLosesNothing) {
+  constexpr int kWorkers = 4;
+  constexpr int kItemsPerWorker = 5'000;
+  Frontier frontier(kWorkers);
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([w, &frontier, &popped] {
+      for (int i = 0; i < kItemsPerWorker; ++i) {
+        frontier.push(w, std::make_unique<WorkItem>());
+      }
+      // Drain greedily; stealing redistributes whatever is left elsewhere.
+      while (frontier.pop(w) != nullptr) {
+        popped.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // A worker can observe momentary emptiness while another still holds
+  // items, so drain the remainder single-threaded before counting.
+  for (int w = 0; w < kWorkers; ++w) {
+    while (frontier.pop(w) != nullptr) {
+      popped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  EXPECT_EQ(popped.load(), kWorkers * kItemsPerWorker);
+}
+
+}  // namespace
+}  // namespace rcons::engine

@@ -1,0 +1,70 @@
+#include "engine/visited.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace rcons::engine {
+namespace {
+
+util::U128 key(std::uint64_t i) {
+  // Spread keys across the whole hi-space so shard selection sees variety.
+  return util::U128{util::mix64(i), util::mix64(i + 0x1234'5678ULL)};
+}
+
+TEST(ShardedVisitedTest, InsertDeduplicates) {
+  ShardedVisited visited(4);
+  EXPECT_TRUE(visited.insert(key(1)));
+  EXPECT_FALSE(visited.insert(key(1)));
+  EXPECT_TRUE(visited.insert(key(2)));
+  EXPECT_EQ(visited.size(), 2u);
+}
+
+TEST(ShardedVisitedTest, SingleShardDegenerateWorks) {
+  ShardedVisited visited(0);
+  EXPECT_EQ(visited.num_shards(), 1);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_TRUE(visited.insert(key(i)));
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_FALSE(visited.insert(key(i)));
+  EXPECT_EQ(visited.size(), 100u);
+}
+
+TEST(ShardedVisitedTest, LoadStatsTrackOccupancyAndDuplicates) {
+  ShardedVisited visited(3);
+  EXPECT_EQ(visited.num_shards(), 8);
+  for (std::uint64_t i = 0; i < 1000; ++i) visited.insert(key(i));
+  for (std::uint64_t i = 0; i < 10; ++i) visited.insert(key(i));
+  const auto stats = visited.load_stats();
+  EXPECT_EQ(stats.total, 1000u);
+  EXPECT_EQ(stats.duplicate_inserts, 10u);
+  EXPECT_GE(stats.max_shard, stats.min_shard);
+  // Mixed keys should spread roughly evenly: no shard more than 2x the mean.
+  EXPECT_LT(stats.imbalance, 2.0);
+}
+
+TEST(ShardedVisitedTest, ConcurrentInsertsAgreeOnWinners) {
+  // T threads race to insert overlapping ranges; exactly one insert per key
+  // must win, and the set must end up with every key exactly once.
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kKeys = 20'000;
+  ShardedVisited visited(6);
+  std::vector<std::uint64_t> wins(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &visited, &wins] {
+      for (std::uint64_t i = 0; i < kKeys; ++i) {
+        if (visited.insert(key(i))) wins[static_cast<std::size_t>(t)] += 1;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::uint64_t total_wins = 0;
+  for (const std::uint64_t w : wins) total_wins += w;
+  EXPECT_EQ(total_wins, kKeys);
+  EXPECT_EQ(visited.size(), kKeys);
+}
+
+}  // namespace
+}  // namespace rcons::engine

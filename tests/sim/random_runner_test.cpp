@@ -72,6 +72,40 @@ TEST(RandomRunnerTest, CrashBudgetHonored) {
   EXPECT_TRUE(report.all_decided);
 }
 
+TEST(RandomRunnerTest, ZeroCrashRateNeverCrashes) {
+  auto [memory, processes] = make_race_system(3);
+  RandomRunConfig config;
+  config.seed = 11;
+  config.crash_per_mille = 0;  // lower edge of the documented [0, 1000] range
+  config.max_crashes = 8;
+  const auto report = run_random(std::move(memory), std::move(processes), config);
+  EXPECT_EQ(report.crashes, 0);
+  EXPECT_TRUE(report.all_decided);
+  EXPECT_FALSE(report.violation.has_value());
+}
+
+TEST(RandomRunnerTest, FullCrashRateCrashesEverySlotUntilBudgetSpent) {
+  auto [memory, processes] = make_race_system(3);
+  RandomRunConfig config;
+  config.seed = 12;
+  config.crash_per_mille = 1000;  // upper edge: crash whenever budget remains
+  config.max_crashes = 6;
+  const auto report = run_random(std::move(memory), std::move(processes), config);
+  // Every scheduling slot while budget remains injects a crash, so the
+  // budget is fully spent before the first uninterrupted step.
+  EXPECT_EQ(report.crashes, config.max_crashes);
+  EXPECT_TRUE(report.all_decided);
+  EXPECT_FALSE(report.violation.has_value());
+}
+
+TEST(RandomRunnerDeathTest, OutOfRangeCrashRateAsserts) {
+  auto [memory, processes] = make_race_system(2);
+  RandomRunConfig config;
+  config.crash_per_mille = 1001;
+  EXPECT_DEATH(run_random(std::move(memory), std::move(processes), config),
+               "crash_per_mille");
+}
+
 TEST(RandomRunnerTest, SimultaneousModelRuns) {
   auto [memory, processes] = make_race_system(3);
   RandomRunConfig config;
