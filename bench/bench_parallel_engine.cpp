@@ -1,15 +1,18 @@
-// Speedup benchmark: sequential `sim::Explorer` vs `engine::ParallelExplorer`
-// at 1/2/4/8 threads, on exhaustive team-consensus instances (the acceptance
-// instance is Sn(3) with 3 processes and crash budget 2). Verifies that every
-// configuration reports the same verdict and visited-state count before
-// trusting a timing.
+// Speedup benchmark: Strategy::kSequentialDFS vs Strategy::kParallelBFS at
+// 1/2/4/8 threads through the check:: facade, on exhaustive team-consensus
+// instances (the acceptance instance is Sn(3) with 3 processes and crash
+// budget 2), plus a Strategy::kAuto row showing what the facade picks.
+// Verifies that every configuration reports the same verdict and
+// visited-state count before trusting a timing.
 //
 // Plain chrono timing rather than Google Benchmark: each run is seconds long
-// and we want a speedup table, not per-iteration statistics.
+// and we want a speedup table, not per-iteration statistics. Results are also
+// written machine-readably to BENCH_parallel_engine.json so the perf
+// trajectory accumulates across revisions.
 //
 // Usage: bench_parallel_engine [repeats]
-#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -17,11 +20,11 @@
 #include <utility>
 #include <vector>
 
-#include "engine/parallel_explorer.hpp"
+#include "check/check.hpp"
 #include "rc/team_consensus.hpp"
-#include "sim/explorer.hpp"
 #include "typesys/zoo.hpp"
 #include "util/assert.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -48,36 +51,55 @@ Instance make_instance(const std::string& type_name, int n, int crash_budget) {
   return instance;
 }
 
-double median_seconds(const std::vector<double>& samples) {
-  std::vector<double> sorted = samples;
-  for (std::size_t i = 1; i < sorted.size(); ++i) {
-    for (std::size_t j = i; j > 0 && sorted[j] < sorted[j - 1]; --j) {
-      std::swap(sorted[j], sorted[j - 1]);
+double median_seconds(std::vector<double> samples) {
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    for (std::size_t j = i; j > 0 && samples[j] < samples[j - 1]; --j) {
+      std::swap(samples[j], samples[j - 1]);
     }
   }
-  return sorted[sorted.size() / 2];
+  return samples[samples.size() / 2];
+}
+
+check::CheckRequest make_request(const Instance& instance, check::Strategy strategy,
+                                 int threads) {
+  check::CheckRequest request;
+  request.system.memory = instance.system.memory;
+  request.system.processes = instance.system.processes;
+  request.system.valid_outputs = {kInputA, kInputB};
+  request.budget.crash_budget = instance.crash_budget;
+  request.strategy = strategy;
+  request.num_threads = threads;
+  return request;
 }
 
 struct RunOutcome {
   bool clean = false;
   std::uint64_t visited = 0;
+  check::Strategy strategy = check::Strategy::kAuto;
   double seconds = 0.0;
 };
 
-template <typename F>
-RunOutcome timed(int repeats, F&& run_once) {
+RunOutcome timed(const Instance& instance, check::Strategy strategy, int threads,
+                 int repeats) {
   RunOutcome outcome;
   std::vector<double> samples;
   for (int i = 0; i < repeats; ++i) {
-    const auto start = std::chrono::steady_clock::now();
-    const auto [clean, visited] = run_once();
-    const auto end = std::chrono::steady_clock::now();
-    samples.push_back(std::chrono::duration<double>(end - start).count());
-    outcome.clean = clean;
-    outcome.visited = visited;
+    const check::CheckReport report =
+        check::check(make_request(instance, strategy, threads));
+    samples.push_back(report.seconds);
+    outcome.clean = report.clean;
+    outcome.visited = report.stats.visited;
+    outcome.strategy = report.strategy;
   }
-  outcome.seconds = median_seconds(samples);
+  outcome.seconds = median_seconds(std::move(samples));
   return outcome;
+}
+
+std::string fixed3(double value) {
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed << value;
+  return out.str();
 }
 
 }  // namespace
@@ -86,7 +108,7 @@ int main(int argc, char** argv) {
   int repeats = argc > 1 ? std::atoi(argv[1]) : 3;
   if (repeats < 1) repeats = 1;
 
-  std::cout << "=== Parallel exploration engine — speedup vs sequential Explorer ===\n"
+  std::cout << "=== Parallel exploration engine — speedup via the check:: facade ===\n"
             << "Hardware concurrency: " << std::thread::hardware_concurrency()
             << " (speedup beyond that count is not expected)\n\n";
 
@@ -101,52 +123,73 @@ int main(int argc, char** argv) {
   util::Table table({"instance", "config", "verdict", "visited", "time(s)", "speedup"});
   bool verdicts_consistent = true;
 
-  for (const Instance& instance : instances) {
-    sim::ExplorerConfig base;
-    base.crash_budget = instance.crash_budget;
-    base.valid_outputs = {kInputA, kInputB};
+  std::ofstream json_file("BENCH_parallel_engine.json");
+  util::JsonWriter json(json_file);
+  json.begin_object();
+  json.key_value("bench", "parallel_engine");
+  json.key_value("repeats", repeats);
+  json.key_value("hardware_concurrency",
+                 static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  json.key("rows");
+  json.begin_array();
 
-    const RunOutcome sequential = timed(repeats, [&] {
-      sim::Explorer explorer(instance.system.memory, instance.system.processes, base);
-      const bool clean = !explorer.run().has_value();
-      return std::pair<bool, std::uint64_t>(clean, explorer.stats().visited);
-    });
-    std::ostringstream seq_time;
-    seq_time.precision(3);
-    seq_time << std::fixed << sequential.seconds;
-    table.add_row({instance.label, "sequential", sequential.clean ? "clean" : "VIOLATION",
-                   std::to_string(sequential.visited), seq_time.str(), "1.00x"});
+  auto emit = [&](const Instance& instance, const std::string& config_label,
+                  int threads, const RunOutcome& outcome, double speedup) {
+    table.add_row({instance.label, config_label, outcome.clean ? "clean" : "VIOLATION",
+                   std::to_string(outcome.visited), fixed3(outcome.seconds),
+                   fixed3(speedup) + "x"});
+    json.begin_object();
+    json.key_value("instance", instance.label);
+    json.key_value("config", config_label);
+    json.key_value("strategy", check::strategy_name(outcome.strategy));
+    json.key_value("threads", threads);
+    json.key_value("verdict", outcome.clean ? "clean" : "violation");
+    json.key_value("visited", outcome.visited);
+    json.key_value("seconds", outcome.seconds);
+    json.key_value("speedup", speedup);
+    json.end_object();
+  };
+
+  for (const Instance& instance : instances) {
+    const RunOutcome sequential =
+        timed(instance, check::Strategy::kSequentialDFS, 0, repeats);
+    emit(instance, "sequential", 0, sequential, 1.0);
 
     for (const int threads : {1, 2, 4, 8}) {
-      engine::ParallelExplorerConfig config;
-      static_cast<sim::ExplorerConfig&>(config) = base;
-      config.num_threads = threads;
-      const RunOutcome parallel = timed(repeats, [&] {
-        engine::ParallelExplorer explorer(instance.system.memory,
-                                          instance.system.processes, config);
-        const bool clean = !explorer.run().has_value();
-        return std::pair<bool, std::uint64_t>(clean, explorer.stats().visited);
-      });
-      if (parallel.clean != sequential.clean || parallel.visited != sequential.visited) {
+      const RunOutcome parallel =
+          timed(instance, check::Strategy::kParallelBFS, threads, repeats);
+      if (parallel.clean != sequential.clean ||
+          parallel.visited != sequential.visited) {
         verdicts_consistent = false;
       }
-      std::ostringstream time, speedup;
-      time.precision(3);
-      time << std::fixed << parallel.seconds;
-      speedup.precision(2);
-      speedup << std::fixed << (sequential.seconds / parallel.seconds) << "x";
-      table.add_row({instance.label, "parallel t=" + std::to_string(threads),
-                     parallel.clean ? "clean" : "VIOLATION",
-                     std::to_string(parallel.visited), time.str(), speedup.str()});
+      emit(instance, "parallel t=" + std::to_string(threads), threads, parallel,
+           sequential.seconds / parallel.seconds);
     }
+
+    // What does kAuto do with this instance? (Probe + escalation included in
+    // its wall time.)
+    const RunOutcome automatic = timed(instance, check::Strategy::kAuto, 0, repeats);
+    if (automatic.clean != sequential.clean ||
+        automatic.visited != sequential.visited) {
+      verdicts_consistent = false;
+    }
+    emit(instance,
+         std::string("auto -> ") + check::strategy_name(automatic.strategy), 0,
+         automatic, sequential.seconds / automatic.seconds);
   }
+
+  json.end_array();
+  json.key_value("verdicts_consistent", verdicts_consistent);
+  json.end_object();
+  json_file << "\n";
 
   table.print(std::cout);
   if (!verdicts_consistent) {
-    std::cout << "\nERROR: parallel and sequential disagreed on verdict or "
-                 "visited-state count.\n";
+    std::cout << "\nERROR: configurations disagreed on verdict or visited-state "
+                 "count.\n";
     return 1;
   }
-  std::cout << "\nAll configurations agree on verdict and visited-state count.\n";
+  std::cout << "\nAll configurations agree on verdict and visited-state count.\n"
+            << "Machine-readable results: BENCH_parallel_engine.json\n";
   return 0;
 }

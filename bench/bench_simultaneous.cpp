@@ -2,14 +2,16 @@
 // Prints the measured relationship between the number of simultaneous crash
 // events and the rounds/steps the algorithm consumes (the paper's Appendix A
 // notes the construction inherently uses more consensus instances as crashes
-// accumulate — Golab proved unboundedly many are necessary).
+// accumulate — Golab proved unboundedly many are necessary). Random
+// executions run through the check:: facade (Strategy::kRandomized).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <iostream>
 
+#include "check/check.hpp"
 #include "rc/race.hpp"
 #include "rc/simultaneous.hpp"
-#include "sim/random_runner.hpp"
 #include "typesys/zoo.hpp"
 #include "util/table.hpp"
 
@@ -19,16 +21,32 @@ using namespace rcons;
 
 using Fig4 = rc::SimultaneousRCProgram<rc::RaceConsensusProgram, rc::RaceInstance>;
 
-std::pair<sim::Memory, std::vector<sim::Process>> make_fig4(int n, int max_rounds) {
-  sim::Memory memory;
+check::ScenarioSystem make_fig4(int n, int max_rounds) {
+  check::ScenarioSystem system;
   std::shared_ptr<const typesys::ObjectType> type =
       typesys::make_type("consensus-object");
   auto cache = std::make_shared<typesys::TransitionCache>(type, n);
   auto layout = rc::install_simultaneous<rc::RaceInstance>(
-      memory, n, max_rounds, [&]() { return rc::install_race(memory, cache); });
-  std::vector<sim::Process> processes;
-  for (int i = 0; i < n; ++i) processes.emplace_back(Fig4(layout, i, i + 1));
-  return {std::move(memory), std::move(processes)};
+      system.memory, n, max_rounds, [&]() { return rc::install_race(system.memory, cache); });
+  for (int i = 0; i < n; ++i) {
+    system.processes.emplace_back(Fig4(layout, i, i + 1));
+    system.valid_outputs.push_back(i + 1);
+  }
+  return system;
+}
+
+check::CheckRequest make_random_request(check::ScenarioSystem system, int crashes,
+                                        int crash_per_mille, int runs,
+                                        std::uint64_t seed) {
+  check::CheckRequest request;
+  request.system = std::move(system);
+  request.budget.crash_model = check::CrashModel::kSimultaneous;
+  request.budget.crash_budget = crashes;
+  request.strategy = check::Strategy::kRandomized;
+  request.crash_per_mille = crash_per_mille;
+  request.runs = runs;
+  request.seed = seed;
+  return request;
 }
 
 void print_crash_sweep() {
@@ -36,24 +54,12 @@ void print_crash_sweep() {
   util::Table table({"max simultaneous crashes", "avg steps", "avg crashes",
                      "completed (of 40 seeds)"});
   for (const int crashes : {0, 1, 2, 4, 8}) {
-    long total_steps = 0;
-    long total_crashes = 0;
-    int completed = 0;
-    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
-      auto [memory, processes] = make_fig4(n, crashes + 3);
-      sim::RandomRunConfig config;
-      config.seed = seed;
-      config.crash_model = sim::CrashModel::kSimultaneous;
-      config.crash_per_mille = crashes == 0 ? 0 : 60;
-      config.max_crashes = crashes;
-      const auto report = sim::run_random(std::move(memory), std::move(processes),
-                                          config);
-      total_steps += report.steps;
-      total_crashes += report.crashes;
-      completed += report.all_decided ? 1 : 0;
-    }
-    table.add_row({std::to_string(crashes), std::to_string(total_steps / 40),
-                   std::to_string(total_crashes / 40), std::to_string(completed)});
+    const check::CheckReport report = check::check(make_random_request(
+        make_fig4(n, crashes + 3), crashes, crashes == 0 ? 0 : 60, 40, 1));
+    const int runs = std::max(report.runs, 1);  // stops early on a violation
+    table.add_row({std::to_string(crashes), std::to_string(report.total_steps / runs),
+                   std::to_string(report.total_crashes / runs),
+                   std::to_string(report.runs - report.incomplete_runs)});
   }
   std::cout << "=== E4: Figure 4 under simultaneous crashes (n=4) ===\n"
             << "Shape: steps grow with crash count — each crash burst forces a\n"
@@ -65,12 +71,9 @@ void print_crash_sweep() {
 void BM_Fig4FullDecide(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    auto [memory, processes] = make_fig4(n, 2);
-    sim::RandomRunConfig config;
-    config.seed = 7;
-    config.crash_per_mille = 0;
-    benchmark::DoNotOptimize(
-        sim::run_random(std::move(memory), std::move(processes), config));
+    check::CheckRequest request = make_random_request(make_fig4(n, 2), 0, 0, 1, 7);
+    request.budget.crash_model = check::CrashModel::kIndependent;
+    benchmark::DoNotOptimize(check::check(std::move(request)).clean);
   }
 }
 
@@ -78,14 +81,10 @@ void BM_Fig4WithCrashes(benchmark::State& state) {
   const int crashes = static_cast<int>(state.range(0));
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    auto [memory, processes] = make_fig4(4, crashes + 3);
-    sim::RandomRunConfig config;
-    config.seed = seed++;
-    config.crash_model = sim::CrashModel::kSimultaneous;
-    config.crash_per_mille = crashes == 0 ? 0 : 80;
-    config.max_crashes = crashes;
     benchmark::DoNotOptimize(
-        sim::run_random(std::move(memory), std::move(processes), config));
+        check::check(make_random_request(make_fig4(4, crashes + 3), crashes,
+                                         crashes == 0 ? 0 : 80, 1, seed++))
+            .clean);
   }
 }
 

@@ -1,0 +1,144 @@
+// check_cli: run a scenario spec file through the check:: facade with any
+// strategy — the command-line face of check(CheckRequest).
+//
+//   $ check_cli scenarios.spec                    # Strategy::kAuto
+//   $ check_cli scenarios.spec --strategy=dfs     # force sequential DFS
+//   $ check_cli scenarios.spec --strategy=bfs --threads=8
+//   $ check_cli scenarios.spec --strategy=random --runs=500 --seed=7
+//
+// Each line of the spec file describes one team-consensus scenario (see
+// examples/scenarios/default.spec for the grammar). Exit codes: 0 = all
+// scenarios clean, 1 = at least one violation, 2 = bad usage or spec file.
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "check/check.hpp"
+#include "check/scenario_spec.hpp"
+#include "rc/team_consensus.hpp"
+#include "typesys/zoo.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rcons;
+
+struct CliOptions {
+  std::string scenario_file;
+  check::Strategy strategy = check::Strategy::kAuto;
+  int num_threads = 0;
+  int runs = 200;
+  std::uint64_t seed = 1;
+  bool show_trace = false;
+};
+
+bool parse_args(int argc, char** argv, CliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--strategy=", 0) == 0) {
+      const std::string name = arg.substr(11);
+      if (name == "auto") {
+        options.strategy = check::Strategy::kAuto;
+      } else if (name == "dfs") {
+        options.strategy = check::Strategy::kSequentialDFS;
+      } else if (name == "bfs") {
+        options.strategy = check::Strategy::kParallelBFS;
+      } else if (name == "random") {
+        options.strategy = check::Strategy::kRandomized;
+      } else {
+        std::cerr << "unknown strategy '" << name << "' (auto|dfs|bfs|random)\n";
+        return false;
+      }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.num_threads = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--runs=", 0) == 0) {
+      options.runs = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--trace") {
+      options.show_trace = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option " << arg << "\n";
+      return false;
+    } else if (options.scenario_file.empty()) {
+      options.scenario_file = arg;
+    } else {
+      std::cerr << "unexpected argument " << arg << "\n";
+      return false;
+    }
+  }
+  if (options.scenario_file.empty()) {
+    std::cerr << "usage: check_cli <scenario-file> [--strategy=auto|dfs|bfs|random]\n"
+                 "                 [--threads=N] [--runs=R] [--seed=S] [--trace]\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse_args(argc, argv, options)) return 2;
+
+  const check::ScenarioParse parse = check::load_scenario_file(options.scenario_file);
+  if (!parse.ok()) {
+    for (const std::string& error : parse.errors) std::cerr << error << "\n";
+    return 2;
+  }
+
+  util::Table table(
+      {"scenario", "strategy", "verdict", "visited", "runs", "time(s)"});
+  int violations = 0;
+  for (const check::ScenarioSpec& spec : parse.specs) {
+    auto type = typesys::make_type(spec.type);
+    rc::TeamConsensusSystem system =
+        rc::make_team_consensus_system(*type, spec.n, 101, 202);
+
+    check::CheckRequest request;
+    request.system.memory = std::move(system.memory);
+    request.system.processes = std::move(system.processes);
+    request.system.valid_outputs = {101, 202};
+    request.budget.crash_model = spec.crash_model;
+    request.budget.crash_budget = spec.crash_budget;
+    if (spec.max_steps_per_run >= 0) {
+      request.budget.max_steps_per_run = spec.max_steps_per_run;
+    }
+    if (spec.max_visited >= 0) {
+      request.budget.max_visited = static_cast<std::uint64_t>(spec.max_visited);
+    }
+    request.strategy = options.strategy;
+    request.num_threads = options.num_threads;
+    request.runs = options.runs;
+    request.seed = options.seed;
+
+    const check::CheckReport report = check::check(std::move(request));
+
+    std::string name = spec.name;
+    if (name.empty()) {
+      std::ostringstream generated;
+      generated << spec.type << "/n=" << spec.n << "/c=" << spec.crash_budget;
+      name = generated.str();
+    }
+    std::ostringstream time;
+    time.precision(3);
+    time << std::fixed << report.seconds;
+    std::string verdict = report.clean ? "clean" : "VIOLATION";
+    if (report.stats.truncated) verdict = "TRUNCATED";
+    table.add_row({name, check::strategy_name(report.strategy), verdict,
+                   std::to_string(report.stats.visited), std::to_string(report.runs),
+                   time.str()});
+    if (!report.clean) {
+      violations += 1;
+      std::cerr << name << ": " << report.violation->description << "\n";
+      if (options.show_trace) {
+        std::cerr << "  schedule: " << report.violation->trace() << "\n";
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n" << parse.specs.size() - static_cast<std::size_t>(violations) << "/"
+            << parse.specs.size() << " scenarios clean.\n";
+  return violations == 0 ? 0 : 1;
+}

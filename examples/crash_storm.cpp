@@ -1,17 +1,18 @@
-// Crash storm: adversarial validation of the paper's headline algorithm.
+// Crash storm: adversarial validation of the paper's headline algorithm,
+// driven entirely through the check:: facade.
 //
 // Runs the Figure 2 + tournament stack through (a) exhaustive model checking
-// of every interleaving and crash placement for a small instance, and (b)
-// thousands of seeded random executions with heavy crash injection for a
-// larger one, reporting the state-space and violation statistics.
+// (Strategy::kAuto picks the backend from the state-space size) of a small
+// instance, and (b) thousands of seeded random executions with heavy crash
+// injection for a larger one, reporting the state-space and violation
+// statistics.
 //
 //   $ ./crash_storm [runs]
 #include <cstdlib>
 #include <iostream>
 
+#include "check/check.hpp"
 #include "rc/tournament.hpp"
-#include "sim/explorer.hpp"
-#include "sim/random_runner.hpp"
 #include "typesys/zoo.hpp"
 
 int main(int argc, char** argv) {
@@ -22,47 +23,59 @@ int main(int argc, char** argv) {
   {
     std::shared_ptr<const typesys::ObjectType> type = typesys::make_type("Sn(3)");
     rc::TournamentSystem system = rc::make_rc_tournament(*type, 3, {11, 22, 33});
-    sim::ExplorerConfig config;
-    config.crash_budget = 2;
-    config.valid_outputs = {11, 22, 33};
-    sim::Explorer explorer(std::move(system.memory), std::move(system.processes),
-                           config);
-    const auto violation = explorer.run();
-    std::cout << "  states visited:  " << explorer.stats().visited << "\n"
-              << "  transitions:     " << explorer.stats().transitions << "\n"
-              << "  decision events: " << explorer.stats().decisions << "\n"
+
+    check::CheckRequest request;
+    request.system.memory = std::move(system.memory);
+    request.system.processes = std::move(system.processes);
+    request.system.valid_outputs = {11, 22, 33};
+    request.budget.crash_budget = 2;
+    request.strategy = check::Strategy::kAuto;
+
+    const check::CheckReport report = check::check(std::move(request));
+    std::cout << "  strategy:        " << check::strategy_name(report.strategy) << "\n"
+              << "  states visited:  " << report.stats.visited << "\n"
+              << "  transitions:     " << report.stats.transitions << "\n"
+              << "  decision events: " << report.stats.decisions << "\n"
               << "  verdict:         "
-              << (violation ? violation->description : "no violation — proof by "
-                                                       "exhaustion for this instance")
+              << (report.clean ? "no violation — proof by exhaustion for this instance"
+                               : report.violation->description)
               << "\n";
-    if (violation) return 1;
+    if (!report.clean) {
+      std::cout << "  schedule:        " << report.violation->trace() << "\n";
+      return 1;
+    }
   }
 
   std::cout << "\nphase 2: random storm — Sn(6), 6 processes, up to 18 crashes/run\n";
-  std::shared_ptr<const typesys::ObjectType> type = typesys::make_type("Sn(6)");
-  long total_steps = 0;
-  long total_crashes = 0;
-  int violations = 0;
-  int incomplete = 0;
-  for (int run = 0; run < runs; ++run) {
+  {
+    std::shared_ptr<const typesys::ObjectType> type = typesys::make_type("Sn(6)");
     rc::TournamentSystem system =
         rc::make_rc_tournament(*type, 6, {1, 2, 3, 4, 5, 6});
-    sim::RandomRunConfig config;
-    config.seed = static_cast<std::uint64_t>(run) + 1;
-    config.crash_per_mille = 180;
-    config.max_crashes = 18;
-    config.valid_outputs = {1, 2, 3, 4, 5, 6};
-    const auto report =
-        run_random(std::move(system.memory), std::move(system.processes), config);
-    total_steps += report.steps;
-    total_crashes += report.crashes;
-    violations += report.violation.has_value() ? 1 : 0;
-    incomplete += report.all_decided ? 0 : 1;
+
+    check::CheckRequest request;
+    request.system.memory = std::move(system.memory);
+    request.system.processes = std::move(system.processes);
+    request.system.valid_outputs = {1, 2, 3, 4, 5, 6};
+    request.budget.crash_budget = 18;
+    request.strategy = check::Strategy::kRandomized;
+    request.runs = runs;
+    request.seed = 1;
+    request.crash_per_mille = 180;
+
+    const check::CheckReport report = check::check(std::move(request));
+    std::cout << "  runs:            " << report.runs << "\n"
+              << "  avg steps/run:   " << report.total_steps / std::max(report.runs, 1)
+              << "\n"
+              << "  avg crashes/run: " << report.total_crashes / std::max(report.runs, 1)
+              << "\n"
+              << "  incomplete runs: " << report.incomplete_runs << "\n"
+              << "  violations:      " << (report.clean ? 0 : 1) << "\n";
+    if (!report.clean) {
+      // Any random-run violation replays deterministically from its schedule.
+      std::cout << "  violating schedule: " << report.violation->trace() << "\n";
+      return 1;
+    }
+    if (report.incomplete_runs > 0) return 1;
   }
-  std::cout << "  runs:            " << runs << "\n"
-            << "  avg steps/run:   " << total_steps / std::max(runs, 1) << "\n"
-            << "  avg crashes/run: " << total_crashes / std::max(runs, 1) << "\n"
-            << "  incomplete runs: " << incomplete << "\n"
-            << "  violations:      " << violations << "\n";
-  return violations == 0 && incomplete == 0 ? 0 : 1;
+  return 0;
 }

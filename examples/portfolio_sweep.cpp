@@ -1,48 +1,41 @@
-// Sweeps a portfolio of recoverable-consensus model-checking scenarios —
-// every combination of object type, crash model, and crash budget below —
-// through the parallel exploration engine and prints the verdict table.
+// Sweeps a portfolio of recoverable-consensus model-checking scenarios
+// through the check:: facade (Strategy::kAuto per scenario) and prints the
+// verdict table.
 //
-// Usage: portfolio_sweep [num_threads]
+// Scenario sets are file-driven: pass a spec file (see
+// examples/scenarios/default.spec for the grammar) to sweep any scenario set
+// without recompiling. With no file argument the built-in default set — the
+// same scenarios as examples/scenarios/default.spec — is used.
+//
+// Usage: portfolio_sweep [scenario-file] [num_threads]
 #include <cstdlib>
 #include <iostream>
 
+#include "check/scenario_spec.hpp"
 #include "engine/portfolio.hpp"
-#include "typesys/zoo.hpp"
 
 int main(int argc, char** argv) {
   using namespace rcons;
 
+  const char* scenario_file = argc > 1 ? argv[1] : nullptr;
   engine::PortfolioConfig config;
-  if (argc > 1) config.num_threads = std::atoi(argv[1]);
+  if (argc > 2) config.num_threads = std::atoi(argv[2]);
 
-  engine::Portfolio portfolio(config);
-
-  struct Entry {
-    const char* type_name;
-    int n;
-    int crash_budget;
-  };
-  // Small enough to finish in seconds, large enough to exercise the engine;
-  // mirrors the spectrum covered by tests/rc/team_consensus_test.cpp.
-  const Entry entries[] = {
-      {"Sn(2)", 2, 3},           {"Sn(3)", 3, 2},        {"Tn(4)", 2, 3},
-      {"compare-and-swap", 2, 3}, {"compare-and-swap", 3, 2}, {"sticky-bit", 3, 2},
-      {"consensus-object", 2, 3}, {"readable-stack", 3, 2},
-  };
-  for (const Entry& entry : entries) {
-    auto type = typesys::make_type(entry.type_name);
-    if (type == nullptr) {
-      std::cerr << "unknown type: " << entry.type_name << "\n";
-      return 1;
-    }
-    portfolio.add_team_consensus(*type, entry.n, sim::CrashModel::kIndependent,
-                                 entry.crash_budget);
-    portfolio.add_team_consensus(*type, entry.n, sim::CrashModel::kSimultaneous,
-                                 entry.crash_budget);
+  const check::ScenarioParse parse =
+      scenario_file != nullptr
+          ? check::load_scenario_file(scenario_file)
+          : check::parse_scenario_specs(check::default_scenario_spec_text());
+  if (!parse.ok()) {
+    for (const std::string& error : parse.errors) std::cerr << error << "\n";
+    return 2;
   }
 
-  std::cout << "Running " << portfolio.size()
-            << " scenarios through the parallel engine...\n\n";
+  engine::Portfolio portfolio(config);
+  portfolio.add_specs(parse.specs);
+
+  std::cout << "Running " << portfolio.size() << " scenarios ("
+            << (scenario_file != nullptr ? scenario_file : "built-in default set")
+            << ") through check::kAuto...\n\n";
   const auto results = portfolio.run_all();
   engine::Portfolio::verdict_table(results).print(std::cout);
 

@@ -1,15 +1,21 @@
 // Quickstart: solve recoverable consensus among 4 crash-prone threads.
 //
-// Four worker threads propose different values; each may "crash" (stack
-// unwind + restart, losing all local state) multiple times mid-protocol.
-// They agree anyway, because the shared S_4 object records which team
-// updated it first — the paper's Figure 2 algorithm, composed through the
-// Proposition 30 tournament.
+// Step 1 — verify: the check:: facade model-checks the S_4 protocol core
+// (the paper's Figure 2 algorithm) exhaustively, every interleaving and crash
+// placement, picking the execution backend automatically.
+//
+// Step 2 — run: four worker threads propose different values; each may
+// "crash" (stack unwind + restart, losing all local state) multiple times
+// mid-protocol. They agree anyway, because the shared S_4 object records
+// which team updated it first — Figure 2 composed through the Proposition 30
+// tournament.
 //
 //   $ ./quickstart [seed]
 #include <cstdlib>
 #include <iostream>
 
+#include "check/check.hpp"
+#include "rc/team_consensus.hpp"
 #include "runtime/harness.hpp"
 #include "runtime/recoverable.hpp"
 #include "typesys/types/sn.hpp"
@@ -22,10 +28,31 @@ int main(int argc, char** argv) {
   // S_4 is 4-recording (Proposition 21), hence rcons(S_4) = 4: exactly enough
   // for 4 processes. Any type the checker proves 4-recording would do.
   typesys::SnType s4(4);
+
+  std::cout << "step 1: model-check the S_4 core (all interleavings, 1 crash)\n";
+  {
+    rc::TeamConsensusSystem core = rc::make_team_consensus_system(s4, 4, 1001, 2002);
+    check::CheckRequest request;
+    request.system.memory = std::move(core.memory);
+    request.system.processes = std::move(core.processes);
+    request.system.valid_outputs = {1001, 2002};
+    request.budget.crash_budget = 1;
+    request.strategy = check::Strategy::kAuto;
+    const check::CheckReport report = check::check(std::move(request));
+    std::cout << "  " << report.stats.visited << " states via "
+              << check::strategy_name(report.strategy) << ": "
+              << (report.clean ? "clean" : report.violation->description) << "\n";
+    if (!report.clean) {
+      std::cout << "  schedule: " << report.violation->trace() << "\n";
+      return 1;
+    }
+  }
+
+  std::cout << "\nstep 2: run it on 4 real crash-prone threads\n";
   runtime::RTournament consensus(s4, /*witness_n=*/4, /*participants=*/kProcesses);
 
   const std::vector<typesys::Value> proposals = {1001, 1002, 1003, 1004};
-  std::cout << "4 crash-prone threads propose: ";
+  std::cout << "  4 crash-prone threads propose: ";
   for (const auto v : proposals) std::cout << v << " ";
   std::cout << "\n";
 
@@ -38,7 +65,7 @@ int main(int argc, char** argv) {
       },
       seed, /*crash_per_mille=*/250, /*max_crashes_per_worker=*/6);
 
-  std::cout << "crashes injected: " << report.total_crashes << "\n";
+  std::cout << "  crashes injected: " << report.total_crashes << "\n";
   for (int role = 0; role < kProcesses; ++role) {
     std::cout << "  thread " << role << " decided "
               << report.outputs[static_cast<std::size_t>(role)] << "\n";
@@ -47,6 +74,6 @@ int main(int argc, char** argv) {
     std::cout << "ERROR: consensus violated!\n";
     return 1;
   }
-  std::cout << "agreement + validity hold despite crashes.\n";
+  std::cout << "  agreement + validity hold despite crashes.\n";
   return 0;
 }

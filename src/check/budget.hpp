@@ -1,0 +1,52 @@
+// The one definition of "how hard may a checker try, and what counts as a
+// correct outcome": crash model, crash budget, step/state bounds, and the
+// validity set. Every execution backend — the sequential explorer, the
+// parallel engine, the random runner, and scripted replay — consumes the same
+// `Budget`, so the knobs cannot drift apart per backend (they used to be
+// copied across ExplorerConfig / RandomRunConfig / PortfolioConfig).
+//
+// Backends ignore the fields that do not apply to them (documented on each
+// field); the `check::` facade in check/check.hpp is the one entry point that
+// routes a Budget to a backend.
+#ifndef RCONS_CHECK_BUDGET_HPP
+#define RCONS_CHECK_BUDGET_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "typesys/core.hpp"
+
+namespace rcons::check {
+
+enum class CrashModel {
+  kIndependent,   // processes crash and recover individually (paper Section 3)
+  kSimultaneous,  // all processes crash together (paper Section 2)
+};
+
+struct Budget {
+  CrashModel crash_model = CrashModel::kIndependent;
+
+  // Exhaustive backends place at most this many crash events per execution;
+  // the random runner injects at most this many per run.
+  int crash_budget = 2;
+
+  // Recoverable wait-freedom bound: a single run (between crashes) of any
+  // process may take at most this many steps before it must decide.
+  long max_steps_per_run = 500;
+
+  // Exhaustive backends stop (with an explicit "truncated" verdict) after
+  // deduplicating this many global states. Ignored by random/replay.
+  std::uint64_t max_visited = 20'000'000;
+
+  // Validity check: every output must be in this set. Empty disables the
+  // check (agreement and wait-freedom are still verified).
+  std::vector<typesys::Value> valid_outputs;
+
+  // Whether crash events may hit a process that already decided in its
+  // current run (the paper's model allows it; some scenarios disable it).
+  bool crash_after_decide = true;
+};
+
+}  // namespace rcons::check
+
+#endif  // RCONS_CHECK_BUDGET_HPP

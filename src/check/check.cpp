@@ -1,0 +1,169 @@
+#include "check/check.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "engine/parallel_explorer.hpp"
+#include "sim/explorer.hpp"
+#include "sim/random_runner.hpp"
+#include "sim/replay.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::check {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// budget.valid_outputs wins when set; otherwise the system's own input set.
+const std::vector<typesys::Value>& effective_valid_outputs(const CheckRequest& request) {
+  return request.budget.valid_outputs.empty() ? request.system.valid_outputs
+                                              : request.budget.valid_outputs;
+}
+
+sim::ExplorerConfig explorer_config(const CheckRequest& request) {
+  sim::ExplorerConfig config;
+  static_cast<Budget&>(config) = request.budget;
+  config.valid_outputs = effective_valid_outputs(request);
+  return config;
+}
+
+CheckReport run_sequential(const CheckRequest& request, std::uint64_t max_visited) {
+  sim::ExplorerConfig config = explorer_config(request);
+  config.max_visited = max_visited;
+  sim::Explorer explorer(request.system.memory, request.system.processes, config);
+  CheckReport report;
+  report.strategy = Strategy::kSequentialDFS;
+  report.violation = explorer.run();
+  report.stats = explorer.stats();
+  report.clean = !report.violation.has_value();
+  report.complete = !report.stats.truncated;
+  return report;
+}
+
+CheckReport run_parallel(const CheckRequest& request) {
+  engine::ParallelExplorerConfig config;
+  static_cast<sim::ExplorerConfig&>(config) = explorer_config(request);
+  config.num_threads = request.num_threads;
+  config.shard_bits = request.shard_bits;
+  engine::ParallelExplorer explorer(request.system.memory, request.system.processes,
+                                    config);
+  CheckReport report;
+  report.strategy = Strategy::kParallelBFS;
+  report.violation = explorer.run();
+  report.stats = explorer.stats();
+  report.clean = !report.violation.has_value();
+  report.complete = !report.stats.truncated;
+  return report;
+}
+
+CheckReport run_randomized(const CheckRequest& request) {
+  sim::RandomRunConfig config;
+  static_cast<Budget&>(config) = request.budget;
+  config.valid_outputs = effective_valid_outputs(request);
+  config.crash_per_mille = request.crash_per_mille;
+  config.max_total_steps = request.max_total_steps;
+
+  CheckReport report;
+  report.strategy = Strategy::kRandomized;
+  report.complete = false;  // sampling proves nothing exhaustively
+  const int runs = request.runs < 1 ? 1 : request.runs;
+  for (int run = 0; run < runs; ++run) {
+    config.seed = request.seed + static_cast<std::uint64_t>(run);
+    sim::RandomRunReport run_report = sim::run_random(
+        request.system.memory, request.system.processes, config);
+    report.runs += 1;
+    report.total_steps += run_report.steps;
+    report.total_crashes += run_report.crashes;
+    report.outputs = std::move(run_report.outputs);
+    if (run_report.violation.has_value()) {
+      report.violation =
+          sim::Violation{std::move(*run_report.violation), std::move(run_report.schedule)};
+      break;
+    }
+    // A run stopped by a violation is not "incomplete" — that field counts
+    // runs that hit max_total_steps without everyone deciding.
+    report.incomplete_runs += run_report.all_decided ? 0 : 1;
+  }
+  report.clean = !report.violation.has_value();
+  return report;
+}
+
+CheckReport run_replay(const CheckRequest& request) {
+  sim::ReplayReport replay_report =
+      sim::replay(request.system.memory, request.system.processes, request.schedule,
+                  effective_valid_outputs(request), request.budget.max_steps_per_run);
+  CheckReport report;
+  report.strategy = Strategy::kReplay;
+  report.complete = false;  // one schedule, not the whole graph
+  report.outputs = std::move(replay_report.outputs);
+  report.decisions = std::move(replay_report.decisions);
+  if (replay_report.violation.has_value()) {
+    report.violation =
+        sim::Violation{std::move(*replay_report.violation), request.schedule};
+  }
+  report.clean = !report.violation.has_value();
+  return report;
+}
+
+CheckReport run_auto(const CheckRequest& request) {
+  // Estimate the state-space size with a bounded sequential probe: explore at
+  // most `auto_probe_limit` states. A probe that finishes (verdict, clean or
+  // not) IS the sequential check of a small instance, so return it directly;
+  // a truncated probe means the space is large — hand the full budget to the
+  // parallel engine.
+  const std::uint64_t probe_limit =
+      request.auto_probe_limit < request.budget.max_visited ? request.auto_probe_limit
+                                                            : request.budget.max_visited;
+  CheckReport probe = run_sequential(request, probe_limit);
+  if (!probe.stats.truncated || probe_limit == request.budget.max_visited) {
+    return probe;  // small instance, or the real budget was the probe budget
+  }
+  return run_parallel(request);
+}
+
+}  // namespace
+
+const char* strategy_name(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kAuto:
+      return "auto";
+    case Strategy::kSequentialDFS:
+      return "sequential-dfs";
+    case Strategy::kParallelBFS:
+      return "parallel-bfs";
+    case Strategy::kRandomized:
+      return "randomized";
+    case Strategy::kReplay:
+      return "replay";
+  }
+  return "unknown";
+}
+
+CheckReport check(CheckRequest request) {
+  RCONS_ASSERT_MSG(!request.system.processes.empty(),
+                   "a CheckRequest needs at least one process");
+  const auto start = Clock::now();
+  CheckReport report;
+  switch (request.strategy) {
+    case Strategy::kAuto:
+      report = run_auto(request);
+      break;
+    case Strategy::kSequentialDFS:
+      report = run_sequential(request, request.budget.max_visited);
+      break;
+    case Strategy::kParallelBFS:
+      report = run_parallel(request);
+      break;
+    case Strategy::kRandomized:
+      report = run_randomized(request);
+      break;
+    case Strategy::kReplay:
+      report = run_replay(request);
+      break;
+  }
+  report.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return report;
+}
+
+}  // namespace rcons::check

@@ -1,0 +1,119 @@
+// The unified checking facade: one entry point over all four execution
+// backends.
+//
+//   CheckRequest  = ScenarioSystem (what to check) + Budget (how hard / what
+//                   counts as correct) + Strategy (which backend)
+//   check()       = run it
+//   CheckReport   = merged superset of the per-backend reports, tagged with
+//                   the strategy actually used and the wall time
+//
+// Strategies:
+//   kSequentialDFS — sim::Explorer. Deterministic first-violation DFS; the
+//                    right tool when a test pins a specific counterexample.
+//   kParallelBFS   — engine::ParallelExplorer. Same deduplicated graph, all
+//                    cores; reports the lexicographically lowest violation.
+//   kRandomized    — sim::run_random, `runs` seeded executions (seed, seed+1,
+//                    ...). Sampling, not proof: `complete` stays false.
+//   kReplay        — sim::replay of `schedule`. Deterministic re-execution of
+//                    one schedule — e.g. a Violation::schedule from any other
+//                    strategy.
+//   kAuto          — estimates the state-space size with a bounded sequential
+//                    probe (up to `auto_probe_limit` states). If the probe
+//                    finishes, the instance was small and the probe's verdict
+//                    is returned as kSequentialDFS; otherwise the state space
+//                    is large and the check re-runs on the parallel engine.
+//
+// Every violation carries its typed schedule, so a counterexample found by
+// any strategy can be handed back to check() with kReplay (or sim::replay
+// directly) for deterministic reproduction — replay verifies agreement,
+// validity, and (given the same budget) the wait-freedom bound. The one
+// exception is the "exceeded max_visited" truncation marker: it flags an
+// exhausted search budget, not a property violation, and its schedule
+// replays clean.
+#ifndef RCONS_CHECK_CHECK_HPP
+#define RCONS_CHECK_CHECK_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "check/budget.hpp"
+#include "sim/explorer_config.hpp"
+#include "sim/memory.hpp"
+#include "sim/process.hpp"
+#include "sim/schedule.hpp"
+
+namespace rcons::check {
+
+// A materialized system under check: shared memory, the processes, and the
+// inputs that outputs are validated against.
+struct ScenarioSystem {
+  sim::Memory memory;
+  std::vector<sim::Process> processes;
+  std::vector<typesys::Value> valid_outputs;
+};
+
+enum class Strategy {
+  kAuto,
+  kSequentialDFS,
+  kParallelBFS,
+  kRandomized,
+  kReplay,
+};
+
+const char* strategy_name(Strategy strategy);
+
+struct CheckRequest {
+  ScenarioSystem system;
+  Budget budget;  // budget.valid_outputs, when empty, falls back to
+                  // system.valid_outputs
+  Strategy strategy = Strategy::kAuto;
+
+  // kAuto: state spaces the bounded sequential probe fully explores within
+  // this many states stay sequential; larger ones go to the parallel engine.
+  std::uint64_t auto_probe_limit = 200'000;
+
+  // kParallelBFS (and the kAuto escalation path):
+  int num_threads = 0;  // 0 = hardware concurrency
+  int shard_bits = 6;
+
+  // kRandomized:
+  std::uint64_t seed = 1;
+  int runs = 1;  // seeded runs: seed, seed+1, ..., stopping at a violation
+  int crash_per_mille = 50;
+  long max_total_steps = 1'000'000;
+
+  // kReplay:
+  std::vector<sim::ScheduleEvent> schedule;
+};
+
+// Merged superset of ExplorerStats / RandomRunReport / ReplayReport.
+struct CheckReport {
+  Strategy strategy = Strategy::kSequentialDFS;  // strategy actually executed
+  bool clean = false;     // no violation found
+  bool complete = false;  // exhaustive and untruncated: the verdict is a proof
+  std::optional<sim::Violation> violation;
+
+  // Exhaustive strategies (sequential / parallel / auto):
+  sim::ExplorerStats stats;
+
+  // kRandomized:
+  int runs = 0;             // seeded runs executed
+  int incomplete_runs = 0;  // runs that hit max_total_steps before all decided
+  long total_steps = 0;
+  int total_crashes = 0;
+
+  // kReplay (and the violating/last run of kRandomized):
+  std::vector<typesys::Value> outputs;
+  std::vector<std::optional<typesys::Value>> decisions;
+
+  double seconds = 0.0;  // wall time of the whole check
+};
+
+// Runs the request through the selected backend. The request is consumed;
+// strategies that execute several runs copy the pristine system per run.
+CheckReport check(CheckRequest request);
+
+}  // namespace rcons::check
+
+#endif  // RCONS_CHECK_CHECK_HPP

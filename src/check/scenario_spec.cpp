@@ -1,0 +1,163 @@
+#include "check/scenario_spec.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "typesys/zoo.hpp"
+
+namespace rcons::check {
+
+namespace {
+
+// Parses a non-negative integer; returns false on anything else (sign,
+// trailing junk, overflow past int64).
+bool parse_int(const std::string& text, std::int64_t& out) {
+  if (text.empty()) return false;
+  std::int64_t value = 0;
+  for (const char ch : text) {
+    if (ch < '0' || ch > '9') return false;
+    if (value > (INT64_MAX - (ch - '0')) / 10) return false;
+    value = value * 10 + (ch - '0');
+  }
+  out = value;
+  return true;
+}
+
+struct LineError {
+  std::string message;
+};
+
+// Parses one spec line already known to be non-blank / non-comment. Errors
+// accumulate in `errors` (a line can have several); returns the spec built
+// from the fields that did parse.
+void parse_line(const std::string& line, ScenarioSpec& spec,
+                std::vector<std::string>& errors) {
+  bool saw_type = false;
+  std::istringstream tokens(line);
+  std::string token;
+  while (tokens >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      errors.push_back("expected key=value, got '" + token + "'");
+      continue;
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    std::int64_t number = 0;
+    if (key == "type") {
+      saw_type = true;  // even an invalid value counts as "type was given"
+      if (value.empty()) {
+        errors.push_back("type= needs a value");
+        continue;
+      }
+      if (typesys::make_type(value) == nullptr) {
+        errors.push_back("unknown type '" + value + "'");
+        continue;
+      }
+      spec.type = value;
+    } else if (key == "name") {
+      spec.name = value;
+    } else if (key == "model") {
+      if (value == "independent") {
+        spec.crash_model = CrashModel::kIndependent;
+      } else if (value == "simultaneous") {
+        spec.crash_model = CrashModel::kSimultaneous;
+      } else {
+        errors.push_back("model must be independent or simultaneous, got '" + value +
+                         "'");
+      }
+    } else if (key == "n") {
+      if (!parse_int(value, number) || number < 2 || number > INT32_MAX) {
+        errors.push_back("n must be an integer >= 2, got '" + value + "'");
+      } else {
+        spec.n = static_cast<int>(number);
+      }
+    } else if (key == "budget") {
+      if (!parse_int(value, number) || number > INT32_MAX) {
+        errors.push_back("budget must be an integer >= 0, got '" + value + "'");
+      } else {
+        spec.crash_budget = static_cast<int>(number);
+      }
+    } else if (key == "max_steps") {
+      if (!parse_int(value, number) || number < 1) {
+        errors.push_back("max_steps must be an integer >= 1, got '" + value + "'");
+      } else {
+        spec.max_steps_per_run = static_cast<long>(number);
+      }
+    } else if (key == "max_visited") {
+      if (!parse_int(value, number) || number < 1) {
+        errors.push_back("max_visited must be an integer >= 1, got '" + value + "'");
+      } else {
+        spec.max_visited = number;
+      }
+    } else {
+      errors.push_back("unknown key '" + key + "'");
+    }
+  }
+  if (!saw_type) errors.push_back("missing required type=");
+}
+
+}  // namespace
+
+ScenarioParse parse_scenario_specs(std::istream& in) {
+  ScenarioParse result;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    line_number += 1;
+    // Strip a trailing comment, then decide whether anything is left.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    ScenarioSpec spec;
+    std::vector<std::string> errors;
+    parse_line(line, spec, errors);
+    if (errors.empty()) {
+      result.specs.push_back(std::move(spec));
+    } else {
+      for (const std::string& error : errors) {
+        result.errors.push_back("line " + std::to_string(line_number) + ": " + error);
+      }
+    }
+  }
+  return result;
+}
+
+ScenarioParse parse_scenario_specs(const std::string& text) {
+  std::istringstream in(text);
+  return parse_scenario_specs(in);
+}
+
+ScenarioParse load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ScenarioParse result;
+    result.errors.push_back("cannot open scenario file: " + path);
+    return result;
+  }
+  return parse_scenario_specs(in);
+}
+
+const char* default_scenario_spec_text() {
+  return R"(
+type=Sn(2) n=2 model=independent budget=3
+type=Sn(2) n=2 model=simultaneous budget=3
+type=Sn(3) n=3 model=independent budget=2
+type=Sn(3) n=3 model=simultaneous budget=2
+type=Tn(4) n=2 model=independent budget=3
+type=Tn(4) n=2 model=simultaneous budget=3
+type=compare-and-swap n=2 model=independent budget=3
+type=compare-and-swap n=2 model=simultaneous budget=3
+type=compare-and-swap n=3 model=independent budget=2
+type=compare-and-swap n=3 model=simultaneous budget=2
+type=sticky-bit n=3 model=independent budget=2
+type=sticky-bit n=3 model=simultaneous budget=2
+type=consensus-object n=2 model=independent budget=3
+type=consensus-object n=2 model=simultaneous budget=3
+type=readable-stack n=3 model=independent budget=2
+type=readable-stack n=3 model=simultaneous budget=2
+)";
+}
+
+}  // namespace rcons::check

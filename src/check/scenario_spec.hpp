@@ -1,0 +1,70 @@
+// File-driven scenario specs: a line-oriented text format describing
+// model-checking scenarios, so portfolios sweep scenario sets without
+// recompiling.
+//
+// Grammar (one scenario per line):
+//
+//   # comment — ignored, as are blank lines
+//   type=Sn(2) n=2 model=independent budget=3
+//   type=compare-and-swap n=3 model=simultaneous budget=2 name=cas-sim
+//   type=Tn(4) n=2 budget=3 max_steps=400 max_visited=1000000
+//
+// Fields (whitespace-separated key=value pairs, any order):
+//   type        (required) zoo type name — typesys::make_type must know it
+//   n           process / role count, >= 2          (default 2)
+//   model       independent | simultaneous          (default independent)
+//   budget      crash budget, >= 0                  (default 2)
+//   name        scenario label                      (default: generated)
+//   max_steps   per-run wait-freedom bound override (default: inherit)
+//   max_visited visited-state cap override          (default: inherit)
+//
+// Parsing never aborts: malformed lines are collected as "line N: ..." errors
+// and well-formed lines still produce specs, so a sweep can report every
+// problem in a file at once.
+#ifndef RCONS_CHECK_SCENARIO_SPEC_HPP
+#define RCONS_CHECK_SCENARIO_SPEC_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "check/budget.hpp"
+
+namespace rcons::check {
+
+struct ScenarioSpec {
+  std::string name;  // empty = let the portfolio generate one
+  std::string type;  // zoo type name, validated against typesys::make_type
+  int n = 2;
+  CrashModel crash_model = CrashModel::kIndependent;
+  int crash_budget = 2;
+  long max_steps_per_run = -1;         // -1 = inherit the sweep's budget
+  std::int64_t max_visited = -1;       // -1 = inherit the sweep's budget
+
+  bool operator==(const ScenarioSpec&) const = default;
+};
+
+struct ScenarioParse {
+  std::vector<ScenarioSpec> specs;
+  std::vector<std::string> errors;  // "line N: message"
+
+  bool ok() const { return errors.empty(); }
+};
+
+ScenarioParse parse_scenario_specs(std::istream& in);
+ScenarioParse parse_scenario_specs(const std::string& text);
+
+// Reads and parses `path`; a file that cannot be opened is reported as a
+// parse error (specs empty).
+ScenarioParse load_scenario_file(const std::string& path);
+
+// The built-in default scenario set, in spec grammar. This is the single
+// source for the no-argument `portfolio_sweep` run, and
+// examples/scenarios/default.spec mirrors it (a test asserts they parse to
+// the same scenarios).
+const char* default_scenario_spec_text();
+
+}  // namespace rcons::check
+
+#endif  // RCONS_CHECK_SCENARIO_SPEC_HPP

@@ -1,7 +1,6 @@
 #include "engine/expand.hpp"
 
-#include <sstream>
-
+#include "sim/properties.hpp"
 #include "util/assert.hpp"
 
 namespace rcons::engine {
@@ -65,24 +64,20 @@ std::optional<std::string> apply_step(Node& node, int process,
   const auto idx = static_cast<std::size_t>(process);
   const sim::StepResult result = node.processes[idx].step(node.memory);
   node.steps_in_run[idx] += 1;
-  if (node.steps_in_run[idx] > config.max_steps_per_run) {
-    return "recoverable wait-freedom violated: process " + std::to_string(process) +
-           " exceeded " + std::to_string(config.max_steps_per_run) +
-           " steps in a single run";
+  if (auto violation = sim::wait_freedom_violation(process, node.steps_in_run[idx],
+                                                   config.max_steps_per_run)) {
+    return violation;
   }
   if (result.kind == sim::StepResult::Kind::kDecided) {
-    if (!config.valid_outputs.empty()) {
-      bool valid = false;
-      for (const Value v : config.valid_outputs) valid = valid || v == result.decision;
-      if (!valid) {
-        return "validity violated: process " + std::to_string(process) + " decided " +
-               std::to_string(result.decision) + ", which is not among the inputs";
-      }
+    if (auto violation =
+            sim::validity_violation(process, result.decision, config.valid_outputs)) {
+      return violation;
     }
-    if (node.has_decision && node.decision != result.decision) {
-      return "agreement violated: process " + std::to_string(process) + " decided " +
-             std::to_string(result.decision) + " but an earlier output was " +
-             std::to_string(node.decision);
+    if (node.has_decision) {
+      if (auto violation =
+              sim::agreement_violation(process, result.decision, node.decision)) {
+        return violation;
+      }
     }
     node.has_decision = true;
     node.decision = result.decision;
@@ -169,24 +164,6 @@ std::vector<Event> materialize_path(const PathLink* tail) {
     std::swap(path[i], path[j - 1]);
   }
   return path;
-}
-
-std::string format_trace(const std::vector<Event>& path) {
-  std::ostringstream out;
-  for (const Event& event : path) {
-    switch (event.kind) {
-      case Event::Kind::kStep:
-        out << "step(p" << event.process << ") ";
-        break;
-      case Event::Kind::kCrash:
-        out << "CRASH(p" << event.process << ") ";
-        break;
-      case Event::Kind::kCrashAll:
-        out << "CRASH(all) ";
-        break;
-    }
-  }
-  return out.str();
 }
 
 }  // namespace rcons::engine

@@ -23,6 +23,7 @@
 #include "sim/explorer_config.hpp"
 #include "sim/memory.hpp"
 #include "sim/process.hpp"
+#include "sim/schedule.hpp"
 #include "util/hash.hpp"
 
 namespace rcons::engine {
@@ -37,11 +38,10 @@ struct Node {
   typesys::Value decision = 0;
 };
 
-struct Event {
-  enum class Kind : std::uint8_t { kStep = 0, kCrash = 1, kCrashAll = 2 };
-  Kind kind = Kind::kStep;
-  int process = -1;
-};
+// Search events are schedule events: a path through the execution graph IS a
+// replayable schedule, which is how explorer-found violations round-trip
+// through sim::replay without conversion.
+using Event = sim::ScheduleEvent;
 
 // The root node for an exploration: pristine memory and processes, nothing
 // decided, no crashes spent.
@@ -86,9 +86,6 @@ struct PathLink {
   std::shared_ptr<const PathLink> parent;
 };
 std::vector<Event> materialize_path(const PathLink* tail);
-
-// Human-readable schedule, e.g. "step(p0) CRASH(p1) step(p0) ".
-std::string format_trace(const std::vector<Event>& path);
 
 }  // namespace rcons::engine
 

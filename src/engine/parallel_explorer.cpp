@@ -14,6 +14,10 @@ ParallelExplorer::ParallelExplorer(sim::Memory initial,
       config_(std::move(config)) {
   RCONS_ASSERT(!initial_processes_.empty());
   RCONS_ASSERT(config_.crash_budget >= 0);
+  RCONS_ASSERT_MSG(config_.num_threads >= 0,
+                   "num_threads must be >= 0 (0 selects hardware concurrency)");
+  RCONS_ASSERT_MSG(config_.shard_bits >= 0 && config_.shard_bits <= 16,
+                   "shard_bits must be in [0, 16]");
   num_threads_ = config_.num_threads;
   if (num_threads_ <= 0) {
     num_threads_ = static_cast<int>(std::thread::hardware_concurrency());
@@ -145,11 +149,11 @@ std::optional<sim::Violation> ParallelExplorer::run() {
   frontier_stats_ = frontier.stats();
 
   if (has_violation_) {
-    return sim::Violation{best_description_, format_trace(best_path_)};
+    return sim::Violation{best_description_, best_path_};
   }
   if (stats_.truncated) {
     return sim::Violation{"state space exceeded max_visited; verdict incomplete",
-                          format_trace(truncation_path_)};
+                          truncation_path_};
   }
   return std::nullopt;
 }

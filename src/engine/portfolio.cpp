@@ -1,10 +1,10 @@
 #include "engine/portfolio.hpp"
 
-#include <chrono>
 #include <sstream>
 
 #include "rc/team_consensus.hpp"
 #include "typesys/object_type.hpp"
+#include "typesys/zoo.hpp"
 #include "util/assert.hpp"
 
 namespace rcons::engine {
@@ -18,7 +18,7 @@ const char* crash_model_name(sim::CrashModel model) {
   return model == sim::CrashModel::kIndependent ? "independent" : "simultaneous";
 }
 
-Portfolio::Portfolio(PortfolioConfig config) : config_(config) {}
+Portfolio::Portfolio(PortfolioConfig config) : config_(std::move(config)) {}
 
 void Portfolio::add(Scenario scenario) {
   RCONS_ASSERT(scenario.build != nullptr);
@@ -52,6 +52,21 @@ void Portfolio::add_team_consensus(const typesys::ObjectType& type, int n,
   scenarios_.push_back(std::move(scenario));
 }
 
+void Portfolio::add_spec(const check::ScenarioSpec& spec) {
+  auto type = typesys::make_type(spec.type);
+  RCONS_ASSERT_MSG(type != nullptr,
+                   "spec type unknown to the zoo (the parser validates this)");
+  add_team_consensus(*type, spec.n, spec.crash_model, spec.crash_budget);
+  Scenario& scenario = scenarios_.back();
+  if (!spec.name.empty()) scenario.name = spec.name;
+  scenario.max_steps_per_run = spec.max_steps_per_run;
+  scenario.max_visited = spec.max_visited;
+}
+
+void Portfolio::add_specs(const std::vector<check::ScenarioSpec>& specs) {
+  for (const check::ScenarioSpec& spec : specs) add_spec(spec);
+}
+
 std::vector<ScenarioResult> Portfolio::run_all() const {
   std::vector<ScenarioResult> results;
   results.reserve(scenarios_.size());
@@ -59,25 +74,28 @@ std::vector<ScenarioResult> Portfolio::run_all() const {
     ScenarioResult result;
     result.scenario = scenario;
 
-    ScenarioSystem system = scenario.build();
-    ParallelExplorerConfig config;
-    config.crash_model = scenario.crash_model;
-    config.crash_budget = scenario.crash_budget;
-    config.max_steps_per_run = config_.max_steps_per_run;
-    config.max_visited = config_.max_visited;
-    config.crash_after_decide = config_.crash_after_decide;
-    config.valid_outputs = system.valid_outputs;
-    config.num_threads = config_.num_threads;
-    config.shard_bits = config_.shard_bits;
+    check::CheckRequest request;
+    request.system = scenario.build();
+    request.budget = config_.budget;
+    request.budget.crash_model = scenario.crash_model;
+    request.budget.crash_budget = scenario.crash_budget;
+    request.budget.valid_outputs.clear();  // defer to the system's input set
+    if (scenario.max_steps_per_run >= 0) {
+      request.budget.max_steps_per_run = scenario.max_steps_per_run;
+    }
+    if (scenario.max_visited >= 0) {
+      request.budget.max_visited = static_cast<std::uint64_t>(scenario.max_visited);
+    }
+    request.strategy = check::Strategy::kAuto;
+    request.num_threads = config_.num_threads;
+    request.shard_bits = config_.shard_bits;
 
-    ParallelExplorer explorer(std::move(system.memory), std::move(system.processes),
-                              config);
-    const auto start = std::chrono::steady_clock::now();
-    result.violation = explorer.run();
-    const auto end = std::chrono::steady_clock::now();
-    result.seconds = std::chrono::duration<double>(end - start).count();
-    result.clean = !result.violation.has_value();
-    result.stats = explorer.stats();
+    check::CheckReport report = check::check(std::move(request));
+    result.clean = report.clean;
+    result.strategy = report.strategy;
+    result.violation = std::move(report.violation);
+    result.stats = report.stats;
+    result.seconds = report.seconds;
     results.push_back(std::move(result));
   }
   return results;

@@ -1,11 +1,12 @@
 // Scenario portfolios: fan a set of {crash model, crash budget, object type,
-// process count} model-checking scenarios across the parallel engine and
+// process count} model-checking scenarios through the `check::` facade and
 // aggregate a verdict table.
 //
 // A scenario owns a builder that materializes its system (shared memory,
 // processes, valid outputs) on demand, so adding a scenario is cheap and a
 // portfolio can be re-run. The canned `team_consensus_scenario` family wraps
 // the paper's Figure 2 algorithm over any n-recording type from the zoo;
+// scenario sets also load from spec files (check/scenario_spec.hpp), and
 // arbitrary systems plug in through the builder.
 #ifndef RCONS_ENGINE_PORTFOLIO_HPP
 #define RCONS_ENGINE_PORTFOLIO_HPP
@@ -15,7 +16,8 @@
 #include <string>
 #include <vector>
 
-#include "engine/parallel_explorer.hpp"
+#include "check/check.hpp"
+#include "check/scenario_spec.hpp"
 #include "sim/explorer_config.hpp"
 #include "sim/memory.hpp"
 #include "sim/process.hpp"
@@ -27,11 +29,7 @@ class ObjectType;
 
 namespace rcons::engine {
 
-struct ScenarioSystem {
-  sim::Memory memory;
-  std::vector<sim::Process> processes;
-  std::vector<typesys::Value> valid_outputs;
-};
+using ScenarioSystem = check::ScenarioSystem;
 
 struct Scenario {
   std::string name;
@@ -39,23 +37,27 @@ struct Scenario {
   int crash_budget = 2;
   int num_processes = 0;        // informational, shown in the verdict table
   std::string object_type;      // informational, shown in the verdict table
+  long max_steps_per_run = -1;  // -1 = inherit the portfolio budget
+  std::int64_t max_visited = -1;
   std::function<ScenarioSystem()> build;
 };
 
 struct ScenarioResult {
   Scenario scenario;
   bool clean = false;
+  check::Strategy strategy = check::Strategy::kAuto;  // backend actually used
   std::optional<sim::Violation> violation;
   sim::ExplorerStats stats;
   double seconds = 0.0;
 };
 
 struct PortfolioConfig {
+  // crash_model / crash_budget / valid_outputs are per-scenario and
+  // overridden; the remaining budget fields apply to every scenario that does
+  // not override them.
+  check::Budget budget;
   int num_threads = 0;  // per scenario; 0 = hardware concurrency
   int shard_bits = 6;
-  long max_steps_per_run = 500;
-  std::uint64_t max_visited = 20'000'000;
-  bool crash_after_decide = true;
 };
 
 class Portfolio {
@@ -70,11 +72,18 @@ class Portfolio {
   void add_team_consensus(const typesys::ObjectType& type, int n,
                           sim::CrashModel crash_model, int crash_budget);
 
+  // Team-consensus scenario from a parsed spec (file-driven sweeps). The
+  // spec's type name must be known to the zoo — load_scenario_file /
+  // parse_scenario_specs already validate this, so add_spec asserts.
+  void add_spec(const check::ScenarioSpec& spec);
+  void add_specs(const std::vector<check::ScenarioSpec>& specs);
+
   std::size_t size() const { return scenarios_.size(); }
 
-  // Runs every scenario through the parallel engine, in order. Scenarios run
-  // one at a time; each one uses all configured threads internally (state
-  // spaces dwarf scenario counts, so intra-scenario parallelism wins).
+  // Runs every scenario through check() with Strategy::kAuto, in order.
+  // Scenarios run one at a time; each one uses all configured threads
+  // internally (state spaces dwarf scenario counts, so intra-scenario
+  // parallelism wins).
   std::vector<ScenarioResult> run_all() const;
 
   // Paper-style verdict table: one row per scenario with model, budget,

@@ -40,7 +40,7 @@ std::optional<Violation> Explorer::dfs(const engine::Node& node) {
     path_.push_back(event);
     stats_.transitions += 1;
     if (auto description = engine::apply_event(child, event, config_)) {
-      Violation violation{std::move(*description), engine::format_trace(path_)};
+      Violation violation{std::move(*description), path_};
       path_.pop_back();
       return violation;
     }
@@ -50,7 +50,7 @@ std::optional<Violation> Explorer::dfs(const engine::Node& node) {
       if (stats_.visited > config_.max_visited) {
         stats_.truncated = true;
         Violation violation{"state space exceeded max_visited; verdict incomplete",
-                            engine::format_trace(path_)};
+                            path_};
         path_.pop_back();
         return violation;
       }

@@ -1,6 +1,7 @@
 // Shared contract of the exhaustive explorers (sequential `sim::Explorer` and
-// parallel `engine::ParallelExplorer`): crash models, configuration, the
-// violation report, and run statistics.
+// parallel `engine::ParallelExplorer`): the violation report and run
+// statistics. The tunable knobs live in `check::Budget` (check/budget.hpp),
+// which both explorer configs derive from so the fields cannot drift.
 //
 // These live in their own header so `engine/` can depend on the contract
 // without pulling in the sequential explorer (and vice versa).
@@ -11,27 +12,27 @@
 #include <string>
 #include <vector>
 
-#include "typesys/core.hpp"
+#include "check/budget.hpp"
+#include "sim/schedule.hpp"
 
 namespace rcons::sim {
 
-enum class CrashModel {
-  kIndependent,   // processes crash and recover individually (paper Section 3)
-  kSimultaneous,  // all processes crash together (paper Section 2)
-};
+// Historical spelling of the crash models; the definition now lives with the
+// rest of the shared budget in check/budget.hpp.
+using CrashModel = check::CrashModel;
 
-struct ExplorerConfig {
-  CrashModel crash_model = CrashModel::kIndependent;
-  int crash_budget = 2;
-  long max_steps_per_run = 500;
-  std::uint64_t max_visited = 20'000'000;
-  std::vector<typesys::Value> valid_outputs;  // empty disables the validity check
-  bool crash_after_decide = true;
-};
+struct ExplorerConfig : check::Budget {};
 
+// A property violation plus the typed schedule that produced it. The schedule
+// round-trips through `sim::replay` (same event vocabulary), so any
+// explorer-found counterexample can be re-executed deterministically for
+// debugging, minimization, or regression capture.
 struct Violation {
   std::string description;
-  std::string trace;  // the event schedule that produced it
+  std::vector<ScheduleEvent> schedule;
+
+  // Human-readable rendering of the schedule.
+  std::string trace() const;
 };
 
 struct ExplorerStats {

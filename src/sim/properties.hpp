@@ -1,0 +1,51 @@
+// The one source of the verified properties' violation checks and messages.
+// All three execution paths that judge outputs — the explorers' expansion
+// core (engine/expand.cpp), the random runner, and scripted replay — go
+// through these helpers, so a violation found by one backend describes
+// itself identically when reproduced by another (the replay round-trip the
+// check:: facade advertises).
+#ifndef RCONS_SIM_PROPERTIES_HPP
+#define RCONS_SIM_PROPERTIES_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "typesys/core.hpp"
+
+namespace rcons::sim {
+
+// Validity: `value` must be in `valid` (empty set disables the check).
+// Returns the violation description, or nullopt when the property holds.
+inline std::optional<std::string> validity_violation(
+    int process, typesys::Value value, const std::vector<typesys::Value>& valid) {
+  if (valid.empty()) return std::nullopt;
+  for (const typesys::Value v : valid) {
+    if (v == value) return std::nullopt;
+  }
+  return "validity violated: process " + std::to_string(process) + " decided " +
+         std::to_string(value) + ", which is not among the inputs";
+}
+
+// Agreement: `value` must equal the earlier output `earlier`.
+inline std::optional<std::string> agreement_violation(int process,
+                                                      typesys::Value value,
+                                                      typesys::Value earlier) {
+  if (value == earlier) return std::nullopt;
+  return "agreement violated: process " + std::to_string(process) + " decided " +
+         std::to_string(value) + " but an earlier output was " +
+         std::to_string(earlier);
+}
+
+// Recoverable wait-freedom: a single run took `steps_in_run` > `bound` steps.
+inline std::optional<std::string> wait_freedom_violation(int process,
+                                                         long steps_in_run,
+                                                         long bound) {
+  if (steps_in_run <= bound) return std::nullopt;
+  return "recoverable wait-freedom violated: process " + std::to_string(process) +
+         " exceeded " + std::to_string(bound) + " steps in a single run";
+}
+
+}  // namespace rcons::sim
+
+#endif  // RCONS_SIM_PROPERTIES_HPP

@@ -1,5 +1,6 @@
 #include "sim/random_runner.hpp"
 
+#include "sim/properties.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -20,19 +21,13 @@ RandomRunReport run_random(Memory memory, std::vector<Process> processes,
 
   auto check_output = [&](int process, Value value) -> bool {
     report.outputs.push_back(value);
-    if (!config.valid_outputs.empty()) {
-      bool valid = false;
-      for (const Value v : config.valid_outputs) valid = valid || v == value;
-      if (!valid) {
-        report.violation = "validity violated by process " + std::to_string(process) +
-                           ": output " + std::to_string(value);
-        return false;
-      }
+    if (auto violation = validity_violation(process, value, config.valid_outputs)) {
+      report.violation = std::move(*violation);
+      return false;
     }
-    if (report.outputs.front() != value) {
-      report.violation = "agreement violated by process " + std::to_string(process) +
-                         ": output " + std::to_string(value) + " vs earlier " +
-                         std::to_string(report.outputs.front());
+    if (auto violation =
+            agreement_violation(process, value, report.outputs.front())) {
+      report.violation = std::move(*violation);
       return false;
     }
     return true;
@@ -48,7 +43,7 @@ RandomRunReport run_random(Memory memory, std::vector<Process> processes,
     }
 
     // Crash injection.
-    if (report.crashes < config.max_crashes &&
+    if (report.crashes < config.crash_budget &&
         rng.chance(static_cast<std::uint64_t>(config.crash_per_mille), 1000)) {
       if (config.crash_model == CrashModel::kSimultaneous) {
         for (int i = 0; i < n; ++i) {
@@ -58,6 +53,7 @@ RandomRunReport run_random(Memory memory, std::vector<Process> processes,
           steps_in_run[idx] = 0;
         }
         report.crashes += 1;
+        report.schedule.push_back(ScheduleEvent::crash_all());
         continue;
       }
       const int victim = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
@@ -67,6 +63,7 @@ RandomRunReport run_random(Memory memory, std::vector<Process> processes,
         done[idx] = 0;
         steps_in_run[idx] = 0;
         report.crashes += 1;
+        report.schedule.push_back(ScheduleEvent::crash(victim));
         continue;
       }
     }
@@ -87,6 +84,12 @@ RandomRunReport run_random(Memory memory, std::vector<Process> processes,
     const StepResult result = processes[idx].step(memory);
     report.steps += 1;
     steps_in_run[idx] += 1;
+    report.schedule.push_back(ScheduleEvent::step(chosen));
+    if (auto violation = wait_freedom_violation(chosen, steps_in_run[idx],
+                                                config.max_steps_per_run)) {
+      report.violation = std::move(*violation);
+      return report;
+    }
     if (result.kind == StepResult::Kind::kDecided) {
       done[idx] = 1;
       steps_in_run[idx] = 0;

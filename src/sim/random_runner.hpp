@@ -1,5 +1,7 @@
 // Seeded random executions with crash injection, for instances too large to
-// explore exhaustively. Any reported violation is reproducible from the seed.
+// explore exhaustively. Any reported violation is reproducible from the seed,
+// and every run records its schedule, so a violating run also replays exactly
+// through sim::replay (the two backends share the ScheduleEvent vocabulary).
 #ifndef RCONS_SIM_RANDOM_RUNNER_HPP
 #define RCONS_SIM_RANDOM_RUNNER_HPP
 
@@ -11,21 +13,24 @@
 #include "sim/explorer.hpp"
 #include "sim/memory.hpp"
 #include "sim/process.hpp"
+#include "sim/schedule.hpp"
 
 namespace rcons::sim {
 
-struct RandomRunConfig {
+// The shared `check::Budget` fields are interpreted as: `crash_budget` caps
+// the crashes injected per run, `max_steps_per_run` is the wait-freedom bound
+// checked on every run (as in the explorers), `max_visited` is ignored
+// (random runs do not deduplicate states).
+struct RandomRunConfig : check::Budget {
   std::uint64_t seed = 1;
-  CrashModel crash_model = CrashModel::kIndependent;
   // Probability (numerator / 1000) that a scheduling slot injects a crash
   // instead of a step, while crash budget remains. Must be in [0, 1000]
   // (asserted by run_random): 0 never crashes, 1000 crashes every slot until
-  // max_crashes is spent.
+  // the crash budget is spent.
   int crash_per_mille = 50;
-  int max_crashes = 8;
   long max_total_steps = 1'000'000;
-  std::vector<typesys::Value> valid_outputs;
-  bool crash_after_decide = true;
+
+  RandomRunConfig() { crash_budget = 8; }
 };
 
 struct RandomRunReport {
@@ -34,6 +39,8 @@ struct RandomRunReport {
   long steps = 0;
   int crashes = 0;
   std::optional<std::string> violation;
+  // The schedule actually executed, replayable through sim::replay.
+  std::vector<ScheduleEvent> schedule;
 };
 
 // Runs one randomly scheduled execution to completion (all processes decided)

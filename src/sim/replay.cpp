@@ -1,14 +1,18 @@
 #include "sim/replay.hpp"
 
+#include "sim/properties.hpp"
 #include "util/assert.hpp"
 
 namespace rcons::sim {
 
 ReplayReport replay(Memory memory, std::vector<Process> processes,
-                    const std::vector<ScheduleEvent>& schedule) {
+                    const std::vector<ScheduleEvent>& schedule,
+                    const std::vector<typesys::Value>& valid_outputs,
+                    long max_steps_per_run) {
   ReplayReport report;
   report.decisions.assign(processes.size(), std::nullopt);
   std::vector<std::uint8_t> done(processes.size(), 0);
+  std::vector<long> steps_in_run(processes.size(), 0);
 
   for (const ScheduleEvent& event : schedule) {
     switch (event.kind) {
@@ -18,15 +22,29 @@ ReplayReport replay(Memory memory, std::vector<Process> processes,
         const auto idx = static_cast<std::size_t>(event.process);
         if (done[idx] != 0) break;
         const StepResult result = processes[idx].step(memory);
+        steps_in_run[idx] += 1;
+        if (max_steps_per_run > 0 && !report.violation) {
+          if (auto violation = wait_freedom_violation(
+                  event.process, steps_in_run[idx], max_steps_per_run)) {
+            report.violation = std::move(*violation);
+          }
+        }
         if (result.kind == StepResult::Kind::kDecided) {
+          steps_in_run[idx] = 0;
           done[idx] = 1;
           report.decisions[idx] = result.decision;
           report.outputs.push_back(result.decision);
-          if (report.outputs.front() != result.decision && !report.violation) {
-            report.violation = "agreement violated: process " +
-                               std::to_string(event.process) + " output " +
-                               std::to_string(result.decision) + " vs earlier " +
-                               std::to_string(report.outputs.front());
+          if (!report.violation) {
+            if (auto violation = validity_violation(event.process, result.decision,
+                                                    valid_outputs)) {
+              report.violation = std::move(*violation);
+            }
+          }
+          if (!report.violation) {
+            if (auto violation = agreement_violation(event.process, result.decision,
+                                                     report.outputs.front())) {
+              report.violation = std::move(*violation);
+            }
           }
         }
         break;
@@ -37,6 +55,7 @@ ReplayReport replay(Memory memory, std::vector<Process> processes,
         const auto idx = static_cast<std::size_t>(event.process);
         processes[idx].reset();
         done[idx] = 0;
+        steps_in_run[idx] = 0;
         report.decisions[idx] = std::nullopt;
         break;
       }
@@ -44,6 +63,7 @@ ReplayReport replay(Memory memory, std::vector<Process> processes,
         for (std::size_t idx = 0; idx < processes.size(); ++idx) {
           processes[idx].reset();
           done[idx] = 0;
+          steps_in_run[idx] = 0;
           report.decisions[idx] = std::nullopt;
         }
         break;

@@ -1,7 +1,8 @@
 // Scripted schedules: deterministic replay of a fixed event sequence.
 // Used for regression tests of the specific adversarial scenarios discussed
 // in the paper (Section 3.1's two "bad scenario" discussions) and for
-// debugging explorer-found traces.
+// re-executing explorer-found violation schedules (sim::Violation::schedule
+// uses the same ScheduleEvent vocabulary).
 #ifndef RCONS_SIM_REPLAY_HPP
 #define RCONS_SIM_REPLAY_HPP
 
@@ -11,32 +12,29 @@
 
 #include "sim/memory.hpp"
 #include "sim/process.hpp"
+#include "sim/schedule.hpp"
 
 namespace rcons::sim {
-
-struct ScheduleEvent {
-  enum class Kind { kStep, kCrash, kCrashAll };
-  Kind kind = Kind::kStep;
-  int process = 0;
-
-  static ScheduleEvent step(int p) { return {Kind::kStep, p}; }
-  static ScheduleEvent crash(int p) { return {Kind::kCrash, p}; }
-  static ScheduleEvent crash_all() { return {Kind::kCrashAll, -1}; }
-};
 
 struct ReplayReport {
   // Latest decision per process (nullopt if none yet in its current run).
   std::vector<std::optional<typesys::Value>> decisions;
   // Every output event across all runs, in schedule order.
   std::vector<typesys::Value> outputs;
-  std::optional<std::string> violation;  // agreement violation, if any
+  std::optional<std::string> violation;  // agreement/validity violation, if any
   Memory final_memory;
 };
 
 // Runs the events in order. Stepping a process that already decided in its
-// current run is ignored (it has returned).
+// current run is ignored (it has returned). When `valid_outputs` is non-empty
+// every output is additionally checked against it, and when
+// `max_steps_per_run` is positive the per-run step bound is enforced — the
+// same validity and recoverable-wait-freedom properties the explorers
+// verify, so violations of any property reproduce from their schedule.
 ReplayReport replay(Memory memory, std::vector<Process> processes,
-                    const std::vector<ScheduleEvent>& schedule);
+                    const std::vector<ScheduleEvent>& schedule,
+                    const std::vector<typesys::Value>& valid_outputs = {},
+                    long max_steps_per_run = 0);
 
 }  // namespace rcons::sim
 

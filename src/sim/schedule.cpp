@@ -1,0 +1,29 @@
+#include "sim/schedule.hpp"
+
+#include <sstream>
+
+#include "sim/explorer_config.hpp"
+
+namespace rcons::sim {
+
+std::string format_schedule(const std::vector<ScheduleEvent>& schedule) {
+  std::ostringstream out;
+  for (const ScheduleEvent& event : schedule) {
+    switch (event.kind) {
+      case ScheduleEvent::Kind::kStep:
+        out << "step(p" << event.process << ") ";
+        break;
+      case ScheduleEvent::Kind::kCrash:
+        out << "CRASH(p" << event.process << ") ";
+        break;
+      case ScheduleEvent::Kind::kCrashAll:
+        out << "CRASH(all) ";
+        break;
+    }
+  }
+  return out.str();
+}
+
+std::string Violation::trace() const { return format_schedule(schedule); }
+
+}  // namespace rcons::sim

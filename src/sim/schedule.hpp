@@ -1,0 +1,34 @@
+// The typed event vocabulary shared by every execution backend: a schedule is
+// a sequence of process steps and crash events. Explorer-found violations
+// carry their schedule in this form (sim/explorer_config.hpp), so any
+// counterexample can be fed straight back into sim::replay for minimization
+// and regression capture; the engine's expansion core uses the same type for
+// its search paths (engine/expand.hpp aliases it), which is what makes the
+// round-trip lossless.
+#ifndef RCONS_SIM_SCHEDULE_HPP
+#define RCONS_SIM_SCHEDULE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcons::sim {
+
+struct ScheduleEvent {
+  enum class Kind : std::uint8_t { kStep = 0, kCrash = 1, kCrashAll = 2 };
+  Kind kind = Kind::kStep;
+  int process = -1;  // victim / stepper; -1 for kCrashAll
+
+  static ScheduleEvent step(int p) { return {Kind::kStep, p}; }
+  static ScheduleEvent crash(int p) { return {Kind::kCrash, p}; }
+  static ScheduleEvent crash_all() { return {Kind::kCrashAll, -1}; }
+
+  bool operator==(const ScheduleEvent&) const = default;
+};
+
+// Human-readable rendering, e.g. "step(p0) CRASH(p1) step(p0) ".
+std::string format_schedule(const std::vector<ScheduleEvent>& schedule);
+
+}  // namespace rcons::sim
+
+#endif  // RCONS_SIM_SCHEDULE_HPP

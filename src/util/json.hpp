@@ -1,0 +1,138 @@
+// Minimal streaming JSON writer for machine-readable bench output
+// (BENCH_*.json files that the perf trajectory accumulates). Handles comma
+// placement and string escaping; the caller is responsible for pairing
+// begin/end calls and for writing a key before each value inside an object.
+#ifndef RCONS_UTIL_JSON_HPP
+#define RCONS_UTIL_JSON_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rcons::util {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+  ~JsonWriter() { RCONS_ASSERT_MSG(stack_.empty(), "unclosed JSON object/array"); }
+
+  void begin_object() {
+    comma();
+    out_ << '{';
+    stack_.push_back(State{false});
+  }
+  void end_object() {
+    pop();
+    out_ << '}';
+  }
+  void begin_array() {
+    comma();
+    out_ << '[';
+    stack_.push_back(State{false});
+  }
+  void end_array() {
+    pop();
+    out_ << ']';
+  }
+
+  void key(const std::string& name) {
+    comma();
+    write_string(name);
+    out_ << ':';
+    pending_value_ = true;
+  }
+
+  void value(const std::string& text) {
+    comma();
+    write_string(text);
+  }
+  void value(const char* text) { value(std::string(text)); }
+  void value(bool flag) {
+    comma();
+    out_ << (flag ? "true" : "false");
+  }
+  void value(double number) {
+    comma();
+    out_ << number;
+  }
+  void value(std::uint64_t number) {
+    comma();
+    out_ << number;
+  }
+  void value(long number) {
+    comma();
+    out_ << number;
+  }
+  void value(int number) {
+    comma();
+    out_ << number;
+  }
+
+  template <typename T>
+  void key_value(const std::string& name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+ private:
+  struct State {
+    bool saw_item = false;
+  };
+
+  // Emits the separating comma for the second and later items of the current
+  // container. A value directly after key() is part of the same item.
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    if (stack_.back().saw_item) out_ << ',';
+    stack_.back().saw_item = true;
+  }
+
+  void pop() {
+    RCONS_ASSERT_MSG(!stack_.empty(), "end without matching begin");
+    RCONS_ASSERT_MSG(!pending_value_, "key without value");
+    stack_.pop_back();
+  }
+
+  void write_string(const std::string& text) {
+    out_ << '"';
+    for (const char ch : text) {
+      switch (ch) {
+        case '"':
+          out_ << "\\\"";
+          break;
+        case '\\':
+          out_ << "\\\\";
+          break;
+        case '\n':
+          out_ << "\\n";
+          break;
+        case '\t':
+          out_ << "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            const char* hex = "0123456789abcdef";
+            out_ << "\\u00" << hex[(ch >> 4) & 0xf] << hex[ch & 0xf];
+          } else {
+            out_ << ch;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostream& out_;
+  std::vector<State> stack_;
+  bool pending_value_ = false;
+};
+
+}  // namespace rcons::util
+
+#endif  // RCONS_UTIL_JSON_HPP

@@ -1,0 +1,139 @@
+// The ScenarioSpec text format: valid lines, defaults, comments, and the
+// whole taxonomy of malformed input — every error is reported with its line
+// number, and well-formed lines survive bad neighbours.
+#include "check/scenario_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rcons::check {
+namespace {
+
+TEST(ScenarioSpecTest, ParsesFullyQualifiedLine) {
+  const ScenarioParse parse = parse_scenario_specs(
+      "type=Sn(3) n=3 model=simultaneous budget=4 name=my-sweep max_steps=400 "
+      "max_visited=12345\n");
+  ASSERT_TRUE(parse.ok()) << parse.errors.front();
+  ASSERT_EQ(parse.specs.size(), 1u);
+  const ScenarioSpec& spec = parse.specs.front();
+  EXPECT_EQ(spec.type, "Sn(3)");
+  EXPECT_EQ(spec.n, 3);
+  EXPECT_EQ(spec.crash_model, CrashModel::kSimultaneous);
+  EXPECT_EQ(spec.crash_budget, 4);
+  EXPECT_EQ(spec.name, "my-sweep");
+  EXPECT_EQ(spec.max_steps_per_run, 400);
+  EXPECT_EQ(spec.max_visited, 12345);
+}
+
+TEST(ScenarioSpecTest, AppliesDefaultsForOmittedFields) {
+  const ScenarioParse parse = parse_scenario_specs("type=compare-and-swap\n");
+  ASSERT_TRUE(parse.ok());
+  ASSERT_EQ(parse.specs.size(), 1u);
+  const ScenarioSpec& spec = parse.specs.front();
+  EXPECT_EQ(spec.n, 2);
+  EXPECT_EQ(spec.crash_model, CrashModel::kIndependent);
+  EXPECT_EQ(spec.crash_budget, 2);
+  EXPECT_TRUE(spec.name.empty());
+  EXPECT_EQ(spec.max_steps_per_run, -1);  // inherit
+  EXPECT_EQ(spec.max_visited, -1);        // inherit
+}
+
+TEST(ScenarioSpecTest, SkipsCommentsAndBlankLines) {
+  const ScenarioParse parse = parse_scenario_specs(
+      "# a comment\n"
+      "\n"
+      "   \t  \n"
+      "type=Sn(2) n=2  # trailing comment\n"
+      "# another\n"
+      "type=Tn(4) n=2\n");
+  ASSERT_TRUE(parse.ok()) << parse.errors.front();
+  ASSERT_EQ(parse.specs.size(), 2u);
+  EXPECT_EQ(parse.specs[0].type, "Sn(2)");
+  EXPECT_EQ(parse.specs[1].type, "Tn(4)");
+}
+
+TEST(ScenarioSpecTest, RejectsUnknownTypeName) {
+  const ScenarioParse parse = parse_scenario_specs("type=Qn(7) n=2\n");
+  ASSERT_FALSE(parse.ok());
+  EXPECT_TRUE(parse.specs.empty());
+  EXPECT_NE(parse.errors.front().find("line 1"), std::string::npos);
+  EXPECT_NE(parse.errors.front().find("unknown type 'Qn(7)'"), std::string::npos);
+}
+
+TEST(ScenarioSpecTest, RejectsMalformedFields) {
+  const ScenarioParse parse = parse_scenario_specs(
+      "type=Sn(2) n=one\n"
+      "type=Sn(2) budget=-3\n"
+      "type=Sn(2) n=1\n"
+      "type=Sn(2) frobnicate=9\n"
+      "n=2 budget=1\n"
+      "type=Sn(2) gibberish\n");
+  EXPECT_TRUE(parse.specs.empty());
+  ASSERT_EQ(parse.errors.size(), 6u);
+  EXPECT_NE(parse.errors[0].find("line 1: n must be"), std::string::npos);
+  EXPECT_NE(parse.errors[1].find("line 2: budget must be"), std::string::npos);
+  EXPECT_NE(parse.errors[2].find("line 3: n must be"), std::string::npos);
+  EXPECT_NE(parse.errors[3].find("line 4: unknown key 'frobnicate'"),
+            std::string::npos);
+  EXPECT_NE(parse.errors[4].find("line 5: missing required type="), std::string::npos);
+  EXPECT_NE(parse.errors[5].find("line 6: expected key=value"), std::string::npos);
+}
+
+TEST(ScenarioSpecTest, RejectsBadModel) {
+  const ScenarioParse parse = parse_scenario_specs("type=Sn(2) model=chaotic\n");
+  ASSERT_FALSE(parse.ok());
+  EXPECT_NE(parse.errors.front().find("model must be independent or simultaneous"),
+            std::string::npos);
+}
+
+TEST(ScenarioSpecTest, GoodLinesSurviveBadNeighbours) {
+  const ScenarioParse parse = parse_scenario_specs(
+      "type=Sn(2) n=2\n"
+      "type=nonsense-type n=2\n"
+      "type=Sn(3) n=3\n");
+  EXPECT_FALSE(parse.ok());
+  ASSERT_EQ(parse.specs.size(), 2u);
+  EXPECT_EQ(parse.specs[0].type, "Sn(2)");
+  EXPECT_EQ(parse.specs[1].type, "Sn(3)");
+  ASSERT_EQ(parse.errors.size(), 1u);
+  EXPECT_NE(parse.errors.front().find("line 2"), std::string::npos);
+}
+
+TEST(ScenarioSpecTest, MissingFileIsAParseError) {
+  const ScenarioParse parse = load_scenario_file("/nonexistent/scenarios.spec");
+  ASSERT_FALSE(parse.ok());
+  EXPECT_TRUE(parse.specs.empty());
+  EXPECT_NE(parse.errors.front().find("cannot open"), std::string::npos);
+}
+
+TEST(ScenarioSpecTest, RejectsOverflowingNumbers) {
+  const ScenarioParse parse =
+      parse_scenario_specs("type=Sn(2) max_visited=99999999999999999999999\n");
+  ASSERT_FALSE(parse.ok());
+  EXPECT_NE(parse.errors.front().find("max_visited must be"), std::string::npos);
+}
+
+TEST(ScenarioSpecTest, RejectsIntFieldsAboveInt32Range) {
+  // Values that fit int64 but not int must be rejected, not silently wrapped.
+  const ScenarioParse parse = parse_scenario_specs(
+      "type=Sn(2) budget=4294967296\n"
+      "type=Sn(2) n=4294967298\n");
+  EXPECT_TRUE(parse.specs.empty());
+  ASSERT_EQ(parse.errors.size(), 2u);
+  EXPECT_NE(parse.errors[0].find("budget must be"), std::string::npos);
+  EXPECT_NE(parse.errors[1].find("n must be"), std::string::npos);
+}
+
+TEST(ScenarioSpecTest, DefaultSpecFileMatchesBuiltInSet) {
+  // examples/scenarios/default.spec is the on-disk mirror of the library's
+  // built-in default set; the two must parse to identical scenarios.
+  const ScenarioParse built_in = parse_scenario_specs(default_scenario_spec_text());
+  ASSERT_TRUE(built_in.ok());
+  EXPECT_EQ(built_in.specs.size(), 16u);
+  const ScenarioParse file = load_scenario_file(
+      std::string(RCONS_SOURCE_DIR) + "/examples/scenarios/default.spec");
+  ASSERT_TRUE(file.ok()) << file.errors.front();
+  EXPECT_EQ(file.specs, built_in.specs);
+}
+
+}  // namespace
+}  // namespace rcons::check

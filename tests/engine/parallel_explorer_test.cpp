@@ -130,13 +130,13 @@ TEST(ParallelExplorerTest, FindsAgreementViolationDeterministically) {
     const auto violation = explorer.run();
     ASSERT_TRUE(violation.has_value());
     EXPECT_NE(violation->description.find("agreement"), std::string::npos);
-    EXPECT_FALSE(violation->trace.empty());
+    EXPECT_FALSE(violation->schedule.empty());
     if (run == 0) {
       first = violation;
     } else {
-      // Deterministic reporting: identical description and trace both runs.
+      // Deterministic reporting: identical description and schedule both runs.
       EXPECT_EQ(violation->description, first->description);
-      EXPECT_EQ(violation->trace, first->trace);
+      EXPECT_EQ(violation->schedule, first->schedule);
     }
   }
 }
@@ -162,8 +162,32 @@ TEST(ParallelExplorerTest, ReportsLowestTraceViolation) {
   ParallelExplorer parallel(memory, processes, parallel_config(base));
   const auto parallel_violation = parallel.run();
   ASSERT_TRUE(parallel_violation.has_value());
-  EXPECT_EQ(parallel_violation->trace.rfind("step(p0)", 0), 0u)
-      << "trace: " << parallel_violation->trace;
+  EXPECT_EQ(parallel_violation->trace().rfind("step(p0)", 0), 0u)
+      << "trace: " << parallel_violation->trace();
+}
+
+TEST(ParallelExplorerDeathTest, NegativeNumThreadsAsserts) {
+  sim::Memory memory;
+  const sim::RegId reg = memory.add_register();
+  std::vector<sim::Process> processes;
+  processes.emplace_back(BrokenConsensus{reg, 1, 0});
+  ParallelExplorerConfig config;
+  config.num_threads = -1;
+  EXPECT_DEATH(ParallelExplorer(std::move(memory), std::move(processes), config),
+               "num_threads");
+}
+
+TEST(ParallelExplorerDeathTest, ShardBitsOutOfRangeAsserts) {
+  for (const int shard_bits : {-1, 17}) {
+    sim::Memory memory;
+    const sim::RegId reg = memory.add_register();
+    std::vector<sim::Process> processes;
+    processes.emplace_back(BrokenConsensus{reg, 1, 0});
+    ParallelExplorerConfig config;
+    config.shard_bits = shard_bits;
+    EXPECT_DEATH(ParallelExplorer(std::move(memory), std::move(processes), config),
+                 "shard_bits");
+  }
 }
 
 TEST(ParallelExplorerTest, FindsValidityViolation) {

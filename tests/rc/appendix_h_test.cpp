@@ -19,7 +19,7 @@
 // exercised by the Figure 2 tests.
 #include <gtest/gtest.h>
 
-#include "sim/explorer.hpp"
+#include "check/check.hpp"
 #include "sim/replay.hpp"
 #include "typesys/types/containers.hpp"
 
@@ -89,25 +89,29 @@ class AppendixHTest : public ::testing::TestWithParam<bool> {};
 
 TEST_P(AppendixHTest, TwoProcessConsensusCorrectWithoutCrashes) {
   System system = make_token_system(GetParam());
-  sim::ExplorerConfig config;
-  config.crash_budget = 0;
-  config.valid_outputs = {5, 6};
-  sim::Explorer explorer(std::move(system.memory), std::move(system.processes), config);
-  const auto violation = explorer.run();
-  EXPECT_FALSE(violation.has_value())
-      << violation->description << "\n  trace: " << violation->trace;
+  check::CheckRequest request;
+  request.system.memory = std::move(system.memory);
+  request.system.processes = std::move(system.processes);
+  request.system.valid_outputs = {5, 6};
+  request.budget.crash_budget = 0;
+  request.strategy = check::Strategy::kAuto;
+  const check::CheckReport report = check::check(std::move(request));
+  EXPECT_TRUE(report.clean)
+      << report.violation->description << "\n  trace: " << report.violation->trace();
 }
 
 TEST_P(AppendixHTest, OneCrashBreaksAgreement) {
   System system = make_token_system(GetParam());
-  sim::ExplorerConfig config;
-  config.crash_budget = 1;
-  config.valid_outputs = {5, 6};
-  sim::Explorer explorer(std::move(system.memory), std::move(system.processes), config);
-  const auto violation = explorer.run();
-  ASSERT_TRUE(violation.has_value());
-  EXPECT_NE(violation->description.find("agreement"), std::string::npos)
-      << violation->description;
+  check::CheckRequest request;
+  request.system.memory = std::move(system.memory);
+  request.system.processes = std::move(system.processes);
+  request.system.valid_outputs = {5, 6};
+  request.budget.crash_budget = 1;
+  request.strategy = check::Strategy::kSequentialDFS;
+  const check::CheckReport report = check::check(std::move(request));
+  ASSERT_FALSE(report.clean);
+  EXPECT_NE(report.violation->description.find("agreement"), std::string::npos)
+      << report.violation->description;
 }
 
 INSTANTIATE_TEST_SUITE_P(StackAndQueue, AppendixHTest, ::testing::Values(false, true),

@@ -1,17 +1,32 @@
 // The gap between the two hierarchies, demonstrated behaviourally: Ruppert's
 // Theorem 3 construction solves consensus in the halting model, and the
-// explorer proves it; add a single crash and the explorer exhibits an
+// checker proves it; add a single crash and the checker exhibits an
 // agreement violation — the evidence-destruction failure mode the paper's
 // n-recording property is designed to rule out.
+//
+// Clean proofs go through Strategy::kAuto (the facade picks the backend);
+// tests that pin a specific counterexample use kSequentialDFS, whose
+// first-violation DFS is deterministic and cheap on dirty instances.
 #include "rc/discerning_consensus.hpp"
 
 #include <gtest/gtest.h>
 
-#include "sim/explorer.hpp"
+#include "check/check.hpp"
 #include "typesys/zoo.hpp"
 
 namespace rcons::rc {
 namespace {
+
+check::CheckRequest halting_request(HaltingConsensusSystem system,
+                                    std::vector<typesys::Value> inputs,
+                                    int crash_budget) {
+  check::CheckRequest request;
+  request.system.memory = std::move(system.memory);
+  request.system.processes = std::move(system.processes);
+  request.system.valid_outputs = std::move(inputs);
+  request.budget.crash_budget = crash_budget;
+  return request;
+}
 
 struct HaltingCase {
   std::string type_name;
@@ -27,13 +42,12 @@ TEST_P(HaltingConsensusTest, CorrectWithoutCrashes) {
   std::vector<typesys::Value> inputs;
   for (int i = 0; i < c.participants; ++i) inputs.push_back(100 + i);
   HaltingConsensusSystem system = make_halting_consensus(*type, c.witness_n, inputs);
-  sim::ExplorerConfig config;
-  config.crash_budget = 0;
-  config.valid_outputs = inputs;
-  sim::Explorer explorer(std::move(system.memory), std::move(system.processes), config);
-  const auto violation = explorer.run();
-  EXPECT_FALSE(violation.has_value())
-      << violation->description << "\n  trace: " << violation->trace;
+  check::CheckRequest request =
+      halting_request(std::move(system), inputs, /*crash_budget=*/0);
+  request.strategy = check::Strategy::kAuto;
+  const check::CheckReport report = check::check(std::move(request));
+  EXPECT_TRUE(report.clean)
+      << report.violation->description << "\n  trace: " << report.violation->trace();
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -56,13 +70,12 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(HaltingNegativeTest, TasConsensusBreaksUnderOneCrash) {
   auto type = typesys::make_type("test-and-set");
   HaltingConsensusSystem system = make_halting_consensus(*type, 2, {5, 6});
-  sim::ExplorerConfig config;
-  config.crash_budget = 1;
-  config.valid_outputs = {5, 6};
-  sim::Explorer explorer(std::move(system.memory), std::move(system.processes), config);
-  const auto violation = explorer.run();
-  ASSERT_TRUE(violation.has_value());
-  EXPECT_NE(violation->description.find("agreement"), std::string::npos);
+  check::CheckRequest request =
+      halting_request(std::move(system), {5, 6}, /*crash_budget=*/1);
+  request.strategy = check::Strategy::kSequentialDFS;
+  const check::CheckReport report = check::check(std::move(request));
+  ASSERT_FALSE(report.clean);
+  EXPECT_NE(report.violation->description.find("agreement"), std::string::npos);
 }
 
 TEST(HaltingNegativeTest, TnConsensusBreaksUnderCrashes) {
@@ -72,13 +85,12 @@ TEST(HaltingNegativeTest, TnConsensusBreaksUnderCrashes) {
   // particular algorithm).
   auto type = typesys::make_type("Tn(4)");
   HaltingConsensusSystem system = make_halting_consensus(*type, 4, {1, 2, 3, 4});
-  sim::ExplorerConfig config;
-  config.crash_budget = 2;
-  config.valid_outputs = {1, 2, 3, 4};
-  config.max_visited = 40'000'000;
-  sim::Explorer explorer(std::move(system.memory), std::move(system.processes), config);
-  const auto violation = explorer.run();
-  ASSERT_TRUE(violation.has_value());
+  check::CheckRequest request =
+      halting_request(std::move(system), {1, 2, 3, 4}, /*crash_budget=*/2);
+  request.budget.max_visited = 40'000'000;
+  request.strategy = check::Strategy::kSequentialDFS;
+  const check::CheckReport report = check::check(std::move(request));
+  ASSERT_FALSE(report.clean);
 }
 
 TEST(HaltingNegativeTest, EvenCasBreaksWhenAlgorithmIsResponseBased) {
@@ -89,11 +101,10 @@ TEST(HaltingNegativeTest, EvenCasBreaksWhenAlgorithmIsResponseBased) {
   // test pins down that the weakness is the algorithm, not the type.
   auto type = typesys::make_type("compare-and-swap");
   HaltingConsensusSystem system = make_halting_consensus(*type, 2, {5, 6});
-  sim::ExplorerConfig config;
-  config.crash_budget = 2;
-  config.valid_outputs = {5, 6};
-  sim::Explorer explorer(std::move(system.memory), std::move(system.processes), config);
-  EXPECT_TRUE(explorer.run().has_value());
+  check::CheckRequest request =
+      halting_request(std::move(system), {5, 6}, /*crash_budget=*/2);
+  request.strategy = check::Strategy::kSequentialDFS;
+  EXPECT_FALSE(check::check(std::move(request)).clean);
 }
 
 }  // namespace

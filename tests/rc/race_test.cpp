@@ -3,7 +3,7 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/explorer.hpp"
+#include "check/check.hpp"
 #include "typesys/zoo.hpp"
 
 namespace rcons::rc {
@@ -24,21 +24,25 @@ std::pair<sim::Memory, std::vector<sim::Process>> make_system(const std::string&
 
 TEST(RaceTest, ExhaustiveWithCasObject) {
   auto [memory, processes] = make_system("compare-and-swap", 3);
-  sim::ExplorerConfig config;
-  config.crash_budget = 3;
-  config.valid_outputs = {1, 2, 3};
-  sim::Explorer explorer(std::move(memory), std::move(processes), config);
-  const auto violation = explorer.run();
-  EXPECT_FALSE(violation.has_value()) << violation->description;
+  check::CheckRequest request;
+  request.system.memory = std::move(memory);
+  request.system.processes = std::move(processes);
+  request.system.valid_outputs = {1, 2, 3};
+  request.budget.crash_budget = 3;
+  request.strategy = check::Strategy::kAuto;
+  const check::CheckReport report = check::check(std::move(request));
+  EXPECT_TRUE(report.clean) << report.violation->description;
 }
 
 TEST(RaceTest, ExhaustiveWithConsensusObject) {
   auto [memory, processes] = make_system("consensus-object", 4);
-  sim::ExplorerConfig config;
-  config.crash_budget = 2;
-  config.valid_outputs = {1, 2, 3, 4};
-  sim::Explorer explorer(std::move(memory), std::move(processes), config);
-  EXPECT_FALSE(explorer.run().has_value());
+  check::CheckRequest request;
+  request.system.memory = std::move(memory);
+  request.system.processes = std::move(processes);
+  request.system.valid_outputs = {1, 2, 3, 4};
+  request.budget.crash_budget = 2;
+  request.strategy = check::Strategy::kAuto;
+  EXPECT_TRUE(check::check(std::move(request)).clean);
 }
 
 TEST(RaceTest, WinnerIsFirstApplier) {

@@ -4,14 +4,27 @@
 
 #include <gtest/gtest.h>
 
+#include "check/check.hpp"
 #include "rc/discerning_consensus.hpp"
 #include "rc/race.hpp"
-#include "sim/explorer.hpp"
-#include "sim/random_runner.hpp"
 #include "typesys/zoo.hpp"
 
 namespace rcons::rc {
 namespace {
+
+check::CheckRequest exhaustive_request(sim::Memory memory,
+                                       std::vector<sim::Process> processes,
+                                       std::vector<typesys::Value> valid,
+                                       sim::CrashModel model, int crash_budget) {
+  check::CheckRequest request;
+  request.system.memory = std::move(memory);
+  request.system.processes = std::move(processes);
+  request.system.valid_outputs = std::move(valid);
+  request.budget.crash_model = model;
+  request.budget.crash_budget = crash_budget;
+  request.strategy = check::Strategy::kAuto;
+  return request;
+}
 
 using RaceFig4 = SimultaneousRCProgram<RaceConsensusProgram, RaceInstance>;
 using TasFig4 = SimultaneousRCProgram<DiscerningConsensusProgram, DiscerningInstance>;
@@ -54,57 +67,50 @@ std::pair<sim::Memory, std::vector<sim::Process>> make_tas_fig4(int n, int max_r
 
 TEST(SimultaneousTest, NoCrashesSingleRoundDecides) {
   auto [memory, processes] = make_race_fig4(3, /*max_rounds=*/2);
-  sim::ExplorerConfig config;
-  config.crash_budget = 0;
-  config.valid_outputs = {1, 2, 3};
-  sim::Explorer explorer(std::move(memory), std::move(processes), config);
-  const auto violation = explorer.run();
-  EXPECT_FALSE(violation.has_value())
-      << violation->description << "\n  trace: " << violation->trace;
+  const check::CheckReport report = check::check(
+      exhaustive_request(std::move(memory), std::move(processes), {1, 2, 3},
+                         sim::CrashModel::kIndependent, 0));
+  EXPECT_TRUE(report.clean)
+      << report.violation->description << "\n  trace: " << report.violation->trace();
 }
 
 TEST(SimultaneousTest, ExhaustiveUnderSimultaneousCrashes) {
   for (int crashes = 1; crashes <= 2; ++crashes) {
     auto [memory, processes] = make_race_fig4(2, /*max_rounds=*/crashes + 2);
-    sim::ExplorerConfig config;
-    config.crash_model = sim::CrashModel::kSimultaneous;
-    config.crash_budget = crashes;
-    config.valid_outputs = {1, 2};
-    sim::Explorer explorer(std::move(memory), std::move(processes), config);
-    const auto violation = explorer.run();
-    EXPECT_FALSE(violation.has_value())
-        << "crashes=" << crashes << ": " << violation->description
-        << "\n  trace: " << violation->trace;
+    const check::CheckReport report = check::check(
+        exhaustive_request(std::move(memory), std::move(processes), {1, 2},
+                           sim::CrashModel::kSimultaneous, crashes));
+    EXPECT_TRUE(report.clean)
+        << "crashes=" << crashes << ": " << report.violation->description
+        << "\n  trace: " << report.violation->trace();
   }
 }
 
 TEST(SimultaneousTest, TheoremOneWithNonRecoverableInner) {
   // The heart of Theorem 1: the inner consensus need not be recoverable.
   auto [memory, processes] = make_tas_fig4(2, /*max_rounds=*/4);
-  sim::ExplorerConfig config;
-  config.crash_model = sim::CrashModel::kSimultaneous;
-  config.crash_budget = 2;
-  config.valid_outputs = {100, 101};
-  sim::Explorer explorer(std::move(memory), std::move(processes), config);
-  const auto violation = explorer.run();
-  EXPECT_FALSE(violation.has_value())
-      << violation->description << "\n  trace: " << violation->trace;
+  const check::CheckReport report = check::check(
+      exhaustive_request(std::move(memory), std::move(processes), {100, 101},
+                         sim::CrashModel::kSimultaneous, 2));
+  EXPECT_TRUE(report.clean)
+      << report.violation->description << "\n  trace: " << report.violation->trace();
 }
 
 TEST(SimultaneousTest, RandomStressManySimultaneousCrashes) {
-  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
-    auto [memory, processes] = make_race_fig4(4, /*max_rounds=*/14);
-    sim::RandomRunConfig config;
-    config.seed = seed;
-    config.crash_model = sim::CrashModel::kSimultaneous;
-    config.crash_per_mille = 40;
-    config.max_crashes = 10;
-    config.valid_outputs = {1, 2, 3, 4};
-    const auto report = run_random(std::move(memory), std::move(processes), config);
-    EXPECT_TRUE(report.all_decided) << "seed " << seed;
-    EXPECT_FALSE(report.violation.has_value())
-        << "seed " << seed << ": " << *report.violation;
-  }
+  auto [memory, processes] = make_race_fig4(4, /*max_rounds=*/14);
+  check::CheckRequest request;
+  request.system.memory = std::move(memory);
+  request.system.processes = std::move(processes);
+  request.system.valid_outputs = {1, 2, 3, 4};
+  request.budget.crash_model = sim::CrashModel::kSimultaneous;
+  request.budget.crash_budget = 10;
+  request.strategy = check::Strategy::kRandomized;
+  request.seed = 1;
+  request.runs = 30;
+  request.crash_per_mille = 40;
+  const check::CheckReport report = check::check(std::move(request));
+  EXPECT_TRUE(report.clean) << report.violation->description;
+  EXPECT_EQ(report.incomplete_runs, 0);
 }
 
 TEST(SimultaneousTest, RoundsGrowWithCrashes) {
@@ -112,26 +118,31 @@ TEST(SimultaneousTest, RoundsGrowWithCrashes) {
   // rounds (unbounded instances in the limit — Golab's lower bound).
   long steps_low = 0;
   long steps_high = 0;
-  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
-    {
-      auto [memory, processes] = make_race_fig4(3, 4);
-      sim::RandomRunConfig config;
-      config.seed = seed;
-      config.crash_model = sim::CrashModel::kSimultaneous;
-      config.crash_per_mille = 0;
-      const auto report = run_random(std::move(memory), std::move(processes), config);
-      steps_low += report.steps;
-    }
-    {
-      auto [memory, processes] = make_race_fig4(3, 14);
-      sim::RandomRunConfig config;
-      config.seed = seed;
-      config.crash_model = sim::CrashModel::kSimultaneous;
-      config.crash_per_mille = 60;
-      config.max_crashes = 10;
-      const auto report = run_random(std::move(memory), std::move(processes), config);
-      steps_high += report.steps;
-    }
+  {
+    auto [memory, processes] = make_race_fig4(3, 4);
+    check::CheckRequest request;
+    request.system.memory = std::move(memory);
+    request.system.processes = std::move(processes);
+    request.budget.crash_model = sim::CrashModel::kSimultaneous;
+    request.budget.crash_budget = 0;
+    request.strategy = check::Strategy::kRandomized;
+    request.seed = 1;
+    request.runs = 20;
+    request.crash_per_mille = 0;
+    steps_low = check::check(std::move(request)).total_steps;
+  }
+  {
+    auto [memory, processes] = make_race_fig4(3, 14);
+    check::CheckRequest request;
+    request.system.memory = std::move(memory);
+    request.system.processes = std::move(processes);
+    request.budget.crash_model = sim::CrashModel::kSimultaneous;
+    request.budget.crash_budget = 10;
+    request.strategy = check::Strategy::kRandomized;
+    request.seed = 1;
+    request.runs = 20;
+    request.crash_per_mille = 60;
+    steps_high = check::check(std::move(request)).total_steps;
   }
   EXPECT_GT(steps_high, steps_low);
 }

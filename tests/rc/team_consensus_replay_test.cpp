@@ -3,8 +3,8 @@
 // weaker simultaneous model).
 #include <gtest/gtest.h>
 
+#include "check/check.hpp"
 #include "rc/team_consensus.hpp"
-#include "sim/explorer.hpp"
 #include "sim/replay.hpp"
 #include "typesys/zoo.hpp"
 
@@ -81,14 +81,16 @@ TEST(TeamConsensusReplayTest, SurvivesSimultaneousCrashModelToo) {
   // Independent-crash RC must in particular survive simultaneous crashes.
   std::shared_ptr<const typesys::ObjectType> type = typesys::make_type("Sn(3)");
   TeamConsensusSystem system = make_team_consensus_system(*type, 3, kInputA, kInputB);
-  sim::ExplorerConfig config;
-  config.crash_model = sim::CrashModel::kSimultaneous;
-  config.crash_budget = 2;
-  config.valid_outputs = {kInputA, kInputB};
-  sim::Explorer explorer(std::move(system.memory), std::move(system.processes), config);
-  const auto violation = explorer.run();
-  EXPECT_FALSE(violation.has_value())
-      << violation->description << "\n  trace: " << violation->trace;
+  check::CheckRequest request;
+  request.system.memory = std::move(system.memory);
+  request.system.processes = std::move(system.processes);
+  request.system.valid_outputs = {kInputA, kInputB};
+  request.budget.crash_model = sim::CrashModel::kSimultaneous;
+  request.budget.crash_budget = 2;
+  request.strategy = check::Strategy::kAuto;
+  const check::CheckReport report = check::check(std::move(request));
+  EXPECT_TRUE(report.clean)
+      << report.violation->description << "\n  trace: " << report.violation->trace();
 }
 
 TEST(TeamConsensusReplayTest, ObjectAlreadyDecidedShortCircuits) {

@@ -5,9 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "check/check.hpp"
 #include "hierarchy/recording.hpp"
-#include "sim/explorer.hpp"
-#include "sim/random_runner.hpp"
 #include "typesys/zoo.hpp"
 
 namespace rcons::rc {
@@ -39,14 +38,17 @@ TEST_P(TeamConsensusModelTest, AgreementValidityWaitFreedomUnderCrashes) {
   ASSERT_NE(type, nullptr);
   ASSERT_TRUE(hierarchy::is_recording(*type, c.n)) << "precondition";
   TeamConsensusSystem system = make_team_consensus_system(*type, c.n, kInputA, kInputB);
-  sim::ExplorerConfig config;
-  config.crash_budget = c.crash_budget;
-  config.valid_outputs = {kInputA, kInputB};
-  sim::Explorer explorer(std::move(system.memory), std::move(system.processes), config);
-  const auto violation = explorer.run();
-  EXPECT_FALSE(violation.has_value())
-      << violation->description << "\n  trace: " << violation->trace;
-  EXPECT_GT(explorer.stats().decisions, 0u);
+  check::CheckRequest request;
+  request.system.memory = std::move(system.memory);
+  request.system.processes = std::move(system.processes);
+  request.system.valid_outputs = {kInputA, kInputB};
+  request.budget.crash_budget = c.crash_budget;
+  request.strategy = check::Strategy::kAuto;
+  const check::CheckReport report = check::check(std::move(request));
+  EXPECT_TRUE(report.clean)
+      << report.violation->description << "\n  trace: " << report.violation->trace();
+  EXPECT_TRUE(report.complete);
+  EXPECT_GT(report.stats.decisions, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Types, TeamConsensusModelTest,
@@ -82,9 +84,6 @@ TEST(TeamConsensusTest, SoloRunDecidesOwnTeamInput) {
   // A process running alone must decide its own team's input.
   auto type = typesys::make_type("Sn(3)");
   TeamConsensusSystem system = make_team_consensus_system(*type, 3, kInputA, kInputB);
-  sim::RandomRunConfig config;
-  config.seed = 42;
-  config.crash_per_mille = 0;
   // Run only process 0 by exhausting it via replay-like single scheduling:
   sim::Memory memory = system.memory;
   sim::Process solo = system.processes.front();
@@ -100,19 +99,22 @@ TEST(TeamConsensusTest, RandomStressLargeInstances) {
   // Instances beyond exhaustive reach: seeded random schedules with heavy
   // crash injection.
   auto type = typesys::make_type("Sn(6)");
-  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
-    TeamConsensusSystem system = make_team_consensus_system(*type, 6, kInputA, kInputB);
-    sim::RandomRunConfig config;
-    config.seed = seed;
-    config.crash_per_mille = 150;
-    config.max_crashes = 12;
-    config.valid_outputs = {kInputA, kInputB};
-    const auto report =
-        run_random(std::move(system.memory), std::move(system.processes), config);
-    EXPECT_TRUE(report.all_decided) << "seed " << seed;
-    EXPECT_FALSE(report.violation.has_value())
-        << "seed " << seed << ": " << *report.violation;
-  }
+  TeamConsensusSystem system = make_team_consensus_system(*type, 6, kInputA, kInputB);
+  check::CheckRequest request;
+  request.system.memory = std::move(system.memory);
+  request.system.processes = std::move(system.processes);
+  request.system.valid_outputs = {kInputA, kInputB};
+  request.budget.crash_budget = 12;
+  request.strategy = check::Strategy::kRandomized;
+  request.seed = 1;
+  request.runs = 50;
+  request.crash_per_mille = 150;
+  const check::CheckReport report = check::check(std::move(request));
+  EXPECT_TRUE(report.clean) << report.violation->description << "\n  schedule: "
+                            << report.violation->trace();
+  EXPECT_EQ(report.runs, 50);
+  EXPECT_EQ(report.incomplete_runs, 0);
+  EXPECT_FALSE(report.complete);  // sampling is never a proof
 }
 
 // The paper's Section 3.1 discussion: if team B's processes deferred to team
@@ -200,13 +202,15 @@ TEST(TeamConsensusTest, OmittingTeamSizeGuardViolatesAgreement) {
     inputs.push_back(input);
     processes.emplace_back(BrokenDeferProgram(instance, role, input));
   }
-  sim::ExplorerConfig config;
-  config.crash_budget = 0;  // the paper's scenario needs no crashes
-  config.valid_outputs = {kInputA, kInputB};
-  sim::Explorer explorer(std::move(memory), std::move(processes), config);
-  const auto violation = explorer.run();
-  ASSERT_TRUE(violation.has_value()) << "broken defer should violate agreement";
-  EXPECT_NE(violation->description.find("agreement"), std::string::npos);
+  check::CheckRequest request;
+  request.system.memory = std::move(memory);
+  request.system.processes = std::move(processes);
+  request.system.valid_outputs = {kInputA, kInputB};
+  request.budget.crash_budget = 0;  // the paper's scenario needs no crashes
+  request.strategy = check::Strategy::kSequentialDFS;
+  const check::CheckReport report = check::check(std::move(request));
+  ASSERT_FALSE(report.clean) << "broken defer should violate agreement";
+  EXPECT_NE(report.violation->description.find("agreement"), std::string::npos);
 }
 
 }  // namespace

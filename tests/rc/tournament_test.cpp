@@ -4,8 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/explorer.hpp"
-#include "sim/random_runner.hpp"
+#include "check/check.hpp"
 #include "typesys/zoo.hpp"
 
 namespace rcons::rc {
@@ -43,13 +42,15 @@ TEST_P(TournamentModelTest, ExhaustiveAgreementUnderCrashes) {
   std::vector<typesys::Value> inputs;
   for (int i = 0; i < c.participants; ++i) inputs.push_back(10 + i);
   TournamentSystem system = make_rc_tournament(*type, c.witness_n, inputs);
-  sim::ExplorerConfig config;
-  config.crash_budget = c.crash_budget;
-  config.valid_outputs = inputs;
-  sim::Explorer explorer(std::move(system.memory), std::move(system.processes), config);
-  const auto violation = explorer.run();
-  EXPECT_FALSE(violation.has_value())
-      << violation->description << "\n  trace: " << violation->trace;
+  check::CheckRequest request;
+  request.system.memory = std::move(system.memory);
+  request.system.processes = std::move(system.processes);
+  request.system.valid_outputs = inputs;
+  request.budget.crash_budget = c.crash_budget;
+  request.strategy = check::Strategy::kAuto;
+  const check::CheckReport report = check::check(std::move(request));
+  EXPECT_TRUE(report.clean)
+      << report.violation->description << "\n  trace: " << report.violation->trace();
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -72,20 +73,21 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(TournamentTest, RandomStressSn6) {
   auto type = typesys::make_type("Sn(6)");
-  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
-    std::vector<typesys::Value> inputs = {10, 20, 30, 40, 50, 60};
-    TournamentSystem system = make_rc_tournament(*type, 6, inputs);
-    sim::RandomRunConfig config;
-    config.seed = seed;
-    config.crash_per_mille = 120;
-    config.max_crashes = 15;
-    config.valid_outputs = inputs;
-    const auto report =
-        run_random(std::move(system.memory), std::move(system.processes), config);
-    EXPECT_TRUE(report.all_decided) << "seed " << seed;
-    EXPECT_FALSE(report.violation.has_value())
-        << "seed " << seed << ": " << *report.violation;
-  }
+  std::vector<typesys::Value> inputs = {10, 20, 30, 40, 50, 60};
+  TournamentSystem system = make_rc_tournament(*type, 6, inputs);
+  check::CheckRequest request;
+  request.system.memory = std::move(system.memory);
+  request.system.processes = std::move(system.processes);
+  request.system.valid_outputs = inputs;
+  request.budget.crash_budget = 15;
+  request.strategy = check::Strategy::kRandomized;
+  request.seed = 1;
+  request.runs = 40;
+  request.crash_per_mille = 120;
+  const check::CheckReport report = check::check(std::move(request));
+  EXPECT_TRUE(report.clean) << report.violation->description << "\n  schedule: "
+                            << report.violation->trace();
+  EXPECT_EQ(report.incomplete_runs, 0);
 }
 
 TEST(TournamentTest, FewerParticipantsThanWitness) {
@@ -93,11 +95,13 @@ TEST(TournamentTest, FewerParticipantsThanWitness) {
   // only k < n processes use it.
   auto type = typesys::make_type("Sn(5)");
   TournamentSystem system = make_rc_tournament(*type, 5, {4, 8});
-  sim::ExplorerConfig config;
-  config.crash_budget = 2;
-  config.valid_outputs = {4, 8};
-  sim::Explorer explorer(std::move(system.memory), std::move(system.processes), config);
-  EXPECT_FALSE(explorer.run().has_value());
+  check::CheckRequest request;
+  request.system.memory = std::move(system.memory);
+  request.system.processes = std::move(system.processes);
+  request.system.valid_outputs = {4, 8};
+  request.budget.crash_budget = 2;
+  request.strategy = check::Strategy::kAuto;
+  EXPECT_TRUE(check::check(std::move(request)).clean);
 }
 
 }  // namespace

@@ -51,7 +51,8 @@ TEST(ExplorerTest, FindsAgreementViolation) {
   const auto violation = explorer.run();
   ASSERT_TRUE(violation.has_value());
   EXPECT_NE(violation->description.find("agreement"), std::string::npos);
-  EXPECT_FALSE(violation->trace.empty());
+  EXPECT_FALSE(violation->schedule.empty());
+  EXPECT_FALSE(violation->trace().empty());
 }
 
 TEST(ExplorerTest, FindsValidityViolation) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "rc/race.hpp"
+#include "sim/replay.hpp"
 #include "typesys/types/rmw.hpp"
 
 namespace rcons::sim {
@@ -51,7 +52,7 @@ TEST(RandomRunnerTest, DifferentSeedsDiffer) {
   RandomRunConfig c2;
   c2.seed = 2;
   c1.crash_per_mille = c2.crash_per_mille = 300;
-  c1.max_crashes = c2.max_crashes = 20;
+  c1.crash_budget = c2.crash_budget = 20;
   auto [m1, p1] = make_race_system(5);
   auto [m2, p2] = make_race_system(5);
   const auto a = run_random(std::move(m1), std::move(p1), c1);
@@ -66,7 +67,7 @@ TEST(RandomRunnerTest, CrashBudgetHonored) {
   RandomRunConfig config;
   config.seed = 99;
   config.crash_per_mille = 900;
-  config.max_crashes = 5;
+  config.crash_budget = 5;
   const auto report = run_random(std::move(memory), std::move(processes), config);
   EXPECT_LE(report.crashes, 5);
   EXPECT_TRUE(report.all_decided);
@@ -77,7 +78,7 @@ TEST(RandomRunnerTest, ZeroCrashRateNeverCrashes) {
   RandomRunConfig config;
   config.seed = 11;
   config.crash_per_mille = 0;  // lower edge of the documented [0, 1000] range
-  config.max_crashes = 8;
+  config.crash_budget = 8;
   const auto report = run_random(std::move(memory), std::move(processes), config);
   EXPECT_EQ(report.crashes, 0);
   EXPECT_TRUE(report.all_decided);
@@ -89,11 +90,11 @@ TEST(RandomRunnerTest, FullCrashRateCrashesEverySlotUntilBudgetSpent) {
   RandomRunConfig config;
   config.seed = 12;
   config.crash_per_mille = 1000;  // upper edge: crash whenever budget remains
-  config.max_crashes = 6;
+  config.crash_budget = 6;
   const auto report = run_random(std::move(memory), std::move(processes), config);
   // Every scheduling slot while budget remains injects a crash, so the
   // budget is fully spent before the first uninterrupted step.
-  EXPECT_EQ(report.crashes, config.max_crashes);
+  EXPECT_EQ(report.crashes, config.crash_budget);
   EXPECT_TRUE(report.all_decided);
   EXPECT_FALSE(report.violation.has_value());
 }
@@ -106,13 +107,30 @@ TEST(RandomRunnerDeathTest, OutOfRangeCrashRateAsserts) {
                "crash_per_mille");
 }
 
+TEST(RandomRunnerTest, RecordedScheduleReplaysIdentically) {
+  // Every random run records its schedule in the shared ScheduleEvent
+  // vocabulary; replaying it must reproduce the exact output sequence.
+  auto [memory, processes] = make_race_system(3);
+  auto [memory2, processes2] = make_race_system(3);
+  RandomRunConfig config;
+  config.seed = 21;
+  config.crash_per_mille = 250;
+  const auto report = run_random(std::move(memory), std::move(processes), config);
+  ASSERT_FALSE(report.schedule.empty());
+  EXPECT_EQ(report.schedule.size(),
+            static_cast<std::size_t>(report.steps + report.crashes));
+  const auto replayed =
+      replay(std::move(memory2), std::move(processes2), report.schedule);
+  EXPECT_EQ(replayed.outputs, report.outputs);
+}
+
 TEST(RandomRunnerTest, SimultaneousModelRuns) {
   auto [memory, processes] = make_race_system(3);
   RandomRunConfig config;
   config.seed = 5;
   config.crash_model = CrashModel::kSimultaneous;
   config.crash_per_mille = 200;
-  config.max_crashes = 3;
+  config.crash_budget = 3;
   const auto report = run_random(std::move(memory), std::move(processes), config);
   EXPECT_TRUE(report.all_decided);
   EXPECT_FALSE(report.violation.has_value());

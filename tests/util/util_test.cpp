@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "util/hash.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -95,6 +96,41 @@ TEST(HashTest, U128UsableInSets) {
   set.insert(U128{1, 2});
   set.insert(U128{2, 1});
   EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(JsonTest, WritesNestedStructureWithCommas) {
+  std::ostringstream out;
+  {
+    JsonWriter json(out);
+    json.begin_object();
+    json.key_value("name", "bench");
+    json.key("rows");
+    json.begin_array();
+    json.begin_object();
+    json.key_value("n", 3);
+    json.key_value("clean", true);
+    json.end_object();
+    json.begin_object();
+    json.key_value("n", 4);
+    json.key_value("clean", false);
+    json.end_object();
+    json.end_array();
+    json.end_object();
+  }
+  EXPECT_EQ(out.str(),
+            "{\"name\":\"bench\",\"rows\":"
+            "[{\"n\":3,\"clean\":true},{\"n\":4,\"clean\":false}]}");
+}
+
+TEST(JsonTest, EscapesStrings) {
+  std::ostringstream out;
+  {
+    JsonWriter json(out);
+    json.begin_object();
+    json.key_value("s", "a\"b\\c\nd");
+    json.end_object();
+  }
+  EXPECT_EQ(out.str(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
 }
 
 TEST(TableTest, RendersAlignedColumns) {
