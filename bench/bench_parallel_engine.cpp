@@ -5,6 +5,11 @@
 // Verifies that every configuration reports the same verdict and
 // visited-state count before trusting a timing.
 //
+// Since the compact node-store refactor the rows also report states/sec and
+// the interned bytes/node, and a final section measures symmetry reduction:
+// the team-consensus n=4 instance re-checked with its symmetry declaration
+// attached must shrink the visited set without changing the verdict.
+//
 // Plain chrono timing rather than Google Benchmark: each run is seconds long
 // and we want a speedup table, not per-iteration statistics. Results are also
 // written machine-readably to BENCH_parallel_engine.json so the perf
@@ -61,11 +66,12 @@ double median_seconds(std::vector<double> samples) {
 }
 
 check::CheckRequest make_request(const Instance& instance, check::Strategy strategy,
-                                 int threads) {
+                                 int threads, bool symmetry = false) {
   check::CheckRequest request;
   request.system.memory = instance.system.memory;
   request.system.processes = instance.system.processes;
   request.system.valid_outputs = {kInputA, kInputB};
+  if (symmetry) request.system.symmetry_classes = instance.system.symmetry_classes;
   request.budget.crash_budget = instance.crash_budget;
   request.strategy = strategy;
   request.num_threads = threads;
@@ -77,29 +83,37 @@ struct RunOutcome {
   std::uint64_t visited = 0;
   check::Strategy strategy = check::Strategy::kAuto;
   double seconds = 0.0;
+  sim::ExplorerStats stats;
 };
 
 RunOutcome timed(const Instance& instance, check::Strategy strategy, int threads,
-                 int repeats) {
+                 int repeats, bool symmetry = false) {
   RunOutcome outcome;
   std::vector<double> samples;
   for (int i = 0; i < repeats; ++i) {
     const check::CheckReport report =
-        check::check(make_request(instance, strategy, threads));
+        check::check(make_request(instance, strategy, threads, symmetry));
     samples.push_back(report.seconds);
     outcome.clean = report.clean;
     outcome.visited = report.stats.visited;
     outcome.strategy = report.strategy;
+    outcome.stats = report.stats;
   }
   outcome.seconds = median_seconds(std::move(samples));
   return outcome;
 }
 
-std::string fixed3(double value) {
+std::string fixed(double value, int precision) {
   std::ostringstream out;
-  out.precision(3);
+  out.precision(precision);
   out << std::fixed << value;
   return out.str();
+}
+
+double states_per_sec(const RunOutcome& outcome) {
+  return outcome.seconds > 0.0
+             ? static_cast<double>(outcome.visited) / outcome.seconds
+             : 0.0;
 }
 
 }  // namespace
@@ -120,7 +134,8 @@ int main(int argc, char** argv) {
   instances.push_back(make_instance("Sn(3)", 3, 2));
   instances.push_back(make_instance("Sn(4)", 4, 1));
 
-  util::Table table({"instance", "config", "verdict", "visited", "time(s)", "speedup"});
+  util::Table table({"instance", "config", "verdict", "visited", "time(s)",
+                     "states/s", "B/node", "speedup"});
   bool verdicts_consistent = true;
 
   std::ofstream json_file("BENCH_parallel_engine.json");
@@ -136,8 +151,10 @@ int main(int argc, char** argv) {
   auto emit = [&](const Instance& instance, const std::string& config_label,
                   int threads, const RunOutcome& outcome, double speedup) {
     table.add_row({instance.label, config_label, outcome.clean ? "clean" : "VIOLATION",
-                   std::to_string(outcome.visited), fixed3(outcome.seconds),
-                   fixed3(speedup) + "x"});
+                   std::to_string(outcome.visited), fixed(outcome.seconds, 3),
+                   fixed(states_per_sec(outcome), 0),
+                   fixed(outcome.stats.store.bytes_per_node(), 1),
+                   fixed(speedup, 3) + "x"});
     json.begin_object();
     json.key_value("instance", instance.label);
     json.key_value("config", config_label);
@@ -146,7 +163,12 @@ int main(int argc, char** argv) {
     json.key_value("verdict", outcome.clean ? "clean" : "violation");
     json.key_value("visited", outcome.visited);
     json.key_value("seconds", outcome.seconds);
+    json.key_value("states_per_sec", states_per_sec(outcome));
     json.key_value("speedup", speedup);
+    json.key_value("compact", outcome.stats.compact);
+    json.key_value("store_nodes", outcome.stats.store.nodes);
+    json.key_value("store_bytes_per_node", outcome.stats.store.bytes_per_node());
+    json.key_value("canonical_hit_rate", outcome.stats.store.canonical_hit_rate());
     json.end_object();
   };
 
@@ -178,15 +200,54 @@ int main(int argc, char** argv) {
          automatic, sequential.seconds / automatic.seconds);
   }
 
+  // --- Symmetry reduction on the n=4 acceptance instance ------------------
+  //
+  // The Sn(4) n=4 team-consensus instance re-checked with its symmetry
+  // declaration: interchangeable same-team roles canonicalize, so the
+  // visited set must shrink (the verdict must not change). The row joins the
+  // main array (emit writes into it); the summary gets its own object below.
+  const Instance& n4 = instances.back();
+  const RunOutcome plain = timed(n4, check::Strategy::kParallelBFS, 0, repeats);
+  const RunOutcome reduced =
+      timed(n4, check::Strategy::kParallelBFS, 0, repeats, /*symmetry=*/true);
+  const bool symmetry_ok =
+      reduced.clean == plain.clean && reduced.visited <= plain.visited;
+  verdicts_consistent = verdicts_consistent && symmetry_ok;
+  emit(n4, "parallel+symmetry", 0, reduced,
+       plain.seconds > 0 ? plain.seconds / reduced.seconds : 0.0);
+
   json.end_array();
+
+  json.key("canonicalization");
+  json.begin_object();
+  json.key_value("instance", n4.label);
+  json.key_value("visited_plain", plain.visited);
+  json.key_value("visited_reduced", reduced.visited);
+  json.key_value("reduction",
+                 plain.visited > 0
+                     ? 1.0 - static_cast<double>(reduced.visited) /
+                                 static_cast<double>(plain.visited)
+                     : 0.0);
+  json.key_value("canonical_hit_rate", reduced.stats.store.canonical_hit_rate());
+  json.key_value("verdict_preserved", reduced.clean == plain.clean);
+  json.end_object();
+
   json.key_value("verdicts_consistent", verdicts_consistent);
   json.end_object();
   json_file << "\n";
 
   table.print(std::cout);
+  std::cout << "\nSymmetry reduction on " << n4.label << ": " << plain.visited
+            << " -> " << reduced.visited << " states ("
+            << fixed(plain.visited > 0
+                         ? 100.0 * (1.0 - static_cast<double>(reduced.visited) /
+                                              static_cast<double>(plain.visited))
+                         : 0.0,
+                     1)
+            << "% fewer)\n";
   if (!verdicts_consistent) {
     std::cout << "\nERROR: configurations disagreed on verdict or visited-state "
-                 "count.\n";
+                 "count (or symmetry reduction grew the visited set).\n";
     return 1;
   }
   std::cout << "\nAll configurations agree on verdict and visited-state count.\n"

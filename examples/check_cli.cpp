@@ -5,19 +5,30 @@
 //   $ check_cli scenarios.spec --strategy=dfs     # force sequential DFS
 //   $ check_cli scenarios.spec --strategy=bfs --threads=8
 //   $ check_cli scenarios.spec --strategy=random --runs=500 --seed=7
+//   $ check_cli scenarios.spec --minimize --save-viol=corpus/
+//   $ check_cli corpus/register_race.viol         # replay a violation file
 //
-// Each line of the spec file describes one team-consensus scenario (see
-// examples/scenarios/default.spec for the grammar). Exit codes: 0 = all
-// scenarios clean, 1 = at least one violation, 2 = bad usage or spec file.
+// Each line of the spec file describes one scenario (see
+// examples/scenarios/default.spec for the grammar; algo= selects the
+// construction). A `.viol` argument instead replays one persisted violation
+// (check/violation_io.hpp) and verifies it still reproduces. On violations,
+// --minimize greedily shrinks the schedule (check/minimize.hpp) before
+// printing/saving, and --save-viol=DIR persists each violation as
+// DIR/<scenario>.viol. Exit codes: 0 = all scenarios clean (or, for a .viol
+// input, the violation reproduced), 1 = violation found (or a .viol failed
+// to reproduce), 2 = bad usage or input file.
+#include <cctype>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "check/check.hpp"
+#include "check/minimize.hpp"
 #include "check/scenario_spec.hpp"
-#include "rc/team_consensus.hpp"
-#include "typesys/zoo.hpp"
+#include "check/spec_system.hpp"
+#include "check/violation_io.hpp"
+#include "sim/replay.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -25,12 +36,14 @@ namespace {
 using namespace rcons;
 
 struct CliOptions {
-  std::string scenario_file;
+  std::string input_file;
   check::Strategy strategy = check::Strategy::kAuto;
   int num_threads = 0;
   int runs = 200;
   std::uint64_t seed = 1;
   bool show_trace = false;
+  bool minimize = false;
+  std::string save_viol_dir;
 };
 
 bool parse_args(int argc, char** argv, CliOptions& options) {
@@ -58,22 +71,75 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg == "--trace") {
       options.show_trace = true;
+    } else if (arg == "--minimize") {
+      options.minimize = true;
+    } else if (arg.rfind("--save-viol=", 0) == 0) {
+      options.save_viol_dir = arg.substr(12);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option " << arg << "\n";
       return false;
-    } else if (options.scenario_file.empty()) {
-      options.scenario_file = arg;
+    } else if (options.input_file.empty()) {
+      options.input_file = arg;
     } else {
       std::cerr << "unexpected argument " << arg << "\n";
       return false;
     }
   }
-  if (options.scenario_file.empty()) {
-    std::cerr << "usage: check_cli <scenario-file> [--strategy=auto|dfs|bfs|random]\n"
-                 "                 [--threads=N] [--runs=R] [--seed=S] [--trace]\n";
+  if (options.input_file.empty()) {
+    std::cerr << "usage: check_cli <scenario-file|violation.viol>\n"
+                 "                 [--strategy=auto|dfs|bfs|random] [--threads=N]\n"
+                 "                 [--runs=R] [--seed=S] [--trace] [--minimize]\n"
+                 "                 [--save-viol=DIR]\n";
     return false;
   }
   return true;
+}
+
+std::string sanitize_filename(std::string name) {
+  for (char& ch : name) {
+    if (!std::isalnum(static_cast<unsigned char>(ch)) && ch != '-' && ch != '.') {
+      ch = '_';
+    }
+  }
+  return name;
+}
+
+check::Budget spec_budget(const check::ScenarioSpec& spec) {
+  check::Budget budget;
+  budget.crash_model = spec.crash_model;
+  budget.crash_budget = spec.crash_budget;
+  if (spec.max_steps_per_run >= 0) budget.max_steps_per_run = spec.max_steps_per_run;
+  if (spec.max_visited >= 0) {
+    budget.max_visited = static_cast<std::uint64_t>(spec.max_visited);
+  }
+  return budget;
+}
+
+// Replays one persisted violation file and reports whether it reproduces.
+int replay_violation_file(const CliOptions& options) {
+  const check::ViolationParse parse = check::load_violation_file(options.input_file);
+  if (!parse.ok()) {
+    for (const std::string& error : parse.errors) std::cerr << error << "\n";
+    return 2;
+  }
+  const check::ViolationFile& file = *parse.file;
+
+  check::CheckRequest request;
+  request.system = check::build_spec_system(file.scenario);
+  request.budget = spec_budget(file.scenario);
+  request.strategy = check::Strategy::kReplay;
+  request.schedule = file.schedule;
+  const check::CheckReport report = check::check(std::move(request));
+
+  const std::string expected = check::violation_property(file.description);
+  std::cout << check::spec_display_name(file.scenario) << ": ";
+  if (report.violation.has_value() &&
+      check::violation_property(report.violation->description) == expected) {
+    std::cout << "violation reproduced (" << report.violation->description << ")\n";
+    return 0;
+  }
+  std::cout << "violation did NOT reproduce (expected " << expected << ")\n";
+  return 1;
 }
 
 }  // namespace
@@ -82,7 +148,12 @@ int main(int argc, char** argv) {
   CliOptions options;
   if (!parse_args(argc, argv, options)) return 2;
 
-  const check::ScenarioParse parse = check::load_scenario_file(options.scenario_file);
+  if (options.input_file.size() > 5 &&
+      options.input_file.rfind(".viol") == options.input_file.size() - 5) {
+    return replay_violation_file(options);
+  }
+
+  const check::ScenarioParse parse = check::load_scenario_file(options.input_file);
   if (!parse.ok()) {
     for (const std::string& error : parse.errors) std::cerr << error << "\n";
     return 2;
@@ -92,35 +163,24 @@ int main(int argc, char** argv) {
       {"scenario", "strategy", "verdict", "visited", "runs", "time(s)"});
   int violations = 0;
   for (const check::ScenarioSpec& spec : parse.specs) {
-    auto type = typesys::make_type(spec.type);
-    rc::TeamConsensusSystem system =
-        rc::make_team_consensus_system(*type, spec.n, 101, 202);
-
     check::CheckRequest request;
-    request.system.memory = std::move(system.memory);
-    request.system.processes = std::move(system.processes);
-    request.system.valid_outputs = {101, 202};
-    request.budget.crash_model = spec.crash_model;
-    request.budget.crash_budget = spec.crash_budget;
-    if (spec.max_steps_per_run >= 0) {
-      request.budget.max_steps_per_run = spec.max_steps_per_run;
-    }
-    if (spec.max_visited >= 0) {
-      request.budget.max_visited = static_cast<std::uint64_t>(spec.max_visited);
-    }
+    request.system = check::build_spec_system(spec);
+    request.budget = spec_budget(spec);
     request.strategy = options.strategy;
     request.num_threads = options.num_threads;
     request.runs = options.runs;
     request.seed = options.seed;
 
+    // minimize/save need a pristine copy after check() consumes the request.
+    const check::ScenarioSystem pristine =
+        (options.minimize || !options.save_viol_dir.empty())
+            ? request.system
+            : check::ScenarioSystem{};
+    const check::Budget budget = request.budget;
+
     const check::CheckReport report = check::check(std::move(request));
 
-    std::string name = spec.name;
-    if (name.empty()) {
-      std::ostringstream generated;
-      generated << spec.type << "/n=" << spec.n << "/c=" << spec.crash_budget;
-      name = generated.str();
-    }
+    const std::string name = check::spec_display_name(spec);
     std::ostringstream time;
     time.precision(3);
     time << std::fixed << report.seconds;
@@ -131,9 +191,46 @@ int main(int argc, char** argv) {
                    time.str()});
     if (!report.clean) {
       violations += 1;
-      std::cerr << name << ": " << report.violation->description << "\n";
+      sim::Violation violation = *report.violation;
+      if (options.minimize) {
+        const check::MinimizeResult minimized =
+            check::minimize(pristine, budget, violation);
+        std::cerr << name << ": minimized " << minimized.original_events << " -> "
+                  << minimized.violation.schedule.size() << " events ("
+                  << minimized.replays << " replays)\n";
+        violation = minimized.violation;
+      }
+      std::cerr << name << ": " << violation.description << "\n";
       if (options.show_trace) {
-        std::cerr << "  schedule: " << report.violation->trace() << "\n";
+        std::cerr << "  schedule: " << violation.trace() << "\n";
+      }
+      const std::string property = check::violation_property(violation.description);
+      if (!options.save_viol_dir.empty() && !property.empty()) {
+        // A corpus file must honour the replay contract; schedules found
+        // under symmetry reduction are only valid up to a class permutation
+        // and may not reproduce — verify before persisting.
+        const sim::ReplayReport replayed = sim::replay(
+            pristine.memory, pristine.processes, violation.schedule,
+            budget.valid_outputs.empty() ? pristine.valid_outputs
+                                         : budget.valid_outputs,
+            budget.max_steps_per_run);
+        if (!replayed.violation.has_value() ||
+            check::violation_property(*replayed.violation) != property) {
+          std::cerr << name << ": schedule does not replay (symmetry-reduced "
+                       "counterexample?) — not saved\n";
+        } else {
+          check::ViolationFile file;
+          file.scenario = spec;
+          file.description = violation.description;
+          file.schedule = violation.schedule;
+          const std::string path =
+              options.save_viol_dir + "/" + sanitize_filename(name) + ".viol";
+          if (check::save_violation_file(path, file)) {
+            std::cerr << name << ": saved " << path << "\n";
+          } else {
+            std::cerr << name << ": could not write " << path << "\n";
+          }
+        }
       }
     }
   }

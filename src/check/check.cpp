@@ -25,6 +25,8 @@ sim::ExplorerConfig explorer_config(const CheckRequest& request) {
   sim::ExplorerConfig config;
   static_cast<Budget&>(config) = request.budget;
   config.valid_outputs = effective_valid_outputs(request);
+  config.node_repr = request.node_repr;
+  config.symmetry_classes = request.system.symmetry_classes;
   return config;
 }
 
@@ -41,11 +43,13 @@ CheckReport run_sequential(const CheckRequest& request, std::uint64_t max_visite
   return report;
 }
 
-CheckReport run_parallel(const CheckRequest& request) {
+CheckReport run_parallel(const CheckRequest& request,
+                         std::uint64_t expected_states = 0) {
   engine::ParallelExplorerConfig config;
   static_cast<sim::ExplorerConfig&>(config) = explorer_config(request);
   config.num_threads = request.num_threads;
   config.shard_bits = request.shard_bits;
+  config.expected_states = expected_states;
   engine::ParallelExplorer explorer(request.system.memory, request.system.processes,
                                     config);
   CheckReport report;
@@ -119,7 +123,9 @@ CheckReport run_auto(const CheckRequest& request) {
   if (!probe.stats.truncated || probe_limit == request.budget.max_visited) {
     return probe;  // small instance, or the real budget was the probe budget
   }
-  return run_parallel(request);
+  // The probe's visited count is a lower bound on the state space — enough
+  // signal for the engine to auto-tune shard_bits (engine::pick_shard_bits).
+  return run_parallel(request, probe.stats.visited);
 }
 
 }  // namespace

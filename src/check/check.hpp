@@ -45,12 +45,21 @@
 
 namespace rcons::check {
 
-// A materialized system under check: shared memory, the processes, and the
-// inputs that outputs are validated against.
+// A materialized system under check: shared memory, the processes, the
+// inputs that outputs are validated against, and (optionally) the system's
+// symmetry declaration.
 struct ScenarioSystem {
   sim::Memory memory;
   std::vector<sim::Process> processes;
   std::vector<typesys::Value> valid_outputs;
+
+  // Equivalence classes of interchangeable processes (identical programs on
+  // identical inputs); empty disables symmetry reduction. The exhaustive
+  // backends canonicalize same-class process blocks before fingerprinting, so
+  // symmetric states deduplicate to one visited node (engine/node_store.hpp).
+  // Verdicts are preserved; a violation schedule found under reduction is
+  // valid up to a class permutation and may not replay verbatim.
+  std::vector<int> symmetry_classes;
 };
 
 enum class Strategy {
@@ -73,9 +82,13 @@ struct CheckRequest {
   // this many states stay sequential; larger ones go to the parallel engine.
   std::uint64_t auto_probe_limit = 200'000;
 
+  // Exhaustive strategies: node representation override (kAuto picks the
+  // compact interned store whenever every program supports decode()).
+  sim::NodeRepr node_repr = sim::NodeRepr::kAuto;
+
   // kParallelBFS (and the kAuto escalation path):
   int num_threads = 0;  // 0 = hardware concurrency
-  int shard_bits = 6;
+  int shard_bits = -1;  // -1 = auto-tune from thread count and probe size
 
   // kRandomized:
   std::uint64_t seed = 1;
@@ -94,7 +107,10 @@ struct CheckReport {
   bool complete = false;  // exhaustive and untruncated: the verdict is a proof
   std::optional<sim::Violation> violation;
 
-  // Exhaustive strategies (sequential / parallel / auto):
+  // Exhaustive strategies (sequential / parallel / auto). `stats.store`
+  // carries the compact node-store statistics — states interned, arena bytes
+  // per node, canonicalization hit rate — when the run used the interned
+  // representation (stats.compact).
   sim::ExplorerStats stats;
 
   // kRandomized:

@@ -23,15 +23,25 @@ bool parse_int(const std::string& text, std::int64_t& out) {
   return true;
 }
 
-struct LineError {
-  std::string message;
-};
+}  // namespace
+
+const char* scenario_algo_name(ScenarioAlgo algo) {
+  switch (algo) {
+    case ScenarioAlgo::kTeamConsensus:
+      return "team";
+    case ScenarioAlgo::kHaltingTournament:
+      return "halting";
+    case ScenarioAlgo::kNaiveRegister:
+      return "naive-register";
+  }
+  return "unknown";
+}
 
 // Parses one spec line already known to be non-blank / non-comment. Errors
 // accumulate in `errors` (a line can have several); returns the spec built
 // from the fields that did parse.
-void parse_line(const std::string& line, ScenarioSpec& spec,
-                std::vector<std::string>& errors) {
+void parse_scenario_line(const std::string& line, ScenarioSpec& spec,
+                         std::vector<std::string>& errors) {
   bool saw_type = false;
   std::istringstream tokens(line);
   std::string token;
@@ -90,6 +100,25 @@ void parse_line(const std::string& line, ScenarioSpec& spec,
       } else {
         spec.max_visited = number;
       }
+    } else if (key == "algo") {
+      if (value == "team") {
+        spec.algo = ScenarioAlgo::kTeamConsensus;
+      } else if (value == "halting") {
+        spec.algo = ScenarioAlgo::kHaltingTournament;
+      } else if (value == "naive-register") {
+        spec.algo = ScenarioAlgo::kNaiveRegister;
+      } else {
+        errors.push_back("algo must be team, halting or naive-register, got '" +
+                         value + "'");
+      }
+    } else if (key == "symmetry") {
+      if (value == "on") {
+        spec.symmetry = true;
+      } else if (value == "off") {
+        spec.symmetry = false;
+      } else {
+        errors.push_back("symmetry must be on or off, got '" + value + "'");
+      }
     } else {
       errors.push_back("unknown key '" + key + "'");
     }
@@ -97,7 +126,18 @@ void parse_line(const std::string& line, ScenarioSpec& spec,
   if (!saw_type) errors.push_back("missing required type=");
 }
 
-}  // namespace
+std::string format_scenario_line(const ScenarioSpec& spec) {
+  std::ostringstream out;
+  out << "type=" << spec.type << " n=" << spec.n << " model="
+      << (spec.crash_model == CrashModel::kIndependent ? "independent"
+                                                       : "simultaneous")
+      << " budget=" << spec.crash_budget << " algo=" << scenario_algo_name(spec.algo);
+  if (spec.symmetry) out << " symmetry=on";
+  if (spec.max_steps_per_run >= 0) out << " max_steps=" << spec.max_steps_per_run;
+  if (spec.max_visited >= 0) out << " max_visited=" << spec.max_visited;
+  if (!spec.name.empty()) out << " name=" << spec.name;
+  return out.str();
+}
 
 ScenarioParse parse_scenario_specs(std::istream& in) {
   ScenarioParse result;
@@ -112,7 +152,7 @@ ScenarioParse parse_scenario_specs(std::istream& in) {
 
     ScenarioSpec spec;
     std::vector<std::string> errors;
-    parse_line(line, spec, errors);
+    parse_scenario_line(line, spec, errors);
     if (errors.empty()) {
       result.specs.push_back(std::move(spec));
     } else {

@@ -8,6 +8,9 @@
 //   type=Sn(2) n=2 model=independent budget=3
 //   type=compare-and-swap n=3 model=simultaneous budget=2 name=cas-sim
 //   type=Tn(4) n=2 budget=3 max_steps=400 max_visited=1000000
+//   type=Sn(4) n=4 budget=1 symmetry=on
+//   type=test-and-set n=2 budget=1 algo=halting
+//   type=register n=2 budget=0 algo=naive-register
 //
 // Fields (whitespace-separated key=value pairs, any order):
 //   type        (required) zoo type name — typesys::make_type must know it
@@ -17,6 +20,16 @@
 //   name        scenario label                      (default: generated)
 //   max_steps   per-run wait-freedom bound override (default: inherit)
 //   max_visited visited-state cap override          (default: inherit)
+//   algo        team | halting | naive-register     (default team)
+//   symmetry    on | off                            (default off)
+//
+// `algo` picks which construction build_spec_system materializes: the
+// Figure 2 recoverable team consensus (clean under the type's recording
+// level), Ruppert's halting-model tournament (breaks under independent
+// crashes — the halting-TAS violation), or the naive write-then-read register
+// race (breaks with no crashes). `symmetry=on` attaches the scenario's
+// symmetry declaration so the explorers canonicalize interchangeable
+// processes (engine/node_store.hpp).
 //
 // Parsing never aborts: malformed lines are collected as "line N: ..." errors
 // and well-formed lines still produce specs, so a sweep can report every
@@ -33,6 +46,14 @@
 
 namespace rcons::check {
 
+enum class ScenarioAlgo {
+  kTeamConsensus,      // Figure 2 recoverable team consensus (default)
+  kHaltingTournament,  // Ruppert's halting-model tournament (crash-unsafe)
+  kNaiveRegister,      // write-then-read register race (interleaving-unsafe)
+};
+
+const char* scenario_algo_name(ScenarioAlgo algo);
+
 struct ScenarioSpec {
   std::string name;  // empty = let the portfolio generate one
   std::string type;  // zoo type name, validated against typesys::make_type
@@ -41,6 +62,8 @@ struct ScenarioSpec {
   int crash_budget = 2;
   long max_steps_per_run = -1;         // -1 = inherit the sweep's budget
   std::int64_t max_visited = -1;       // -1 = inherit the sweep's budget
+  ScenarioAlgo algo = ScenarioAlgo::kTeamConsensus;
+  bool symmetry = false;  // attach the scenario's symmetry declaration
 
   bool operator==(const ScenarioSpec&) const = default;
 };
@@ -54,6 +77,16 @@ struct ScenarioParse {
 
 ScenarioParse parse_scenario_specs(std::istream& in);
 ScenarioParse parse_scenario_specs(const std::string& text);
+
+// Parses a single scenario line (no comment stripping) into `spec`,
+// appending problems to `errors`. Shared with the `.viol` violation-file
+// parser (check/violation_io.hpp), whose `scenario` line uses this grammar.
+void parse_scenario_line(const std::string& line, ScenarioSpec& spec,
+                         std::vector<std::string>& errors);
+
+// Renders `spec` back into one grammar line (the inverse of
+// parse_scenario_line for every field the grammar covers).
+std::string format_scenario_line(const ScenarioSpec& spec);
 
 // Reads and parses `path`; a file that cannot be opened is reported as a
 // parse error (specs empty).

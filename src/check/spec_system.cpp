@@ -1,0 +1,80 @@
+#include "check/spec_system.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "rc/discerning_consensus.hpp"
+#include "rc/naive_register.hpp"
+#include "rc/team_consensus.hpp"
+#include "typesys/zoo.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::check {
+
+namespace {
+
+constexpr typesys::Value kInputA = 101;
+constexpr typesys::Value kInputB = 202;
+
+ScenarioSystem build_team(const ScenarioSpec& spec) {
+  auto type = typesys::make_type(spec.type);
+  RCONS_ASSERT_MSG(type != nullptr, "spec type unknown to the zoo");
+  rc::TeamConsensusSystem built =
+      rc::make_team_consensus_system(*type, spec.n, kInputA, kInputB);
+  ScenarioSystem system;
+  system.memory = std::move(built.memory);
+  system.processes = std::move(built.processes);
+  system.valid_outputs = {kInputA, kInputB};
+  if (spec.symmetry) system.symmetry_classes = std::move(built.symmetry_classes);
+  return system;
+}
+
+ScenarioSystem build_halting(const ScenarioSpec& spec) {
+  auto type = typesys::make_type(spec.type);
+  RCONS_ASSERT_MSG(type != nullptr, "spec type unknown to the zoo");
+  std::vector<typesys::Value> inputs;
+  for (int i = 0; i < spec.n; ++i) inputs.push_back(i + 1);
+  rc::HaltingConsensusSystem built =
+      rc::make_halting_consensus(*type, spec.n, inputs);
+  ScenarioSystem system;
+  system.memory = std::move(built.memory);
+  system.processes = std::move(built.processes);
+  system.valid_outputs = std::move(inputs);
+  return system;
+}
+
+ScenarioSystem build_naive_register(const ScenarioSpec& spec) {
+  rc::NaiveRegisterSystem built = rc::make_naive_register_system(spec.n);
+  ScenarioSystem system;
+  system.memory = std::move(built.memory);
+  system.processes = std::move(built.processes);
+  system.valid_outputs = std::move(built.inputs);
+  return system;
+}
+
+}  // namespace
+
+ScenarioSystem build_spec_system(const ScenarioSpec& spec) {
+  switch (spec.algo) {
+    case ScenarioAlgo::kTeamConsensus:
+      return build_team(spec);
+    case ScenarioAlgo::kHaltingTournament:
+      return build_halting(spec);
+    case ScenarioAlgo::kNaiveRegister:
+      return build_naive_register(spec);
+  }
+  RCONS_ASSERT_MSG(false, "unknown scenario algo");
+  return {};
+}
+
+std::string spec_display_name(const ScenarioSpec& spec) {
+  if (!spec.name.empty()) return spec.name;
+  std::ostringstream name;
+  name << scenario_algo_name(spec.algo) << "/" << spec.type << "/n=" << spec.n << "/"
+       << (spec.crash_model == CrashModel::kIndependent ? "independent"
+                                                        : "simultaneous")
+       << "/c=" << spec.crash_budget;
+  return name.str();
+}
+
+}  // namespace rcons::check

@@ -1,0 +1,38 @@
+// Materializes the system a ScenarioSpec describes — the one place the spec
+// grammar's `algo=` field is interpreted, shared by engine::Portfolio,
+// check_cli, and the tests/corpus/ violation corpus so a spec line means the
+// same system everywhere.
+//
+//   algo=team           — Figure 2 recoverable team consensus over the
+//                         spec's type (asserts the type is n-recording);
+//                         inputs 101 (team A) / 202 (team B).
+//   algo=halting        — Ruppert's halting-model tournament over an
+//                         n-discerning type; inputs 1..n. Deliberately not
+//                         crash-safe: the halting-TAS agreement violation.
+//   algo=naive-register — write-then-read register race; inputs 1..n. The
+//                         spec's type is unused (by convention `register`).
+//
+// `symmetry=on` fills the returned system's symmetry_classes (only team
+// consensus declares one — tournament chains and distinct inputs make the
+// other algorithms asymmetric).
+#ifndef RCONS_CHECK_SPEC_SYSTEM_HPP
+#define RCONS_CHECK_SPEC_SYSTEM_HPP
+
+#include <string>
+
+#include "check/check.hpp"
+#include "check/scenario_spec.hpp"
+
+namespace rcons::check {
+
+// Builds the spec's system. Asserts on specs whose type cannot support the
+// algorithm (parse validation already guarantees the type exists).
+ScenarioSystem build_spec_system(const ScenarioSpec& spec);
+
+// The label shown for a spec in tables and generated file names: the spec's
+// own name when given, otherwise "<algo>/<type>/n=N/<model>/c=B".
+std::string spec_display_name(const ScenarioSpec& spec);
+
+}  // namespace rcons::check
+
+#endif  // RCONS_CHECK_SPEC_SYSTEM_HPP

@@ -132,11 +132,16 @@ void encode_node(const Node& node, std::vector<Value>& scratch) {
 
 util::U128 fingerprint(const Node& node, std::vector<Value>& scratch) {
   encode_node(node, scratch);
-  const std::uint64_t lo = util::hash_range(scratch.data(), scratch.size());
+  return fingerprint_values(scratch.data(), scratch.size());
+}
+
+util::U128 fingerprint_values(const Value* data, std::size_t size) {
+  const std::uint64_t lo = util::hash_range(data, size);
   // Independent second hash: remix every element with a different stream.
-  std::uint64_t hi = 0x6a09e667f3bcc909ULL ^ scratch.size();
-  for (const Value v : scratch) {
-    hi = util::mix64(hi + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(v + 1));
+  std::uint64_t hi = 0x6a09e667f3bcc909ULL ^ size;
+  for (std::size_t i = 0; i < size; ++i) {
+    hi = util::mix64(hi +
+                     0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(data[i] + 1));
   }
   return util::U128{lo, hi};
 }

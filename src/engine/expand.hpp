@@ -71,6 +71,11 @@ std::optional<std::string> apply_event(Node& node, const Event& event,
 void encode_node(const Node& node, std::vector<typesys::Value>& scratch);
 util::U128 fingerprint(const Node& node, std::vector<typesys::Value>& scratch);
 
+// Fingerprint of an already-encoded canonical prefix. Shared by fingerprint()
+// and the compact NodeCodec (engine/node_store.hpp), so the clone-based and
+// interned representations key the visited set identically.
+util::U128 fingerprint_values(const typesys::Value* data, std::size_t size);
+
 // Deterministic total order on events / event paths, matching the enumeration
 // order above. Used for "lowest trace wins" violation selection in the
 // parallel explorer.

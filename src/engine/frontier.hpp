@@ -7,6 +7,11 @@
 // the oldest, shallowest nodes, which tend to root the largest unexplored
 // subtrees — and takes a batch (half the victim's items, capped) in one lock
 // acquisition so a starving worker doesn't come back for every node.
+//
+// The frontier is generic over the item type: the clone-based explorer queues
+// `WorkItem`s that own their node, while the compact explorer queues
+// `CompactWorkItem`s that carry only an interned NodeStore id (the node
+// payload lives once in the store's arena, engine/node_store.hpp).
 #ifndef RCONS_ENGINE_FRONTIER_HPP
 #define RCONS_ENGINE_FRONTIER_HPP
 
@@ -18,50 +23,124 @@
 #include <vector>
 
 #include "engine/expand.hpp"
+#include "util/assert.hpp"
 
 namespace rcons::engine {
 
-// One pending unit of work: a deduplicated global state plus a backlink to
-// the event path that first reached it (materialized only for trace
-// reporting).
+// One pending unit of work in the clone-based representation: a deduplicated
+// global state plus a backlink to the event path that first reached it
+// (materialized only for trace reporting).
 struct WorkItem {
   Node node;
   std::shared_ptr<const PathLink> tail;
 };
 
-class Frontier {
+// One pending unit of work in the compact representation: the interned id of
+// the node's record plus the same path backlink.
+struct CompactWorkItem {
+  std::uint64_t id = 0;  // NodeStore::NodeId
+  std::shared_ptr<const PathLink> tail;
+};
+
+// Shared across FrontierT instantiations so callers can hold steal counts
+// without caring which item type produced them.
+struct FrontierStats {
+  std::uint64_t steals = 0;        // successful batch steals
+  std::uint64_t stolen_items = 0;  // items moved by those steals
+};
+
+template <typename Item>
+class FrontierT {
  public:
-  explicit Frontier(int num_workers);
+  explicit FrontierT(int num_workers) {
+    RCONS_ASSERT(num_workers >= 1);
+    deques_.reserve(static_cast<std::size_t>(num_workers));
+    for (int i = 0; i < num_workers; ++i) {
+      deques_.push_back(std::make_unique<Deque>());
+    }
+  }
 
   // Pushes onto `worker`'s own deque. Thread-safe (stealers lock the same
   // deque), but `worker` must identify the calling worker.
-  void push(int worker, std::unique_ptr<WorkItem> item);
+  void push(int worker, std::unique_ptr<Item> item) {
+    Deque& deque = *deques_[static_cast<std::size_t>(worker)];
+    std::lock_guard<std::mutex> lock(deque.mu);
+    deque.items.push_back(std::move(item));
+  }
 
-  // Pops the most recent local item, or steals a batch from the busiest
-  // other worker. Returns nullptr when every deque is (momentarily) empty —
-  // the caller decides via its pending-work counter whether that means done.
-  std::unique_ptr<WorkItem> pop(int worker);
+  // Pops the most recent local item, or steals a batch from another worker.
+  // Returns nullptr when every deque is (momentarily) empty — the caller
+  // decides via its pending-work counter whether that means done.
+  std::unique_ptr<Item> pop(int worker) {
+    Deque& own = *deques_[static_cast<std::size_t>(worker)];
+    {
+      std::lock_guard<std::mutex> lock(own.mu);
+      if (!own.items.empty()) {
+        std::unique_ptr<Item> item = std::move(own.items.back());
+        own.items.pop_back();
+        return item;
+      }
+    }
 
-  struct Stats {
-    std::uint64_t steals = 0;          // successful batch steals
-    std::uint64_t stolen_items = 0;    // items moved by those steals
-  };
-  Stats stats() const;
+    const int n = static_cast<int>(deques_.size());
+    for (int offset = 1; offset < n; ++offset) {
+      const int victim = (worker + offset) % n;
+      if (!steal_into(worker, victim)) continue;
+      std::lock_guard<std::mutex> lock(own.mu);
+      if (!own.items.empty()) {
+        std::unique_ptr<Item> item = std::move(own.items.back());
+        own.items.pop_back();
+        return item;
+      }
+    }
+    return nullptr;
+  }
+
+  using Stats = FrontierStats;
+  Stats stats() const {
+    Stats stats;
+    stats.steals = steals_.load(std::memory_order_relaxed);
+    stats.stolen_items = stolen_items_.load(std::memory_order_relaxed);
+    return stats;
+  }
 
  private:
   static constexpr std::size_t kMaxStealBatch = 32;
 
   struct alignas(64) Deque {
     mutable std::mutex mu;
-    std::deque<std::unique_ptr<WorkItem>> items;
+    std::deque<std::unique_ptr<Item>> items;
   };
 
-  bool steal_into(int thief, int victim);
+  bool steal_into(int thief, int victim) {
+    Deque& from = *deques_[static_cast<std::size_t>(victim)];
+    Deque& to = *deques_[static_cast<std::size_t>(thief)];
+    // Lock ordering by worker index prevents deadlock between mutual stealers.
+    std::unique_lock<std::mutex> first(victim < thief ? from.mu : to.mu,
+                                       std::defer_lock);
+    std::unique_lock<std::mutex> second(victim < thief ? to.mu : from.mu,
+                                        std::defer_lock);
+    first.lock();
+    second.lock();
+    if (from.items.empty()) return false;
+    std::size_t take = (from.items.size() + 1) / 2;
+    if (take > kMaxStealBatch) take = kMaxStealBatch;
+    for (std::size_t i = 0; i < take; ++i) {
+      to.items.push_back(std::move(from.items.front()));
+      from.items.pop_front();
+    }
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    stolen_items_.fetch_add(take, std::memory_order_relaxed);
+    return true;
+  }
 
   std::vector<std::unique_ptr<Deque>> deques_;
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> stolen_items_{0};
 };
+
+using Frontier = FrontierT<WorkItem>;
+using CompactFrontier = FrontierT<CompactWorkItem>;
 
 }  // namespace rcons::engine
 

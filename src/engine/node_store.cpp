@@ -1,0 +1,257 @@
+#include "engine/node_store.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace rcons::engine {
+
+using typesys::Value;
+
+bool resolve_compact_repr(sim::NodeRepr repr,
+                          const std::vector<sim::Process>& processes) {
+  bool all_decodable = true;
+  for (const sim::Process& process : processes) {
+    all_decodable = all_decodable && process.decodable();
+  }
+  switch (repr) {
+    case sim::NodeRepr::kAuto:
+      return all_decodable;
+    case sim::NodeRepr::kCompact:
+      RCONS_ASSERT_MSG(all_decodable,
+                       "NodeRepr::kCompact requires every program to decode()");
+      return true;
+    case sim::NodeRepr::kLegacy:
+      return false;
+  }
+  return false;
+}
+
+// --- Canonicalizer ----------------------------------------------------------
+
+Canonicalizer::Canonicalizer(const std::vector<int>& symmetry_classes)
+    : num_processes_(symmetry_classes.size()) {
+  std::map<int, std::vector<int>> by_class;
+  for (std::size_t i = 0; i < symmetry_classes.size(); ++i) {
+    by_class[symmetry_classes[i]].push_back(static_cast<int>(i));
+  }
+  for (auto& [cls, members] : by_class) {
+    if (members.size() >= 2) groups_.push_back(std::move(members));
+  }
+}
+
+bool Canonicalizer::canonicalize(std::vector<Value>& record,
+                                 const std::vector<std::size_t>& block_offsets) {
+  if (groups_.empty()) return false;
+  const std::size_t n = num_processes_;
+  RCONS_ASSERT(block_offsets.size() == n + 1);
+  RCONS_ASSERT(record.size() == block_offsets[n] + n);
+  const std::size_t sidecar = block_offsets[n];
+
+  // Lexicographic order on (block content, steps_in_run). The sidecar
+  // tiebreak only disambiguates equal blocks — it never influences which
+  // fingerprint results, since equal blocks fingerprint identically either
+  // way — but it keeps the stored record deterministic.
+  auto block_less = [&](int a, int b) {
+    const auto sa = static_cast<std::size_t>(a);
+    const auto sb = static_cast<std::size_t>(b);
+    const Value* a_begin = record.data() + block_offsets[sa];
+    const Value* a_end = record.data() + block_offsets[sa + 1];
+    const Value* b_begin = record.data() + block_offsets[sb];
+    const Value* b_end = record.data() + block_offsets[sb + 1];
+    if (std::lexicographical_compare(a_begin, a_end, b_begin, b_end)) return true;
+    if (std::lexicographical_compare(b_begin, b_end, a_begin, a_end)) return false;
+    return record[sidecar + sa] < record[sidecar + sb];
+  };
+
+  order_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) order_[i] = static_cast<int>(i);
+  bool permuted = false;
+  for (const std::vector<int>& group : groups_) {
+    sorted_.assign(group.begin(), group.end());
+    // Stable: fully-equal blocks (e.g. every process at the root) keep their
+    // original order, so the identity state never counts as a "hit".
+    std::stable_sort(sorted_.begin(), sorted_.end(), block_less);
+    for (std::size_t j = 0; j < group.size(); ++j) {
+      order_[static_cast<std::size_t>(group[j])] = sorted_[j];
+      permuted = permuted || sorted_[j] != group[j];
+    }
+  }
+  if (!permuted) return false;
+
+  // Rebuild the process region and sidecar in the canonical order.
+  scratch_.clear();
+  scratch_.insert(scratch_.end(), record.begin(),
+                  record.begin() + static_cast<std::ptrdiff_t>(block_offsets[0]));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = static_cast<std::size_t>(order_[i]);
+    scratch_.insert(scratch_.end(),
+                    record.begin() + static_cast<std::ptrdiff_t>(block_offsets[src]),
+                    record.begin() + static_cast<std::ptrdiff_t>(block_offsets[src + 1]));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch_.push_back(record[sidecar + static_cast<std::size_t>(order_[i])]);
+  }
+  RCONS_ASSERT(scratch_.size() == record.size());
+  record.swap(scratch_);
+  return true;
+}
+
+// --- NodeCodec --------------------------------------------------------------
+
+bool NodeCodec::decodable(const Node& node) {
+  for (const sim::Process& process : node.processes) {
+    if (!process.decodable()) return false;
+  }
+  return true;
+}
+
+NodeCodec::Encoded NodeCodec::encode(const Node& node, std::vector<Value>& record) {
+  record.clear();
+  record.push_back(node.crashes_used);
+  record.push_back(node.has_decision ? 1 : 0);
+  record.push_back(node.has_decision ? node.decision : 0);
+  node.memory.encode(record);
+
+  const std::size_t n = node.processes.size();
+  offsets_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    offsets_.push_back(record.size());
+    record.push_back(node.done[i] != 0 ? 1 : 0);
+    node.processes[i].encode(record);
+  }
+  offsets_.push_back(record.size());
+  for (std::size_t i = 0; i < n; ++i) record.push_back(node.steps_in_run[i]);
+
+  Encoded encoded;
+  encoded.permuted = canonicalizer_.canonicalize(record, offsets_);
+  encoded.fingerprint_length = record.size() - n;
+  encoded.fingerprint =
+      fingerprint_values(record.data(), encoded.fingerprint_length);
+  return encoded;
+}
+
+void NodeCodec::decode(const Value* record, std::size_t size, Node& out) const {
+  RCONS_ASSERT_MSG(size >= 3, "truncated node record");
+  out.crashes_used = static_cast<int>(record[0]);
+  out.has_decision = record[1] != 0;
+  out.decision = record[2];
+  std::size_t at = 3;
+  at += out.memory.decode(record + at, size - at);
+
+  const std::size_t n = out.processes.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    RCONS_ASSERT_MSG(at < size, "truncated node record");
+    out.done[i] = record[at++] != 0 ? 1 : 0;
+    at += out.processes[i].decode(record + at, size - at);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    RCONS_ASSERT_MSG(at < size, "truncated node record");
+    out.steps_in_run[i] = static_cast<long>(record[at++]);
+  }
+  RCONS_ASSERT_MSG(at == size, "node record has trailing values");
+}
+
+// --- NodeStore --------------------------------------------------------------
+
+NodeStore::NodeStore(int shard_bits) : shard_bits_(shard_bits) {
+  RCONS_ASSERT_MSG(shard_bits >= 0 && shard_bits <= 16,
+                   "shard_bits must be in [0, 16]");
+  const std::size_t count = std::size_t{1} << shard_bits;
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+NodeStore::Intern NodeStore::intern(util::U128 fingerprint,
+                                    const std::vector<Value>& record) {
+  RCONS_ASSERT_MSG(record.size() <= kChunkValues, "node record exceeds chunk size");
+  const std::size_t shard_idx = shard_index(fingerprint);
+  Shard& shard = *shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(shard.mu);
+
+  const auto found = shard.index.find(fingerprint);
+  if (found != shard.index.end()) {
+    shard.duplicate_hits += 1;
+    return Intern{(static_cast<NodeId>(shard_idx) << kShardShift) | found->second,
+                  false};
+  }
+
+  if (shard.chunks.empty() ||
+      shard.chunks.back().size() + record.size() > kChunkValues) {
+    shard.chunks.emplace_back();
+    shard.chunks.back().reserve(kChunkValues);
+  }
+  std::vector<Value>& chunk = shard.chunks.back();
+  Record entry;
+  entry.chunk = static_cast<std::uint32_t>(shard.chunks.size() - 1);
+  entry.offset = static_cast<std::uint32_t>(chunk.size());
+  entry.length = static_cast<std::uint32_t>(record.size());
+  chunk.insert(chunk.end(), record.begin(), record.end());
+
+  const std::uint64_t local = shard.records.size();
+  shard.records.push_back(entry);
+  shard.index.emplace(fingerprint, local);
+  return Intern{(static_cast<NodeId>(shard_idx) << kShardShift) | local, true};
+}
+
+void NodeStore::fetch(NodeId id, std::vector<Value>& out) const {
+  const std::size_t shard_idx = static_cast<std::size_t>(id >> kShardShift);
+  const std::uint64_t local = id & ((std::uint64_t{1} << kShardShift) - 1);
+  RCONS_ASSERT(shard_idx < shards_.size());
+  const Shard& shard = *shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  RCONS_ASSERT(local < shard.records.size());
+  const Record& record = shard.records[static_cast<std::size_t>(local)];
+  const std::vector<Value>& chunk = shard.chunks[record.chunk];
+  out.assign(chunk.begin() + record.offset,
+             chunk.begin() + record.offset + record.length);
+}
+
+std::uint64_t NodeStore::size() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->records.size();
+  }
+  return total;
+}
+
+NodeStore::Stats NodeStore::stats() const {
+  Stats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.nodes += shard->records.size();
+    stats.duplicate_hits += shard->duplicate_hits;
+    for (const Record& record : shard->records) {
+      stats.value_bytes += static_cast<std::uint64_t>(record.length) * sizeof(Value);
+    }
+  }
+  return stats;
+}
+
+ShardedVisited::LoadStats NodeStore::load_stats() const {
+  ShardedVisited::LoadStats stats;
+  stats.min_shard = ~0ULL;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const std::uint64_t count = shard->records.size();
+    stats.total += count;
+    if (count < stats.min_shard) stats.min_shard = count;
+    if (count > stats.max_shard) stats.max_shard = count;
+    stats.duplicate_inserts += shard->duplicate_hits;
+  }
+  if (stats.total == 0) {
+    stats.min_shard = 0;
+    stats.imbalance = 1.0;
+  } else {
+    const double even =
+        static_cast<double>(stats.total) / static_cast<double>(shards_.size());
+    stats.imbalance = even > 0 ? static_cast<double>(stats.max_shard) / even : 1.0;
+  }
+  return stats;
+}
+
+}  // namespace rcons::engine

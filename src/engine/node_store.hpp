@@ -1,0 +1,190 @@
+// Compact interned node representation for the exhaustive explorers.
+//
+// The clone-based representation copies `Memory` plus N type-erased `Process`
+// objects (two heap clones each) for every successor generated — the dominant
+// cost of the expansion hot path. Here a node is its canonical encoding: a
+// flat `std::vector<typesys::Value>` record interned once in a sharded arena
+// keyed by the node's 128-bit fingerprint. The store doubles as the visited
+// set (interning *is* deduplication), frontier items carry interned ids
+// instead of owning nodes, and expansion decodes a record into a reusable
+// per-worker scratch `Node` — zero allocations and zero program clones per
+// successor.
+//
+// Record layout (NodeCodec):
+//
+//   [crashes_used, has_decision, decision]      header
+//   [registers..., object states...]            Memory::encode
+//   per process: [done, local state...]         Process::encode (variable)
+//   [steps_in_run...]                           sidecar, one value per process
+//
+// Everything except the sidecar is the canonical encoding the fingerprint
+// covers — byte-for-byte the same prefix `engine::encode_node` produces, so
+// compact and legacy runs compute identical fingerprints and explore the
+// identical deduplicated graph. The sidecar (per-run step counts for the
+// recoverable-wait-freedom bound) is intentionally outside the fingerprint,
+// matching the legacy dedup semantics where the first path to reach a state
+// fixes its step counts.
+//
+// Symmetry reduction: a `Canonicalizer` built from a symmetry declaration
+// (ExplorerConfig::symmetry_classes) sorts the per-process blocks of each
+// class — processes running identical programs — into a canonical order
+// before fingerprinting. States that differ only by permuting interchangeable
+// processes then intern to one record, shrinking visited sets combinatorially
+// for team-consensus and tournament scenarios. The canonical representative
+// is what exploration continues from; since class members are behaviourally
+// identical this preserves every verdict, but a violating schedule found
+// under reduction is a schedule of representatives — valid up to a class
+// permutation, not guaranteed to replay verbatim on the concrete system.
+#ifndef RCONS_ENGINE_NODE_STORE_HPP
+#define RCONS_ENGINE_NODE_STORE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/expand.hpp"
+#include "engine/visited.hpp"
+#include "util/hash.hpp"
+
+namespace rcons::engine {
+
+// Resolves which representation a run uses, shared by both explorers:
+// kAuto picks compact iff every process supports decode(); kCompact asserts
+// that precondition; kLegacy always clones.
+bool resolve_compact_repr(sim::NodeRepr repr,
+                          const std::vector<sim::Process>& processes);
+
+// Sorts same-class per-process blocks of an encoded node into canonical
+// order. Built once per run from the symmetry declaration; copy one per
+// worker (cheap — it owns only the class index and scratch buffers).
+class Canonicalizer {
+ public:
+  Canonicalizer() = default;  // identity (no declaration)
+  explicit Canonicalizer(const std::vector<int>& symmetry_classes);
+
+  // True when at least one class has two or more members.
+  bool active() const { return !groups_.empty(); }
+
+  // `record` holds a full NodeCodec record whose per-process blocks span
+  // [block_offsets[i], block_offsets[i+1]) and whose sidecar occupies the
+  // final n values. Reorders same-class blocks (and their sidecar entries)
+  // into sorted order. Returns true when a non-identity permutation was
+  // applied (a canonicalization "hit").
+  bool canonicalize(std::vector<typesys::Value>& record,
+                    const std::vector<std::size_t>& block_offsets);
+
+ private:
+  std::size_t num_processes_ = 0;
+  std::vector<std::vector<int>> groups_;  // classes with >= 2 members
+  std::vector<int> order_;                // scratch: block source per position
+  std::vector<int> sorted_;               // scratch: one class being sorted
+  std::vector<typesys::Value> scratch_;   // scratch: rebuilt record
+};
+
+// Encodes nodes into interned records and decodes records back into a
+// structurally compatible scratch node. One codec per worker (it owns scratch
+// buffers); all codecs of a run must share the same symmetry declaration.
+class NodeCodec {
+ public:
+  NodeCodec() = default;
+  explicit NodeCodec(const std::vector<int>& symmetry_classes)
+      : canonicalizer_(symmetry_classes) {}
+
+  // True when every process of `node` supports Process::decode — the
+  // precondition for the compact representation.
+  static bool decodable(const Node& node);
+
+  struct Encoded {
+    util::U128 fingerprint;
+    std::size_t fingerprint_length = 0;  // record prefix the fingerprint covers
+    bool permuted = false;               // canonicalizer applied a permutation
+  };
+
+  // Writes the full record (canonical encoding + sidecar) for `node` into
+  // `record` and fingerprints the canonical prefix.
+  Encoded encode(const Node& node, std::vector<typesys::Value>& record);
+
+  // Restores `out` — which must be structurally a copy of the run's root
+  // (same memory layout, same programs) — from a record produced by encode().
+  void decode(const typesys::Value* record, std::size_t size, Node& out) const;
+
+  bool canonicalizing() const { return canonicalizer_.active(); }
+
+ private:
+  Canonicalizer canonicalizer_;
+  std::vector<std::size_t> offsets_;  // scratch: per-process block offsets
+};
+
+// Sharded interning arena: record payloads live in chunked per-shard arenas,
+// keyed by fingerprint. Interning an already-present fingerprint is the
+// deduplication hit that replaces the separate visited set. Thread-safe.
+class NodeStore {
+ public:
+  using NodeId = std::uint64_t;
+
+  // Valid shard_bits: 0 (single shard — the sequential layout) through 16.
+  explicit NodeStore(int shard_bits);
+
+  struct Intern {
+    NodeId id = 0;
+    bool inserted = false;  // true when the fingerprint was new
+  };
+
+  // Interns `record` under `fingerprint`; returns the (existing or new) id.
+  Intern intern(util::U128 fingerprint, const std::vector<typesys::Value>& record);
+
+  // Copies record `id` into `out` (cleared first). Safe to call concurrently
+  // with intern().
+  void fetch(NodeId id, std::vector<typesys::Value>& out) const;
+
+  // Unique records interned. Exact at quiescence.
+  std::uint64_t size() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  struct Stats {
+    std::uint64_t nodes = 0;
+    std::uint64_t value_bytes = 0;      // payload bytes across all records
+    std::uint64_t duplicate_hits = 0;   // interns that found the key present
+  };
+  Stats stats() const;
+
+  // Shard occupancy in the same shape ShardedVisited reports, so shard_bits
+  // tuning reads one format for either backend.
+  ShardedVisited::LoadStats load_stats() const;
+
+ private:
+  // Fixed-capacity chunks keep record payloads contiguous without ever
+  // reallocating (ids and payload addresses are stable once written).
+  static constexpr std::size_t kChunkValues = std::size_t{1} << 14;
+  static constexpr int kShardShift = 40;  // NodeId = shard << 40 | local index
+
+  struct Record {
+    std::uint32_t chunk = 0;
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+  };
+
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::vector<std::vector<typesys::Value>> chunks;
+    std::vector<Record> records;
+    std::unordered_map<util::U128, std::uint64_t, util::U128Hash> index;
+    std::uint64_t duplicate_hits = 0;
+  };
+
+  std::size_t shard_index(util::U128 key) const {
+    return shard_bits_ == 0
+               ? 0
+               : static_cast<std::size_t>(key.hi >> (64 - shard_bits_));
+  }
+
+  int shard_bits_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace rcons::engine
+
+#endif  // RCONS_ENGINE_NODE_STORE_HPP

@@ -16,13 +16,26 @@ ParallelExplorer::ParallelExplorer(sim::Memory initial,
   RCONS_ASSERT(config_.crash_budget >= 0);
   RCONS_ASSERT_MSG(config_.num_threads >= 0,
                    "num_threads must be >= 0 (0 selects hardware concurrency)");
-  RCONS_ASSERT_MSG(config_.shard_bits >= 0 && config_.shard_bits <= 16,
-                   "shard_bits must be in [0, 16]");
+  RCONS_ASSERT_MSG(config_.shard_bits >= -1 && config_.shard_bits <= 16,
+                   "shard_bits must be in [0, 16], or -1 for auto");
   num_threads_ = config_.num_threads;
   if (num_threads_ <= 0) {
     num_threads_ = static_cast<int>(std::thread::hardware_concurrency());
     if (num_threads_ <= 0) num_threads_ = 1;
   }
+  if (config_.shard_bits >= 0) {
+    shard_bits_ = config_.shard_bits;
+  } else {
+    std::uint64_t expected = config_.expected_states != 0 ? config_.expected_states
+                                                          : config_.max_visited;
+    if (expected > config_.max_visited) expected = config_.max_visited;
+    shard_bits_ = pick_shard_bits(num_threads_, expected);
+  }
+
+  compact_ = resolve_compact_repr(config_.node_repr, initial_processes_);
+  RCONS_ASSERT_MSG(config_.symmetry_classes.empty() ||
+                       config_.symmetry_classes.size() == initial_processes_.size(),
+                   "symmetry_classes must be empty or name every process");
 }
 
 void ParallelExplorer::offer_violation(std::vector<Event> path,
@@ -35,23 +48,23 @@ void ParallelExplorer::offer_violation(std::vector<Event> path,
   }
 }
 
-void ParallelExplorer::record_truncation(const WorkItem& item, const Event& event) {
+void ParallelExplorer::record_truncation(const PathLink* tail, const Event& event) {
   stop_.store(true, std::memory_order_relaxed);
   // Best-effort trace of where the budget ran out (like the sequential
   // explorer's partial trace); first recorder wins.
   std::lock_guard<std::mutex> lock(violation_mu_);
   if (!truncated_.load(std::memory_order_relaxed)) {
     truncated_.store(true, std::memory_order_relaxed);
-    truncation_path_ = materialize_path(item.tail.get());
+    truncation_path_ = materialize_path(tail);
     truncation_path_.push_back(event);
   }
 }
 
-void ParallelExplorer::expand(const WorkItem& item, int id, Frontier& frontier,
-                              ShardedVisited& visited,
-                              std::atomic<std::uint64_t>& pending,
-                              WorkerStats& local, std::vector<Event>& events,
-                              std::vector<typesys::Value>& scratch) {
+void ParallelExplorer::expand_legacy(const WorkItem& item, int id, Frontier& frontier,
+                                     ShardedVisited& visited,
+                                     std::atomic<std::uint64_t>& pending,
+                                     WorkerStats& local, std::vector<Event>& events,
+                                     std::vector<typesys::Value>& scratch) {
   enumerate_events(item.node, config_, events);
   if (is_terminal(item.node)) local.terminal_states += 1;
 
@@ -72,7 +85,7 @@ void ParallelExplorer::expand(const WorkItem& item, int id, Frontier& frontier,
     const std::uint64_t count =
         visited_count_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (count > config_.max_visited) {
-      record_truncation(item, event);
+      record_truncation(item.tail.get(), event);
       return;
     }
     child->tail = std::make_shared<const PathLink>(PathLink{event, item.tail});
@@ -81,9 +94,10 @@ void ParallelExplorer::expand(const WorkItem& item, int id, Frontier& frontier,
   }
 }
 
-void ParallelExplorer::worker(int id, Frontier& frontier, ShardedVisited& visited,
-                              std::atomic<std::uint64_t>& pending,
-                              WorkerStats& local) {
+void ParallelExplorer::worker_legacy(int id, Frontier& frontier,
+                                     ShardedVisited& visited,
+                                     std::atomic<std::uint64_t>& pending,
+                                     WorkerStats& local) {
   std::vector<Event> events;
   std::vector<typesys::Value> scratch;
   for (;;) {
@@ -97,7 +111,69 @@ void ParallelExplorer::worker(int id, Frontier& frontier, ShardedVisited& visite
       continue;
     }
     if (!stop_.load(std::memory_order_relaxed)) {
-      expand(*item, id, frontier, visited, pending, local, events, scratch);
+      expand_legacy(*item, id, frontier, visited, pending, local, events, scratch);
+    }
+    pending.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
+                                      NodeStore& store,
+                                      std::atomic<std::uint64_t>& pending,
+                                      WorkerStats& local) {
+  // Per-worker reusable state: the decoded parent, the child being expanded
+  // (re-decoded from the parent's record per successor — no Node copies),
+  // and the record/event buffers. No allocation per successor after warmup.
+  NodeCodec codec(config_.symmetry_classes);
+  Node parent = make_root(initial_memory_, initial_processes_);
+  Node child = parent;
+  std::vector<Event> events;
+  std::vector<typesys::Value> record;
+  std::vector<typesys::Value> child_record;
+
+  for (;;) {
+    std::unique_ptr<CompactWorkItem> item = frontier.pop(id);
+    if (item == nullptr) {
+      if (pending.load(std::memory_order_acquire) == 0) return;
+      std::this_thread::yield();
+      continue;
+    }
+    if (!stop_.load(std::memory_order_relaxed)) {
+      store.fetch(item->id, record);
+      codec.decode(record.data(), record.size(), parent);
+      enumerate_events(parent, config_, events);
+      if (is_terminal(parent)) local.terminal_states += 1;
+
+      for (const Event& event : events) {
+        if (stop_.load(std::memory_order_relaxed)) break;
+        local.transitions += 1;
+        codec.decode(record.data(), record.size(), child);
+        if (auto description = apply_event(child, event, config_)) {
+          std::vector<Event> path = materialize_path(item->tail.get());
+          path.push_back(event);
+          offer_violation(std::move(path), std::move(*description));
+          continue;  // a violating edge is never expanded further
+        }
+        if (child.has_decision && !parent.has_decision) local.decisions += 1;
+        const NodeCodec::Encoded encoded = codec.encode(child, child_record);
+        local.encodes += 1;
+        if (encoded.permuted) local.canonical_hits += 1;
+        const NodeStore::Intern interned =
+            store.intern(encoded.fingerprint, child_record);
+        if (!interned.inserted) continue;
+
+        const std::uint64_t count =
+            visited_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (count > config_.max_visited) {
+          record_truncation(item->tail.get(), event);
+          break;
+        }
+        auto next = std::make_unique<CompactWorkItem>();
+        next->id = interned.id;
+        next->tail = std::make_shared<const PathLink>(PathLink{event, item->tail});
+        pending.fetch_add(1, std::memory_order_release);
+        frontier.push(id, std::move(next));
+      }
     }
     pending.fetch_sub(1, std::memory_order_release);
   }
@@ -113,8 +189,12 @@ std::optional<sim::Violation> ParallelExplorer::run() {
   best_description_.clear();
   truncation_path_.clear();
 
+  return compact_ ? run_compact() : run_legacy();
+}
+
+std::optional<sim::Violation> ParallelExplorer::run_legacy() {
   Frontier frontier(num_threads_);
-  ShardedVisited visited(config_.shard_bits);
+  ShardedVisited visited(shard_bits_);
   std::atomic<std::uint64_t> pending{0};
 
   auto root = std::make_unique<WorkItem>();
@@ -131,11 +211,60 @@ std::optional<sim::Violation> ParallelExplorer::run() {
   threads.reserve(static_cast<std::size_t>(num_threads_));
   for (int id = 0; id < num_threads_; ++id) {
     threads.emplace_back([this, id, &frontier, &visited, &pending, &worker_stats] {
-      worker(id, frontier, visited, pending, worker_stats[static_cast<std::size_t>(id)]);
+      worker_legacy(id, frontier, visited, pending,
+                    worker_stats[static_cast<std::size_t>(id)]);
     });
   }
   for (std::thread& thread : threads) thread.join();
 
+  visited_stats_ = visited.load_stats();
+  frontier_stats_ = frontier.stats();
+  return finish(worker_stats);
+}
+
+std::optional<sim::Violation> ParallelExplorer::run_compact() {
+  CompactFrontier frontier(num_threads_);
+  NodeStore store(shard_bits_);
+  std::atomic<std::uint64_t> pending{0};
+
+  std::uint64_t root_canonical_hits = 0;
+  {
+    NodeCodec codec(config_.symmetry_classes);
+    Node root_node = make_root(initial_memory_, initial_processes_);
+    std::vector<typesys::Value> record;
+    const NodeCodec::Encoded encoded = codec.encode(root_node, record);
+    if (encoded.permuted) root_canonical_hits = 1;
+    const NodeStore::Intern interned = store.intern(encoded.fingerprint, record);
+    auto root = std::make_unique<CompactWorkItem>();
+    root->id = interned.id;
+    pending.fetch_add(1, std::memory_order_release);
+    frontier.push(0, std::move(root));
+  }
+
+  std::vector<WorkerStats> worker_stats(static_cast<std::size_t>(num_threads_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_threads_));
+  for (int id = 0; id < num_threads_; ++id) {
+    threads.emplace_back([this, id, &frontier, &store, &pending, &worker_stats] {
+      worker_compact(id, frontier, store, pending,
+                     worker_stats[static_cast<std::size_t>(id)]);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const NodeStore::Stats store_stats = store.stats();
+  stats_.compact = true;
+  stats_.store.nodes = store_stats.nodes;
+  stats_.store.value_bytes = store_stats.value_bytes;
+  stats_.store.encodes = 1;  // the root encode
+  stats_.store.canonical_hits = root_canonical_hits;
+  visited_stats_ = store.load_stats();
+  frontier_stats_ = frontier.stats();
+  return finish(worker_stats);
+}
+
+std::optional<sim::Violation> ParallelExplorer::finish(
+    const std::vector<WorkerStats>& worker_stats) {
   // Like the sequential explorer, `visited` counts the states inserted during
   // expansion (the root insert is not counted).
   stats_.visited = visited_count_.load(std::memory_order_relaxed);
@@ -144,9 +273,9 @@ std::optional<sim::Violation> ParallelExplorer::run() {
     stats_.transitions += local.transitions;
     stats_.decisions += local.decisions;
     stats_.terminal_states += local.terminal_states;
+    stats_.store.encodes += local.encodes;
+    stats_.store.canonical_hits += local.canonical_hits;
   }
-  visited_stats_ = visited.load_stats();
-  frontier_stats_ = frontier.stats();
 
   if (has_violation_) {
     return sim::Violation{best_description_, best_path_};

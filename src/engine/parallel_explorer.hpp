@@ -2,9 +2,9 @@
 // `sim::Explorer`.
 //
 // Workers expand nodes taken from a work-stealing frontier and deduplicate
-// through a sharded visited set; each reachable global state is claimed by
-// exactly one worker and expanded exactly once. On runs that complete (no
-// max_visited truncation) this makes the *verdict* (violation-or-clean), the
+// through a sharded store; each reachable global state is claimed by exactly
+// one worker and expanded exactly once. On runs that complete (no max_visited
+// truncation) this makes the *verdict* (violation-or-clean), the
 // visited/transition/decision/terminal counts, and the set of violating
 // edges all independent of scheduling. Truncated runs stop racily: counts
 // then vary run to run and `visited` can overshoot max_visited by up to one
@@ -14,6 +14,19 @@
 // every violation discovered (same event order the sequential DFS uses),
 // which pins the report for algorithms whose local state advances every
 // step — all of the repository's real ones.
+//
+// Two node representations share this driver (sim::NodeRepr selects):
+//
+//   * compact (default when every process is decodable) — nodes are interned
+//     value records in a sharded NodeStore arena; frontier items carry ids,
+//     and each worker decodes into reusable scratch nodes instead of cloning
+//     Memory + N Process objects per successor (engine/node_store.hpp);
+//   * legacy — the original clone-based WorkItems deduplicated through a
+//     fingerprint-only ShardedVisited set.
+//
+// Both explore the identical deduplicated graph
+// (tests/engine/differential_test.cpp); the compact path additionally
+// supports symmetry reduction via ExplorerConfig::symmetry_classes.
 //
 // Unlike the sequential explorer, which stops at the first violation its DFS
 // meets, the parallel engine keeps exploring until the frontier drains (or
@@ -31,6 +44,7 @@
 
 #include "engine/expand.hpp"
 #include "engine/frontier.hpp"
+#include "engine/node_store.hpp"
 #include "engine/visited.hpp"
 #include "sim/explorer_config.hpp"
 #include "sim/memory.hpp"
@@ -40,7 +54,11 @@ namespace rcons::engine {
 
 struct ParallelExplorerConfig : sim::ExplorerConfig {
   int num_threads = 0;  // 0 = std::thread::hardware_concurrency()
-  int shard_bits = 6;   // 64 visited-set shards by default
+  int shard_bits = -1;  // -1 = auto via pick_shard_bits(); valid fixed: [0, 16]
+
+  // Hint for auto shard_bits: how many states the run is expected to visit
+  // (e.g. the kAuto probe's count). 0 = unknown, max_visited bounds it.
+  std::uint64_t expected_states = 0;
 };
 
 class ParallelExplorer {
@@ -55,32 +73,50 @@ class ParallelExplorer {
 
   const sim::ExplorerStats& stats() const { return stats_; }
 
-  // Visited-set shard occupancy and frontier steal counts of the last run().
+  // Store/visited-set shard occupancy and frontier steal counts of the last
+  // run() (whichever representation ran fills visited_stats()).
   const ShardedVisited::LoadStats& visited_stats() const { return visited_stats_; }
   const Frontier::Stats& frontier_stats() const { return frontier_stats_; }
 
   int num_threads() const { return num_threads_; }
+  int shard_bits() const { return shard_bits_; }
+
+  // Whether run() uses the compact interned representation (resolved from
+  // config.node_repr and the processes' decode support).
+  bool compact() const { return compact_; }
 
  private:
   struct WorkerStats {
     std::uint64_t transitions = 0;
     std::uint64_t decisions = 0;
     std::uint64_t terminal_states = 0;
+    std::uint64_t encodes = 0;
+    std::uint64_t canonical_hits = 0;
   };
 
-  void worker(int id, Frontier& frontier, ShardedVisited& visited,
-              std::atomic<std::uint64_t>& pending, WorkerStats& local);
-  void expand(const WorkItem& item, int id, Frontier& frontier,
-              ShardedVisited& visited, std::atomic<std::uint64_t>& pending,
-              WorkerStats& local, std::vector<Event>& events,
-              std::vector<typesys::Value>& scratch);
+  std::optional<sim::Violation> run_legacy();
+  std::optional<sim::Violation> run_compact();
+
+  void worker_legacy(int id, Frontier& frontier, ShardedVisited& visited,
+                     std::atomic<std::uint64_t>& pending, WorkerStats& local);
+  void expand_legacy(const WorkItem& item, int id, Frontier& frontier,
+                     ShardedVisited& visited, std::atomic<std::uint64_t>& pending,
+                     WorkerStats& local, std::vector<Event>& events,
+                     std::vector<typesys::Value>& scratch);
+
+  void worker_compact(int id, CompactFrontier& frontier, NodeStore& store,
+                      std::atomic<std::uint64_t>& pending, WorkerStats& local);
+
   void offer_violation(std::vector<Event> path, std::string description);
-  void record_truncation(const WorkItem& item, const Event& event);
+  void record_truncation(const PathLink* tail, const Event& event);
+  std::optional<sim::Violation> finish(const std::vector<WorkerStats>& worker_stats);
 
   sim::Memory initial_memory_;
   std::vector<sim::Process> initial_processes_;
   ParallelExplorerConfig config_;
   int num_threads_;
+  int shard_bits_;
+  bool compact_;
 
   sim::ExplorerStats stats_;
   ShardedVisited::LoadStats visited_stats_;

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "check/spec_system.hpp"
 #include "rc/team_consensus.hpp"
 #include "typesys/object_type.hpp"
 #include "typesys/zoo.hpp"
@@ -53,14 +54,22 @@ void Portfolio::add_team_consensus(const typesys::ObjectType& type, int n,
 }
 
 void Portfolio::add_spec(const check::ScenarioSpec& spec) {
-  auto type = typesys::make_type(spec.type);
-  RCONS_ASSERT_MSG(type != nullptr,
-                   "spec type unknown to the zoo (the parser validates this)");
-  add_team_consensus(*type, spec.n, spec.crash_model, spec.crash_budget);
-  Scenario& scenario = scenarios_.back();
-  if (!spec.name.empty()) scenario.name = spec.name;
+  // Materialize once (witness search is the expensive part); the builder
+  // hands out value-semantic copies so every run starts pristine. The built
+  // system carries the spec's symmetry declaration when symmetry=on.
+  auto shared =
+      std::make_shared<const check::ScenarioSystem>(check::build_spec_system(spec));
+
+  Scenario scenario;
+  scenario.crash_model = spec.crash_model;
+  scenario.crash_budget = spec.crash_budget;
+  scenario.num_processes = spec.n;
+  scenario.object_type = spec.type;
+  scenario.name = check::spec_display_name(spec);
   scenario.max_steps_per_run = spec.max_steps_per_run;
   scenario.max_visited = spec.max_visited;
+  scenario.build = [shared] { return *shared; };
+  scenarios_.push_back(std::move(scenario));
 }
 
 void Portfolio::add_specs(const std::vector<check::ScenarioSpec>& specs) {

@@ -57,7 +57,7 @@ struct PortfolioConfig {
   // not override them.
   check::Budget budget;
   int num_threads = 0;  // per scenario; 0 = hardware concurrency
-  int shard_bits = 6;
+  int shard_bits = -1;  // -1 = auto-tune per scenario (engine::pick_shard_bits)
 };
 
 class Portfolio {

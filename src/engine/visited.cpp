@@ -52,4 +52,28 @@ ShardedVisited::LoadStats ShardedVisited::load_stats() const {
   return stats;
 }
 
+int pick_shard_bits(int num_threads, std::uint64_t expected_states) {
+  if (num_threads <= 1) return 0;
+
+  // Smallest k with 2^k >= 8 * num_threads.
+  int contention_bits = 0;
+  while (contention_bits < 16 &&
+         (std::uint64_t{1} << contention_bits) <
+             8 * static_cast<std::uint64_t>(num_threads)) {
+    contention_bits += 1;
+  }
+
+  if (expected_states == 0) return contention_bits;
+
+  // Largest k with 2^k <= expected_states / 64 (0 when the quotient is 0 or
+  // 1 — the loop never advances).
+  int occupancy_bits = 0;
+  while (occupancy_bits < 16 &&
+         (std::uint64_t{1} << (occupancy_bits + 1)) <= expected_states / 64) {
+    occupancy_bits += 1;
+  }
+
+  return contention_bits < occupancy_bits ? contention_bits : occupancy_bits;
+}
+
 }  // namespace rcons::engine

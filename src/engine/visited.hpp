@@ -66,6 +66,23 @@ class ShardedVisited {
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 
+// Picks shard_bits for a parallel run instead of a fixed default. Two forces:
+//
+//   * contention — with T workers inserting concurrently we want enough
+//     shards that two unrelated inserts rarely meet on one mutex: at least
+//     8×T shards (collision probability <= 1/8 per pair), rounded up to the
+//     next power of two;
+//   * occupancy — a state space of S states should not be spread over more
+//     than S/64 shards, or most shards sit empty and load stats (and cache
+//     locality) degrade.
+//
+// The occupancy cap wins when they conflict (tiny spaces finish before
+// contention matters). `expected_states` of 0 means unknown — only the
+// contention bound applies. A single worker always gets 0 bits (the
+// sequential layout; no concurrent inserts to spread). Result is clamped to
+// the supported [0, 16] range.
+int pick_shard_bits(int num_threads, std::uint64_t expected_states);
+
 }  // namespace rcons::engine
 
 #endif  // RCONS_ENGINE_VISITED_HPP

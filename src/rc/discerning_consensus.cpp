@@ -86,6 +86,14 @@ void DiscerningConsensusProgram::encode(std::vector<Value>& out) const {
   out.push_back(q_);
 }
 
+std::size_t DiscerningConsensusProgram::decode(const Value* data, std::size_t size) {
+  RCONS_ASSERT_MSG(size >= 3, "truncated DiscerningConsensusProgram encoding");
+  pc_ = static_cast<int>(data[0]);
+  response_ = data[1];
+  q_ = data[2];
+  return 3;
+}
+
 HaltingConsensusSystem make_halting_consensus(const typesys::ObjectType& type,
                                               int witness_n,
                                               const std::vector<Value>& inputs) {

@@ -58,6 +58,7 @@ class DiscerningConsensusProgram {
 
   sim::StepResult step(sim::Memory& memory);
   void encode(std::vector<typesys::Value>& out) const;
+  std::size_t decode(const typesys::Value* data, std::size_t size);
 
  private:
   DiscerningInstance instance_;

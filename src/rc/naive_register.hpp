@@ -1,0 +1,68 @@
+// The classic non-consensus straw man: write your input to one shared
+// register, then decide whatever you read back. FLP-style interleaving breaks
+// it with no crashes at all (two writers overwrite each other and decide
+// different values), which makes it the repository's canonical "register
+// race" dirty scenario — the counterpart of the halting-TAS crash violation.
+//
+// Promoted from an ad-hoc test struct to a library builder so spec files
+// (`algo=naive-register`) and the tests/corpus/ violation corpus can
+// reference the same system.
+#ifndef RCONS_RC_NAIVE_REGISTER_HPP
+#define RCONS_RC_NAIVE_REGISTER_HPP
+
+#include <vector>
+
+#include "sim/memory.hpp"
+#include "sim/process.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::rc {
+
+class NaiveRegisterProgram {
+ public:
+  NaiveRegisterProgram(sim::RegId reg, typesys::Value input)
+      : reg_(reg), input_(input) {}
+
+  sim::StepResult step(sim::Memory& memory) {
+    if (pc_ == 0) {
+      memory.write(reg_, input_);
+      pc_ = 1;
+      return sim::StepResult::running();
+    }
+    return sim::StepResult::decided(memory.read(reg_));
+  }
+
+  void encode(std::vector<typesys::Value>& out) const { out.push_back(pc_); }
+
+  std::size_t decode(const typesys::Value* data, std::size_t size) {
+    RCONS_ASSERT(size >= 1);
+    pc_ = static_cast<int>(data[0]);
+    return 1;
+  }
+
+ private:
+  sim::RegId reg_;
+  typesys::Value input_;
+  int pc_ = 0;
+};
+
+struct NaiveRegisterSystem {
+  sim::Memory memory;
+  std::vector<sim::Process> processes;
+  std::vector<typesys::Value> inputs;  // process i proposes i + 1
+};
+
+inline NaiveRegisterSystem make_naive_register_system(int n) {
+  RCONS_ASSERT(n >= 2);
+  NaiveRegisterSystem system;
+  const sim::RegId reg = system.memory.add_register();
+  for (int i = 0; i < n; ++i) {
+    system.inputs.push_back(i + 1);
+    system.processes.emplace_back(NaiveRegisterProgram(reg, i + 1));
+  }
+  return system;
+}
+
+}  // namespace rcons::rc
+
+#endif  // RCONS_RC_NAIVE_REGISTER_HPP

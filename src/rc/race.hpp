@@ -47,6 +47,13 @@ class RaceConsensusProgram {
 
   void encode(std::vector<typesys::Value>& out) const { out.push_back(0); }
 
+  // Stateless between accesses: decode only consumes the placeholder.
+  std::size_t decode(const typesys::Value* data, std::size_t size) {
+    (void)data;
+    RCONS_ASSERT(size >= 1);
+    return 1;
+  }
+
  private:
   RaceInstance instance_;
   typesys::Value input_;

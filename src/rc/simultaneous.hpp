@@ -142,6 +142,29 @@ class SimultaneousRCProgram {
     if (inner_.has_value()) inner_->encode(out);
   }
 
+  // Inverse of encode(). A running inner is rebuilt exactly as step()'s
+  // kInner case constructs it (pref_ is unchanged while an inner runs) and
+  // then decodes its own state.
+  std::size_t decode(const typesys::Value* data, std::size_t size)
+    requires sim::DecodableProgram<InnerProgram>
+  {
+    RCONS_ASSERT_MSG(size >= 5, "truncated SimultaneousRCProgram encoding");
+    pc_ = static_cast<int>(data[0]);
+    round_ = data[1];
+    pref_ = data[2];
+    scan_ = static_cast<int>(data[3]);
+    const bool has_inner = data[4] != 0;
+    std::size_t used = 5;
+    inner_.reset();
+    if (has_inner) {
+      RCONS_ASSERT(round_ >= 1 && round_ <= layout_->max_rounds());
+      inner_.emplace(layout_->rounds[static_cast<std::size_t>(round_ - 1)], id_,
+                     pref_);
+      used += inner_->decode(data + used, size - used);
+    }
+    return used;
+  }
+
  private:
   enum : int {
     kCheckRound = 0,

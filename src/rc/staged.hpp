@@ -70,6 +70,27 @@ class StagedProgram {
     if (inner_.has_value()) inner_->encode(out);
   }
 
+  // Inverse of encode(). A running inner is rebuilt from its stage exactly
+  // as step() constructs it (value_ is unchanged while an inner runs, so the
+  // reconstruction sees the same input) and then decodes its own state.
+  std::size_t decode(const typesys::Value* data, std::size_t size)
+    requires sim::DecodableProgram<InnerProgram>
+  {
+    RCONS_ASSERT_MSG(size >= 3, "truncated StagedProgram encoding");
+    stage_index_ = static_cast<std::size_t>(data[0]);
+    value_ = data[1];
+    const bool has_inner = data[2] != 0;
+    std::size_t used = 3;
+    inner_.reset();
+    if (has_inner) {
+      RCONS_ASSERT(stage_index_ < stages_->size());
+      const Stage<InnerInstance>& stage = (*stages_)[stage_index_];
+      inner_.emplace(stage.instance, stage.role, value_);
+      used += inner_->decode(data + used, size - used);
+    }
+    return used;
+  }
+
  private:
   std::shared_ptr<const std::vector<Stage<InnerInstance>>> stages_;
   typesys::Value input_;

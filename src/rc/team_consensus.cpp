@@ -1,5 +1,8 @@
 #include "rc/team_consensus.hpp"
 
+#include <map>
+#include <utility>
+
 #include "hierarchy/qsets.hpp"
 #include "util/assert.hpp"
 
@@ -114,6 +117,13 @@ void TeamConsensusProgram::encode(std::vector<Value>& out) const {
   out.push_back(q_);
 }
 
+std::size_t TeamConsensusProgram::decode(const Value* data, std::size_t size) {
+  RCONS_ASSERT_MSG(size >= 2, "truncated TeamConsensusProgram encoding");
+  pc_ = static_cast<int>(data[0]);
+  q_ = data[1];
+  return 2;
+}
+
 TeamConsensusSystem make_team_consensus_system(const typesys::ObjectType& type, int n,
                                                Value input_a, Value input_b) {
   auto cache = std::make_shared<typesys::TransitionCache>(type, n);
@@ -124,12 +134,18 @@ TeamConsensusSystem make_team_consensus_system(const typesys::ObjectType& type, 
   TeamConsensusSystem system;
   system.plan = plan;
   const TeamConsensusInstance instance = install_team_consensus(system.memory, plan);
+  // Dense class ids per distinct (team, op): roles sharing both run the same
+  // program on the same input, i.e. they are interchangeable.
+  std::map<std::pair<int, typesys::OpId>, int> class_ids;
   for (int role = 0; role < plan->n(); ++role) {
-    const Value input =
-        plan->team[static_cast<std::size_t>(role)] == hierarchy::kTeamA ? input_a
-                                                                        : input_b;
+    const auto idx = static_cast<std::size_t>(role);
+    const Value input = plan->team[idx] == hierarchy::kTeamA ? input_a : input_b;
     system.inputs.push_back(input);
     system.processes.emplace_back(TeamConsensusProgram(instance, role, input));
+    const auto key = std::make_pair(plan->team[idx], plan->ops[idx]);
+    const auto [it, unused] =
+        class_ids.emplace(key, static_cast<int>(class_ids.size()));
+    system.symmetry_classes.push_back(it->second);
   }
   return system;
 }

@@ -73,6 +73,7 @@ class TeamConsensusProgram {
 
   sim::StepResult step(sim::Memory& memory);
   void encode(std::vector<typesys::Value>& out) const;
+  std::size_t decode(const typesys::Value* data, std::size_t size);
 
  private:
   TeamConsensusInstance instance_;
@@ -91,6 +92,13 @@ struct TeamConsensusSystem {
   sim::Memory memory;
   std::vector<sim::Process> processes;
   std::vector<typesys::Value> inputs;  // per role, after normalization
+
+  // Symmetry declaration: roles with the same (team, witness op) run
+  // identical programs (inputs are per team), so global states are invariant
+  // under permuting them — the explorers' canonicalizer consumes this
+  // (ExplorerConfig::symmetry_classes). Classes are dense ints, one per
+  // distinct (team, op) pair.
+  std::vector<int> symmetry_classes;
 };
 
 TeamConsensusSystem make_team_consensus_system(const typesys::ObjectType& type, int n,

@@ -10,12 +10,18 @@ Explorer::Explorer(Memory initial, std::vector<Process> processes, ExplorerConfi
       config_(std::move(config)) {
   RCONS_ASSERT(!initial_processes_.empty());
   RCONS_ASSERT(config_.crash_budget >= 0);
+  RCONS_ASSERT_MSG(config_.symmetry_classes.empty() ||
+                       config_.symmetry_classes.size() == initial_processes_.size(),
+                   "symmetry_classes must be empty or name every process");
+  compact_ = engine::resolve_compact_repr(config_.node_repr, initial_processes_);
 }
 
 std::optional<Violation> Explorer::run() {
   stats_ = ExplorerStats{};
   visited_.clear();
   path_.clear();
+
+  if (compact_) return run_compact();
 
   engine::Node root = engine::make_root(initial_memory_, initial_processes_);
   insert_visited(root);
@@ -55,6 +61,82 @@ std::optional<Violation> Explorer::dfs(const engine::Node& node) {
         return violation;
       }
       if (auto violation = dfs(child)) {
+        path_.pop_back();
+        return violation;
+      }
+    }
+    path_.pop_back();
+  }
+
+  return std::nullopt;
+}
+
+std::optional<Violation> Explorer::run_compact() {
+  // Single shard: the sequential traversal has no concurrent inserters.
+  store_ = std::make_unique<engine::NodeStore>(0);
+  codec_ = std::make_unique<engine::NodeCodec>(config_.symmetry_classes);
+  scratch_node_ = engine::make_root(initial_memory_, initial_processes_);
+
+  const engine::NodeCodec::Encoded encoded =
+      codec_->encode(scratch_node_, encode_scratch_);
+  stats_.store.encodes += 1;
+  if (encoded.permuted) stats_.store.canonical_hits += 1;
+  const engine::NodeStore::Intern root =
+      store_->intern(encoded.fingerprint, encode_scratch_);
+
+  std::optional<Violation> result = dfs_compact(root.id);
+
+  stats_.compact = true;
+  const engine::NodeStore::Stats store_stats = store_->stats();
+  stats_.store.nodes = store_stats.nodes;
+  stats_.store.value_bytes = store_stats.value_bytes;
+  store_.reset();  // release the arena; the stats survive in stats_
+  codec_.reset();
+  return result;
+}
+
+std::optional<Violation> Explorer::dfs_compact(engine::NodeStore::NodeId id) {
+  // Same traversal as dfs(), but the parent is a record fetched from the
+  // interning store: each successor re-decodes the record into the one
+  // scratch node and applies its event in place — no Memory/Process clones.
+  const std::size_t depth = path_.size();
+  while (events_pool_.size() <= depth) events_pool_.emplace_back();
+  while (records_pool_.size() <= depth) records_pool_.emplace_back();
+  std::vector<engine::Event>& events = events_pool_[depth];
+  std::vector<typesys::Value>& record = records_pool_[depth];
+
+  store_->fetch(id, record);
+  codec_->decode(record.data(), record.size(), scratch_node_);
+  engine::enumerate_events(scratch_node_, config_, events);
+  if (engine::is_terminal(scratch_node_)) stats_.terminal_states += 1;
+  const bool parent_has_decision = record[1] != 0;  // codec header layout
+
+  for (const engine::Event& event : events) {
+    path_.push_back(event);
+    stats_.transitions += 1;
+    codec_->decode(record.data(), record.size(), scratch_node_);
+    if (auto description = engine::apply_event(scratch_node_, event, config_)) {
+      Violation violation{std::move(*description), path_};
+      path_.pop_back();
+      return violation;
+    }
+    if (scratch_node_.has_decision && !parent_has_decision) stats_.decisions += 1;
+    const engine::NodeCodec::Encoded encoded =
+        codec_->encode(scratch_node_, encode_scratch_);
+    stats_.store.encodes += 1;
+    if (encoded.permuted) stats_.store.canonical_hits += 1;
+    const engine::NodeStore::Intern interned =
+        store_->intern(encoded.fingerprint, encode_scratch_);
+    if (interned.inserted) {
+      stats_.visited += 1;
+      if (stats_.visited > config_.max_visited) {
+        stats_.truncated = true;
+        Violation violation{"state space exceeded max_visited; verdict incomplete",
+                            path_};
+        path_.pop_back();
+        return violation;
+      }
+      if (auto violation = dfs_compact(interned.id)) {
         path_.pop_back();
         return violation;
       }

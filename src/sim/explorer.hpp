@@ -16,20 +16,30 @@
 // tractable; dedup keys are 128-bit hashes of the canonical encoding, making
 // a pruning collision astronomically unlikely (documented trade-off).
 //
-// This is the single-threaded depth-first traversal; node expansion,
-// property checking, and fingerprinting are shared with the multi-threaded
+// Two node representations share the depth-first traversal (NodeRepr in
+// sim/explorer_config.hpp selects): the compact path interns each state's
+// encoding once in an engine::NodeStore and re-decodes into a reusable
+// scratch node per successor, while the legacy path clones the full Node.
+// Both visit the identical deduplicated graph; the compact path additionally
+// honours ExplorerConfig::symmetry_classes (canonical fingerprints — see
+// engine/node_store.hpp).
+//
+// This is the single-threaded traversal; node expansion, property checking,
+// and fingerprinting are shared with the multi-threaded
 // `engine::ParallelExplorer` through `engine/expand.hpp`.
 #ifndef RCONS_SIM_EXPLORER_HPP
 #define RCONS_SIM_EXPLORER_HPP
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "engine/expand.hpp"
+#include "engine/node_store.hpp"
 #include "sim/explorer_config.hpp"
 #include "sim/memory.hpp"
 #include "sim/process.hpp"
@@ -47,13 +57,21 @@ class Explorer {
 
   const ExplorerStats& stats() const { return stats_; }
 
+  // Whether run() uses the compact interned representation (resolved from
+  // config.node_repr and the processes' decode support).
+  bool compact() const { return compact_; }
+
  private:
   std::optional<Violation> dfs(const engine::Node& node);
   bool insert_visited(const engine::Node& node);
 
+  std::optional<Violation> run_compact();
+  std::optional<Violation> dfs_compact(engine::NodeStore::NodeId id);
+
   Memory initial_memory_;
   std::vector<Process> initial_processes_;
   ExplorerConfig config_;
+  bool compact_ = false;
   ExplorerStats stats_;
   std::unordered_set<util::U128, util::U128Hash> visited_;
   std::vector<engine::Event> path_;
@@ -62,6 +80,16 @@ class Explorer {
   // deque growth at the end never invalidates existing elements.
   std::deque<std::vector<engine::Event>> events_pool_;
   std::vector<typesys::Value> scratch_;
+
+  // Compact-representation state (unused on the legacy path): the interning
+  // store, one decoded scratch node shared by every depth (re-decoded from
+  // the parent's record before each apply), per-depth record buffers, and
+  // the codec with its canonicalizer.
+  std::unique_ptr<engine::NodeStore> store_;
+  std::unique_ptr<engine::NodeCodec> codec_;
+  engine::Node scratch_node_;
+  std::deque<std::vector<typesys::Value>> records_pool_;
+  std::vector<typesys::Value> encode_scratch_;
 };
 
 }  // namespace rcons::sim

@@ -21,7 +21,30 @@ namespace rcons::sim {
 // rest of the shared budget in check/budget.hpp.
 using CrashModel = check::CrashModel;
 
-struct ExplorerConfig : check::Budget {};
+// How the explorers represent nodes internally (engine/node_store.hpp):
+//   kAuto    — compact interned encodings when every process is decodable,
+//              clone-based nodes otherwise (the pre-node-store behaviour).
+//   kCompact — force the interned representation; asserts if any process
+//              lacks decode() support.
+//   kLegacy  — force clone-based nodes (differential testing / debugging).
+// Both representations explore the identical deduplicated graph;
+// tests/engine/differential_test.cpp pins this.
+enum class NodeRepr { kAuto, kCompact, kLegacy };
+
+struct ExplorerConfig : check::Budget {
+  NodeRepr node_repr = NodeRepr::kAuto;
+
+  // Symmetry declaration: symmetry_classes[i] is the equivalence class of
+  // process i, where processes in the same class run *identical* programs
+  // (same team, same operation, same input — e.g. same-team processes of the
+  // Figure 2 algorithm). Empty disables symmetry reduction. When non-empty,
+  // the explorers canonicalize the per-process blocks of each node encoding
+  // (sorting same-class blocks) before fingerprinting, so states that differ
+  // only by permuting interchangeable processes deduplicate to one visited
+  // node. Verdicts are unaffected; violation schedules are then valid up to a
+  // class permutation and may not replay verbatim (see engine/node_store.hpp).
+  std::vector<int> symmetry_classes;
+};
 
 // A property violation plus the typed schedule that produced it. The schedule
 // round-trips through `sim::replay` (same event vocabulary), so any
@@ -35,12 +58,34 @@ struct Violation {
   std::string trace() const;
 };
 
+// Statistics of the compact interned node store (engine/node_store.hpp).
+// All-zero when the run used the clone-based legacy representation.
+struct NodeStoreStats {
+  std::uint64_t nodes = 0;        // unique states interned (incl. the root)
+  std::uint64_t value_bytes = 0;  // arena payload bytes across all records
+  std::uint64_t encodes = 0;      // node encodings produced during the run
+  std::uint64_t canonical_hits = 0;  // encodings the canonicalizer permuted
+
+  double bytes_per_node() const {
+    return nodes == 0 ? 0.0
+                      : static_cast<double>(value_bytes) / static_cast<double>(nodes);
+  }
+  double canonical_hit_rate() const {
+    return encodes == 0
+               ? 0.0
+               : static_cast<double>(canonical_hits) / static_cast<double>(encodes);
+  }
+};
+
 struct ExplorerStats {
   std::uint64_t visited = 0;
   std::uint64_t transitions = 0;
   std::uint64_t decisions = 0;
   std::uint64_t terminal_states = 0;
   bool truncated = false;  // hit max_visited — verdict incomplete
+
+  bool compact = false;  // ran on the interned node representation
+  NodeStoreStats store;
 };
 
 }  // namespace rcons::sim

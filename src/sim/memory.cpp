@@ -49,4 +49,14 @@ void Memory::encode(std::vector<typesys::Value>& out) const {
   for (const Object& object : objects_) out.push_back(object.state);
 }
 
+std::size_t Memory::decode(const typesys::Value* data, std::size_t size) {
+  const std::size_t width = encoded_width();
+  RCONS_ASSERT_MSG(size >= width, "truncated memory encoding");
+  for (std::size_t i = 0; i < registers_.size(); ++i) registers_[i] = data[i];
+  for (std::size_t j = 0; j < objects_.size(); ++j) {
+    objects_[j].state = static_cast<typesys::StateId>(data[registers_.size() + j]);
+  }
+  return width;
+}
+
 }  // namespace rcons::sim

@@ -48,6 +48,14 @@ class Memory {
   // Canonical encoding of the entire shared state (for visited-state sets).
   void encode(std::vector<typesys::Value>& out) const;
 
+  // Number of values encode() appends: one per register plus one per object.
+  std::size_t encoded_width() const { return registers_.size() + objects_.size(); }
+
+  // Inverse of encode(): restores register values and object states from an
+  // encode() image of a memory with the same layout. Returns the number of
+  // values consumed (== encoded_width()).
+  std::size_t decode(const typesys::Value* data, std::size_t size);
+
  private:
   struct Object {
     std::shared_ptr<typesys::TransitionCache> cache;

@@ -12,10 +12,22 @@
 //   struct P {
 //     StepResult step(Memory& memory);            // one access per call
 //     void encode(std::vector<Value>& out) const; // canonical local state
+//     // optional — enables the engine's compact interned node representation:
+//     std::size_t decode(const Value* data, std::size_t size);
 //   };
+//
+// decode() is the inverse of encode(): it restores the current run's volatile
+// local state from the values encode() produced and returns how many values
+// it consumed (encodings are self-delimiting, so composed programs can chain
+// decodes). Programs that implement it are "decodable"; the explorers then
+// store nodes as interned value vectors and rebuild process state in place
+// instead of cloning type-erased programs on every expansion
+// (engine/node_store.hpp). Programs without decode() still work — the
+// explorers fall back to the clone-based representation.
 #ifndef RCONS_SIM_PROCESS_HPP
 #define RCONS_SIM_PROCESS_HPP
 
+#include <concepts>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -33,6 +45,13 @@ struct StepResult {
   static StepResult running() { return {Kind::kRunning, 0}; }
   static StepResult decided(typesys::Value value) { return {Kind::kDecided, value}; }
 };
+
+// Detects the optional decode() half of the program concept.
+template <typename P>
+concept DecodableProgram =
+    requires(P& program, const typesys::Value* data, std::size_t size) {
+      { program.decode(data, size) } -> std::same_as<std::size_t>;
+    };
 
 class Process {
  public:
@@ -63,12 +82,23 @@ class Process {
   // Canonical encoding of the current run's local state.
   void encode(std::vector<typesys::Value>& out) const { current_->encode(out); }
 
+  // Whether the underlying program supports decode() (see header comment).
+  bool decodable() const { return current_->decodable(); }
+
+  // Restores the current run's local state from an encode() image, returning
+  // the number of values consumed. Asserts when the program is not decodable.
+  std::size_t decode(const typesys::Value* data, std::size_t size) {
+    return current_->decode(data, size);
+  }
+
  private:
   struct Concept {
     virtual ~Concept() = default;
     virtual std::unique_ptr<Concept> clone() const = 0;
     virtual StepResult step(Memory& memory) = 0;
     virtual void encode(std::vector<typesys::Value>& out) const = 0;
+    virtual bool decodable() const = 0;
+    virtual std::size_t decode(const typesys::Value* data, std::size_t size) = 0;
   };
 
   template <typename P>
@@ -80,6 +110,17 @@ class Process {
     StepResult step(Memory& memory) override { return program.step(memory); }
     void encode(std::vector<typesys::Value>& out) const override {
       program.encode(out);
+    }
+    bool decodable() const override { return DecodableProgram<P>; }
+    std::size_t decode(const typesys::Value* data, std::size_t size) override {
+      if constexpr (DecodableProgram<P>) {
+        return program.decode(data, size);
+      } else {
+        (void)data;
+        (void)size;
+        RCONS_ASSERT_MSG(false, "program does not implement decode()");
+        return 0;
+      }
     }
     P program;
   };

@@ -123,6 +123,52 @@ TEST(ScenarioSpecTest, RejectsIntFieldsAboveInt32Range) {
   EXPECT_NE(parse.errors[1].find("n must be"), std::string::npos);
 }
 
+TEST(ScenarioSpecTest, ParsesAlgoAndSymmetryFields) {
+  const ScenarioParse parse = parse_scenario_specs(
+      "type=test-and-set n=2 budget=1 algo=halting\n"
+      "type=register n=2 budget=0 algo=naive-register\n"
+      "type=Sn(4) n=4 budget=1 symmetry=on\n"
+      "type=Sn(2) algo=team symmetry=off\n");
+  ASSERT_TRUE(parse.ok()) << parse.errors.front();
+  ASSERT_EQ(parse.specs.size(), 4u);
+  EXPECT_EQ(parse.specs[0].algo, ScenarioAlgo::kHaltingTournament);
+  EXPECT_EQ(parse.specs[1].algo, ScenarioAlgo::kNaiveRegister);
+  EXPECT_FALSE(parse.specs[1].symmetry);
+  EXPECT_EQ(parse.specs[2].algo, ScenarioAlgo::kTeamConsensus);
+  EXPECT_TRUE(parse.specs[2].symmetry);
+  EXPECT_EQ(parse.specs[3].algo, ScenarioAlgo::kTeamConsensus);
+  EXPECT_FALSE(parse.specs[3].symmetry);
+}
+
+TEST(ScenarioSpecTest, RejectsBadAlgoAndSymmetryValues) {
+  const ScenarioParse parse = parse_scenario_specs(
+      "type=Sn(2) algo=quantum\n"
+      "type=Sn(2) symmetry=maybe\n");
+  EXPECT_TRUE(parse.specs.empty());
+  ASSERT_EQ(parse.errors.size(), 2u);
+  EXPECT_NE(parse.errors[0].find("algo must be"), std::string::npos);
+  EXPECT_NE(parse.errors[1].find("symmetry must be"), std::string::npos);
+}
+
+TEST(ScenarioSpecTest, FormatScenarioLineRoundTrips) {
+  ScenarioSpec spec;
+  spec.type = "test-and-set";
+  spec.n = 3;
+  spec.crash_model = CrashModel::kSimultaneous;
+  spec.crash_budget = 1;
+  spec.algo = ScenarioAlgo::kHaltingTournament;
+  spec.symmetry = true;
+  spec.max_steps_per_run = 400;
+  spec.max_visited = 1'000'000;
+  spec.name = "tas-halting";
+
+  ScenarioSpec parsed;
+  std::vector<std::string> errors;
+  parse_scenario_line(format_scenario_line(spec), parsed, errors);
+  EXPECT_TRUE(errors.empty()) << errors.front();
+  EXPECT_EQ(parsed, spec);
+}
+
 TEST(ScenarioSpecTest, DefaultSpecFileMatchesBuiltInSet) {
   // examples/scenarios/default.spec is the on-disk mirror of the library's
   // built-in default set; the two must parse to identical scenarios.

@@ -1,0 +1,215 @@
+// Differential test of the node representations: with symmetry reduction
+// off, the compact interned-record explorers must traverse the *identical*
+// deduplicated graph as the legacy clone-based expansion — same visited /
+// transition / decision / terminal counts, same verdict, and (for the
+// deterministic reporters) the same violating schedule. With symmetry
+// reduction on, the visited set must only shrink (never grow) and the
+// verdict must be preserved.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/parallel_explorer.hpp"
+#include "rc/naive_register.hpp"
+#include "rc/team_consensus.hpp"
+#include "sim/explorer.hpp"
+#include "typesys/zoo.hpp"
+
+namespace rcons::engine {
+namespace {
+
+constexpr typesys::Value kInputA = 101;
+constexpr typesys::Value kInputB = 202;
+
+struct Outcome {
+  std::optional<sim::Violation> violation;
+  sim::ExplorerStats stats;
+};
+
+struct System {
+  sim::Memory memory;
+  std::vector<sim::Process> processes;
+  std::vector<int> symmetry_classes;
+};
+
+Outcome run_sequential(const System& system, sim::ExplorerConfig config,
+                       sim::NodeRepr repr, bool expect_compact) {
+  config.node_repr = repr;
+  sim::Explorer explorer(system.memory, system.processes, config);
+  EXPECT_EQ(explorer.compact(), expect_compact);
+  Outcome outcome;
+  outcome.violation = explorer.run();
+  outcome.stats = explorer.stats();
+  return outcome;
+}
+
+Outcome run_parallel(const System& system, const sim::ExplorerConfig& base,
+                     sim::NodeRepr repr, bool expect_compact, int threads) {
+  ParallelExplorerConfig config;
+  static_cast<sim::ExplorerConfig&>(config) = base;
+  config.node_repr = repr;
+  config.num_threads = threads;
+  ParallelExplorer explorer(system.memory, system.processes, config);
+  EXPECT_EQ(explorer.compact(), expect_compact);
+  Outcome outcome;
+  outcome.violation = explorer.run();
+  outcome.stats = explorer.stats();
+  return outcome;
+}
+
+void expect_identical_graph(const Outcome& legacy, const Outcome& compact,
+                            const std::string& label) {
+  EXPECT_EQ(legacy.violation.has_value(), compact.violation.has_value()) << label;
+  EXPECT_EQ(legacy.stats.visited, compact.stats.visited) << label;
+  EXPECT_EQ(legacy.stats.transitions, compact.stats.transitions) << label;
+  EXPECT_EQ(legacy.stats.decisions, compact.stats.decisions) << label;
+  EXPECT_EQ(legacy.stats.terminal_states, compact.stats.terminal_states) << label;
+  EXPECT_EQ(legacy.stats.truncated, compact.stats.truncated) << label;
+  if (legacy.violation.has_value() && compact.violation.has_value()) {
+    EXPECT_EQ(legacy.violation->description, compact.violation->description) << label;
+    EXPECT_EQ(legacy.violation->schedule, compact.violation->schedule) << label;
+  }
+}
+
+System team_consensus_system(const std::string& type_name, int n) {
+  auto type = typesys::make_type(type_name);
+  EXPECT_NE(type, nullptr) << type_name;
+  rc::TeamConsensusSystem built =
+      rc::make_team_consensus_system(*type, n, kInputA, kInputB);
+  return System{std::move(built.memory), std::move(built.processes),
+                std::move(built.symmetry_classes)};
+}
+
+struct SeedCase {
+  std::string type_name;
+  int n;
+  int crash_budget;
+  sim::CrashModel crash_model;
+};
+
+class DifferentialSeedTest : public ::testing::TestWithParam<SeedCase> {};
+
+TEST_P(DifferentialSeedTest, CompactAndLegacyExploreTheIdenticalGraph) {
+  const SeedCase& c = GetParam();
+  const System system = team_consensus_system(c.type_name, c.n);
+
+  sim::ExplorerConfig config;
+  config.crash_model = c.crash_model;
+  config.crash_budget = c.crash_budget;
+  config.valid_outputs = {kInputA, kInputB};
+
+  const Outcome seq_legacy =
+      run_sequential(system, config, sim::NodeRepr::kLegacy, false);
+  const Outcome seq_compact =
+      run_sequential(system, config, sim::NodeRepr::kCompact, true);
+  expect_identical_graph(seq_legacy, seq_compact, "sequential");
+  EXPECT_TRUE(seq_compact.stats.compact);
+  EXPECT_FALSE(seq_legacy.stats.compact);
+  // Interned nodes = visited states + the root; every record costs bytes.
+  EXPECT_EQ(seq_compact.stats.store.nodes, seq_compact.stats.visited + 1);
+  EXPECT_GT(seq_compact.stats.store.bytes_per_node(), 0.0);
+  EXPECT_EQ(seq_compact.stats.store.canonical_hits, 0u);  // symmetry off
+
+  const Outcome par_legacy =
+      run_parallel(system, config, sim::NodeRepr::kLegacy, false, 4);
+  expect_identical_graph(seq_legacy, par_legacy, "parallel-legacy");
+  const Outcome par_compact =
+      run_parallel(system, config, sim::NodeRepr::kCompact, true, 4);
+  expect_identical_graph(seq_legacy, par_compact, "parallel-compact");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DifferentialSeedTest,
+    ::testing::Values(SeedCase{"Sn(2)", 2, 3, sim::CrashModel::kIndependent},
+                      SeedCase{"Sn(3)", 3, 2, sim::CrashModel::kIndependent},
+                      SeedCase{"sticky-bit", 3, 2, sim::CrashModel::kSimultaneous},
+                      SeedCase{"Tn(4)", 2, 3, sim::CrashModel::kIndependent}),
+    [](const ::testing::TestParamInfo<SeedCase>& info) {
+      std::string name = info.param.type_name + "_n" + std::to_string(info.param.n) +
+                         "_c" + std::to_string(info.param.crash_budget) +
+                         (info.param.crash_model == sim::CrashModel::kIndependent
+                              ? "_ind"
+                              : "_sim");
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+TEST(DifferentialTest, ViolatingSystemsReportTheSameLowestViolation) {
+  // The naive register race: both explorers must find a violation, and the
+  // deterministic reporters (sequential first-DFS violation, parallel
+  // lowest-trace violation) must agree between representations.
+  rc::NaiveRegisterSystem built = rc::make_naive_register_system(2);
+  const System system{std::move(built.memory), std::move(built.processes), {}};
+
+  sim::ExplorerConfig config;
+  config.crash_budget = 1;
+  config.valid_outputs = built.inputs;
+
+  const Outcome seq_legacy =
+      run_sequential(system, config, sim::NodeRepr::kLegacy, false);
+  const Outcome seq_compact =
+      run_sequential(system, config, sim::NodeRepr::kCompact, true);
+  ASSERT_TRUE(seq_legacy.violation.has_value());
+  expect_identical_graph(seq_legacy, seq_compact, "sequential");
+
+  const Outcome par_legacy =
+      run_parallel(system, config, sim::NodeRepr::kLegacy, false, 4);
+  const Outcome par_compact =
+      run_parallel(system, config, sim::NodeRepr::kCompact, true, 4);
+  ASSERT_TRUE(par_legacy.violation.has_value());
+  ASSERT_TRUE(par_compact.violation.has_value());
+  expect_identical_graph(par_legacy, par_compact, "parallel");
+}
+
+TEST(DifferentialTest, CanonicalizationOnlyShrinksTheVisitedSet) {
+  for (const char* type_name : {"Sn(3)", "Sn(4)"}) {
+    const int n = type_name == std::string("Sn(3)") ? 3 : 4;
+    const System system = team_consensus_system(type_name, n);
+    ASSERT_FALSE(system.symmetry_classes.empty());
+
+    sim::ExplorerConfig config;
+    config.crash_budget = 1;
+    config.valid_outputs = {kInputA, kInputB};
+
+    const Outcome off = run_sequential(system, config, sim::NodeRepr::kCompact, true);
+
+    sim::ExplorerConfig with_symmetry = config;
+    with_symmetry.symmetry_classes = system.symmetry_classes;
+    const Outcome on =
+        run_sequential(system, with_symmetry, sim::NodeRepr::kCompact, true);
+
+    EXPECT_EQ(off.violation.has_value(), on.violation.has_value()) << type_name;
+    EXPECT_LE(on.stats.visited, off.stats.visited) << type_name;
+
+    // The declaration only helps when some class has >= 2 members; when it
+    // does, team consensus has genuinely symmetric reachable states.
+    std::vector<int> counts(system.symmetry_classes.size(), 0);
+    int largest = 0;
+    for (const int cls : system.symmetry_classes) {
+      largest = std::max(largest, ++counts[static_cast<std::size_t>(cls)]);
+    }
+    if (largest >= 2) {
+      EXPECT_LT(on.stats.visited, off.stats.visited) << type_name;
+      EXPECT_GT(on.stats.store.canonical_hits, 0u) << type_name;
+    }
+
+    // The parallel engine agrees with the sequential explorer under
+    // canonicalization too.
+    ParallelExplorerConfig par_config;
+    static_cast<sim::ExplorerConfig&>(par_config) = with_symmetry;
+    par_config.num_threads = 4;
+    ParallelExplorer parallel(system.memory, system.processes, par_config);
+    const auto par_violation = parallel.run();
+    EXPECT_EQ(par_violation.has_value(), on.violation.has_value()) << type_name;
+    EXPECT_EQ(parallel.stats().visited, on.stats.visited) << type_name;
+  }
+}
+
+}  // namespace
+}  // namespace rcons::engine

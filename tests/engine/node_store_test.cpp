@@ -1,0 +1,228 @@
+// Unit tests of the compact interned node representation: NodeStore
+// intern/fetch round trips, NodeCodec encode/decode inversion (including
+// fingerprint parity with the legacy clone-based encoding), and the
+// Canonicalizer's symmetry reduction.
+#include "engine/node_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "engine/expand.hpp"
+#include "rc/naive_register.hpp"
+#include "rc/team_consensus.hpp"
+#include "typesys/zoo.hpp"
+
+namespace rcons::engine {
+namespace {
+
+util::U128 key(std::uint64_t i) {
+  return util::U128{util::mix64(i), util::mix64(i + 0x9876ULL)};
+}
+
+std::vector<typesys::Value> record_of(std::uint64_t i, std::size_t length) {
+  std::vector<typesys::Value> record;
+  for (std::size_t k = 0; k < length; ++k) {
+    record.push_back(static_cast<typesys::Value>(i * 100 + k));
+  }
+  return record;
+}
+
+TEST(NodeStoreTest, InternRoundTripsRecords) {
+  NodeStore store(2);
+  std::vector<NodeStore::NodeId> ids;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const auto interned = store.intern(key(i), record_of(i, 5 + i % 7));
+    EXPECT_TRUE(interned.inserted);
+    ids.push_back(interned.id);
+  }
+  EXPECT_EQ(store.size(), 50u);
+
+  std::vector<typesys::Value> fetched;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    store.fetch(ids[i], fetched);
+    EXPECT_EQ(fetched, record_of(i, 5 + i % 7)) << "record " << i;
+  }
+}
+
+TEST(NodeStoreTest, DuplicateInternReturnsExistingId) {
+  NodeStore store(0);
+  const auto first = store.intern(key(7), record_of(7, 4));
+  const auto second = store.intern(key(7), record_of(7, 4));
+  EXPECT_TRUE(first.inserted);
+  EXPECT_FALSE(second.inserted);
+  EXPECT_EQ(first.id, second.id);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.stats().duplicate_hits, 1u);
+}
+
+TEST(NodeStoreTest, StatsCountNodesAndBytes) {
+  NodeStore store(1);
+  store.intern(key(1), record_of(1, 10));
+  store.intern(key(2), record_of(2, 6));
+  const NodeStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.nodes, 2u);
+  EXPECT_EQ(stats.value_bytes, 16u * sizeof(typesys::Value));
+  const auto load = store.load_stats();
+  EXPECT_EQ(load.total, 2u);
+}
+
+TEST(NodeStoreTest, ConcurrentInternsAgreeOnWinners) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kKeys = 2000;
+  NodeStore store(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store] {
+      for (std::uint64_t i = 0; i < kKeys; ++i) {
+        store.intern(key(i), record_of(i, 3));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(store.size(), kKeys);
+  EXPECT_EQ(store.stats().duplicate_hits, (kThreads - 1) * kKeys);
+
+  std::vector<typesys::Value> fetched;
+  const auto again = store.intern(key(123), record_of(123, 3));
+  EXPECT_FALSE(again.inserted);
+  store.fetch(again.id, fetched);
+  EXPECT_EQ(fetched, record_of(123, 3));
+}
+
+// Encode/decode must be mutually inverse, and the fingerprint must equal the
+// legacy clone-based fingerprint of the same node (that is what lets compact
+// and legacy runs explore the identical deduplicated graph).
+TEST(NodeCodecTest, EncodeDecodeRoundTripsAndMatchesLegacyFingerprint) {
+  rc::NaiveRegisterSystem system = rc::make_naive_register_system(2);
+  Node root = make_root(system.memory, system.processes);
+  ASSERT_TRUE(NodeCodec::decodable(root));
+
+  sim::ExplorerConfig config;
+  config.crash_budget = 1;
+
+  // Drive the root into a nontrivial state: p0 steps, p1 steps, p0 crashes.
+  Node state = root;
+  EXPECT_FALSE(apply_event(state, Event{Event::Kind::kStep, 0}, config));
+  EXPECT_FALSE(apply_event(state, Event{Event::Kind::kStep, 1}, config));
+  EXPECT_FALSE(apply_event(state, Event{Event::Kind::kCrash, 0}, config));
+
+  NodeCodec codec;
+  std::vector<typesys::Value> record;
+  const NodeCodec::Encoded encoded = codec.encode(state, record);
+  EXPECT_FALSE(encoded.permuted);
+
+  std::vector<typesys::Value> legacy;
+  EXPECT_EQ(encoded.fingerprint, fingerprint(state, legacy));
+
+  // Decode into a scratch node that currently holds a different state.
+  Node scratch = root;
+  codec.decode(record.data(), record.size(), scratch);
+  EXPECT_EQ(scratch.crashes_used, state.crashes_used);
+  EXPECT_EQ(scratch.done, state.done);
+  EXPECT_EQ(scratch.steps_in_run, state.steps_in_run);
+  EXPECT_EQ(scratch.has_decision, state.has_decision);
+
+  // Re-encoding the decoded node reproduces the identical record.
+  std::vector<typesys::Value> record_again;
+  const NodeCodec::Encoded encoded_again = codec.encode(scratch, record_again);
+  EXPECT_EQ(record_again, record);
+  EXPECT_EQ(encoded_again.fingerprint, encoded.fingerprint);
+}
+
+// Two processes with the same program and input are interchangeable: states
+// that differ only by swapping them must canonicalize to one fingerprint.
+TEST(CanonicalizerTest, SymmetricStatesFingerprintIdentically) {
+  // Both processes propose the same value — identical programs.
+  sim::Memory memory;
+  const sim::RegId reg = memory.add_register();
+  std::vector<sim::Process> processes;
+  processes.emplace_back(rc::NaiveRegisterProgram(reg, 1));
+  processes.emplace_back(rc::NaiveRegisterProgram(reg, 1));
+  Node root = make_root(memory, processes);
+
+  sim::ExplorerConfig config;
+  config.crash_budget = 0;
+
+  Node stepped_p0 = root;
+  EXPECT_FALSE(apply_event(stepped_p0, Event{Event::Kind::kStep, 0}, config));
+  Node stepped_p1 = root;
+  EXPECT_FALSE(apply_event(stepped_p1, Event{Event::Kind::kStep, 1}, config));
+
+  const std::vector<int> classes = {0, 0};
+  NodeCodec codec(classes);
+  std::vector<typesys::Value> record_p0;
+  std::vector<typesys::Value> record_p1;
+  const NodeCodec::Encoded a = codec.encode(stepped_p0, record_p0);
+  const NodeCodec::Encoded b = codec.encode(stepped_p1, record_p1);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(record_p0, record_p1);
+  // Exactly one of the two orientations needed a permutation.
+  EXPECT_NE(a.permuted, b.permuted);
+
+  // Without the declaration the two states stay distinct.
+  NodeCodec identity;
+  std::vector<typesys::Value> raw_p0;
+  std::vector<typesys::Value> raw_p1;
+  EXPECT_NE(identity.encode(stepped_p0, raw_p0).fingerprint,
+            identity.encode(stepped_p1, raw_p1).fingerprint);
+
+  // The root is symmetric already: no permutation, no "hit".
+  std::vector<typesys::Value> root_record;
+  EXPECT_FALSE(codec.encode(root, root_record).permuted);
+}
+
+// Processes in different classes must never be permuted, even if their
+// blocks would sort differently.
+TEST(CanonicalizerTest, DifferentClassesAreNeverMixed) {
+  sim::Memory memory;
+  const sim::RegId reg = memory.add_register();
+  std::vector<sim::Process> processes;
+  processes.emplace_back(rc::NaiveRegisterProgram(reg, 1));
+  processes.emplace_back(rc::NaiveRegisterProgram(reg, 2));
+  Node root = make_root(memory, processes);
+
+  sim::ExplorerConfig config;
+  config.crash_budget = 0;
+
+  Node stepped_p0 = root;
+  EXPECT_FALSE(apply_event(stepped_p0, Event{Event::Kind::kStep, 0}, config));
+  Node stepped_p1 = root;
+  EXPECT_FALSE(apply_event(stepped_p1, Event{Event::Kind::kStep, 1}, config));
+
+  const std::vector<int> classes = {0, 1};  // distinct inputs → distinct classes
+  NodeCodec codec(classes);
+  std::vector<typesys::Value> record_p0;
+  std::vector<typesys::Value> record_p1;
+  const NodeCodec::Encoded a = codec.encode(stepped_p0, record_p0);
+  const NodeCodec::Encoded b = codec.encode(stepped_p1, record_p1);
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+  EXPECT_FALSE(a.permuted);
+  EXPECT_FALSE(b.permuted);
+}
+
+TEST(NodeCodecTest, TeamConsensusSystemsDeclareUsableSymmetry) {
+  // Sn(4) with 4 roles: same-team roles share the witness op for S_n (only
+  // opA/opB exist), so at least one class has two members and the explorers
+  // can canonicalize. This is the bench's acceptance scenario.
+  auto type = typesys::make_type("Sn(4)");
+  ASSERT_NE(type, nullptr);
+  rc::TeamConsensusSystem system =
+      rc::make_team_consensus_system(*type, 4, 101, 202);
+  ASSERT_EQ(system.symmetry_classes.size(), 4u);
+
+  std::vector<int> class_sizes(system.symmetry_classes.size(), 0);
+  for (const int cls : system.symmetry_classes) {
+    ASSERT_GE(cls, 0);
+    ASSERT_LT(cls, static_cast<int>(class_sizes.size()));
+    class_sizes[static_cast<std::size_t>(cls)] += 1;
+  }
+  int largest = 0;
+  for (const int size : class_sizes) largest = std::max(largest, size);
+  EXPECT_GE(largest, 2) << "no interchangeable roles — canonicalization inert";
+}
+
+}  // namespace
+}  // namespace rcons::engine

@@ -178,7 +178,9 @@ TEST(ParallelExplorerDeathTest, NegativeNumThreadsAsserts) {
 }
 
 TEST(ParallelExplorerDeathTest, ShardBitsOutOfRangeAsserts) {
-  for (const int shard_bits : {-1, 17}) {
+  // -1 selects auto-tuning (pick_shard_bits); anything below, or above 16,
+  // is invalid.
+  for (const int shard_bits : {-2, 17}) {
     sim::Memory memory;
     const sim::RegId reg = memory.add_register();
     std::vector<sim::Process> processes;
@@ -188,6 +190,18 @@ TEST(ParallelExplorerDeathTest, ShardBitsOutOfRangeAsserts) {
     EXPECT_DEATH(ParallelExplorer(std::move(memory), std::move(processes), config),
                  "shard_bits");
   }
+}
+
+TEST(ParallelExplorerTest, AutoShardBitsResolvesFromThreadsAndExpectation) {
+  sim::Memory memory;
+  const sim::RegId reg = memory.add_register();
+  std::vector<sim::Process> processes;
+  processes.emplace_back(BrokenConsensus{reg, 1, 0});
+  ParallelExplorerConfig config;
+  config.num_threads = 4;
+  config.expected_states = 1'000'000;
+  ParallelExplorer explorer(std::move(memory), std::move(processes), config);
+  EXPECT_EQ(explorer.shard_bits(), pick_shard_bits(4, 1'000'000));
 }
 
 TEST(ParallelExplorerTest, FindsValidityViolation) {

@@ -66,5 +66,48 @@ TEST(ShardedVisitedTest, ConcurrentInsertsAgreeOnWinners) {
   EXPECT_EQ(visited.size(), kKeys);
 }
 
+TEST(PickShardBitsTest, SingleWorkerGetsSequentialLayout) {
+  EXPECT_EQ(pick_shard_bits(1, 0), 0);
+  EXPECT_EQ(pick_shard_bits(1, 1'000'000'000), 0);
+  EXPECT_EQ(pick_shard_bits(0, 1'000'000), 0);
+}
+
+TEST(PickShardBitsTest, ContentionBoundScalesWithThreads) {
+  // Unknown state space: shards >= 8 * threads, rounded up to a power of two.
+  EXPECT_EQ(pick_shard_bits(2, 0), 4);    // 16 shards
+  EXPECT_EQ(pick_shard_bits(4, 0), 5);    // 32 shards
+  EXPECT_EQ(pick_shard_bits(8, 0), 6);    // 64 shards
+  EXPECT_EQ(pick_shard_bits(16, 0), 7);   // 128 shards
+  EXPECT_EQ(pick_shard_bits(64, 0), 9);   // 512 shards
+  // Monotone in the thread count.
+  int previous = 0;
+  for (int threads = 1; threads <= 128; threads *= 2) {
+    const int bits = pick_shard_bits(threads, 0);
+    EXPECT_GE(bits, previous) << threads;
+    previous = bits;
+  }
+}
+
+TEST(PickShardBitsTest, OccupancyCapShrinksSmallStateSpaces) {
+  // A 1000-state space should not be spread over more than ~1000/64 shards.
+  EXPECT_LE(pick_shard_bits(8, 1000), 4);
+  // A tiny space degenerates to very few shards no matter the thread count.
+  EXPECT_EQ(pick_shard_bits(64, 100), 0);
+  // A huge space leaves the contention bound in charge.
+  EXPECT_EQ(pick_shard_bits(8, 100'000'000), 6);
+}
+
+TEST(PickShardBitsTest, ResultAlwaysWithinSupportedRange) {
+  for (const int threads : {1, 2, 7, 33, 1000, 100'000}) {
+    for (const std::uint64_t states : {std::uint64_t{0}, std::uint64_t{1},
+                                       std::uint64_t{1'000'000},
+                                       ~std::uint64_t{0}}) {
+      const int bits = pick_shard_bits(threads, states);
+      EXPECT_GE(bits, 0) << threads << " " << states;
+      EXPECT_LE(bits, 16) << threads << " " << states;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rcons::engine
