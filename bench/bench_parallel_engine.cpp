@@ -11,12 +11,25 @@
 // attached must shrink the visited set without changing the verdict.
 //
 // Plain chrono timing rather than Google Benchmark: each run is seconds long
-// and we want a speedup table, not per-iteration statistics. Results are also
-// written machine-readably to BENCH_parallel_engine.json so the perf
-// trajectory accumulates across revisions.
+// and we want a speedup table, not per-iteration statistics. Every timed
+// configuration gets one untimed warmup run first (page cache, allocator
+// arenas, branch predictors), then `repeats` samples whose *median* is
+// reported. Results are also written machine-readably to
+// BENCH_parallel_engine.json so the perf trajectory accumulates across
+// revisions; the rows carry the hot-path counters (allocations avoided,
+// batch sizes, dedup-cache hit rate, probe lengths) introduced with the
+// batched engine.
 //
-// Usage: bench_parallel_engine [repeats]
+// Usage: bench_parallel_engine [--repeats N] [--filter SUBSTR] [N]
+//   --repeats N     timed samples per configuration (default 3, min 1)
+//   --filter SUBSTR only run instances whose label contains SUBSTR
+//   N               positional alias for --repeats (back-compat)
+//
+// Exits non-zero when any configuration disagrees on verdict or
+// visited-state count (verdicts_consistent:false in the JSON) — the CI bench
+// smoke job relies on this.
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -89,6 +102,9 @@ struct RunOutcome {
 RunOutcome timed(const Instance& instance, check::Strategy strategy, int threads,
                  int repeats, bool symmetry = false) {
   RunOutcome outcome;
+  // One untimed warmup run, then `repeats` timed samples; the median is
+  // reported so a single noisy sample cannot fake (or hide) a regression.
+  check::check(make_request(instance, strategy, threads, symmetry));
   std::vector<double> samples;
   for (int i = 0; i < repeats; ++i) {
     const check::CheckReport report =
@@ -119,12 +135,31 @@ double states_per_sec(const RunOutcome& outcome) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  int repeats = argc > 1 ? std::atoi(argv[1]) : 3;
+  int repeats = 3;
+  std::string filter;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repeats" && i + 1 < argc) {
+      repeats = std::atoi(argv[++i]);
+    } else if (arg == "--filter" && i + 1 < argc) {
+      filter = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      // A typo'd or value-less flag must not silently become "repeats=0".
+      std::cerr << "unknown or incomplete argument: " << arg
+                << "\nusage: bench_parallel_engine [--repeats N] "
+                   "[--filter SUBSTR] [N]\n";
+      return 2;
+    } else {
+      repeats = std::atoi(argv[i]);  // positional back-compat
+    }
+  }
   if (repeats < 1) repeats = 1;
 
   std::cout << "=== Parallel exploration engine — speedup via the check:: facade ===\n"
             << "Hardware concurrency: " << std::thread::hardware_concurrency()
-            << " (speedup beyond that count is not expected)\n\n";
+            << " (speedup beyond that count is not expected)\n"
+            << "Repeats: " << repeats << " (median of timed samples, after one "
+            << "warmup run per configuration)\n\n";
 
   // 3-process, crash-budget-2 team-consensus instances (readable-stack has
   // the largest state space of the 3-recording zoo types), plus a 4-process
@@ -133,9 +168,18 @@ int main(int argc, char** argv) {
   instances.push_back(make_instance("readable-stack", 3, 2));
   instances.push_back(make_instance("Sn(3)", 3, 2));
   instances.push_back(make_instance("Sn(4)", 4, 1));
+  if (!filter.empty()) {
+    std::erase_if(instances, [&](const Instance& instance) {
+      return instance.label.find(filter) == std::string::npos;
+    });
+    if (instances.empty()) {
+      std::cerr << "--filter '" << filter << "' matches no instance\n";
+      return 2;
+    }
+  }
 
   util::Table table({"instance", "config", "verdict", "visited", "time(s)",
-                     "states/s", "B/node", "speedup"});
+                     "states/s", "B/node", "batch", "cache%", "probe", "speedup"});
   bool verdicts_consistent = true;
 
   std::ofstream json_file("BENCH_parallel_engine.json");
@@ -150,11 +194,14 @@ int main(int argc, char** argv) {
 
   auto emit = [&](const Instance& instance, const std::string& config_label,
                   int threads, const RunOutcome& outcome, double speedup) {
+    const sim::HotPathStats& hot = outcome.stats.hot;
     table.add_row({instance.label, config_label, outcome.clean ? "clean" : "VIOLATION",
                    std::to_string(outcome.visited), fixed(outcome.seconds, 3),
                    fixed(states_per_sec(outcome), 0),
                    fixed(outcome.stats.store.bytes_per_node(), 1),
-                   fixed(speedup, 3) + "x"});
+                   fixed(hot.avg_batch(), 1),
+                   fixed(100.0 * hot.cache_hit_rate(), 0),
+                   fixed(hot.avg_probe(), 2), fixed(speedup, 3) + "x"});
     json.begin_object();
     json.key_value("instance", instance.label);
     json.key_value("config", config_label);
@@ -169,6 +216,12 @@ int main(int argc, char** argv) {
     json.key_value("store_nodes", outcome.stats.store.nodes);
     json.key_value("store_bytes_per_node", outcome.stats.store.bytes_per_node());
     json.key_value("canonical_hit_rate", outcome.stats.store.canonical_hit_rate());
+    json.key_value("allocations_avoided", hot.allocations_avoided);
+    json.key_value("avg_push_batch", hot.avg_batch());
+    json.key_value("dedup_cache_hit_rate", hot.cache_hit_rate());
+    json.key_value("avg_probe_length", hot.avg_probe());
+    json.key_value("max_probe_length", hot.max_probe);
+    json.key_value("table_rehashes", hot.rehashes);
     json.end_object();
   };
 

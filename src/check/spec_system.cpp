@@ -40,6 +40,7 @@ ScenarioSystem build_halting(const ScenarioSpec& spec) {
   system.memory = std::move(built.memory);
   system.processes = std::move(built.processes);
   system.valid_outputs = std::move(inputs);
+  if (spec.symmetry) system.symmetry_classes = std::move(built.symmetry_classes);
   return system;
 }
 

@@ -12,9 +12,11 @@
 //   algo=naive-register — write-then-read register race; inputs 1..n. The
 //                         spec's type is unused (by convention `register`).
 //
-// `symmetry=on` fills the returned system's symmetry_classes (only team
-// consensus declares one — tournament chains and distinct inputs make the
-// other algorithms asymmetric).
+// `symmetry=on` fills the returned system's symmetry_classes. Team consensus
+// groups same-(team, op) roles; the halting tournament attaches its
+// staged_symmetry_classes declaration (sound for any chain structure, though
+// the binary tournament's distinct inputs and leaf splits make every class a
+// singleton — see rc/staged.hpp); the naive register race has no declaration.
 #ifndef RCONS_CHECK_SPEC_SYSTEM_HPP
 #define RCONS_CHECK_SPEC_SYSTEM_HPP
 

@@ -136,10 +136,13 @@ util::U128 fingerprint(const Node& node, std::vector<Value>& scratch) {
 }
 
 util::U128 fingerprint_values(const Value* data, std::size_t size) {
-  const std::uint64_t lo = util::hash_range(data, size);
-  // Independent second hash: remix every element with a different stream.
+  // Both independent hash streams advance in one sweep over the encoding
+  // (identical math to util::hash_range for `lo` plus the remixed `hi`
+  // stream — fingerprints are unchanged, the data is only read once).
+  std::uint64_t lo = 0x2545f4914f6cdd1dULL ^ size;
   std::uint64_t hi = 0x6a09e667f3bcc909ULL ^ size;
   for (std::size_t i = 0; i < size; ++i) {
+    lo = util::hash_combine(lo, static_cast<std::uint64_t>(data[i]));
     hi = util::mix64(hi +
                      0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(data[i] + 1));
   }
@@ -162,7 +165,7 @@ bool path_less(const std::vector<Event>& a, const std::vector<Event>& b) {
 
 std::vector<Event> materialize_path(const PathLink* tail) {
   std::vector<Event> path;
-  for (const PathLink* link = tail; link != nullptr; link = link->parent.get()) {
+  for (const PathLink* link = tail; link != nullptr; link = link->parent) {
     path.push_back(link->event);
   }
   for (std::size_t i = 0, j = path.size(); i + 1 < j; ++i, --j) {

@@ -15,7 +15,6 @@
 #define RCONS_ENGINE_EXPAND_HPP
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -85,10 +84,12 @@ bool path_less(const std::vector<Event>& a, const std::vector<Event>& b);
 // Immutable backlink chain recording how a node was first reached. Work items
 // share their ancestors' links, so extending a path is O(1) instead of
 // copying the root-to-node event vector per child; the full path is only
-// materialized (root-first) when a violation needs a trace.
+// materialized (root-first) when a violation needs a trace. Links are plain
+// pointers into per-worker append-only arenas (engine/path_arena.hpp) that
+// outlive the workers and are freed wholesale — no per-link refcounting.
 struct PathLink {
   Event event;
-  std::shared_ptr<const PathLink> parent;
+  const PathLink* parent = nullptr;
 };
 std::vector<Event> materialize_path(const PathLink* tail);
 

@@ -1,0 +1,223 @@
+// Flat open-addressing fingerprint table — the hot-path replacement for the
+// per-shard `std::unordered_set` / `unordered_map` in the visited set and the
+// NodeStore index.
+//
+// Node-based hash tables pay one heap allocation per insert and one pointer
+// chase per probe; at millions of states per second that is the dominant
+// dedup cost. This table stores (128-bit key, 64-bit payload) slots inline in
+// one power-of-two array probed linearly, so a lookup is a handful of
+// contiguous loads and an insert in steady state allocates nothing.
+//
+// Growth is *incremental*: when occupancy crosses the load threshold the
+// table allocates a double-size slot array and migrates a fixed number of old
+// slots per subsequent operation, so no single insert under a shard lock
+// stalls on an O(n) rehash. While a migration is in flight lookups consult
+// the new array first and fall back to the (immutable, not-yet-freed) old
+// array; migrated keys are *copied*, never deleted, so the old array's linear
+// probe chains stay intact. The old array is freed wholesale when the sweep
+// completes.
+//
+// The all-zero key is a legal fingerprint (nothing in fingerprint_values
+// forbids it), so it cannot double as the empty-slot marker; it is tracked by
+// a dedicated sideband flag instead.
+//
+// Not thread-safe by itself — callers shard and lock (engine/visited.hpp,
+// engine/node_store.hpp).
+#ifndef RCONS_ENGINE_FLAT_TABLE_HPP
+#define RCONS_ENGINE_FLAT_TABLE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace rcons::engine {
+
+class FlatTable {
+ public:
+  // Probe-length and growth counters, aggregated by the sharded containers
+  // into the run's hot-path statistics.
+  struct Stats {
+    std::uint64_t probe_total = 0;  // slots inspected across all operations
+    std::uint64_t probe_ops = 0;    // operations that probed
+    std::uint64_t max_probe = 0;    // longest single probe sequence
+    std::uint64_t rehashes = 0;     // incremental growths started
+  };
+
+  // Pre-sizes for `expected` keys so a run of the anticipated size never
+  // rehashes. 0 = unknown; start minimal and grow incrementally.
+  explicit FlatTable(std::uint64_t expected = 0) {
+    std::size_t capacity = kMinCapacity;
+    while (capacity < kMaxPresize &&
+           expected > capacity / 8 * 5) {  // keep load <= 5/8
+      capacity <<= 1;
+    }
+    slots_.assign(capacity, Slot{});
+    mask_ = capacity - 1;
+  }
+
+  struct Found {
+    std::uint64_t value = 0;
+    bool inserted = false;  // true when `key` was not present before
+  };
+
+  // Inserts `key -> value` if absent; returns the resident value (the
+  // existing one on a duplicate) and whether an insert happened.
+  Found insert(util::U128 key, std::uint64_t value) {
+    migrate_some();
+    if (is_zero(key)) {
+      if (has_zero_) return Found{zero_value_, false};
+      has_zero_ = true;
+      zero_value_ = value;
+      size_ += 1;
+      maybe_grow();
+      return Found{value, true};
+    }
+    // Presence check spans the new array and, mid-migration, the old one.
+    if (const Slot* slot = find_slot(slots_, mask_, key)) {
+      return Found{slot->value, false};
+    }
+    if (!old_slots_.empty()) {
+      if (const Slot* slot = find_slot(old_slots_, old_mask_, key)) {
+        return Found{slot->value, false};
+      }
+    }
+    place(slots_, mask_, key, value);
+    size_ += 1;
+    maybe_grow();
+    return Found{value, true};
+  }
+
+  bool contains(util::U128 key) const { return find(key) != nullptr; }
+
+  // Pointer to the payload of `key`, or nullptr. Stable only until the next
+  // mutating call.
+  const std::uint64_t* find(util::U128 key) const {
+    if (is_zero(key)) return has_zero_ ? &zero_value_ : nullptr;
+    if (const Slot* slot = find_slot(slots_, mask_, key)) return &slot->value;
+    if (!old_slots_.empty()) {
+      if (const Slot* slot = find_slot(old_slots_, old_mask_, key)) {
+        return &slot->value;
+      }
+    }
+    return nullptr;
+  }
+
+  std::uint64_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+  bool migrating() const { return !old_slots_.empty(); }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    util::U128 key;           // all-zero = empty
+    std::uint64_t value = 0;
+  };
+
+  static constexpr std::size_t kMinCapacity = 16;  // power of two
+  // Pre-sizing cap (slots): callers may pass optimistic expectations (e.g. a
+  // max_visited bound); beyond this the table grows incrementally instead of
+  // committing memory up front.
+  static constexpr std::size_t kMaxPresize = std::size_t{1} << 22;
+  // Old slots migrated per mutating operation. At the 5/8 load threshold the
+  // new array absorbs ~5/8 of the old capacity in fresh inserts before the
+  // next growth, and 8 times that comfortably exceeds the old capacity, so a
+  // sweep always completes first; the force-finish in maybe_grow() is a
+  // safety net, not the common path.
+  static constexpr std::size_t kMigrateStep = 8;
+
+  static bool is_zero(util::U128 key) { return key.lo == 0 && key.hi == 0; }
+
+  static std::size_t bucket(util::U128 key, std::size_t mask) {
+    return static_cast<std::size_t>(util::U128Hash{}(key)) & mask;
+  }
+
+  // Linear probe for `key`; nullptr when an empty slot ends the chain.
+  const Slot* find_slot(const std::vector<Slot>& slots, std::size_t mask,
+                        util::U128 key) const {
+    std::size_t index = bucket(key, mask);
+    std::uint64_t probes = 0;
+    for (;;) {
+      const Slot& slot = slots[index];
+      probes += 1;
+      if (is_zero(slot.key)) break;
+      if (slot.key == key) {
+        note_probe(probes);
+        return &slot;
+      }
+      index = (index + 1) & mask;
+    }
+    note_probe(probes);
+    return nullptr;
+  }
+
+  // Writes `key -> value` into the first empty slot of its chain. The caller
+  // guarantees `key` is absent and the array has a free slot (load < 1).
+  static void place(std::vector<Slot>& slots, std::size_t mask, util::U128 key,
+                    std::uint64_t value) {
+    std::size_t index = bucket(key, mask);
+    while (!is_zero(slots[index].key)) index = (index + 1) & mask;
+    slots[index].key = key;
+    slots[index].value = value;
+  }
+
+  void note_probe(std::uint64_t probes) const {
+    stats_.probe_total += probes;
+    stats_.probe_ops += 1;
+    if (probes > stats_.max_probe) stats_.max_probe = probes;
+  }
+
+  void maybe_grow() {
+    // Grow at 5/8 load: linear probing's expected probe length stays ~1.5
+    // at the cost of one mostly-empty doubling step of headroom.
+    if (size_ <= mask_ / 8 * 5) return;
+    if (!old_slots_.empty()) {
+      // Threshold reached with a sweep still in flight (only possible after
+      // pathological presizing): finish it before chaining another growth.
+      while (!old_slots_.empty()) migrate_some();
+    }
+    stats_.rehashes += 1;
+    old_slots_.swap(slots_);
+    old_mask_ = mask_;
+    slots_.assign(old_slots_.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    migrate_pos_ = 0;
+  }
+
+  // Copies up to kMigrateStep occupied old slots into the new array. Old
+  // slots are left in place (lookups may still walk them), so probe chains in
+  // the old array never break; the whole array is freed when the sweep ends.
+  void migrate_some() {
+    if (old_slots_.empty()) return;
+    std::size_t moved = 0;
+    while (migrate_pos_ < old_slots_.size() && moved < kMigrateStep) {
+      const Slot& slot = old_slots_[migrate_pos_];
+      migrate_pos_ += 1;
+      if (is_zero(slot.key)) continue;
+      if (find_slot(slots_, mask_, slot.key) == nullptr) {
+        place(slots_, mask_, slot.key, slot.value);
+      }
+      moved += 1;
+    }
+    if (migrate_pos_ >= old_slots_.size()) {
+      old_slots_.clear();
+      old_slots_.shrink_to_fit();
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::vector<Slot> old_slots_;  // non-empty while a growth sweep is in flight
+  std::size_t old_mask_ = 0;
+  std::size_t migrate_pos_ = 0;
+  std::uint64_t size_ = 0;
+  bool has_zero_ = false;
+  std::uint64_t zero_value_ = 0;
+  mutable Stats stats_;
+};
+
+}  // namespace rcons::engine
+
+#endif  // RCONS_ENGINE_FLAT_TABLE_HPP

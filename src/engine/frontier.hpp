@@ -8,6 +8,15 @@
 // subtrees — and takes a batch (half the victim's items, capped) in one lock
 // acquisition so a starving worker doesn't come back for every node.
 //
+// The hot path is allocation-free and batch-oriented: items are stored
+// *inline* (no unique_ptr wrapper, no per-item heap allocation once the
+// backing vectors reach steady-state capacity), `push_batch` submits every
+// successor of an expansion under one lock, and `pop_batch` drains work in
+// chunks. A successful steal moves the stolen batch straight into the
+// thief's output buffer — the thief's own deque is never touched, which both
+// removes the historical double-lock (steal used to enqueue into the thief's
+// deque and then re-pop it) and the thief-side mutex acquisition entirely.
+//
 // The frontier is generic over the item type: the clone-based explorer queues
 // `WorkItem`s that own their node, while the compact explorer queues
 // `CompactWorkItem`s that carry only an interned NodeStore id (the node
@@ -17,9 +26,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "engine/expand.hpp"
@@ -32,21 +41,35 @@ namespace rcons::engine {
 // (materialized only for trace reporting).
 struct WorkItem {
   Node node;
-  std::shared_ptr<const PathLink> tail;
+  const PathLink* tail = nullptr;
 };
 
-// One pending unit of work in the compact representation: the interned id of
-// the node's record plus the same path backlink.
+// One pending unit of work in the compact representation: a direct view of
+// the node's interned record in the NodeStore arena (stable, immutable —
+// see NodeStore::Intern) plus the same path backlink. Trivially copyable —
+// moving one through the frontier is three register-width stores, and
+// expansion decodes the record in place with no lock and no copy.
 struct CompactWorkItem {
-  std::uint64_t id = 0;  // NodeStore::NodeId
-  std::shared_ptr<const PathLink> tail;
+  const typesys::Value* record = nullptr;
+  std::uint32_t length = 0;
+  const PathLink* tail = nullptr;
 };
 
-// Shared across FrontierT instantiations so callers can hold steal counts
+// Shared across FrontierT instantiations so callers can hold the counters
 // without caring which item type produced them.
 struct FrontierStats {
-  std::uint64_t steals = 0;        // successful batch steals
-  std::uint64_t stolen_items = 0;  // items moved by those steals
+  std::uint64_t steals = 0;         // successful batch steals
+  std::uint64_t stolen_items = 0;   // items moved by those steals
+  std::uint64_t push_batches = 0;   // push/push_batch lock acquisitions
+  std::uint64_t pushed_items = 0;   // items across those pushes
+  std::uint64_t pop_batches = 0;    // pop_batch calls that returned items
+  std::uint64_t popped_items = 0;   // items across those pops
+
+  double avg_push_batch() const {
+    return push_batches == 0 ? 0.0
+                             : static_cast<double>(pushed_items) /
+                                   static_cast<double>(push_batches);
+  }
 };
 
 template <typename Item>
@@ -60,40 +83,89 @@ class FrontierT {
     }
   }
 
-  // Pushes onto `worker`'s own deque. Thread-safe (stealers lock the same
-  // deque), but `worker` must identify the calling worker.
-  void push(int worker, std::unique_ptr<Item> item) {
+  // Pushes one item onto `worker`'s own deque. Thread-safe (stealers lock the
+  // same deque), but `worker` must identify the calling worker.
+  void push(int worker, Item item) {
     Deque& deque = *deques_[static_cast<std::size_t>(worker)];
-    std::lock_guard<std::mutex> lock(deque.mu);
-    deque.items.push_back(std::move(item));
+    {
+      std::lock_guard<std::mutex> lock(deque.mu);
+      deque.items.push_back(std::move(item));
+    }
+    push_batches_.fetch_add(1, std::memory_order_relaxed);
+    pushed_items_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  // Pops the most recent local item, or steals a batch from another worker.
-  // Returns nullptr when every deque is (momentarily) empty — the caller
-  // decides via its pending-work counter whether that means done.
-  std::unique_ptr<Item> pop(int worker) {
+  // Moves every item of `batch` onto `worker`'s own deque under one lock
+  // acquisition — the per-expansion submit path. The span's items are left
+  // moved-from.
+  void push_batch(int worker, std::span<Item> batch) {
+    if (batch.empty()) return;
+    Deque& deque = *deques_[static_cast<std::size_t>(worker)];
+    {
+      // No reserve: an exact-size reserve would defeat the vector's
+      // geometric growth and reallocate on every submit while the frontier
+      // ramps up; amortized push_back keeps steady-state pushes
+      // allocation-free.
+      std::lock_guard<std::mutex> lock(deque.mu);
+      for (Item& item : batch) deque.items.push_back(std::move(item));
+    }
+    push_batches_.fetch_add(1, std::memory_order_relaxed);
+    pushed_items_.fetch_add(batch.size(), std::memory_order_relaxed);
+  }
+
+  // Moves up to `max` items into `out` (appended): the newest items of the
+  // worker's own deque, or — when it is empty — a batch stolen from a
+  // victim's front, delivered directly (the thief's deque is not involved).
+  // Consume `out` back-to-front: for a local pop that preserves the LIFO
+  // order, and after a steal it serves the most recent of the stolen batch
+  // first, exactly as the steal-then-re-pop path used to. Returns the number
+  // of items appended; 0 means every deque was (momentarily) empty — the
+  // caller decides via its pending-work counter whether that means done.
+  std::size_t pop_batch(int worker, std::vector<Item>& out, std::size_t max) {
+    RCONS_ASSERT(max >= 1);
     Deque& own = *deques_[static_cast<std::size_t>(worker)];
     {
       std::lock_guard<std::mutex> lock(own.mu);
-      if (!own.items.empty()) {
-        std::unique_ptr<Item> item = std::move(own.items.back());
-        own.items.pop_back();
-        return item;
+      const std::size_t avail = own.size();
+      if (avail != 0) {
+        const std::size_t take = avail < max ? avail : max;
+        own.take_back(take, out);
+        pop_batches_.fetch_add(1, std::memory_order_relaxed);
+        popped_items_.fetch_add(take, std::memory_order_relaxed);
+        return take;
       }
     }
 
     const int n = static_cast<int>(deques_.size());
     for (int offset = 1; offset < n; ++offset) {
       const int victim = (worker + offset) % n;
-      if (!steal_into(worker, victim)) continue;
-      std::lock_guard<std::mutex> lock(own.mu);
-      if (!own.items.empty()) {
-        std::unique_ptr<Item> item = std::move(own.items.back());
-        own.items.pop_back();
-        return item;
-      }
+      Deque& from = *deques_[static_cast<std::size_t>(victim)];
+      std::lock_guard<std::mutex> lock(from.mu);
+      const std::size_t avail = from.size();
+      if (avail == 0) continue;
+      // Half the victim's items, capped by the batch cap and by what the
+      // caller can accept (everything appended to `out` is handed over).
+      std::size_t take = (avail + 1) / 2;
+      if (take > kMaxStealBatch) take = kMaxStealBatch;
+      if (take > max) take = max;
+      from.take_front(take, out);
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      stolen_items_.fetch_add(take, std::memory_order_relaxed);
+      pop_batches_.fetch_add(1, std::memory_order_relaxed);
+      popped_items_.fetch_add(take, std::memory_order_relaxed);
+      return take;
     }
-    return nullptr;
+    return 0;
+  }
+
+  // Single-item convenience over pop_batch (tests, simple drains). Unlike
+  // the batch path this allocates a one-slot buffer per call; the workers use
+  // pop_batch with reusable buffers.
+  bool pop(int worker, Item& out) {
+    std::vector<Item> scratch;
+    if (pop_batch(worker, scratch, 1) == 0) return false;
+    out = std::move(scratch.back());
+    return true;
   }
 
   using Stats = FrontierStats;
@@ -101,42 +173,65 @@ class FrontierT {
     Stats stats;
     stats.steals = steals_.load(std::memory_order_relaxed);
     stats.stolen_items = stolen_items_.load(std::memory_order_relaxed);
+    stats.push_batches = push_batches_.load(std::memory_order_relaxed);
+    stats.pushed_items = pushed_items_.load(std::memory_order_relaxed);
+    stats.pop_batches = pop_batches_.load(std::memory_order_relaxed);
+    stats.popped_items = popped_items_.load(std::memory_order_relaxed);
     return stats;
   }
 
  private:
   static constexpr std::size_t kMaxStealBatch = 32;
 
+  // Inline item storage with an explicit head index: pushes and back-pops are
+  // vector operations; front-steals advance `head` and the dead prefix is
+  // compacted amortized-O(1). No per-item allocation anywhere.
   struct alignas(64) Deque {
     mutable std::mutex mu;
-    std::deque<std::unique_ptr<Item>> items;
+    std::vector<Item> items;
+    std::size_t head = 0;  // live range is items[head, items.size())
+
+    std::size_t size() const { return items.size() - head; }
+
+    // Appends the `take` newest items to `out` in oldest-to-newest order.
+    void take_back(std::size_t take, std::vector<Item>& out) {
+      const std::size_t begin = items.size() - take;
+      for (std::size_t i = begin; i < items.size(); ++i) {
+        out.push_back(std::move(items[i]));
+      }
+      items.resize(begin);
+      if (items.size() <= head) {
+        items.clear();
+        head = 0;
+      }
+    }
+
+    // Appends the `take` oldest items to `out` in oldest-to-newest order.
+    void take_front(std::size_t take, std::vector<Item>& out) {
+      for (std::size_t i = 0; i < take; ++i) {
+        out.push_back(std::move(items[head + i]));
+      }
+      head += take;
+      if (head >= items.size()) {
+        items.clear();
+        head = 0;
+      } else if (head >= kCompactThreshold && head * 2 >= items.size()) {
+        items.erase(items.begin(),
+                    items.begin() + static_cast<std::ptrdiff_t>(head));
+        head = 0;
+      }
+    }
   };
 
-  bool steal_into(int thief, int victim) {
-    Deque& from = *deques_[static_cast<std::size_t>(victim)];
-    Deque& to = *deques_[static_cast<std::size_t>(thief)];
-    // Lock ordering by worker index prevents deadlock between mutual stealers.
-    std::unique_lock<std::mutex> first(victim < thief ? from.mu : to.mu,
-                                       std::defer_lock);
-    std::unique_lock<std::mutex> second(victim < thief ? to.mu : from.mu,
-                                        std::defer_lock);
-    first.lock();
-    second.lock();
-    if (from.items.empty()) return false;
-    std::size_t take = (from.items.size() + 1) / 2;
-    if (take > kMaxStealBatch) take = kMaxStealBatch;
-    for (std::size_t i = 0; i < take; ++i) {
-      to.items.push_back(std::move(from.items.front()));
-      from.items.pop_front();
-    }
-    steals_.fetch_add(1, std::memory_order_relaxed);
-    stolen_items_.fetch_add(take, std::memory_order_relaxed);
-    return true;
-  }
+  static constexpr std::size_t kCompactThreshold = 64;
 
   std::vector<std::unique_ptr<Deque>> deques_;
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> stolen_items_{0};
+  std::atomic<std::uint64_t> push_batches_{0};
+  std::atomic<std::uint64_t> pushed_items_{0};
+  std::atomic<std::uint64_t> pop_batches_{0};
+  std::atomic<std::uint64_t> popped_items_{0};
 };
 
 using Frontier = FrontierT<WorkItem>;

@@ -155,13 +155,15 @@ void NodeCodec::decode(const Value* record, std::size_t size, Node& out) const {
 
 // --- NodeStore --------------------------------------------------------------
 
-NodeStore::NodeStore(int shard_bits) : shard_bits_(shard_bits) {
+NodeStore::NodeStore(int shard_bits, std::uint64_t expected_states)
+    : shard_bits_(shard_bits) {
   RCONS_ASSERT_MSG(shard_bits >= 0 && shard_bits <= 16,
                    "shard_bits must be in [0, 16]");
   const std::size_t count = std::size_t{1} << shard_bits;
+  const std::uint64_t expected_per_shard = expected_states / count;
   shards_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+    shards_.push_back(std::make_unique<Shard>(expected_per_shard));
   }
 }
 
@@ -172,11 +174,16 @@ NodeStore::Intern NodeStore::intern(util::U128 fingerprint,
   Shard& shard = *shards_[shard_idx];
   std::lock_guard<std::mutex> lock(shard.mu);
 
-  const auto found = shard.index.find(fingerprint);
-  if (found != shard.index.end()) {
+  // Speculative insert keyed to the next local index: one probe resolves both
+  // the duplicate check and the placement.
+  const std::uint64_t local = shard.records.size();
+  const FlatTable::Found found = shard.index.insert(fingerprint, local);
+  if (!found.inserted) {
     shard.duplicate_hits += 1;
-    return Intern{(static_cast<NodeId>(shard_idx) << kShardShift) | found->second,
-                  false};
+    const Record& existing = shard.records[static_cast<std::size_t>(found.value)];
+    const std::vector<Value>& existing_chunk = shard.chunks[existing.chunk];
+    return Intern{(static_cast<NodeId>(shard_idx) << kShardShift) | found.value,
+                  false, existing_chunk.data() + existing.offset, existing.length};
   }
 
   if (shard.chunks.empty() ||
@@ -191,10 +198,9 @@ NodeStore::Intern NodeStore::intern(util::U128 fingerprint,
   entry.length = static_cast<std::uint32_t>(record.size());
   chunk.insert(chunk.end(), record.begin(), record.end());
 
-  const std::uint64_t local = shard.records.size();
   shard.records.push_back(entry);
-  shard.index.emplace(fingerprint, local);
-  return Intern{(static_cast<NodeId>(shard_idx) << kShardShift) | local, true};
+  return Intern{(static_cast<NodeId>(shard_idx) << kShardShift) | local, true,
+                chunk.data() + entry.offset, entry.length};
 }
 
 void NodeStore::fetch(NodeId id, std::vector<Value>& out) const {
@@ -228,6 +234,13 @@ NodeStore::Stats NodeStore::stats() const {
     for (const Record& record : shard->records) {
       stats.value_bytes += static_cast<std::uint64_t>(record.length) * sizeof(Value);
     }
+    const FlatTable::Stats& probes = shard->index.stats();
+    stats.probes.probe_total += probes.probe_total;
+    stats.probes.probe_ops += probes.probe_ops;
+    if (probes.max_probe > stats.probes.max_probe) {
+      stats.probes.max_probe = probes.max_probe;
+    }
+    stats.probes.rehashes += probes.rehashes;
   }
   return stats;
 }
@@ -242,6 +255,13 @@ ShardedVisited::LoadStats NodeStore::load_stats() const {
     if (count < stats.min_shard) stats.min_shard = count;
     if (count > stats.max_shard) stats.max_shard = count;
     stats.duplicate_inserts += shard->duplicate_hits;
+    const FlatTable::Stats& probes = shard->index.stats();
+    stats.probes.probe_total += probes.probe_total;
+    stats.probes.probe_ops += probes.probe_ops;
+    if (probes.max_probe > stats.probes.max_probe) {
+      stats.probes.max_probe = probes.max_probe;
+    }
+    stats.probes.rehashes += probes.rehashes;
   }
   if (stats.total == 0) {
     stats.min_shard = 0;

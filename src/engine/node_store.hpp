@@ -41,10 +41,10 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "engine/expand.hpp"
+#include "engine/flat_table.hpp"
 #include "engine/visited.hpp"
 #include "util/hash.hpp"
 
@@ -118,21 +118,35 @@ class NodeCodec {
 };
 
 // Sharded interning arena: record payloads live in chunked per-shard arenas,
-// keyed by fingerprint. Interning an already-present fingerprint is the
-// deduplication hit that replaces the separate visited set. Thread-safe.
+// keyed by fingerprint through a flat open-addressing index
+// (engine/flat_table.hpp — no per-intern node allocation, incremental
+// growth). Interning an already-present fingerprint is the deduplication hit
+// that replaces the separate visited set. Thread-safe.
 class NodeStore {
  public:
   using NodeId = std::uint64_t;
 
   // Valid shard_bits: 0 (single shard — the sequential layout) through 16.
-  explicit NodeStore(int shard_bits);
+  // `expected_states` pre-sizes the shard indexes so a run of the
+  // anticipated size never rehashes (0 = unknown, start minimal).
+  explicit NodeStore(int shard_bits, std::uint64_t expected_states = 0);
 
   struct Intern {
     NodeId id = 0;
     bool inserted = false;  // true when the fingerprint was new
+
+    // Direct view of the interned payload in the shard arena. Records are
+    // immutable once written and chunk buffers never reallocate (fixed
+    // capacity, reserved up front), so the pointer is stable for the store's
+    // lifetime and safe to read without the shard lock once the owning item
+    // has been published through the frontier — expansion decodes in place
+    // instead of paying a lock + copy per fetch.
+    const typesys::Value* record = nullptr;
+    std::uint32_t length = 0;
   };
 
-  // Interns `record` under `fingerprint`; returns the (existing or new) id.
+  // Interns `record` under `fingerprint`; returns the (existing or new) id
+  // and the resident payload view.
   Intern intern(util::U128 fingerprint, const std::vector<typesys::Value>& record);
 
   // Copies record `id` into `out` (cleared first). Safe to call concurrently
@@ -148,6 +162,7 @@ class NodeStore {
     std::uint64_t nodes = 0;
     std::uint64_t value_bytes = 0;      // payload bytes across all records
     std::uint64_t duplicate_hits = 0;   // interns that found the key present
+    FlatTable::Stats probes;            // aggregated index probe/growth work
   };
   Stats stats() const;
 
@@ -168,10 +183,11 @@ class NodeStore {
   };
 
   struct alignas(64) Shard {
+    explicit Shard(std::uint64_t expected) : index(expected) {}
     mutable std::mutex mu;
     std::vector<std::vector<typesys::Value>> chunks;
     std::vector<Record> records;
-    std::unordered_map<util::U128, std::uint64_t, util::U128Hash> index;
+    FlatTable index;  // fingerprint -> local record index
     std::uint64_t duplicate_hits = 0;
   };
 

@@ -6,6 +6,46 @@
 
 namespace rcons::engine {
 
+namespace {
+
+// How many items a worker drains from the frontier per lock acquisition, and
+// the cap on one local run between frontier interactions.
+constexpr std::size_t kPopBatch = 32;
+
+// Per-worker recently-inserted fingerprint cache: direct-mapped, fixed size.
+// A hit proves the fingerprint is already interned (everything remembered
+// went through the store first), so the shard lock + table probe can be
+// skipped entirely. Duplicate successors cluster in time — siblings reaching
+// the same state, diamond interleavings — which is exactly what a small
+// recency cache captures.
+class DedupCache {
+ public:
+  DedupCache() : keys_(kEntries), valid_(kEntries, 0) {}
+
+  bool seen(util::U128 key) const {
+    const std::size_t index = slot(key);
+    return valid_[index] != 0 && keys_[index] == key;
+  }
+
+  void remember(util::U128 key) {
+    const std::size_t index = slot(key);
+    keys_[index] = key;
+    valid_[index] = 1;
+  }
+
+ private:
+  static constexpr std::size_t kEntries = std::size_t{1} << 12;
+
+  static std::size_t slot(util::U128 key) {
+    return static_cast<std::size_t>(util::U128Hash{}(key)) & (kEntries - 1);
+  }
+
+  std::vector<util::U128> keys_;
+  std::vector<std::uint8_t> valid_;
+};
+
+}  // namespace
+
 ParallelExplorer::ParallelExplorer(sim::Memory initial,
                                    std::vector<sim::Process> processes,
                                    ParallelExplorerConfig config)
@@ -38,6 +78,14 @@ ParallelExplorer::ParallelExplorer(sim::Memory initial,
                    "symmetry_classes must be empty or name every process");
 }
 
+std::uint64_t ParallelExplorer::presize_states() const {
+  // Only a real expectation (e.g. the kAuto probe's count) pre-commits table
+  // memory; max_visited defaults are far too pessimistic to allocate for.
+  std::uint64_t expected = config_.expected_states;
+  if (expected > config_.max_visited) expected = config_.max_visited;
+  return expected;
+}
+
 void ParallelExplorer::offer_violation(std::vector<Event> path,
                                        std::string description) {
   std::lock_guard<std::mutex> lock(violation_mu_);
@@ -60,119 +108,167 @@ void ParallelExplorer::record_truncation(const PathLink* tail, const Event& even
   }
 }
 
-void ParallelExplorer::expand_legacy(const WorkItem& item, int id, Frontier& frontier,
-                                     ShardedVisited& visited,
-                                     std::atomic<std::uint64_t>& pending,
-                                     WorkerStats& local, std::vector<Event>& events,
-                                     std::vector<typesys::Value>& scratch) {
-  enumerate_events(item.node, config_, events);
-  if (is_terminal(item.node)) local.terminal_states += 1;
-
-  for (const Event& event : events) {
-    if (stop_.load(std::memory_order_relaxed)) return;
-    local.transitions += 1;
-    auto child = std::make_unique<WorkItem>();
-    child->node = item.node;
-    if (auto description = apply_event(child->node, event, config_)) {
-      std::vector<Event> path = materialize_path(item.tail.get());
-      path.push_back(event);
-      offer_violation(std::move(path), std::move(*description));
-      continue;  // a violating edge is never expanded further
-    }
-    if (child->node.has_decision && !item.node.has_decision) local.decisions += 1;
-    if (!visited.insert(fingerprint(child->node, scratch))) continue;
-
-    const std::uint64_t count =
-        visited_count_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (count > config_.max_visited) {
-      record_truncation(item.tail.get(), event);
-      return;
-    }
-    child->tail = std::make_shared<const PathLink>(PathLink{event, item.tail});
-    pending.fetch_add(1, std::memory_order_release);
-    frontier.push(id, std::move(child));
-  }
-}
-
 void ParallelExplorer::worker_legacy(int id, Frontier& frontier,
-                                     ShardedVisited& visited,
+                                     ShardedVisited& visited, PathArena& arena,
                                      std::atomic<std::uint64_t>& pending,
                                      WorkerStats& local) {
+  // Per-worker reusable buffers: the popped batch, the successor batch under
+  // construction, event/encode scratch, and the recently-inserted cache. The
+  // only per-successor allocations left are the Node clones inherent to the
+  // legacy representation.
   std::vector<Event> events;
   std::vector<typesys::Value> scratch;
+  std::vector<WorkItem> batch;
+  std::vector<WorkItem> successors;
+  DedupCache cache;
+
   for (;;) {
-    std::unique_ptr<WorkItem> item = frontier.pop(id);
-    if (item == nullptr) {
-      // pending counts items queued or mid-expansion; 0 means fully drained.
-      // After a stop, queued items are still popped (and skipped) below, so
-      // the counter always reaches 0.
-      if (pending.load(std::memory_order_acquire) == 0) return;
-      std::this_thread::yield();
-      continue;
+    if (batch.empty()) {
+      if (frontier.pop_batch(id, batch, kPopBatch) == 0) {
+        // pending counts items queued, locally buffered, or mid-expansion;
+        // 0 means fully drained. After a stop, queued items are still popped
+        // (and skipped) below, so the counter always reaches 0.
+        if (pending.load(std::memory_order_acquire) == 0) return;
+        std::this_thread::yield();
+        continue;
+      }
     }
+    WorkItem item = std::move(batch.back());
+    batch.pop_back();
+
     if (!stop_.load(std::memory_order_relaxed)) {
-      expand_legacy(*item, id, frontier, visited, pending, local, events, scratch);
+      enumerate_events(item.node, config_, events);
+      if (is_terminal(item.node)) local.terminal_states += 1;
+      successors.clear();
+
+      for (const Event& event : events) {
+        if (stop_.load(std::memory_order_relaxed)) break;
+        local.transitions += 1;
+        Node child = item.node;
+        if (auto description = apply_event(child, event, config_)) {
+          std::vector<Event> path = materialize_path(item.tail);
+          path.push_back(event);
+          offer_violation(std::move(path), std::move(*description));
+          continue;  // a violating edge is never expanded further
+        }
+        if (child.has_decision && !item.node.has_decision) local.decisions += 1;
+        const util::U128 key = fingerprint(child, scratch);
+        local.cache_probes += 1;
+        if (cache.seen(key)) {
+          local.cache_hits += 1;
+          continue;
+        }
+        if (!visited.insert(key)) {
+          cache.remember(key);
+          continue;
+        }
+        cache.remember(key);
+
+        const std::uint64_t count =
+            visited_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (count > config_.max_visited) {
+          record_truncation(item.tail, event);
+          break;
+        }
+        successors.push_back(WorkItem{std::move(child), arena.add(event, item.tail)});
+        local.allocations_avoided += 2;  // inline frontier item + arena link
+      }
+
+      if (!successors.empty()) {
+        local.batches += 1;
+        local.batched_items += successors.size();
+        pending.fetch_add(successors.size(), std::memory_order_release);
+        frontier.push_batch(id, successors);
+        successors.clear();
+      }
     }
     pending.fetch_sub(1, std::memory_order_release);
   }
 }
 
 void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
-                                      NodeStore& store,
+                                      NodeStore& store, PathArena& arena,
                                       std::atomic<std::uint64_t>& pending,
                                       WorkerStats& local) {
   // Per-worker reusable state: the decoded parent, the child being expanded
   // (re-decoded from the parent's record per successor — no Node copies),
-  // and the record/event buffers. No allocation per successor after warmup.
+  // the record/event buffers, the popped and successor batches, and the
+  // recently-inserted cache. Zero allocations per successor after warmup.
   NodeCodec codec(config_.symmetry_classes);
   Node parent = make_root(initial_memory_, initial_processes_);
   Node child = parent;
   std::vector<Event> events;
-  std::vector<typesys::Value> record;
   std::vector<typesys::Value> child_record;
+  std::vector<CompactWorkItem> batch;
+  std::vector<CompactWorkItem> successors;
+  DedupCache cache;
 
   for (;;) {
-    std::unique_ptr<CompactWorkItem> item = frontier.pop(id);
-    if (item == nullptr) {
-      if (pending.load(std::memory_order_acquire) == 0) return;
-      std::this_thread::yield();
-      continue;
+    if (batch.empty()) {
+      if (frontier.pop_batch(id, batch, kPopBatch) == 0) {
+        if (pending.load(std::memory_order_acquire) == 0) return;
+        std::this_thread::yield();
+        continue;
+      }
     }
+    const CompactWorkItem item = batch.back();
+    batch.pop_back();
+
     if (!stop_.load(std::memory_order_relaxed)) {
-      store.fetch(item->id, record);
-      codec.decode(record.data(), record.size(), parent);
+      // The item's record view reads straight from the store arena — no
+      // fetch lock, no copy (see NodeStore::Intern).
+      codec.decode(item.record, item.length, parent);
       enumerate_events(parent, config_, events);
       if (is_terminal(parent)) local.terminal_states += 1;
+      successors.clear();
+      const bool parent_has_decision = item.record[1] != 0;  // codec header
 
-      for (const Event& event : events) {
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        const Event& event = events[i];
         if (stop_.load(std::memory_order_relaxed)) break;
         local.transitions += 1;
-        codec.decode(record.data(), record.size(), child);
-        if (auto description = apply_event(child, event, config_)) {
-          std::vector<Event> path = materialize_path(item->tail.get());
+        // The first successor mutates the freshly-decoded parent in place
+        // (its pristine state is not needed again); later ones re-decode the
+        // record into the child scratch — one decode per successor total.
+        Node& next = i == 0 ? parent : child;
+        if (i != 0) codec.decode(item.record, item.length, child);
+        if (auto description = apply_event(next, event, config_)) {
+          std::vector<Event> path = materialize_path(item.tail);
           path.push_back(event);
           offer_violation(std::move(path), std::move(*description));
           continue;  // a violating edge is never expanded further
         }
-        if (child.has_decision && !parent.has_decision) local.decisions += 1;
-        const NodeCodec::Encoded encoded = codec.encode(child, child_record);
+        if (next.has_decision && !parent_has_decision) local.decisions += 1;
+        const NodeCodec::Encoded encoded = codec.encode(next, child_record);
         local.encodes += 1;
         if (encoded.permuted) local.canonical_hits += 1;
+        local.cache_probes += 1;
+        if (cache.seen(encoded.fingerprint)) {
+          local.cache_hits += 1;
+          continue;  // guaranteed duplicate: skip the shard lock entirely
+        }
         const NodeStore::Intern interned =
             store.intern(encoded.fingerprint, child_record);
+        cache.remember(encoded.fingerprint);
         if (!interned.inserted) continue;
 
         const std::uint64_t count =
             visited_count_.fetch_add(1, std::memory_order_relaxed) + 1;
         if (count > config_.max_visited) {
-          record_truncation(item->tail.get(), event);
+          record_truncation(item.tail, event);
           break;
         }
-        auto next = std::make_unique<CompactWorkItem>();
-        next->id = interned.id;
-        next->tail = std::make_shared<const PathLink>(PathLink{event, item->tail});
-        pending.fetch_add(1, std::memory_order_release);
-        frontier.push(id, std::move(next));
+        successors.push_back(CompactWorkItem{interned.record, interned.length,
+                                             arena.add(event, item.tail)});
+        local.allocations_avoided += 2;  // inline frontier item + arena link
+      }
+
+      if (!successors.empty()) {
+        local.batches += 1;
+        local.batched_items += successors.size();
+        pending.fetch_add(successors.size(), std::memory_order_release);
+        frontier.push_batch(id, successors);
+        successors.clear();
       }
     }
     pending.fetch_sub(1, std::memory_order_release);
@@ -194,26 +290,28 @@ std::optional<sim::Violation> ParallelExplorer::run() {
 
 std::optional<sim::Violation> ParallelExplorer::run_legacy() {
   Frontier frontier(num_threads_);
-  ShardedVisited visited(shard_bits_);
+  ShardedVisited visited(shard_bits_, presize_states());
+  std::vector<PathArena> arenas(static_cast<std::size_t>(num_threads_));
   std::atomic<std::uint64_t> pending{0};
 
-  auto root = std::make_unique<WorkItem>();
-  root->node = make_root(initial_memory_, initial_processes_);
   {
+    WorkItem root;
+    root.node = make_root(initial_memory_, initial_processes_);
     std::vector<typesys::Value> scratch;
-    visited.insert(fingerprint(root->node, scratch));
+    visited.insert(fingerprint(root.node, scratch));
+    pending.fetch_add(1, std::memory_order_release);
+    frontier.push(0, std::move(root));
   }
-  pending.fetch_add(1, std::memory_order_release);
-  frontier.push(0, std::move(root));
 
   std::vector<WorkerStats> worker_stats(static_cast<std::size_t>(num_threads_));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(num_threads_));
   for (int id = 0; id < num_threads_; ++id) {
-    threads.emplace_back([this, id, &frontier, &visited, &pending, &worker_stats] {
-      worker_legacy(id, frontier, visited, pending,
-                    worker_stats[static_cast<std::size_t>(id)]);
-    });
+    threads.emplace_back(
+        [this, id, &frontier, &visited, &arenas, &pending, &worker_stats] {
+          worker_legacy(id, frontier, visited, arenas[static_cast<std::size_t>(id)],
+                        pending, worker_stats[static_cast<std::size_t>(id)]);
+        });
   }
   for (std::thread& thread : threads) thread.join();
 
@@ -224,7 +322,8 @@ std::optional<sim::Violation> ParallelExplorer::run_legacy() {
 
 std::optional<sim::Violation> ParallelExplorer::run_compact() {
   CompactFrontier frontier(num_threads_);
-  NodeStore store(shard_bits_);
+  NodeStore store(shard_bits_, presize_states());
+  std::vector<PathArena> arenas(static_cast<std::size_t>(num_threads_));
   std::atomic<std::uint64_t> pending{0};
 
   std::uint64_t root_canonical_hits = 0;
@@ -235,20 +334,19 @@ std::optional<sim::Violation> ParallelExplorer::run_compact() {
     const NodeCodec::Encoded encoded = codec.encode(root_node, record);
     if (encoded.permuted) root_canonical_hits = 1;
     const NodeStore::Intern interned = store.intern(encoded.fingerprint, record);
-    auto root = std::make_unique<CompactWorkItem>();
-    root->id = interned.id;
     pending.fetch_add(1, std::memory_order_release);
-    frontier.push(0, std::move(root));
+    frontier.push(0, CompactWorkItem{interned.record, interned.length, nullptr});
   }
 
   std::vector<WorkerStats> worker_stats(static_cast<std::size_t>(num_threads_));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(num_threads_));
   for (int id = 0; id < num_threads_; ++id) {
-    threads.emplace_back([this, id, &frontier, &store, &pending, &worker_stats] {
-      worker_compact(id, frontier, store, pending,
-                     worker_stats[static_cast<std::size_t>(id)]);
-    });
+    threads.emplace_back(
+        [this, id, &frontier, &store, &arenas, &pending, &worker_stats] {
+          worker_compact(id, frontier, store, arenas[static_cast<std::size_t>(id)],
+                         pending, worker_stats[static_cast<std::size_t>(id)]);
+        });
   }
   for (std::thread& thread : threads) thread.join();
 
@@ -275,7 +373,16 @@ std::optional<sim::Violation> ParallelExplorer::finish(
     stats_.terminal_states += local.terminal_states;
     stats_.store.encodes += local.encodes;
     stats_.store.canonical_hits += local.canonical_hits;
+    stats_.hot.allocations_avoided += local.allocations_avoided;
+    stats_.hot.batches += local.batches;
+    stats_.hot.batched_items += local.batched_items;
+    stats_.hot.dedup_cache_probes += local.cache_probes;
+    stats_.hot.dedup_cache_hits += local.cache_hits;
   }
+  stats_.hot.probe_total = visited_stats_.probes.probe_total;
+  stats_.hot.probe_ops = visited_stats_.probes.probe_ops;
+  stats_.hot.max_probe = visited_stats_.probes.max_probe;
+  stats_.hot.rehashes = visited_stats_.probes.rehashes;
 
   if (has_violation_) {
     return sim::Violation{best_description_, best_path_};

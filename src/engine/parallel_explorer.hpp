@@ -15,6 +15,14 @@
 // which pins the report for algorithms whose local state advances every
 // step — all of the repository's real ones.
 //
+// The hot path is allocation-free and batch-oriented: frontier items are
+// stored inline and submitted/drained in batches (engine/frontier.hpp), path
+// backlinks come from per-worker append-only arenas instead of shared_ptr
+// allocations (engine/path_arena.hpp), dedup probes hit flat open-addressing
+// tables (engine/flat_table.hpp) behind a small per-worker recently-inserted
+// fingerprint cache that short-circuits duplicate probes before touching a
+// shard lock. ExplorerStats::hot counts the work saved.
+//
 // Two node representations share this driver (sim::NodeRepr selects):
 //
 //   * compact (default when every process is decodable) — nodes are interned
@@ -45,6 +53,7 @@
 #include "engine/expand.hpp"
 #include "engine/frontier.hpp"
 #include "engine/node_store.hpp"
+#include "engine/path_arena.hpp"
 #include "engine/visited.hpp"
 #include "sim/explorer_config.hpp"
 #include "sim/memory.hpp"
@@ -56,8 +65,9 @@ struct ParallelExplorerConfig : sim::ExplorerConfig {
   int num_threads = 0;  // 0 = std::thread::hardware_concurrency()
   int shard_bits = -1;  // -1 = auto via pick_shard_bits(); valid fixed: [0, 16]
 
-  // Hint for auto shard_bits: how many states the run is expected to visit
-  // (e.g. the kAuto probe's count). 0 = unknown, max_visited bounds it.
+  // Hint for auto shard_bits and for pre-sizing the dedup tables: how many
+  // states the run is expected to visit (e.g. the kAuto probe's count).
+  // 0 = unknown, max_visited bounds it.
   std::uint64_t expected_states = 0;
 };
 
@@ -73,8 +83,8 @@ class ParallelExplorer {
 
   const sim::ExplorerStats& stats() const { return stats_; }
 
-  // Store/visited-set shard occupancy and frontier steal counts of the last
-  // run() (whichever representation ran fills visited_stats()).
+  // Store/visited-set shard occupancy and frontier steal/batch counts of the
+  // last run() (whichever representation ran fills visited_stats()).
   const ShardedVisited::LoadStats& visited_stats() const { return visited_stats_; }
   const Frontier::Stats& frontier_stats() const { return frontier_stats_; }
 
@@ -92,20 +102,27 @@ class ParallelExplorer {
     std::uint64_t terminal_states = 0;
     std::uint64_t encodes = 0;
     std::uint64_t canonical_hits = 0;
+    std::uint64_t allocations_avoided = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t batched_items = 0;
+    std::uint64_t cache_probes = 0;
+    std::uint64_t cache_hits = 0;
   };
 
   std::optional<sim::Violation> run_legacy();
   std::optional<sim::Violation> run_compact();
 
   void worker_legacy(int id, Frontier& frontier, ShardedVisited& visited,
-                     std::atomic<std::uint64_t>& pending, WorkerStats& local);
-  void expand_legacy(const WorkItem& item, int id, Frontier& frontier,
-                     ShardedVisited& visited, std::atomic<std::uint64_t>& pending,
-                     WorkerStats& local, std::vector<Event>& events,
-                     std::vector<typesys::Value>& scratch);
+                     PathArena& arena, std::atomic<std::uint64_t>& pending,
+                     WorkerStats& local);
 
   void worker_compact(int id, CompactFrontier& frontier, NodeStore& store,
-                      std::atomic<std::uint64_t>& pending, WorkerStats& local);
+                      PathArena& arena, std::atomic<std::uint64_t>& pending,
+                      WorkerStats& local);
+
+  // Dedup-table pre-size for a run: the expectation hint clamped by
+  // max_visited (0 when unknown).
+  std::uint64_t presize_states() const;
 
   void offer_violation(std::vector<Event> path, std::string description);
   void record_truncation(const PathLink* tail, const Event& event);

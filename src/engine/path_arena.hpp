@@ -1,0 +1,59 @@
+// Append-only arena for PathLink backlink chains.
+//
+// The parallel explorer used to allocate one `shared_ptr<const PathLink>`
+// control block per frontier push and pay an atomic refcount bump every time
+// an item was moved — pure overhead, since every link of a run dies at the
+// same moment (when exploration ends). Each worker now bump-allocates links
+// out of its own chunked arena; links are immutable once written, may be
+// referenced across workers (a stolen item's chain spans the victim's arena),
+// and are freed wholesale when every worker has joined and the arenas go out
+// of scope.
+//
+// Cross-arena safety: a link is fully written before the item carrying it is
+// published through the frontier's deque mutex, and all arenas outlive all
+// workers, so readers never see a torn or dangling link.
+#ifndef RCONS_ENGINE_PATH_ARENA_HPP
+#define RCONS_ENGINE_PATH_ARENA_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/expand.hpp"
+
+namespace rcons::engine {
+
+class PathArena {
+ public:
+  PathArena() = default;
+  PathArena(const PathArena&) = delete;
+  PathArena& operator=(const PathArena&) = delete;
+
+  // One new immutable link; amortizes to one heap allocation per kChunkLinks
+  // links.
+  const PathLink* add(const Event& event, const PathLink* parent) {
+    if (used_ == kChunkLinks || chunks_.empty()) {
+      chunks_.push_back(std::make_unique<PathLink[]>(kChunkLinks));
+      used_ = 0;
+    }
+    PathLink* link = &chunks_.back()[used_];
+    used_ += 1;
+    link->event = event;
+    link->parent = parent;
+    links_ += 1;
+    return link;
+  }
+
+  std::uint64_t links() const { return links_; }
+
+ private:
+  static constexpr std::size_t kChunkLinks = std::size_t{1} << 12;
+
+  std::vector<std::unique_ptr<PathLink[]>> chunks_;
+  std::size_t used_ = kChunkLinks;
+  std::uint64_t links_ = 0;
+};
+
+}  // namespace rcons::engine
+
+#endif  // RCONS_ENGINE_PATH_ARENA_HPP

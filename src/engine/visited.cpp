@@ -4,19 +4,22 @@
 
 namespace rcons::engine {
 
-ShardedVisited::ShardedVisited(int shard_bits) : shard_bits_(shard_bits) {
+ShardedVisited::ShardedVisited(int shard_bits, std::uint64_t expected_states)
+    : shard_bits_(shard_bits) {
   RCONS_ASSERT_MSG(shard_bits >= 0 && shard_bits <= 16,
                    "shard_bits must be in [0, 16]");
-  shards_.reserve(static_cast<std::size_t>(1) << shard_bits);
-  for (std::size_t i = 0; i < (static_cast<std::size_t>(1) << shard_bits); ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+  const std::size_t count = static_cast<std::size_t>(1) << shard_bits;
+  const std::uint64_t expected_per_shard = expected_states / count;
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>(expected_per_shard));
   }
 }
 
 bool ShardedVisited::insert(util::U128 key) {
   Shard& shard = *shards_[shard_index(key)];
   std::lock_guard<std::mutex> lock(shard.mu);
-  const bool inserted = shard.set.insert(key).second;
+  const bool inserted = shard.table.insert(key, 0).inserted;
   if (!inserted) shard.duplicate_inserts += 1;
   return inserted;
 }
@@ -25,7 +28,7 @@ std::uint64_t ShardedVisited::size() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->set.size();
+    total += shard->table.size();
   }
   return total;
 }
@@ -35,11 +38,18 @@ ShardedVisited::LoadStats ShardedVisited::load_stats() const {
   stats.min_shard = ~0ULL;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    const std::uint64_t count = shard->set.size();
+    const std::uint64_t count = shard->table.size();
     stats.total += count;
     if (count < stats.min_shard) stats.min_shard = count;
     if (count > stats.max_shard) stats.max_shard = count;
     stats.duplicate_inserts += shard->duplicate_inserts;
+    const FlatTable::Stats& probes = shard->table.stats();
+    stats.probes.probe_total += probes.probe_total;
+    stats.probes.probe_ops += probes.probe_ops;
+    if (probes.max_probe > stats.probes.max_probe) {
+      stats.probes.max_probe = probes.max_probe;
+    }
+    stats.probes.rehashes += probes.rehashes;
   }
   if (stats.total == 0) {
     stats.min_shard = 0;

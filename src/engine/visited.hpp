@@ -1,22 +1,25 @@
 // Sharded visited-state set for parallel exploration.
 //
-// The sequential explorer keeps one `std::unordered_set`; under T workers a
-// single set (or a single lock) serializes every insert. Here the 128-bit
-// fingerprint space is split across 2^shard_bits independent shards, each a
-// mutex-protected open-hashing table, so concurrent inserts only contend when
-// they land in the same shard (probability 2^-k for unrelated states). Shard
-// selection uses the top bits of the `hi` half; the intra-shard bucket index
-// comes from `util::U128Hash`, which mixes both halves, so shard selection
-// does not degrade bucket distribution.
+// The sequential explorer keeps one table; under T workers a single table
+// (or a single lock) serializes every insert. Here the 128-bit fingerprint
+// space is split across 2^shard_bits independent shards, each a
+// mutex-protected *flat open-addressing table* (engine/flat_table.hpp) — no
+// per-insert node allocation, a handful of contiguous loads per probe, and
+// incremental growth so no insert stalls on an O(n) rehash while holding the
+// shard lock. Concurrent inserts only contend when they land in the same
+// shard (probability 2^-k for unrelated states). Shard selection uses the
+// top bits of the `hi` half; the intra-shard slot index comes from
+// `util::U128Hash`, which mixes both halves, so shard selection does not
+// degrade slot distribution.
 #ifndef RCONS_ENGINE_VISITED_HPP
 #define RCONS_ENGINE_VISITED_HPP
 
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <unordered_set>
 #include <vector>
 
+#include "engine/flat_table.hpp"
 #include "util/hash.hpp"
 
 namespace rcons::engine {
@@ -24,8 +27,9 @@ namespace rcons::engine {
 class ShardedVisited {
  public:
   // Valid shard_bits: 0 (a single shard — degenerates to the sequential
-  // layout) through 16.
-  explicit ShardedVisited(int shard_bits);
+  // layout) through 16. `expected_states` pre-sizes the shard tables so a
+  // run of the anticipated size never rehashes (0 = unknown, start minimal).
+  explicit ShardedVisited(int shard_bits, std::uint64_t expected_states = 0);
 
   // Inserts `key`; returns true when it was not already present. Thread-safe.
   bool insert(util::U128 key);
@@ -38,21 +42,24 @@ class ShardedVisited {
   // Occupancy statistics for tuning shard_bits: total entries, the
   // fullest/emptiest shard, and the imbalance ratio max/(total/shards)
   // (1.0 = perfectly even). Collisions counts inserts that found the key
-  // already present (revisits deduplicated away).
+  // already present (revisits deduplicated away). The probe counters
+  // aggregate the flat tables' linear-probe work (engine/flat_table.hpp).
   struct LoadStats {
     std::uint64_t total = 0;
     std::uint64_t min_shard = 0;
     std::uint64_t max_shard = 0;
     double imbalance = 1.0;
     std::uint64_t duplicate_inserts = 0;
+    FlatTable::Stats probes;
   };
   LoadStats load_stats() const;
 
  private:
   // Shards are cache-line separated so neighbouring locks don't false-share.
   struct alignas(64) Shard {
+    explicit Shard(std::uint64_t expected) : table(expected) {}
     mutable std::mutex mu;
-    std::unordered_set<util::U128, util::U128Hash> set;
+    FlatTable table;
     std::uint64_t duplicate_inserts = 0;
   };
 

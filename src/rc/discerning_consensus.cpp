@@ -109,10 +109,15 @@ HaltingConsensusSystem make_halting_consensus(const typesys::ObjectType& type,
   auto install = [&]() { return install_discerning(system.memory, plan); };
   auto stages = build_tournament_stages<DiscerningInstance>(
       static_cast<int>(inputs.size()), plan->team, install);
+  std::vector<std::shared_ptr<const std::vector<Stage<DiscerningInstance>>>> chains;
   for (std::size_t i = 0; i < inputs.size(); ++i) {
-    auto chain = std::make_shared<const std::vector<Stage<DiscerningInstance>>>(
-        std::move(stages[i]));
-    system.processes.emplace_back(HaltingTournamentProgram(chain, inputs[i]));
+    chains.push_back(std::make_shared<const std::vector<Stage<DiscerningInstance>>>(
+        std::move(stages[i])));
+  }
+  system.symmetry_classes = staged_symmetry_classes(
+      chains, inputs, team_op_role_sig<DiscerningInstance>);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    system.processes.emplace_back(HaltingTournamentProgram(chains[i], inputs[i]));
   }
   return system;
 }

@@ -76,6 +76,14 @@ struct HaltingConsensusSystem {
   std::shared_ptr<const DiscerningPlan> plan;
   sim::Memory memory;
   std::vector<sim::Process> processes;
+
+  // Symmetry declaration (staged_symmetry_classes over the tournament
+  // chains): behaviorally identical participants — equal input and
+  // stage-wise equal (instance, team, op) — share a class. The binary
+  // tournament makes these all-singleton (siblings split onto opposite
+  // teams), so attaching it is sound but reduces nothing; `symmetry=on` in a
+  // spec is honored uniformly regardless.
+  std::vector<int> symmetry_classes;
 };
 
 // Full consensus (halting model) for inputs.size() ≤ witness_n processes via

@@ -16,6 +16,7 @@
 #define RCONS_RC_STAGED_HPP
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -99,6 +100,66 @@ class StagedProgram {
   std::size_t stage_index_ = 0;
   std::optional<InnerProgram> inner_;
 };
+
+// Symmetry declaration of a staged system (ExplorerConfig::symmetry_classes):
+// two processes belong to the same class iff they run *behaviorally
+// identical* programs — equal inputs, and stage chains that agree
+// stage-by-stage on the installed instance and on whatever `role_sig`
+// appends for the stage's role (the inner-protocol data that determines a
+// role's behavior, e.g. (team, op) for Figure 2 team consensus — the
+// concrete step function never depends on the role index beyond that).
+// Swapping the local states of two such processes maps executions to
+// executions, which is exactly the invariance the explorers' canonicalizer
+// exploits (engine/node_store.hpp).
+//
+// Binary tournaments built by build_tournament_stages always yield singleton
+// classes: any two participants split at their lowest-common-ancestor node
+// onto opposite teams of that node's instance, so their chains are never
+// equivalent (the declaration stays sound, it just reduces nothing). *Flat*
+// staged systems — many same-team roles sharing one instance, e.g.
+// make_staged_team_consensus — get real reductions.
+//
+// `role_sig(instance, role, sig)` must append the instance identity (the
+// memory it installed into) and the role's behavioral key to `sig`.
+template <typename InnerInstance, typename RoleSig>
+std::vector<int> staged_symmetry_classes(
+    const std::vector<std::shared_ptr<const std::vector<Stage<InnerInstance>>>>&
+        chains,
+    const std::vector<typesys::Value>& inputs, RoleSig&& role_sig) {
+  RCONS_ASSERT(chains.size() == inputs.size());
+  std::map<std::vector<typesys::Value>, int> classes;
+  std::vector<int> result;
+  std::vector<typesys::Value> sig;
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    sig.clear();
+    sig.push_back(inputs[i]);
+    RCONS_ASSERT(chains[i] != nullptr);
+    for (const Stage<InnerInstance>& stage : *chains[i]) {
+      role_sig(stage.instance, stage.role, sig);
+    }
+    const auto [it, unused] =
+        classes.emplace(sig, static_cast<int>(classes.size()));
+    result.push_back(it->second);
+  }
+  return result;
+}
+
+// The role signature shared by the repository's team-style inner protocols
+// (TeamConsensusInstance, DiscerningInstance — anything exposing
+// obj/reg_a/reg_b and a plan with team/ops): the instance's memory identity
+// plus the role's (team, op), which is the only role data those programs'
+// behavior depends on (for the discerning protocol, R_{A,role} is itself
+// determined by the (team, op) class — see DiscerningPlan::create).
+template <typename InnerInstance>
+void team_op_role_sig(const InnerInstance& instance, int role,
+                      std::vector<typesys::Value>& sig) {
+  const auto idx = static_cast<std::size_t>(role);
+  sig.push_back(instance.obj);
+  sig.push_back(instance.reg_a);
+  sig.push_back(instance.reg_b);
+  sig.push_back(instance.plan->team[idx]);
+  sig.push_back(static_cast<typesys::Value>(instance.plan->ops[idx]));
+}
 
 // Builds the tournament stage lists for `k` participants over an inner
 // protocol whose witness partitions `role_teams.size()` processes into teams

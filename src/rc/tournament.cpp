@@ -29,12 +29,44 @@ TournamentSystem make_rc_tournament(const typesys::ObjectType& type, int witness
       static_cast<int>(inputs.size()), plan->team, install);
   system.instances = instances;
 
+  std::vector<std::shared_ptr<const std::vector<Stage<TeamConsensusInstance>>>> chains;
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     system.max_stages =
         std::max(system.max_stages, static_cast<int>(stages[i].size()));
-    auto chain = std::make_shared<const std::vector<Stage<TeamConsensusInstance>>>(
-        std::move(stages[i]));
-    system.processes.emplace_back(RcTournamentProgram(chain, inputs[i]));
+    chains.push_back(std::make_shared<const std::vector<Stage<TeamConsensusInstance>>>(
+        std::move(stages[i])));
+  }
+  system.symmetry_classes = staged_symmetry_classes(chains, inputs, team_op_role_sig<TeamConsensusInstance>);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    system.processes.emplace_back(RcTournamentProgram(chains[i], inputs[i]));
+  }
+  return system;
+}
+
+StagedTeamSystem make_staged_team_consensus(const typesys::ObjectType& type, int n,
+                                            typesys::Value input_a,
+                                            typesys::Value input_b) {
+  auto cache = std::make_shared<typesys::TransitionCache>(type, n);
+  auto witness = hierarchy::find_recording_witness(*cache);
+  RCONS_ASSERT_MSG(witness.has_value(), "type is not n-recording");
+  auto plan = TeamConsensusPlan::create(cache, *witness);
+
+  StagedTeamSystem system;
+  system.plan = plan;
+  const TeamConsensusInstance instance = install_team_consensus(system.memory, plan);
+
+  std::vector<std::shared_ptr<const std::vector<Stage<TeamConsensusInstance>>>> chains;
+  for (int role = 0; role < plan->n(); ++role) {
+    const auto idx = static_cast<std::size_t>(role);
+    system.inputs.push_back(plan->team[idx] == hierarchy::kTeamA ? input_a : input_b);
+    chains.push_back(std::make_shared<const std::vector<Stage<TeamConsensusInstance>>>(
+        std::vector<Stage<TeamConsensusInstance>>{
+            Stage<TeamConsensusInstance>{instance, role}}));
+  }
+  system.symmetry_classes =
+      staged_symmetry_classes(chains, system.inputs, team_op_role_sig<TeamConsensusInstance>);
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    system.processes.emplace_back(RcTournamentProgram(chains[i], system.inputs[i]));
   }
   return system;
 }

@@ -20,6 +20,13 @@ struct TournamentSystem {
   std::vector<sim::Process> processes;  // one per input
   int instances = 0;                    // team-consensus instances allocated
   int max_stages = 0;                   // tournament depth (longest chain)
+
+  // Symmetry declaration (staged_symmetry_classes over the participants'
+  // chains): behaviorally identical participants share a class. For the
+  // binary tournament this is always all-singleton — siblings split onto
+  // opposite teams at their lowest common ancestor — but attaching it keeps
+  // `symmetry=on` sound and uniform across algorithms.
+  std::vector<int> symmetry_classes;
 };
 
 // Builds recoverable consensus for inputs.size() ≤ witness_n participants
@@ -27,6 +34,24 @@ struct TournamentSystem {
 // witness exists (check is_recording(type, witness_n) first if unsure).
 TournamentSystem make_rc_tournament(const typesys::ObjectType& type, int witness_n,
                                     const std::vector<typesys::Value>& inputs);
+
+// Flat staged composition: every role of the n-recording witness runs a
+// single-stage chain over ONE shared team-consensus instance (inputs per
+// team, as in make_team_consensus_system, but through the StagedProgram
+// wrapper — the depth-1 degenerate tournament). This is the staged system
+// with *non-trivial* symmetry: same-team same-op roles are interchangeable,
+// and symmetry_classes declares it.
+struct StagedTeamSystem {
+  std::shared_ptr<const TeamConsensusPlan> plan;
+  sim::Memory memory;
+  std::vector<sim::Process> processes;
+  std::vector<typesys::Value> inputs;  // per role, after normalization
+  std::vector<int> symmetry_classes;
+};
+
+StagedTeamSystem make_staged_team_consensus(const typesys::ObjectType& type, int n,
+                                            typesys::Value input_a,
+                                            typesys::Value input_b);
 
 }  // namespace rcons::rc
 

@@ -16,20 +16,33 @@ Explorer::Explorer(Memory initial, std::vector<Process> processes, ExplorerConfi
   compact_ = engine::resolve_compact_repr(config_.node_repr, initial_processes_);
 }
 
+namespace {
+
+void fill_probe_stats(ExplorerStats& stats, const engine::FlatTable::Stats& probes) {
+  stats.hot.probe_total = probes.probe_total;
+  stats.hot.probe_ops = probes.probe_ops;
+  stats.hot.max_probe = probes.max_probe;
+  stats.hot.rehashes = probes.rehashes;
+}
+
+}  // namespace
+
 std::optional<Violation> Explorer::run() {
   stats_ = ExplorerStats{};
-  visited_.clear();
+  visited_ = engine::FlatTable();
   path_.clear();
 
   if (compact_) return run_compact();
 
   engine::Node root = engine::make_root(initial_memory_, initial_processes_);
   insert_visited(root);
-  return dfs(root);
+  std::optional<Violation> result = dfs(root);
+  fill_probe_stats(stats_, visited_.stats());
+  return result;
 }
 
 bool Explorer::insert_visited(const engine::Node& node) {
-  return visited_.insert(engine::fingerprint(node, scratch_)).second;
+  return visited_.insert(engine::fingerprint(node, scratch_), 0).inserted;
 }
 
 std::optional<Violation> Explorer::dfs(const engine::Node& node) {
@@ -84,29 +97,29 @@ std::optional<Violation> Explorer::run_compact() {
   const engine::NodeStore::Intern root =
       store_->intern(encoded.fingerprint, encode_scratch_);
 
-  std::optional<Violation> result = dfs_compact(root.id);
+  std::optional<Violation> result = dfs_compact(root.record, root.length);
 
   stats_.compact = true;
   const engine::NodeStore::Stats store_stats = store_->stats();
   stats_.store.nodes = store_stats.nodes;
   stats_.store.value_bytes = store_stats.value_bytes;
+  fill_probe_stats(stats_, store_stats.probes);
   store_.reset();  // release the arena; the stats survive in stats_
   codec_.reset();
   return result;
 }
 
-std::optional<Violation> Explorer::dfs_compact(engine::NodeStore::NodeId id) {
-  // Same traversal as dfs(), but the parent is a record fetched from the
-  // interning store: each successor re-decodes the record into the one
-  // scratch node and applies its event in place — no Memory/Process clones.
+std::optional<Violation> Explorer::dfs_compact(const typesys::Value* record,
+                                               std::size_t size) {
+  // Same traversal as dfs(), but the parent is its interned record, read in
+  // place from the store arena: each successor re-decodes the record into
+  // the one scratch node and applies its event in place — no Memory/Process
+  // clones, no per-depth record copies.
   const std::size_t depth = path_.size();
   while (events_pool_.size() <= depth) events_pool_.emplace_back();
-  while (records_pool_.size() <= depth) records_pool_.emplace_back();
   std::vector<engine::Event>& events = events_pool_[depth];
-  std::vector<typesys::Value>& record = records_pool_[depth];
 
-  store_->fetch(id, record);
-  codec_->decode(record.data(), record.size(), scratch_node_);
+  codec_->decode(record, size, scratch_node_);
   engine::enumerate_events(scratch_node_, config_, events);
   if (engine::is_terminal(scratch_node_)) stats_.terminal_states += 1;
   const bool parent_has_decision = record[1] != 0;  // codec header layout
@@ -114,7 +127,7 @@ std::optional<Violation> Explorer::dfs_compact(engine::NodeStore::NodeId id) {
   for (const engine::Event& event : events) {
     path_.push_back(event);
     stats_.transitions += 1;
-    codec_->decode(record.data(), record.size(), scratch_node_);
+    codec_->decode(record, size, scratch_node_);
     if (auto description = engine::apply_event(scratch_node_, event, config_)) {
       Violation violation{std::move(*description), path_};
       path_.pop_back();
@@ -136,7 +149,7 @@ std::optional<Violation> Explorer::dfs_compact(engine::NodeStore::NodeId id) {
         path_.pop_back();
         return violation;
       }
-      if (auto violation = dfs_compact(interned.id)) {
+      if (auto violation = dfs_compact(interned.record, interned.length)) {
         path_.pop_back();
         return violation;
       }

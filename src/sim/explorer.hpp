@@ -35,10 +35,10 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "engine/expand.hpp"
+#include "engine/flat_table.hpp"
 #include "engine/node_store.hpp"
 #include "sim/explorer_config.hpp"
 #include "sim/memory.hpp"
@@ -66,14 +66,17 @@ class Explorer {
   bool insert_visited(const engine::Node& node);
 
   std::optional<Violation> run_compact();
-  std::optional<Violation> dfs_compact(engine::NodeStore::NodeId id);
+  std::optional<Violation> dfs_compact(const typesys::Value* record,
+                                       std::size_t size);
 
   Memory initial_memory_;
   std::vector<Process> initial_processes_;
   ExplorerConfig config_;
   bool compact_ = false;
   ExplorerStats stats_;
-  std::unordered_set<util::U128, util::U128Hash> visited_;
+  // Legacy-path visited set: the same flat open-addressing table the engine
+  // shards (engine/flat_table.hpp) — no per-insert node allocation.
+  engine::FlatTable visited_;
   std::vector<engine::Event> path_;
   // Per-depth event buffers, reused across siblings. A deque because deeper
   // recursion grows it while shallower frames hold references into it, and
@@ -83,12 +86,13 @@ class Explorer {
 
   // Compact-representation state (unused on the legacy path): the interning
   // store, one decoded scratch node shared by every depth (re-decoded from
-  // the parent's record before each apply), per-depth record buffers, and
-  // the codec with its canonicalizer.
+  // the parent's record before each apply), and the codec with its
+  // canonicalizer. Parent records are read in place from the store arena
+  // (stable, immutable — NodeStore::Intern), so recursion holds pointers
+  // instead of per-depth record copies.
   std::unique_ptr<engine::NodeStore> store_;
   std::unique_ptr<engine::NodeCodec> codec_;
   engine::Node scratch_node_;
-  std::deque<std::vector<typesys::Value>> records_pool_;
   std::vector<typesys::Value> encode_scratch_;
 };
 

@@ -77,6 +77,48 @@ struct NodeStoreStats {
   }
 };
 
+// Per-state cost counters of the batched, allocation-free hot path
+// (engine/frontier.hpp, engine/flat_table.hpp, engine/path_arena.hpp). The
+// parallel engine fills all of them; the sequential explorer fills the
+// probe-length counters (its dedup tables are the same flat open-addressing
+// tables) and leaves the frontier/arena/cache counters at zero.
+struct HotPathStats {
+  // Per-item heap allocations the pre-batching hot path would have made:
+  // one `unique_ptr` wrapper per frontier item plus one `shared_ptr<PathLink>`
+  // control block per push, now served by inline storage and arena links.
+  std::uint64_t allocations_avoided = 0;
+
+  std::uint64_t batches = 0;        // successor batches submitted to the frontier
+  std::uint64_t batched_items = 0;  // items across those batches
+
+  // Per-worker recently-inserted fingerprint cache, consulted before the
+  // sharded store: a hit short-circuits the shard lock + probe entirely.
+  std::uint64_t dedup_cache_probes = 0;
+  std::uint64_t dedup_cache_hits = 0;
+
+  // Flat-table probing across the visited/NodeStore shards.
+  std::uint64_t probe_total = 0;  // slots inspected
+  std::uint64_t probe_ops = 0;    // operations that probed
+  std::uint64_t max_probe = 0;    // longest single probe sequence
+  std::uint64_t rehashes = 0;     // incremental table growths
+
+  double avg_batch() const {
+    return batches == 0
+               ? 0.0
+               : static_cast<double>(batched_items) / static_cast<double>(batches);
+  }
+  double cache_hit_rate() const {
+    return dedup_cache_probes == 0 ? 0.0
+                                   : static_cast<double>(dedup_cache_hits) /
+                                         static_cast<double>(dedup_cache_probes);
+  }
+  double avg_probe() const {
+    return probe_ops == 0
+               ? 0.0
+               : static_cast<double>(probe_total) / static_cast<double>(probe_ops);
+  }
+};
+
 struct ExplorerStats {
   std::uint64_t visited = 0;
   std::uint64_t transitions = 0;
@@ -86,6 +128,7 @@ struct ExplorerStats {
 
   bool compact = false;  // ran on the interned node representation
   NodeStoreStats store;
+  HotPathStats hot;
 };
 
 }  // namespace rcons::sim

@@ -1,0 +1,131 @@
+// Unit coverage of the flat open-addressing fingerprint table behind the
+// sharded visited set and the NodeStore index: insert/contains semantics,
+// growth across incremental rehashes, probing under clustered keys, and full
+// 128-bit key comparison (same-bucket and same-half "collisions" must not
+// alias).
+#include "engine/flat_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace rcons::engine {
+namespace {
+
+util::U128 key(std::uint64_t i) {
+  return util::U128{util::mix64(i), util::mix64(i + 0xabcdefULL)};
+}
+
+TEST(FlatTableTest, InsertAndContains) {
+  FlatTable table;
+  EXPECT_FALSE(table.contains(key(1)));
+  EXPECT_TRUE(table.insert(key(1), 10).inserted);
+  EXPECT_TRUE(table.contains(key(1)));
+  EXPECT_FALSE(table.contains(key(2)));
+  EXPECT_EQ(table.size(), 1u);
+
+  // A duplicate insert reports the resident payload, not the offered one.
+  const FlatTable::Found dup = table.insert(key(1), 99);
+  EXPECT_FALSE(dup.inserted);
+  EXPECT_EQ(dup.value, 10u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlatTableTest, FindReturnsPayloads) {
+  FlatTable table;
+  for (std::uint64_t i = 0; i < 100; ++i) table.insert(key(i), i * 3);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const std::uint64_t* value = table.find(key(i));
+    ASSERT_NE(value, nullptr) << i;
+    EXPECT_EQ(*value, i * 3);
+  }
+  EXPECT_EQ(table.find(key(1'000)), nullptr);
+}
+
+TEST(FlatTableTest, GrowthAcrossIncrementalRehashKeepsEveryKey) {
+  // Start minimal and push through several doublings; every key must stay
+  // findable at every point, including while a migration sweep is in flight.
+  FlatTable table;
+  constexpr std::uint64_t kKeys = 50'000;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    EXPECT_TRUE(table.insert(key(i), i).inserted);
+    // Spot-check an old key mid-growth so in-flight migrations are observed.
+    if (i % 977 == 0 && i > 0) {
+      const std::uint64_t probe = i / 2;
+      const std::uint64_t* value = table.find(key(probe));
+      ASSERT_NE(value, nullptr) << probe;
+      EXPECT_EQ(*value, probe);
+    }
+  }
+  EXPECT_EQ(table.size(), kKeys);
+  EXPECT_GT(table.stats().rehashes, 5u);
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    EXPECT_TRUE(table.contains(key(i))) << i;
+    EXPECT_FALSE(table.insert(key(i), 0).inserted) << i;
+  }
+  EXPECT_EQ(table.size(), kKeys);
+  // Steady state again: the final sweep completes within a bounded number of
+  // operations, so a table this far past its growths is not mid-migration.
+  EXPECT_FALSE(table.migrating());
+}
+
+TEST(FlatTableTest, PresizedTableNeverRehashes) {
+  FlatTable table(/*expected=*/10'000);
+  const std::size_t initial_capacity = table.capacity();
+  for (std::uint64_t i = 0; i < 10'000; ++i) table.insert(key(i), i);
+  EXPECT_EQ(table.size(), 10'000u);
+  EXPECT_EQ(table.stats().rehashes, 0u);
+  EXPECT_EQ(table.capacity(), initial_capacity);
+}
+
+TEST(FlatTableTest, FullWidthKeysDistinguishSameBucketCollisions) {
+  // Keys that agree on one 64-bit half (or hash to nearby buckets) must stay
+  // distinct entries: equality is on all 128 bits.
+  FlatTable table;
+  const util::U128 base{0x1234'5678'9abc'def0ULL, 0x0f0f'0f0f'0f0f'0f0fULL};
+  const util::U128 same_lo{base.lo, base.hi + 1};
+  const util::U128 same_hi{base.lo + 1, base.hi};
+  const util::U128 swapped{base.hi, base.lo};
+  EXPECT_TRUE(table.insert(base, 1).inserted);
+  EXPECT_TRUE(table.insert(same_lo, 2).inserted);
+  EXPECT_TRUE(table.insert(same_hi, 3).inserted);
+  EXPECT_TRUE(table.insert(swapped, 4).inserted);
+  EXPECT_EQ(table.size(), 4u);
+  EXPECT_EQ(*table.find(base), 1u);
+  EXPECT_EQ(*table.find(same_lo), 2u);
+  EXPECT_EQ(*table.find(same_hi), 3u);
+  EXPECT_EQ(*table.find(swapped), 4u);
+}
+
+TEST(FlatTableTest, AllZeroKeyIsALegalFingerprint) {
+  // The empty-slot marker must not swallow the all-zero key.
+  FlatTable table;
+  const util::U128 zero{0, 0};
+  EXPECT_FALSE(table.contains(zero));
+  EXPECT_TRUE(table.insert(zero, 42).inserted);
+  EXPECT_TRUE(table.contains(zero));
+  EXPECT_EQ(*table.find(zero), 42u);
+  const FlatTable::Found dup = table.insert(zero, 7);
+  EXPECT_FALSE(dup.inserted);
+  EXPECT_EQ(dup.value, 42u);
+  EXPECT_EQ(table.size(), 1u);
+
+  // And it survives growth like any other key.
+  for (std::uint64_t i = 1; i <= 5'000; ++i) table.insert(key(i), i);
+  EXPECT_GT(table.stats().rehashes, 0u);
+  EXPECT_EQ(*table.find(zero), 42u);
+}
+
+TEST(FlatTableTest, ProbeStatsTrackWork) {
+  FlatTable table;
+  for (std::uint64_t i = 0; i < 1'000; ++i) table.insert(key(i), i);
+  const FlatTable::Stats& stats = table.stats();
+  EXPECT_GE(stats.probe_ops, 1'000u);
+  EXPECT_GE(stats.probe_total, stats.probe_ops);
+  EXPECT_GE(stats.max_probe, 1u);
+}
+
+}  // namespace
+}  // namespace rcons::engine

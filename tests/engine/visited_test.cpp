@@ -66,6 +66,24 @@ TEST(ShardedVisitedTest, ConcurrentInsertsAgreeOnWinners) {
   EXPECT_EQ(visited.size(), kKeys);
 }
 
+TEST(ShardedVisitedTest, ProbeStatsAccumulateAcrossShards) {
+  ShardedVisited visited(2);
+  for (std::uint64_t i = 0; i < 500; ++i) visited.insert(key(i));
+  const auto stats = visited.load_stats();
+  EXPECT_GE(stats.probes.probe_ops, 500u);
+  EXPECT_GE(stats.probes.probe_total, stats.probes.probe_ops);
+  EXPECT_GE(stats.probes.max_probe, 1u);
+  // 500 keys over 4 minimally-sized shards must have grown incrementally.
+  EXPECT_GT(stats.probes.rehashes, 0u);
+}
+
+TEST(ShardedVisitedTest, PresizingAvoidsRehashes) {
+  ShardedVisited visited(2, /*expected_states=*/10'000);
+  for (std::uint64_t i = 0; i < 10'000; ++i) visited.insert(key(i));
+  EXPECT_EQ(visited.size(), 10'000u);
+  EXPECT_EQ(visited.load_stats().probes.rehashes, 0u);
+}
+
 TEST(PickShardBitsTest, SingleWorkerGetsSequentialLayout) {
   EXPECT_EQ(pick_shard_bits(1, 0), 0);
   EXPECT_EQ(pick_shard_bits(1, 1'000'000'000), 0);
