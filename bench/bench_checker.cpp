@@ -29,7 +29,7 @@ check::CheckRequest make_team_request(int crash_budget) {
   check::CheckRequest request;
   request.system.memory = std::move(system.memory);
   request.system.processes = std::move(system.processes);
-  request.system.valid_outputs = {1, 2};
+  request.system.properties.valid_outputs = {1, 2};
   request.budget.crash_budget = crash_budget;
   request.strategy = check::Strategy::kAuto;
   return request;

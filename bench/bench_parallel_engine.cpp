@@ -83,7 +83,7 @@ check::CheckRequest make_request(const Instance& instance, check::Strategy strat
   check::CheckRequest request;
   request.system.memory = instance.system.memory;
   request.system.processes = instance.system.processes;
-  request.system.valid_outputs = {kInputA, kInputB};
+  request.system.properties.valid_outputs = {kInputA, kInputB};
   if (symmetry) request.system.symmetry_classes = instance.system.symmetry_classes;
   request.budget.crash_budget = instance.crash_budget;
   request.strategy = strategy;

@@ -30,7 +30,7 @@ check::ScenarioSystem make_fig4(int n, int max_rounds) {
       system.memory, n, max_rounds, [&]() { return rc::install_race(system.memory, cache); });
   for (int i = 0; i < n; ++i) {
     system.processes.emplace_back(Fig4(layout, i, i + 1));
-    system.valid_outputs.push_back(i + 1);
+    system.properties.valid_outputs.push_back(i + 1);
   }
   return system;
 }

@@ -7,16 +7,20 @@
 //   $ check_cli scenarios.spec --strategy=random --runs=500 --seed=7
 //   $ check_cli scenarios.spec --minimize --save-viol=corpus/
 //   $ check_cli corpus/register_race.viol         # replay a violation file
+//   $ check_cli --list                            # grammar vocabulary
 //
 // Each line of the spec file describes one scenario (see
 // examples/scenarios/default.spec for the grammar; algo= selects the
-// construction). A `.viol` argument instead replays one persisted violation
-// (check/violation_io.hpp) and verifies it still reproduces. On violations,
-// --minimize greedily shrinks the schedule (check/minimize.hpp) before
-// printing/saving, and --save-viol=DIR persists each violation as
-// DIR/<scenario>.viol. Exit codes: 0 = all scenarios clean (or, for a .viol
-// input, the violation reproduced), 1 = violation found (or a .viol failed
-// to reproduce), 2 = bad usage or input file.
+// construction, properties=/k= the typed property set). `--list` prints the
+// vocabulary spec authors need: every zoo type name, the algo= values, the
+// property names, and the strategies. A `.viol` argument instead replays one
+// persisted violation (check/violation_io.hpp) and verifies it still
+// reproduces the recorded typed property. On violations, --minimize greedily
+// shrinks the schedule (check/minimize.hpp) before printing/saving, and
+// --save-viol=DIR persists each violation as DIR/<scenario>.viol. Exit
+// codes: 0 = all scenarios clean (or, for a .viol input, the violation
+// reproduced), 1 = violation found (or a .viol failed to reproduce), 2 = bad
+// usage or input file.
 #include <cctype>
 #include <cstdlib>
 #include <iostream>
@@ -29,6 +33,7 @@
 #include "check/spec_system.hpp"
 #include "check/violation_io.hpp"
 #include "sim/replay.hpp"
+#include "typesys/zoo.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -43,6 +48,7 @@ struct CliOptions {
   std::uint64_t seed = 1;
   bool show_trace = false;
   bool minimize = false;
+  bool list = false;
   std::string save_viol_dir;
 };
 
@@ -73,6 +79,8 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.show_trace = true;
     } else if (arg == "--minimize") {
       options.minimize = true;
+    } else if (arg == "--list") {
+      options.list = true;
     } else if (arg.rfind("--save-viol=", 0) == 0) {
       options.save_viol_dir = arg.substr(12);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -85,14 +93,47 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       return false;
     }
   }
-  if (options.input_file.empty()) {
+  if (options.input_file.empty() && !options.list) {
     std::cerr << "usage: check_cli <scenario-file|violation.viol>\n"
                  "                 [--strategy=auto|dfs|bfs|random] [--threads=N]\n"
                  "                 [--runs=R] [--seed=S] [--trace] [--minimize]\n"
-                 "                 [--save-viol=DIR]\n";
+                 "                 [--save-viol=DIR]\n"
+                 "       check_cli --list   # spec grammar vocabulary\n";
     return false;
   }
   return true;
+}
+
+// The spec-grammar vocabulary: everything a `.spec` author can write without
+// reading source code.
+int print_list() {
+  std::cout << "zoo types (type=...):\n";
+  for (const typesys::ZooEntry& entry : typesys::make_zoo(5)) {
+    std::cout << "  " << entry.type->name() << "\n";
+  }
+  std::cout << "  (Tn(k) / Sn(k) take any family size k >= 2)\n";
+
+  std::cout << "\nalgorithms (algo=...):\n"
+            << "  team            Figure 2 recoverable team consensus (default;\n"
+            << "                  needs an n-recording type)\n"
+            << "  halting         Ruppert halting-model tournament (crash-unsafe)\n"
+            << "  naive-register  write-then-read register race (race-unsafe)\n"
+            << "  k-set           k-group split consensus; needs k=<int>, 2 <= k <= n\n";
+
+  std::cout << "\nproperties (properties=comma,separated,list; default "
+            << sim::PropertySet().label() << "):\n";
+  for (const sim::PropertyKind kind :
+       {sim::PropertyKind::kAgreement, sim::PropertyKind::kKSetAgreement,
+        sim::PropertyKind::kValidity, sim::PropertyKind::kWaitFreedom,
+        sim::PropertyKind::kAtMostOnceDecide}) {
+    std::cout << "  " << sim::property_name(kind);
+    if (kind == sim::PropertyKind::kKSetAgreement) std::cout << " (needs k=<int>)";
+    std::cout << "\n";
+  }
+
+  std::cout << "\nstrategies (--strategy=...):\n"
+            << "  auto | dfs | bfs | random (plus .viol replay via a file argument)\n";
+  return 0;
 }
 
 std::string sanitize_filename(std::string name) {
@@ -109,9 +150,7 @@ check::Budget spec_budget(const check::ScenarioSpec& spec) {
   budget.crash_model = spec.crash_model;
   budget.crash_budget = spec.crash_budget;
   if (spec.max_steps_per_run >= 0) budget.max_steps_per_run = spec.max_steps_per_run;
-  if (spec.max_visited >= 0) {
-    budget.max_visited = static_cast<std::uint64_t>(spec.max_visited);
-  }
+  if (spec.max_visited >= 0) budget.max_visited = spec.max_visited;
   return budget;
 }
 
@@ -131,14 +170,13 @@ int replay_violation_file(const CliOptions& options) {
   request.schedule = file.schedule;
   const check::CheckReport report = check::check(std::move(request));
 
-  const std::string expected = check::violation_property(file.description);
   std::cout << check::spec_display_name(file.scenario) << ": ";
-  if (report.violation.has_value() &&
-      check::violation_property(report.violation->description) == expected) {
+  if (report.violation.has_value() && report.violation->property == file.property) {
     std::cout << "violation reproduced (" << report.violation->description << ")\n";
     return 0;
   }
-  std::cout << "violation did NOT reproduce (expected " << expected << ")\n";
+  std::cout << "violation did NOT reproduce (expected "
+            << sim::property_name(file.property) << ")\n";
   return 1;
 }
 
@@ -147,6 +185,7 @@ int replay_violation_file(const CliOptions& options) {
 int main(int argc, char** argv) {
   CliOptions options;
   if (!parse_args(argc, argv, options)) return 2;
+  if (options.list) return print_list();
 
   if (options.input_file.size() > 5 &&
       options.input_file.rfind(".viol") == options.input_file.size() - 5) {
@@ -184,7 +223,15 @@ int main(int argc, char** argv) {
     std::ostringstream time;
     time.precision(3);
     time << std::fixed << report.seconds;
-    std::string verdict = report.clean ? "clean" : "VIOLATION";
+    std::string verdict = "clean";
+    if (!report.clean) {
+      verdict = "VIOLATION";
+      if (report.violation.has_value() &&
+          report.violation->property != sim::PropertyKind::kNone) {
+        verdict += std::string("(") +
+                   sim::property_name(report.violation->property) + ")";
+      }
+    }
     if (report.stats.truncated) verdict = "TRUNCATED";
     table.add_row({name, check::strategy_name(report.strategy), verdict,
                    std::to_string(report.stats.visited), std::to_string(report.runs),
@@ -204,23 +251,23 @@ int main(int argc, char** argv) {
       if (options.show_trace) {
         std::cerr << "  schedule: " << violation.trace() << "\n";
       }
-      const std::string property = check::violation_property(violation.description);
-      if (!options.save_viol_dir.empty() && !property.empty()) {
+      if (!options.save_viol_dir.empty() &&
+          violation.property != sim::PropertyKind::kNone) {
         // A corpus file must honour the replay contract; schedules found
         // under symmetry reduction are only valid up to a class permutation
         // and may not reproduce — verify before persisting.
-        const sim::ReplayReport replayed = sim::replay(
-            pristine.memory, pristine.processes, violation.schedule,
-            budget.valid_outputs.empty() ? pristine.valid_outputs
-                                         : budget.valid_outputs,
-            budget.max_steps_per_run);
+        const sim::ReplayReport replayed =
+            sim::replay(pristine.memory, pristine.processes, violation.schedule,
+                        pristine.properties, budget.max_steps_per_run);
         if (!replayed.violation.has_value() ||
-            check::violation_property(*replayed.violation) != property) {
+            replayed.violation->property != violation.property) {
           std::cerr << name << ": schedule does not replay (symmetry-reduced "
                        "counterexample?) — not saved\n";
         } else {
           check::ViolationFile file;
           file.scenario = spec;
+          file.property = violation.property;
+          file.property_param = violation.property_param;
           file.description = violation.description;
           file.schedule = violation.schedule;
           const std::string path =

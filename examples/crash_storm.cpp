@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
     check::CheckRequest request;
     request.system.memory = std::move(system.memory);
     request.system.processes = std::move(system.processes);
-    request.system.valid_outputs = {11, 22, 33};
+    request.system.properties.valid_outputs = {11, 22, 33};
     request.budget.crash_budget = 2;
     request.strategy = check::Strategy::kAuto;
 
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
     check::CheckRequest request;
     request.system.memory = std::move(system.memory);
     request.system.processes = std::move(system.processes);
-    request.system.valid_outputs = {1, 2, 3, 4, 5, 6};
+    request.system.properties.valid_outputs = {1, 2, 3, 4, 5, 6};
     request.budget.crash_budget = 18;
     request.strategy = check::Strategy::kRandomized;
     request.runs = runs;

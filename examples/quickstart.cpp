@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     check::CheckRequest request;
     request.system.memory = std::move(core.memory);
     request.system.processes = std::move(core.processes);
-    request.system.valid_outputs = {1001, 2002};
+    request.system.properties.valid_outputs = {1001, 2002};
     request.budget.crash_budget = 1;
     request.strategy = check::Strategy::kAuto;
     const check::CheckReport report = check::check(std::move(request));

@@ -1,9 +1,17 @@
-// The one definition of "how hard may a checker try, and what counts as a
-// correct outcome": crash model, crash budget, step/state bounds, and the
-// validity set. Every execution backend — the sequential explorer, the
-// parallel engine, the random runner, and scripted replay — consumes the same
-// `Budget`, so the knobs cannot drift apart per backend (they used to be
-// copied across ExplorerConfig / RandomRunConfig / PortfolioConfig).
+// The one definition of "how hard may a checker try": crash model, crash
+// budget, and the step/state bounds. Every execution backend — the sequential
+// explorer, the parallel engine, the random runner, and scripted replay —
+// consumes the same `Budget`, so the knobs cannot drift apart per backend
+// (they used to be copied across ExplorerConfig / RandomRunConfig /
+// PortfolioConfig).
+//
+// What counts as a *correct* outcome lives elsewhere: the typed
+// `sim::PropertySet` (sim/properties.hpp), carried by `check::ScenarioSystem`
+// and routed to the backends by the check:: facade. The budget's
+// max_steps_per_run is the default bound the wait-freedom property inherits.
+//
+// All step/state budgets share one integer width (std::int64_t) so spec
+// fields, configs, and comparisons cannot disagree on range.
 //
 // Backends ignore the fields that do not apply to them (documented on each
 // field); the `check::` facade in check/check.hpp is the one entry point that
@@ -12,9 +20,6 @@
 #define RCONS_CHECK_BUDGET_HPP
 
 #include <cstdint>
-#include <vector>
-
-#include "typesys/core.hpp"
 
 namespace rcons::check {
 
@@ -31,16 +36,19 @@ struct Budget {
   int crash_budget = 2;
 
   // Recoverable wait-freedom bound: a single run (between crashes) of any
-  // process may take at most this many steps before it must decide.
-  long max_steps_per_run = 500;
+  // process may take at most this many steps before it must decide. The
+  // kWaitFreedom property inherits this unless it carries its own bound.
+  std::int64_t max_steps_per_run = 500;
 
   // Exhaustive backends stop (with an explicit "truncated" verdict) after
   // deduplicating this many global states. Ignored by random/replay.
-  std::uint64_t max_visited = 20'000'000;
+  std::int64_t max_visited = 20'000'000;
 
-  // Validity check: every output must be in this set. Empty disables the
-  // check (agreement and wait-freedom are still verified).
-  std::vector<typesys::Value> valid_outputs;
+  // max_visited as the unsigned cap the explorers' visited counters compare
+  // against (non-positive budgets mean "truncate immediately").
+  std::uint64_t visited_cap() const {
+    return max_visited < 0 ? 0 : static_cast<std::uint64_t>(max_visited);
+  }
 
   // Whether crash events may hit a process that already decided in its
   // current run (the paper's model allows it; some scenarios disable it).

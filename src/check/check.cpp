@@ -15,16 +15,10 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-// budget.valid_outputs wins when set; otherwise the system's own input set.
-const std::vector<typesys::Value>& effective_valid_outputs(const CheckRequest& request) {
-  return request.budget.valid_outputs.empty() ? request.system.valid_outputs
-                                              : request.budget.valid_outputs;
-}
-
 sim::ExplorerConfig explorer_config(const CheckRequest& request) {
   sim::ExplorerConfig config;
   static_cast<Budget&>(config) = request.budget;
-  config.valid_outputs = effective_valid_outputs(request);
+  config.properties = request.system.properties;
   config.node_repr = request.node_repr;
   config.symmetry_classes = request.system.symmetry_classes;
   return config;
@@ -32,7 +26,7 @@ sim::ExplorerConfig explorer_config(const CheckRequest& request) {
 
 CheckReport run_sequential(const CheckRequest& request, std::uint64_t max_visited) {
   sim::ExplorerConfig config = explorer_config(request);
-  config.max_visited = max_visited;
+  config.max_visited = static_cast<std::int64_t>(max_visited);
   sim::Explorer explorer(request.system.memory, request.system.processes, config);
   CheckReport report;
   report.strategy = Strategy::kSequentialDFS;
@@ -64,7 +58,7 @@ CheckReport run_parallel(const CheckRequest& request,
 CheckReport run_randomized(const CheckRequest& request) {
   sim::RandomRunConfig config;
   static_cast<Budget&>(config) = request.budget;
-  config.valid_outputs = effective_valid_outputs(request);
+  config.properties = request.system.properties;
   config.crash_per_mille = request.crash_per_mille;
   config.max_total_steps = request.max_total_steps;
 
@@ -81,8 +75,10 @@ CheckReport run_randomized(const CheckRequest& request) {
     report.total_crashes += run_report.crashes;
     report.outputs = std::move(run_report.outputs);
     if (run_report.violation.has_value()) {
-      report.violation =
-          sim::Violation{std::move(*run_report.violation), std::move(run_report.schedule)};
+      report.violation = sim::Violation{std::move(run_report.violation->description),
+                                        run_report.violation->property,
+                                        run_report.violation->param,
+                                        std::move(run_report.schedule)};
       break;
     }
     // A run stopped by a violation is not "incomplete" — that field counts
@@ -96,15 +92,17 @@ CheckReport run_randomized(const CheckRequest& request) {
 CheckReport run_replay(const CheckRequest& request) {
   sim::ReplayReport replay_report =
       sim::replay(request.system.memory, request.system.processes, request.schedule,
-                  effective_valid_outputs(request), request.budget.max_steps_per_run);
+                  request.system.properties, request.budget.max_steps_per_run);
   CheckReport report;
   report.strategy = Strategy::kReplay;
   report.complete = false;  // one schedule, not the whole graph
   report.outputs = std::move(replay_report.outputs);
   report.decisions = std::move(replay_report.decisions);
   if (replay_report.violation.has_value()) {
-    report.violation =
-        sim::Violation{std::move(*replay_report.violation), request.schedule};
+    report.violation = sim::Violation{std::move(replay_report.violation->description),
+                                      replay_report.violation->property,
+                                      replay_report.violation->param,
+                                      request.schedule};
   }
   report.clean = !report.violation.has_value();
   return report;
@@ -117,10 +115,11 @@ CheckReport run_auto(const CheckRequest& request) {
   // a truncated probe means the space is large — hand the full budget to the
   // parallel engine.
   const std::uint64_t probe_limit =
-      request.auto_probe_limit < request.budget.max_visited ? request.auto_probe_limit
-                                                            : request.budget.max_visited;
+      request.auto_probe_limit < request.budget.visited_cap()
+          ? request.auto_probe_limit
+          : request.budget.visited_cap();
   CheckReport probe = run_sequential(request, probe_limit);
-  if (!probe.stats.truncated || probe_limit == request.budget.max_visited) {
+  if (!probe.stats.truncated || probe_limit == request.budget.visited_cap()) {
     return probe;  // small instance, or the real budget was the probe budget
   }
   // The probe's visited count is a lower bound on the state space — enough

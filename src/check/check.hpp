@@ -45,13 +45,19 @@
 
 namespace rcons::check {
 
-// A materialized system under check: shared memory, the processes, the
-// inputs that outputs are validated against, and (optionally) the system's
+// A materialized system under check: shared memory, the processes, the typed
+// property set the outputs are judged against, and (optionally) the system's
 // symmetry declaration.
 struct ScenarioSystem {
   sim::Memory memory;
   std::vector<sim::Process> processes;
-  std::vector<typesys::Value> valid_outputs;
+
+  // What counts as a correct outcome (sim/properties.hpp): the classic trio
+  // (agreement, validity, wait-freedom) by default. The validity output set
+  // lives inside (`properties.valid_outputs`) — this replaces the old
+  // Budget.valid_outputs / system.valid_outputs dual fallback: the system is
+  // the one owner of its correctness contract.
+  sim::PropertySet properties;
 
   // Equivalence classes of interchangeable processes (identical programs on
   // identical inputs); empty disables symmetry reduction. The exhaustive
@@ -74,8 +80,7 @@ const char* strategy_name(Strategy strategy);
 
 struct CheckRequest {
   ScenarioSystem system;
-  Budget budget;  // budget.valid_outputs, when empty, falls back to
-                  // system.valid_outputs
+  Budget budget;  // how hard to try; system.properties says what "correct" means
   Strategy strategy = Strategy::kAuto;
 
   // kAuto: state spaces the bounded sequential probe fully explores within
@@ -94,7 +99,7 @@ struct CheckRequest {
   std::uint64_t seed = 1;
   int runs = 1;  // seeded runs: seed, seed+1, ..., stopping at a violation
   int crash_per_mille = 50;
-  long max_total_steps = 1'000'000;
+  std::int64_t max_total_steps = 1'000'000;
 
   // kReplay:
   std::vector<sim::ScheduleEvent> schedule;
@@ -116,7 +121,7 @@ struct CheckReport {
   // kRandomized:
   int runs = 0;             // seeded runs executed
   int incomplete_runs = 0;  // runs that hit max_total_steps before all decided
-  long total_steps = 0;
+  std::int64_t total_steps = 0;
   int total_crashes = 0;
 
   // kReplay (and the violating/last run of kRandomized):

@@ -10,30 +10,20 @@ namespace rcons::check {
 
 namespace {
 
-// Replays `schedule` on a pristine copy and returns the violation
-// description when the same property breaks, nullopt otherwise.
-std::optional<std::string> reproduces(const ScenarioSystem& system,
-                                      const Budget& budget,
-                                      const std::vector<sim::ScheduleEvent>& schedule,
-                                      const std::string& property) {
-  const std::vector<typesys::Value>& valid =
-      budget.valid_outputs.empty() ? system.valid_outputs : budget.valid_outputs;
-  sim::ReplayReport report = sim::replay(system.memory, system.processes, schedule,
-                                         valid, budget.max_steps_per_run);
+// Replays `schedule` on a pristine copy and returns the typed violation when
+// the same property breaks, nullopt otherwise.
+std::optional<sim::PropertyViolation> reproduces(
+    const ScenarioSystem& system, const Budget& budget,
+    const std::vector<sim::ScheduleEvent>& schedule, sim::PropertyKind property) {
+  sim::ReplayReport report =
+      sim::replay(system.memory, system.processes, schedule, system.properties,
+                  budget.max_steps_per_run);
   if (!report.violation.has_value()) return std::nullopt;
-  if (violation_property(*report.violation) != property) return std::nullopt;
-  return std::move(*report.violation);
+  if (report.violation->property != property) return std::nullopt;
+  return std::move(report.violation);
 }
 
 }  // namespace
-
-std::string violation_property(const std::string& description) {
-  for (const char* property :
-       {"agreement", "validity", "recoverable wait-freedom"}) {
-    if (description.rfind(property, 0) == 0) return property;
-  }
-  return "";
-}
 
 MinimizeResult minimize(const ScenarioSystem& system, const Budget& budget,
                         const sim::Violation& violation) {
@@ -41,8 +31,10 @@ MinimizeResult minimize(const ScenarioSystem& system, const Budget& budget,
   result.violation = violation;
   result.original_events = violation.schedule.size();
 
-  const std::string property = violation_property(violation.description);
-  if (property.empty()) return result;  // truncation marker etc. — nothing to do
+  const sim::PropertyKind property = violation.property;
+  if (property == sim::PropertyKind::kNone) {
+    return result;  // truncation marker etc. — nothing to do
+  }
 
   // The schedule must reproduce as-is before deletion means anything
   // (symmetry-reduced counterexamples may not — see check/check.hpp).
@@ -58,9 +50,10 @@ MinimizeResult minimize(const ScenarioSystem& system, const Budget& budget,
       candidate = schedule;
       candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
       result.replays += 1;
-      if (auto description = reproduces(system, budget, candidate, property)) {
+      if (auto broken = reproduces(system, budget, candidate, property)) {
         schedule.swap(candidate);
-        result.violation.description = std::move(*description);
+        result.violation.description = std::move(broken->description);
+        result.violation.property_param = broken->param;
         shrunk = true;
         // retry the same index — it now holds the next event
       } else {

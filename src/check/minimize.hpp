@@ -2,8 +2,9 @@
 // one by greedy event deletion, verifying every candidate with sim::replay
 // on a pristine copy of the system.
 //
-// The result keeps the *property* of the original violation (agreement /
-// validity / recoverable wait-freedom) but may blame different processes or
+// The result keeps the *typed property* of the original violation (agreement,
+// k-set agreement, validity, wait-freedom, at-most-once decide — the
+// sim::Violation::property field) but may blame different processes or
 // values — any shortest schedule that breaks the same property is a better
 // regression artifact than the explorer's full path. Minimization reaches a
 // 1-minimal schedule: deleting any single remaining event no longer
@@ -12,7 +13,6 @@
 #define RCONS_CHECK_MINIMIZE_HPP
 
 #include <cstddef>
-#include <string>
 
 #include "check/budget.hpp"
 #include "check/check.hpp"
@@ -21,22 +21,18 @@
 namespace rcons::check {
 
 struct MinimizeResult {
-  sim::Violation violation;       // the minimized schedule + its description
+  sim::Violation violation;       // the minimized schedule + its typed property
   std::size_t original_events = 0;
   std::size_t removed_events = 0;
   int replays = 0;                // replay executions spent minimizing
 };
 
-// The property a violation description reports ("agreement", "validity",
-// "recoverable wait-freedom"), or "" for non-property markers like the
-// max_visited truncation notice. Minimization preserves this classification.
-std::string violation_property(const std::string& description);
-
 // Greedily deletes events from `violation.schedule` while replay on a fresh
-// copy of `system` still breaks the same property. Budget supplies the
-// validity set (falling back to system.valid_outputs) and the per-run step
-// bound. A violation whose schedule does not reproduce (e.g. one found under
-// symmetry reduction, or a truncation marker) is returned unchanged.
+// copy of `system` still breaks the same property (system.properties is what
+// replay verifies; the budget supplies the per-run step bound). A violation
+// whose schedule does not reproduce (e.g. one found under symmetry reduction,
+// or a property-less marker like the max_visited truncation notice) is
+// returned unchanged.
 MinimizeResult minimize(const ScenarioSystem& system, const Budget& budget,
                         const sim::Violation& violation);
 

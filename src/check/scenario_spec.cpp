@@ -33,8 +33,21 @@ const char* scenario_algo_name(ScenarioAlgo algo) {
       return "halting";
     case ScenarioAlgo::kNaiveRegister:
       return "naive-register";
+    case ScenarioAlgo::kKSetTeamConsensus:
+      return "k-set";
   }
   return "unknown";
+}
+
+sim::PropertySet spec_properties(const ScenarioSpec& spec) {
+  if (spec.properties.empty()) return sim::PropertySet();  // the classic trio
+  sim::PropertySet set = sim::PropertySet::none();
+  for (const sim::PropertyKind kind : spec.properties) {
+    std::int64_t param = 0;
+    if (kind == sim::PropertyKind::kKSetAgreement) param = spec.k;
+    set.add({kind, param});
+  }
+  return set;
 }
 
 // Parses one spec line already known to be non-blank / non-comment. Errors
@@ -92,7 +105,7 @@ void parse_scenario_line(const std::string& line, ScenarioSpec& spec,
       if (!parse_int(value, number) || number < 1) {
         errors.push_back("max_steps must be an integer >= 1, got '" + value + "'");
       } else {
-        spec.max_steps_per_run = static_cast<long>(number);
+        spec.max_steps_per_run = number;
       }
     } else if (key == "max_visited") {
       if (!parse_int(value, number) || number < 1) {
@@ -107,9 +120,51 @@ void parse_scenario_line(const std::string& line, ScenarioSpec& spec,
         spec.algo = ScenarioAlgo::kHaltingTournament;
       } else if (value == "naive-register") {
         spec.algo = ScenarioAlgo::kNaiveRegister;
+      } else if (value == "k-set") {
+        spec.algo = ScenarioAlgo::kKSetTeamConsensus;
       } else {
-        errors.push_back("algo must be team, halting or naive-register, got '" +
+        errors.push_back("algo must be team, halting, naive-register or k-set, got '" +
                          value + "'");
+      }
+    } else if (key == "k") {
+      if (!parse_int(value, number) || number < 2 || number > INT32_MAX) {
+        errors.push_back("k must be an integer >= 2, got '" + value + "'");
+      } else {
+        spec.k = static_cast<int>(number);
+      }
+    } else if (key == "properties") {
+      spec.properties.clear();
+      const auto agreementish = [](sim::PropertyKind kind) {
+        return kind == sim::PropertyKind::kAgreement ||
+               kind == sim::PropertyKind::kKSetAgreement;
+      };
+      std::size_t begin = 0;
+      while (begin <= value.size()) {
+        const std::size_t comma = value.find(',', begin);
+        const std::string item = value.substr(
+            begin, comma == std::string::npos ? std::string::npos : comma - begin);
+        begin = comma == std::string::npos ? value.size() + 1 : comma + 1;
+        const sim::PropertyKind kind = sim::property_from_name(item);
+        if (kind == sim::PropertyKind::kNone) {
+          errors.push_back("unknown property '" + item +
+                           "' (agreement, k-set-agreement, validity, wait-freedom, "
+                           "at-most-once)");
+          continue;
+        }
+        bool item_bad = false;
+        for (const sim::PropertyKind seen : spec.properties) {
+          if (seen == kind) {
+            errors.push_back("duplicate property '" + item + "'");
+            item_bad = true;
+            break;
+          }
+          if (agreementish(kind) && agreementish(seen)) {
+            errors.push_back("agreement and k-set-agreement are mutually exclusive");
+            item_bad = true;
+            break;
+          }
+        }
+        if (!item_bad) spec.properties.push_back(kind);
       }
     } else if (key == "symmetry") {
       if (value == "on") {
@@ -124,6 +179,24 @@ void parse_scenario_line(const std::string& line, ScenarioSpec& spec,
     }
   }
   if (!saw_type) errors.push_back("missing required type=");
+
+  // Cross-field validation (fields may appear in any order, so this must run
+  // after the whole line is consumed).
+  bool wants_k_set_property = false;
+  for (const sim::PropertyKind kind : spec.properties) {
+    wants_k_set_property =
+        wants_k_set_property || kind == sim::PropertyKind::kKSetAgreement;
+  }
+  if (wants_k_set_property && spec.k == 0) {
+    errors.push_back("properties=k-set-agreement needs k=<int> >= 2");
+  }
+  if (spec.algo == ScenarioAlgo::kKSetTeamConsensus) {
+    if (spec.k == 0) {
+      errors.push_back("algo=k-set needs k=<int> >= 2");
+    } else if (spec.k > spec.n) {
+      errors.push_back("algo=k-set needs k <= n (every group must be non-empty)");
+    }
+  }
 }
 
 std::string format_scenario_line(const ScenarioSpec& spec) {
@@ -132,6 +205,14 @@ std::string format_scenario_line(const ScenarioSpec& spec) {
       << (spec.crash_model == CrashModel::kIndependent ? "independent"
                                                        : "simultaneous")
       << " budget=" << spec.crash_budget << " algo=" << scenario_algo_name(spec.algo);
+  if (spec.k > 0) out << " k=" << spec.k;
+  if (!spec.properties.empty()) {
+    out << " properties=";
+    for (std::size_t i = 0; i < spec.properties.size(); ++i) {
+      if (i != 0) out << ",";
+      out << sim::property_name(spec.properties[i]);
+    }
+  }
   if (spec.symmetry) out << " symmetry=on";
   if (spec.max_steps_per_run >= 0) out << " max_steps=" << spec.max_steps_per_run;
   if (spec.max_visited >= 0) out << " max_visited=" << spec.max_visited;

@@ -11,6 +11,8 @@
 //   type=Sn(4) n=4 budget=1 symmetry=on
 //   type=test-and-set n=2 budget=1 algo=halting
 //   type=register n=2 budget=0 algo=naive-register
+//   type=Sn(2) n=3 k=2 algo=k-set properties=k-set-agreement,validity,wait-freedom
+//   type=Sn(2) n=3 k=2 algo=k-set properties=agreement,validity
 //
 // Fields (whitespace-separated key=value pairs, any order):
 //   type        (required) zoo type name — typesys::make_type must know it
@@ -20,14 +22,23 @@
 //   name        scenario label                      (default: generated)
 //   max_steps   per-run wait-freedom bound override (default: inherit)
 //   max_visited visited-state cap override          (default: inherit)
-//   algo        team | halting | naive-register     (default team)
+//   algo        team | halting | naive-register | k-set   (default team)
+//   k           group count for algo=k-set and the k of
+//               k-set-agreement, 2 <= k             (required by both)
+//   properties  comma-joined property list          (default: the classic trio
+//               agreement,validity,wait-freedom; names are the
+//               sim::property_name spellings, also: k-set-agreement,
+//               at-most-once)
 //   symmetry    on | off                            (default off)
 //
 // `algo` picks which construction build_spec_system materializes: the
 // Figure 2 recoverable team consensus (clean under the type's recording
 // level), Ruppert's halting-model tournament (breaks under independent
-// crashes — the halting-TAS violation), or the naive write-then-read register
-// race (breaks with no crashes). `symmetry=on` attaches the scenario's
+// crashes — the halting-TAS violation), the naive write-then-read register
+// race (breaks with no crashes), or the k-group split consensus
+// (rc::make_k_set_team_consensus — clean for (k,n)-set agreement, violating
+// for plain agreement). `properties` selects which typed properties the
+// check verifies (sim/properties.hpp); `symmetry=on` attaches the scenario's
 // symmetry declaration so the explorers canonicalize interchangeable
 // processes (engine/node_store.hpp).
 //
@@ -43,6 +54,7 @@
 #include <vector>
 
 #include "check/budget.hpp"
+#include "sim/properties.hpp"
 
 namespace rcons::check {
 
@@ -50,6 +62,7 @@ enum class ScenarioAlgo {
   kTeamConsensus,      // Figure 2 recoverable team consensus (default)
   kHaltingTournament,  // Ruppert's halting-model tournament (crash-unsafe)
   kNaiveRegister,      // write-then-read register race (interleaving-unsafe)
+  kKSetTeamConsensus,  // k independent group consensus — (k,n)-set agreement
 };
 
 const char* scenario_algo_name(ScenarioAlgo algo);
@@ -60,13 +73,23 @@ struct ScenarioSpec {
   int n = 2;
   CrashModel crash_model = CrashModel::kIndependent;
   int crash_budget = 2;
-  long max_steps_per_run = -1;         // -1 = inherit the sweep's budget
-  std::int64_t max_visited = -1;       // -1 = inherit the sweep's budget
+  std::int64_t max_steps_per_run = -1;  // -1 = inherit the sweep's budget
+  std::int64_t max_visited = -1;        // -1 = inherit the sweep's budget
   ScenarioAlgo algo = ScenarioAlgo::kTeamConsensus;
+  int k = 0;  // 0 = unset; required >= 2 by algo=k-set / k-set-agreement
+  // Property kinds in the order listed (parameters come from `k` and the
+  // budget); empty = the classic trio. spec_properties() materializes the
+  // sim::PropertySet.
+  std::vector<sim::PropertyKind> properties;
   bool symmetry = false;  // attach the scenario's symmetry declaration
 
   bool operator==(const ScenarioSpec&) const = default;
 };
+
+// The sim::PropertySet a spec's `properties`/`k` fields describe (the classic
+// trio when the list is empty). The validity output set is filled in later by
+// build_spec_system — it depends on the materialized system's inputs.
+sim::PropertySet spec_properties(const ScenarioSpec& spec);
 
 struct ScenarioParse {
   std::vector<ScenarioSpec> specs;

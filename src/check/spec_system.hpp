@@ -11,12 +11,20 @@
 //                         crash-safe: the halting-TAS agreement violation.
 //   algo=naive-register — write-then-read register race; inputs 1..n. The
 //                         spec's type is unused (by convention `register`).
+//   algo=k-set          — k-group split consensus (rc/k_set.hpp): each group
+//                         solves Figure 2 team consensus over the spec's
+//                         type among its own members, so at most k distinct
+//                         values are ever output. Clean for
+//                         properties=k-set-agreement,... and violating for
+//                         plain agreement — the verdict pair the typed
+//                         property layer exists to express.
 //
-// `symmetry=on` fills the returned system's symmetry_classes. Team consensus
-// groups same-(team, op) roles; the halting tournament attaches its
-// staged_symmetry_classes declaration (sound for any chain structure, though
-// the binary tournament's distinct inputs and leaf splits make every class a
-// singleton — see rc/staged.hpp); the naive register race has no declaration.
+// The returned system carries the spec's `sim::PropertySet`
+// (spec_properties(spec), i.e. `properties=`/`k=`, defaulting to the classic
+// trio) with the construction's inputs as the validity set. `symmetry=on`
+// fills symmetry_classes: team consensus groups same-(team, op) roles; the
+// halting tournament and the k-set split attach their
+// staged_symmetry_classes declarations; the naive register race has none.
 #ifndef RCONS_CHECK_SPEC_SYSTEM_HPP
 #define RCONS_CHECK_SPEC_SYSTEM_HPP
 
@@ -32,7 +40,8 @@ namespace rcons::check {
 ScenarioSystem build_spec_system(const ScenarioSpec& spec);
 
 // The label shown for a spec in tables and generated file names: the spec's
-// own name when given, otherwise "<algo>/<type>/n=N/<model>/c=B".
+// own name when given, otherwise "<algo>/<type>/n=N/<model>/c=B" (plus
+// "/k=K" for k-set specs and "/props=<list>" for non-default property sets).
 std::string spec_display_name(const ScenarioSpec& spec);
 
 }  // namespace rcons::check

@@ -10,6 +10,11 @@ std::string format_violation_file(const ViolationFile& file) {
   std::ostringstream out;
   out << "# rcons violation file — replay with check_cli or Strategy::kReplay\n";
   out << "scenario " << format_scenario_line(file.scenario) << "\n";
+  if (file.property != sim::PropertyKind::kNone) {
+    out << "property " << sim::property_name(file.property);
+    if (file.property_param != 0) out << " " << file.property_param;
+    out << "\n";
+  }
   out << "description " << file.description << "\n";
   for (const sim::ScheduleEvent& event : file.schedule) {
     switch (event.kind) {
@@ -61,6 +66,20 @@ ViolationParse parse_violation_file(std::istream& in) {
       parse_scenario_line(rest, file.scenario, spec_errors);
       for (const std::string& message : spec_errors) error(message);
       saw_scenario = true;
+    } else if (keyword == "property") {
+      std::string name;
+      if (!(tokens >> name)) {
+        error("property needs a name");
+        continue;
+      }
+      const sim::PropertyKind kind = sim::property_from_name(name);
+      if (kind == sim::PropertyKind::kNone) {
+        error("unknown property '" + name + "'");
+        continue;
+      }
+      file.property = kind;
+      std::int64_t param = 0;
+      if (tokens >> param) file.property_param = param;
     } else if (keyword == "description") {
       std::string rest;
       std::getline(tokens, rest);
@@ -101,6 +120,11 @@ ViolationParse parse_violation_file(std::istream& in) {
                                 std::to_string(file.scenario.n));
       }
     }
+  }
+  // Files written before violations were typed carry no property line;
+  // recover the kind from the description's message prefix.
+  if (file.property == sim::PropertyKind::kNone && saw_description) {
+    file.property = sim::property_from_description(file.description);
   }
   if (result.errors.empty()) result.file = std::move(file);
   return result;

@@ -6,6 +6,7 @@
 //
 //   # halting-model tournament over test-and-set, one crash
 //   scenario type=test-and-set n=2 budget=1 algo=halting
+//   property agreement
 //   description agreement violated: process 1 decided 2 but an earlier ...
 //   step 0
 //   step 1
@@ -15,11 +16,16 @@
 // `scenario` reuses the scenario-spec grammar (check/scenario_spec.hpp), so
 // a violation file is self-contained: build_spec_system materializes the
 // system, Strategy::kReplay re-executes the schedule, and the violation must
-// reproduce with the same property. check_cli writes these with --save-viol;
+// reproduce with the same typed property. `property` carries the
+// sim::PropertyKind name (plus its parameter when non-zero, e.g.
+// `property k-set-agreement 2`); files written before the typed layer may
+// omit the line, in which case the kind is recovered from the description's
+// message prefix. check_cli writes these with --save-viol;
 // tests/check/corpus_test.cpp replays every checked-in corpus file.
 #ifndef RCONS_CHECK_VIOLATION_IO_HPP
 #define RCONS_CHECK_VIOLATION_IO_HPP
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -33,6 +39,8 @@ namespace rcons::check {
 
 struct ViolationFile {
   ScenarioSpec scenario;
+  sim::PropertyKind property = sim::PropertyKind::kNone;
+  std::int64_t property_param = 0;
   std::string description;
   std::vector<sim::ScheduleEvent> schedule;
 };

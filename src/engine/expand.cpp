@@ -1,19 +1,23 @@
 #include "engine/expand.hpp"
 
-#include "sim/properties.hpp"
 #include "util/assert.hpp"
 
 namespace rcons::engine {
 
 using typesys::Value;
 
-Node make_root(sim::Memory initial, std::vector<sim::Process> processes) {
+Node make_root(sim::Memory initial, std::vector<sim::Process> processes,
+               const sim::PropertySet& properties) {
   RCONS_ASSERT(!processes.empty());
   Node root;
   root.memory = std::move(initial);
   root.processes = std::move(processes);
   root.done.assign(root.processes.size(), 0);
   root.steps_in_run.assign(root.processes.size(), 0);
+  if (properties.at_most_once()) {
+    root.ever_output.assign(root.processes.size(), 0);
+    root.last_output.assign(root.processes.size(), 0);
+  }
   return root;
 }
 
@@ -59,28 +63,22 @@ bool is_terminal(const Node& node) {
 
 namespace {
 
-std::optional<std::string> apply_step(Node& node, int process,
-                                      const sim::ExplorerConfig& config) {
+std::optional<sim::PropertyViolation> apply_step(Node& node, int process,
+                                                 const sim::ExplorerConfig& config) {
   const auto idx = static_cast<std::size_t>(process);
   const sim::StepResult result = node.processes[idx].step(node.memory);
   node.steps_in_run[idx] += 1;
-  if (auto violation = sim::wait_freedom_violation(process, node.steps_in_run[idx],
-                                                   config.max_steps_per_run)) {
+  if (auto violation = sim::check_wait_freedom(config.properties, process,
+                                               node.steps_in_run[idx],
+                                               config.max_steps_per_run)) {
     return violation;
   }
   if (result.kind == sim::StepResult::Kind::kDecided) {
     if (auto violation =
-            sim::validity_violation(process, result.decision, config.valid_outputs)) {
+            sim::check_output(config.properties, process, result.decision,
+                              node.decisions, node.ever_output, node.last_output)) {
       return violation;
     }
-    if (node.has_decision) {
-      if (auto violation =
-              sim::agreement_violation(process, result.decision, node.decision)) {
-        return violation;
-      }
-    }
-    node.has_decision = true;
-    node.decision = result.decision;
     node.done[idx] = 1;
     node.steps_in_run[idx] = 0;
     // Canonicalize the local state of decided processes so equivalent global
@@ -99,8 +97,8 @@ void crash_process(Node& node, int process) {
 
 }  // namespace
 
-std::optional<std::string> apply_event(Node& node, const Event& event,
-                                       const sim::ExplorerConfig& config) {
+std::optional<sim::PropertyViolation> apply_event(Node& node, const Event& event,
+                                                  const sim::ExplorerConfig& config) {
   switch (event.kind) {
     case Event::Kind::kStep:
       return apply_step(node, event.process, config);
@@ -120,13 +118,9 @@ std::optional<std::string> apply_event(Node& node, const Event& event,
 
 void encode_node(const Node& node, std::vector<Value>& scratch) {
   scratch.clear();
-  scratch.push_back(node.crashes_used);
-  scratch.push_back(node.has_decision ? 1 : 0);
-  scratch.push_back(node.has_decision ? node.decision : 0);
-  node.memory.encode(scratch);
+  encode_node_header(node, scratch);
   for (std::size_t i = 0; i < node.processes.size(); ++i) {
-    scratch.push_back(node.done[i] != 0 ? 1 : 0);
-    node.processes[i].encode(scratch);
+    encode_process_block(node, i, scratch);
   }
 }
 

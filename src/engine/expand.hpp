@@ -3,10 +3,14 @@
 //
 // A `Node` is one deduplicatable global state: shared memory, every process's
 // local step machine, the per-process decided/steps-in-run bookkeeping, the
-// crash budget spent, and the decision constraint. Expansion enumerates the
-// applicable events (process steps, then crash placements, in a fixed
-// deterministic order), applies them to copies, and checks the three verified
-// properties — agreement, validity, recoverable wait-freedom — on the way.
+// crash budget spent, and the output constraints of the configured
+// `sim::PropertySet` (the sorted distinct-output set for agreement / k-set
+// agreement, plus the per-process stability memory when at-most-once decide
+// is on). Expansion enumerates the applicable events (process steps, then
+// crash placements, in a fixed deterministic order), applies them to copies,
+// and evaluates the property set on the way — inline through the shared
+// helpers in sim/properties.hpp, with no virtual dispatch or allocation on
+// the hot path.
 //
 // Keeping this logic in one place is what makes the two explorers provably
 // explore the same deduplicated graph: they differ only in traversal order
@@ -22,6 +26,7 @@
 #include "sim/explorer_config.hpp"
 #include "sim/memory.hpp"
 #include "sim/process.hpp"
+#include "sim/properties.hpp"
 #include "sim/schedule.hpp"
 #include "util/hash.hpp"
 
@@ -31,10 +36,26 @@ struct Node {
   sim::Memory memory;
   std::vector<sim::Process> processes;
   std::vector<std::uint8_t> done;
-  std::vector<long> steps_in_run;
+  std::vector<std::int64_t> steps_in_run;
   int crashes_used = 0;
-  bool has_decision = false;
-  typesys::Value decision = 0;
+
+  // Distinct decided values observed so far, sorted ascending — the
+  // (k-set) agreement constraint. Bounded by PropertySet::agreement_k()
+  // (empty and untouched when no agreement property is configured). Part of
+  // the deduplicated state: two global states with different output histories
+  // must not merge, because their future obligations differ.
+  std::vector<typesys::Value> decisions;
+
+  // kAtMostOnceDecide stability memory: last_output[p] (valid when
+  // ever_output[p]) is what p decided in an earlier run. Sized to the process
+  // count by make_root iff the property is on (empty otherwise, so the
+  // encoding — and the state space — is unchanged for sets without it).
+  // Crash events deliberately do not clear these: they remember outputs
+  // *across* runs.
+  std::vector<std::uint8_t> ever_output;
+  std::vector<typesys::Value> last_output;
+
+  bool has_decision() const { return !decisions.empty(); }
 };
 
 // Search events are schedule events: a path through the execution graph IS a
@@ -43,8 +64,10 @@ struct Node {
 using Event = sim::ScheduleEvent;
 
 // The root node for an exploration: pristine memory and processes, nothing
-// decided, no crashes spent.
-Node make_root(sim::Memory initial, std::vector<sim::Process> processes);
+// decided, no crashes spent. `properties` sizes the at-most-once tracking
+// vectors (the default classic trio leaves them empty).
+Node make_root(sim::Memory initial, std::vector<sim::Process> processes,
+               const sim::PropertySet& properties = {});
 
 // Enumerates the events applicable at `node`, in the canonical order the
 // sequential explorer uses: step(p0) < step(p1) < ... < crash moves. Crash
@@ -58,15 +81,43 @@ void enumerate_events(const Node& node, const sim::ExplorerConfig& config,
 bool is_terminal(const Node& node);
 
 // Applies `event` to `node` in place. For step events this performs one
-// shared-memory access and checks validity, agreement, and the per-run step
-// bound; a violated property is reported as its description (the caller owns
-// trace formatting). Crash events discard the victims' local state.
-std::optional<std::string> apply_event(Node& node, const Event& event,
-                                       const sim::ExplorerConfig& config);
+// shared-memory access and evaluates config.properties (validity, agreement
+// or k-set agreement, at-most-once decide, and the per-run step bound); a
+// broken property is reported as a typed violation (the caller owns trace
+// formatting). Crash events discard the victims' local state.
+std::optional<sim::PropertyViolation> apply_event(Node& node, const Event& event,
+                                                  const sim::ExplorerConfig& config);
 
-// Canonical encoding of the node (crash budget spent, decision constraint,
-// shared memory, per-process done bit + local state) and its 128-bit
-// fingerprint. `scratch` is caller-provided to avoid per-node allocation.
+// The canonical encoding is assembled from these two helpers, shared by the
+// clone-based encode_node() below and the compact NodeCodec
+// (engine/node_store.hpp), so the two representations cannot drift: any
+// future property that adds node state extends the layout in exactly one
+// place and both paths keep fingerprinting identically.
+
+// Record header: crash budget spent, the sorted distinct-output constraint,
+// then the shared memory.
+inline void encode_node_header(const Node& node, std::vector<typesys::Value>& out) {
+  out.push_back(node.crashes_used);
+  out.push_back(static_cast<typesys::Value>(node.decisions.size()));
+  for (const typesys::Value decision : node.decisions) out.push_back(decision);
+  node.memory.encode(out);
+}
+
+// One per-process block: done bit, the at-most-once stability pair when the
+// node tracks it, then the program's local state.
+inline void encode_process_block(const Node& node, std::size_t i,
+                                 std::vector<typesys::Value>& out) {
+  out.push_back(node.done[i] != 0 ? 1 : 0);
+  if (!node.ever_output.empty()) {
+    out.push_back(node.ever_output[i] != 0 ? 1 : 0);
+    out.push_back(node.ever_output[i] != 0 ? node.last_output[i] : 0);
+  }
+  node.processes[i].encode(out);
+}
+
+// Canonical encoding of the node (header + every process block) and its
+// 128-bit fingerprint. `scratch` is caller-provided to avoid per-node
+// allocation.
 void encode_node(const Node& node, std::vector<typesys::Value>& scratch);
 util::U128 fingerprint(const Node& node, std::vector<typesys::Value>& scratch);
 

@@ -109,17 +109,13 @@ bool NodeCodec::decodable(const Node& node) {
 
 NodeCodec::Encoded NodeCodec::encode(const Node& node, std::vector<Value>& record) {
   record.clear();
-  record.push_back(node.crashes_used);
-  record.push_back(node.has_decision ? 1 : 0);
-  record.push_back(node.has_decision ? node.decision : 0);
-  node.memory.encode(record);
+  encode_node_header(node, record);
 
   const std::size_t n = node.processes.size();
   offsets_.clear();
   for (std::size_t i = 0; i < n; ++i) {
     offsets_.push_back(record.size());
-    record.push_back(node.done[i] != 0 ? 1 : 0);
-    node.processes[i].encode(record);
+    encode_process_block(node, i, record);
   }
   offsets_.push_back(record.size());
   for (std::size_t i = 0; i < n; ++i) record.push_back(node.steps_in_run[i]);
@@ -133,22 +129,32 @@ NodeCodec::Encoded NodeCodec::encode(const Node& node, std::vector<Value>& recor
 }
 
 void NodeCodec::decode(const Value* record, std::size_t size, Node& out) const {
-  RCONS_ASSERT_MSG(size >= 3, "truncated node record");
+  RCONS_ASSERT_MSG(size >= 2, "truncated node record");
   out.crashes_used = static_cast<int>(record[0]);
-  out.has_decision = record[1] != 0;
-  out.decision = record[2];
-  std::size_t at = 3;
+  const auto ndecisions = static_cast<std::size_t>(record[1]);
+  std::size_t at = 2;
+  RCONS_ASSERT_MSG(at + ndecisions <= size, "truncated node record");
+  out.decisions.clear();
+  for (std::size_t i = 0; i < ndecisions; ++i) out.decisions.push_back(record[at++]);
   at += out.memory.decode(record + at, size - at);
 
+  // Whether records carry the at-most-once (ever, last) pair is a run-level
+  // invariant reflected in the root-shaped scratch node.
   const std::size_t n = out.processes.size();
+  const bool track_outputs = !out.ever_output.empty();
   for (std::size_t i = 0; i < n; ++i) {
     RCONS_ASSERT_MSG(at < size, "truncated node record");
     out.done[i] = record[at++] != 0 ? 1 : 0;
+    if (track_outputs) {
+      RCONS_ASSERT_MSG(at + 1 < size, "truncated node record");
+      out.ever_output[i] = record[at++] != 0 ? 1 : 0;
+      out.last_output[i] = record[at++];
+    }
     at += out.processes[i].decode(record + at, size - at);
   }
   for (std::size_t i = 0; i < n; ++i) {
     RCONS_ASSERT_MSG(at < size, "truncated node record");
-    out.steps_in_run[i] = static_cast<long>(record[at++]);
+    out.steps_in_run[i] = static_cast<std::int64_t>(record[at++]);
   }
   RCONS_ASSERT_MSG(at == size, "node record has trailing values");
 }

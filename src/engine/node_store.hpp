@@ -12,9 +12,12 @@
 //
 // Record layout (NodeCodec):
 //
-//   [crashes_used, has_decision, decision]      header
+//   [crashes_used, ndecisions, decisions...]    header (sorted distinct outputs)
 //   [registers..., object states...]            Memory::encode
-//   per process: [done, local state...]         Process::encode (variable)
+//   per process: [done, (ever, last)?, state…]  Process::encode (variable; the
+//                                               ever/last pair only when the
+//                                               at-most-once property tracks
+//                                               per-process outputs)
 //   [steps_in_run...]                           sidecar, one value per process
 //
 // Everything except the sidecar is the canonical encoding the fingerprint

@@ -67,8 +67,8 @@ ParallelExplorer::ParallelExplorer(sim::Memory initial,
     shard_bits_ = config_.shard_bits;
   } else {
     std::uint64_t expected = config_.expected_states != 0 ? config_.expected_states
-                                                          : config_.max_visited;
-    if (expected > config_.max_visited) expected = config_.max_visited;
+                                                          : config_.visited_cap();
+    if (expected > config_.visited_cap()) expected = config_.visited_cap();
     shard_bits_ = pick_shard_bits(num_threads_, expected);
   }
 
@@ -82,17 +82,17 @@ std::uint64_t ParallelExplorer::presize_states() const {
   // Only a real expectation (e.g. the kAuto probe's count) pre-commits table
   // memory; max_visited defaults are far too pessimistic to allocate for.
   std::uint64_t expected = config_.expected_states;
-  if (expected > config_.max_visited) expected = config_.max_visited;
+  if (expected > config_.visited_cap()) expected = config_.visited_cap();
   return expected;
 }
 
 void ParallelExplorer::offer_violation(std::vector<Event> path,
-                                       std::string description) {
+                                       sim::PropertyViolation broken) {
   std::lock_guard<std::mutex> lock(violation_mu_);
   if (!has_violation_ || path_less(path, best_path_)) {
     has_violation_ = true;
     best_path_ = std::move(path);
-    best_description_ = std::move(description);
+    best_violation_ = std::move(broken);
   }
 }
 
@@ -145,13 +145,13 @@ void ParallelExplorer::worker_legacy(int id, Frontier& frontier,
         if (stop_.load(std::memory_order_relaxed)) break;
         local.transitions += 1;
         Node child = item.node;
-        if (auto description = apply_event(child, event, config_)) {
+        if (auto broken = apply_event(child, event, config_)) {
           std::vector<Event> path = materialize_path(item.tail);
           path.push_back(event);
-          offer_violation(std::move(path), std::move(*description));
+          offer_violation(std::move(path), std::move(*broken));
           continue;  // a violating edge is never expanded further
         }
-        if (child.has_decision && !item.node.has_decision) local.decisions += 1;
+        if (child.decisions.size() > item.node.decisions.size()) local.decisions += 1;
         const util::U128 key = fingerprint(child, scratch);
         local.cache_probes += 1;
         if (cache.seen(key)) {
@@ -166,7 +166,7 @@ void ParallelExplorer::worker_legacy(int id, Frontier& frontier,
 
         const std::uint64_t count =
             visited_count_.fetch_add(1, std::memory_order_relaxed) + 1;
-        if (count > config_.max_visited) {
+        if (count > config_.visited_cap()) {
           record_truncation(item.tail, event);
           break;
         }
@@ -195,7 +195,7 @@ void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
   // the record/event buffers, the popped and successor batches, and the
   // recently-inserted cache. Zero allocations per successor after warmup.
   NodeCodec codec(config_.symmetry_classes);
-  Node parent = make_root(initial_memory_, initial_processes_);
+  Node parent = make_root(initial_memory_, initial_processes_, config_.properties);
   Node child = parent;
   std::vector<Event> events;
   std::vector<typesys::Value> child_record;
@@ -221,7 +221,8 @@ void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
       enumerate_events(parent, config_, events);
       if (is_terminal(parent)) local.terminal_states += 1;
       successors.clear();
-      const bool parent_has_decision = item.record[1] != 0;  // codec header
+      // Codec header: record[1] counts the distinct outputs so far.
+      const auto parent_decisions = static_cast<std::size_t>(item.record[1]);
 
       for (std::size_t i = 0; i < events.size(); ++i) {
         const Event& event = events[i];
@@ -232,13 +233,13 @@ void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
         // record into the child scratch — one decode per successor total.
         Node& next = i == 0 ? parent : child;
         if (i != 0) codec.decode(item.record, item.length, child);
-        if (auto description = apply_event(next, event, config_)) {
+        if (auto broken = apply_event(next, event, config_)) {
           std::vector<Event> path = materialize_path(item.tail);
           path.push_back(event);
-          offer_violation(std::move(path), std::move(*description));
+          offer_violation(std::move(path), std::move(*broken));
           continue;  // a violating edge is never expanded further
         }
-        if (next.has_decision && !parent_has_decision) local.decisions += 1;
+        if (next.decisions.size() > parent_decisions) local.decisions += 1;
         const NodeCodec::Encoded encoded = codec.encode(next, child_record);
         local.encodes += 1;
         if (encoded.permuted) local.canonical_hits += 1;
@@ -254,7 +255,7 @@ void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
 
         const std::uint64_t count =
             visited_count_.fetch_add(1, std::memory_order_relaxed) + 1;
-        if (count > config_.max_visited) {
+        if (count > config_.visited_cap()) {
           record_truncation(item.tail, event);
           break;
         }
@@ -282,7 +283,7 @@ std::optional<sim::Violation> ParallelExplorer::run() {
   truncated_.store(false, std::memory_order_relaxed);
   has_violation_ = false;
   best_path_.clear();
-  best_description_.clear();
+  best_violation_ = sim::PropertyViolation{};
   truncation_path_.clear();
 
   return compact_ ? run_compact() : run_legacy();
@@ -296,7 +297,7 @@ std::optional<sim::Violation> ParallelExplorer::run_legacy() {
 
   {
     WorkItem root;
-    root.node = make_root(initial_memory_, initial_processes_);
+    root.node = make_root(initial_memory_, initial_processes_, config_.properties);
     std::vector<typesys::Value> scratch;
     visited.insert(fingerprint(root.node, scratch));
     pending.fetch_add(1, std::memory_order_release);
@@ -329,7 +330,7 @@ std::optional<sim::Violation> ParallelExplorer::run_compact() {
   std::uint64_t root_canonical_hits = 0;
   {
     NodeCodec codec(config_.symmetry_classes);
-    Node root_node = make_root(initial_memory_, initial_processes_);
+    Node root_node = make_root(initial_memory_, initial_processes_, config_.properties);
     std::vector<typesys::Value> record;
     const NodeCodec::Encoded encoded = codec.encode(root_node, record);
     if (encoded.permuted) root_canonical_hits = 1;
@@ -385,11 +386,12 @@ std::optional<sim::Violation> ParallelExplorer::finish(
   stats_.hot.rehashes = visited_stats_.probes.rehashes;
 
   if (has_violation_) {
-    return sim::Violation{best_description_, best_path_};
+    return sim::Violation{best_violation_.description, best_violation_.property,
+                          best_violation_.param, best_path_};
   }
   if (stats_.truncated) {
     return sim::Violation{"state space exceeded max_visited; verdict incomplete",
-                          truncation_path_};
+                          sim::PropertyKind::kNone, 0, truncation_path_};
   }
   return std::nullopt;
 }

@@ -124,7 +124,7 @@ class ParallelExplorer {
   // max_visited (0 when unknown).
   std::uint64_t presize_states() const;
 
-  void offer_violation(std::vector<Event> path, std::string description);
+  void offer_violation(std::vector<Event> path, sim::PropertyViolation broken);
   void record_truncation(const PathLink* tail, const Event& event);
   std::optional<sim::Violation> finish(const std::vector<WorkerStats>& worker_stats);
 
@@ -146,8 +146,8 @@ class ParallelExplorer {
   std::mutex violation_mu_;
   bool has_violation_ = false;
   std::vector<Event> best_path_;
-  std::string best_description_;
-  std::vector<Event> truncation_path_;  // guarded by violation_mu_
+  sim::PropertyViolation best_violation_;  // typed property + description
+  std::vector<Event> truncation_path_;     // guarded by violation_mu_
 };
 
 }  // namespace rcons::engine

@@ -47,7 +47,7 @@ void Portfolio::add_team_consensus(const typesys::ObjectType& type, int n,
     ScenarioSystem out;
     out.memory = shared->memory;
     out.processes = shared->processes;
-    out.valid_outputs = {kInputA, kInputB};
+    out.properties.valid_outputs = {kInputA, kInputB};
     return out;
   };
   scenarios_.push_back(std::move(scenario));
@@ -66,6 +66,7 @@ void Portfolio::add_spec(const check::ScenarioSpec& spec) {
   scenario.num_processes = spec.n;
   scenario.object_type = spec.type;
   scenario.name = check::spec_display_name(spec);
+  scenario.properties_label = shared->properties.label();
   scenario.max_steps_per_run = spec.max_steps_per_run;
   scenario.max_visited = spec.max_visited;
   scenario.build = [shared] { return *shared; };
@@ -88,12 +89,11 @@ std::vector<ScenarioResult> Portfolio::run_all() const {
     request.budget = config_.budget;
     request.budget.crash_model = scenario.crash_model;
     request.budget.crash_budget = scenario.crash_budget;
-    request.budget.valid_outputs.clear();  // defer to the system's input set
     if (scenario.max_steps_per_run >= 0) {
       request.budget.max_steps_per_run = scenario.max_steps_per_run;
     }
     if (scenario.max_visited >= 0) {
-      request.budget.max_visited = static_cast<std::uint64_t>(scenario.max_visited);
+      request.budget.max_visited = scenario.max_visited;
     }
     request.strategy = check::Strategy::kAuto;
     request.num_threads = config_.num_threads;
@@ -111,17 +111,23 @@ std::vector<ScenarioResult> Portfolio::run_all() const {
 }
 
 util::Table Portfolio::verdict_table(const std::vector<ScenarioResult>& results) {
-  util::Table table({"scenario", "model", "crashes", "n", "verdict", "visited",
-                     "transitions", "time(s)"});
+  util::Table table({"scenario", "model", "crashes", "n", "properties", "verdict",
+                     "visited", "transitions", "time(s)"});
   for (const ScenarioResult& result : results) {
     std::ostringstream time;
     time.precision(3);
     time << std::fixed << result.seconds;
     std::string verdict = result.clean ? "clean" : "VIOLATION";
+    if (!result.clean && result.violation.has_value() &&
+        result.violation->property != sim::PropertyKind::kNone) {
+      verdict = std::string("VIOLATION(") +
+                sim::property_name(result.violation->property) + ")";
+    }
     if (result.stats.truncated) verdict = "TRUNCATED";
     table.add_row({result.scenario.name, crash_model_name(result.scenario.crash_model),
                    std::to_string(result.scenario.crash_budget),
-                   std::to_string(result.scenario.num_processes), verdict,
+                   std::to_string(result.scenario.num_processes),
+                   result.scenario.properties_label, verdict,
                    std::to_string(result.stats.visited),
                    std::to_string(result.stats.transitions), time.str()});
   }

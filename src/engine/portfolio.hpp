@@ -35,9 +35,13 @@ struct Scenario {
   std::string name;
   sim::CrashModel crash_model = sim::CrashModel::kIndependent;
   int crash_budget = 2;
-  int num_processes = 0;        // informational, shown in the verdict table
-  std::string object_type;      // informational, shown in the verdict table
-  long max_steps_per_run = -1;  // -1 = inherit the portfolio budget
+  int num_processes = 0;    // informational, shown in the verdict table
+  std::string object_type;  // informational, shown in the verdict table
+  // Property set label (sim::PropertySet::label() of the built system),
+  // shown in the verdict table so sweeps over mixed property sets stay
+  // readable. add()/add_spec fill it; defaults to the classic trio.
+  std::string properties_label = sim::PropertySet().label();
+  std::int64_t max_steps_per_run = -1;  // -1 = inherit the portfolio budget
   std::int64_t max_visited = -1;
   std::function<ScenarioSystem()> build;
 };

@@ -34,7 +34,8 @@ std::optional<Violation> Explorer::run() {
 
   if (compact_) return run_compact();
 
-  engine::Node root = engine::make_root(initial_memory_, initial_processes_);
+  engine::Node root =
+      engine::make_root(initial_memory_, initial_processes_, config_.properties);
   insert_visited(root);
   std::optional<Violation> result = dfs(root);
   fill_probe_stats(stats_, visited_.stats());
@@ -58,18 +59,19 @@ std::optional<Violation> Explorer::dfs(const engine::Node& node) {
     engine::Node child = node;
     path_.push_back(event);
     stats_.transitions += 1;
-    if (auto description = engine::apply_event(child, event, config_)) {
-      Violation violation{std::move(*description), path_};
+    if (auto broken = engine::apply_event(child, event, config_)) {
+      Violation violation{std::move(broken->description), broken->property,
+                          broken->param, path_};
       path_.pop_back();
       return violation;
     }
-    if (child.has_decision && !node.has_decision) stats_.decisions += 1;
+    if (child.decisions.size() > node.decisions.size()) stats_.decisions += 1;
     if (insert_visited(child)) {
       stats_.visited += 1;
-      if (stats_.visited > config_.max_visited) {
+      if (stats_.visited > config_.visited_cap()) {
         stats_.truncated = true;
         Violation violation{"state space exceeded max_visited; verdict incomplete",
-                            path_};
+                            PropertyKind::kNone, 0, path_};
         path_.pop_back();
         return violation;
       }
@@ -88,7 +90,8 @@ std::optional<Violation> Explorer::run_compact() {
   // Single shard: the sequential traversal has no concurrent inserters.
   store_ = std::make_unique<engine::NodeStore>(0);
   codec_ = std::make_unique<engine::NodeCodec>(config_.symmetry_classes);
-  scratch_node_ = engine::make_root(initial_memory_, initial_processes_);
+  scratch_node_ =
+      engine::make_root(initial_memory_, initial_processes_, config_.properties);
 
   const engine::NodeCodec::Encoded encoded =
       codec_->encode(scratch_node_, encode_scratch_);
@@ -122,18 +125,20 @@ std::optional<Violation> Explorer::dfs_compact(const typesys::Value* record,
   codec_->decode(record, size, scratch_node_);
   engine::enumerate_events(scratch_node_, config_, events);
   if (engine::is_terminal(scratch_node_)) stats_.terminal_states += 1;
-  const bool parent_has_decision = record[1] != 0;  // codec header layout
+  // Codec header layout: record[1] counts the distinct outputs so far.
+  const auto parent_decisions = static_cast<std::size_t>(record[1]);
 
   for (const engine::Event& event : events) {
     path_.push_back(event);
     stats_.transitions += 1;
     codec_->decode(record, size, scratch_node_);
-    if (auto description = engine::apply_event(scratch_node_, event, config_)) {
-      Violation violation{std::move(*description), path_};
+    if (auto broken = engine::apply_event(scratch_node_, event, config_)) {
+      Violation violation{std::move(broken->description), broken->property,
+                          broken->param, path_};
       path_.pop_back();
       return violation;
     }
-    if (scratch_node_.has_decision && !parent_has_decision) stats_.decisions += 1;
+    if (scratch_node_.decisions.size() > parent_decisions) stats_.decisions += 1;
     const engine::NodeCodec::Encoded encoded =
         codec_->encode(scratch_node_, encode_scratch_);
     stats_.store.encodes += 1;
@@ -142,10 +147,10 @@ std::optional<Violation> Explorer::dfs_compact(const typesys::Value* record,
         store_->intern(encoded.fingerprint, encode_scratch_);
     if (interned.inserted) {
       stats_.visited += 1;
-      if (stats_.visited > config_.max_visited) {
+      if (stats_.visited > config_.visited_cap()) {
         stats_.truncated = true;
         Violation violation{"state space exceeded max_visited; verdict incomplete",
-                            path_};
+                            PropertyKind::kNone, 0, path_};
         path_.pop_back();
         return violation;
       }

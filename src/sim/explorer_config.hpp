@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "check/budget.hpp"
+#include "sim/properties.hpp"
 #include "sim/schedule.hpp"
 
 namespace rcons::sim {
@@ -32,6 +33,12 @@ using CrashModel = check::CrashModel;
 enum class NodeRepr { kAuto, kCompact, kLegacy };
 
 struct ExplorerConfig : check::Budget {
+  // What counts as a correct outcome (sim/properties.hpp): the classic trio
+  // by default. The validity set lives inside (properties.valid_outputs); the
+  // wait-freedom property inherits Budget::max_steps_per_run unless it
+  // carries its own bound.
+  PropertySet properties;
+
   NodeRepr node_repr = NodeRepr::kAuto;
 
   // Symmetry declaration: symmetry_classes[i] is the equivalence class of
@@ -49,9 +56,14 @@ struct ExplorerConfig : check::Budget {
 // A property violation plus the typed schedule that produced it. The schedule
 // round-trips through `sim::replay` (same event vocabulary), so any
 // explorer-found counterexample can be re-executed deterministically for
-// debugging, minimization, or regression capture.
+// debugging, minimization, or regression capture. `property` is the typed
+// identity of the broken property — it survives check::minimize, `.viol`
+// round-trips, and cross-backend replay (kNone marks non-property reports
+// like the max_visited truncation notice).
 struct Violation {
   std::string description;
+  PropertyKind property = PropertyKind::kNone;
+  std::int64_t property_param = 0;  // k for k-set agreement, bound for wait-freedom
   std::vector<ScheduleEvent> schedule;
 
   // Human-readable rendering of the schedule.

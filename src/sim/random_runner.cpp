@@ -1,6 +1,5 @@
 #include "sim/random_runner.hpp"
 
-#include "sim/properties.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -16,22 +15,19 @@ RandomRunReport run_random(Memory memory, std::vector<Process> processes,
   util::Rng rng(config.seed);
   const int n = static_cast<int>(processes.size());
   std::vector<std::uint8_t> done(processes.size(), 0);
-  std::vector<long> steps_in_run(processes.size(), 0);
+  std::vector<std::int64_t> steps_in_run(processes.size(), 0);
   RandomRunReport report;
 
-  auto check_output = [&](int process, Value value) -> bool {
-    report.outputs.push_back(value);
-    if (auto violation = validity_violation(process, value, config.valid_outputs)) {
-      report.violation = std::move(*violation);
-      return false;
-    }
-    if (auto violation =
-            agreement_violation(process, value, report.outputs.front())) {
-      report.violation = std::move(*violation);
-      return false;
-    }
-    return true;
-  };
+  // Property tracking state (sim/properties.hpp): the sorted distinct-output
+  // set and, when at-most-once decide is on, the per-process output memory
+  // (which crashes must not clear).
+  std::vector<Value> distinct_outputs;
+  std::vector<std::uint8_t> ever_output;
+  std::vector<Value> last_output;
+  if (config.properties.at_most_once()) {
+    ever_output.assign(processes.size(), 0);
+    last_output.assign(processes.size(), 0);
+  }
 
   while (report.steps < config.max_total_steps) {
     // Count runnable processes.
@@ -85,15 +81,22 @@ RandomRunReport run_random(Memory memory, std::vector<Process> processes,
     report.steps += 1;
     steps_in_run[idx] += 1;
     report.schedule.push_back(ScheduleEvent::step(chosen));
-    if (auto violation = wait_freedom_violation(chosen, steps_in_run[idx],
-                                                config.max_steps_per_run)) {
-      report.violation = std::move(*violation);
+    if (auto violation = check_wait_freedom(config.properties, chosen,
+                                            steps_in_run[idx],
+                                            config.max_steps_per_run)) {
+      report.violation = std::move(violation);
       return report;
     }
     if (result.kind == StepResult::Kind::kDecided) {
       done[idx] = 1;
       steps_in_run[idx] = 0;
-      if (!check_output(chosen, result.decision)) return report;
+      report.outputs.push_back(result.decision);
+      if (auto violation =
+              check_output(config.properties, chosen, result.decision,
+                           distinct_outputs, ever_output, last_output)) {
+        report.violation = std::move(violation);
+        return report;
+      }
     }
   }
   return report;  // all_decided stays false: starvation/livelock suspicion

@@ -2,6 +2,10 @@
 // explore exhaustively. Any reported violation is reproducible from the seed,
 // and every run records its schedule, so a violating run also replays exactly
 // through sim::replay (the two backends share the ScheduleEvent vocabulary).
+//
+// The run evaluates the configured `sim::PropertySet` through the same
+// helpers the explorers inline (sim/properties.hpp), so a violation carries
+// the identical typed property and description across backends.
 #ifndef RCONS_SIM_RANDOM_RUNNER_HPP
 #define RCONS_SIM_RANDOM_RUNNER_HPP
 
@@ -13,22 +17,26 @@
 #include "sim/explorer.hpp"
 #include "sim/memory.hpp"
 #include "sim/process.hpp"
+#include "sim/properties.hpp"
 #include "sim/schedule.hpp"
 
 namespace rcons::sim {
 
 // The shared `check::Budget` fields are interpreted as: `crash_budget` caps
 // the crashes injected per run, `max_steps_per_run` is the wait-freedom bound
-// checked on every run (as in the explorers), `max_visited` is ignored
-// (random runs do not deduplicate states).
+// the kWaitFreedom property inherits, `max_visited` is ignored (random runs
+// do not deduplicate states).
 struct RandomRunConfig : check::Budget {
+  // What counts as a correct outcome; the classic trio by default.
+  PropertySet properties;
+
   std::uint64_t seed = 1;
   // Probability (numerator / 1000) that a scheduling slot injects a crash
   // instead of a step, while crash budget remains. Must be in [0, 1000]
   // (asserted by run_random): 0 never crashes, 1000 crashes every slot until
   // the crash budget is spent.
   int crash_per_mille = 50;
-  long max_total_steps = 1'000'000;
+  std::int64_t max_total_steps = 1'000'000;
 
   RandomRunConfig() { crash_budget = 8; }
 };
@@ -36,9 +44,9 @@ struct RandomRunConfig : check::Budget {
 struct RandomRunReport {
   bool all_decided = false;
   std::vector<typesys::Value> outputs;  // every output event, in order
-  long steps = 0;
+  std::int64_t steps = 0;
   int crashes = 0;
-  std::optional<std::string> violation;
+  std::optional<PropertyViolation> violation;
   // The schedule actually executed, replayable through sim::replay.
   std::vector<ScheduleEvent> schedule;
 };

@@ -1,18 +1,28 @@
 #include "sim/replay.hpp"
 
-#include "sim/properties.hpp"
 #include "util/assert.hpp"
 
 namespace rcons::sim {
 
+using typesys::Value;
+
 ReplayReport replay(Memory memory, std::vector<Process> processes,
                     const std::vector<ScheduleEvent>& schedule,
-                    const std::vector<typesys::Value>& valid_outputs,
-                    long max_steps_per_run) {
+                    const PropertySet& properties, std::int64_t max_steps_per_run) {
   ReplayReport report;
   report.decisions.assign(processes.size(), std::nullopt);
   std::vector<std::uint8_t> done(processes.size(), 0);
-  std::vector<long> steps_in_run(processes.size(), 0);
+  std::vector<std::int64_t> steps_in_run(processes.size(), 0);
+
+  // Property tracking state (sim/properties.hpp); the at-most-once memory is
+  // per-process and survives crash events.
+  std::vector<Value> distinct_outputs;
+  std::vector<std::uint8_t> ever_output;
+  std::vector<Value> last_output;
+  if (properties.at_most_once()) {
+    ever_output.assign(processes.size(), 0);
+    last_output.assign(processes.size(), 0);
+  }
 
   for (const ScheduleEvent& event : schedule) {
     switch (event.kind) {
@@ -23,10 +33,10 @@ ReplayReport replay(Memory memory, std::vector<Process> processes,
         if (done[idx] != 0) break;
         const StepResult result = processes[idx].step(memory);
         steps_in_run[idx] += 1;
-        if (max_steps_per_run > 0 && !report.violation) {
-          if (auto violation = wait_freedom_violation(
-                  event.process, steps_in_run[idx], max_steps_per_run)) {
-            report.violation = std::move(*violation);
+        if (!report.violation) {
+          if (auto violation = check_wait_freedom(
+                  properties, event.process, steps_in_run[idx], max_steps_per_run)) {
+            report.violation = std::move(violation);
           }
         }
         if (result.kind == StepResult::Kind::kDecided) {
@@ -35,16 +45,16 @@ ReplayReport replay(Memory memory, std::vector<Process> processes,
           report.decisions[idx] = result.decision;
           report.outputs.push_back(result.decision);
           if (!report.violation) {
-            if (auto violation = validity_violation(event.process, result.decision,
-                                                    valid_outputs)) {
-              report.violation = std::move(*violation);
+            if (auto violation =
+                    check_output(properties, event.process, result.decision,
+                                 distinct_outputs, ever_output, last_output)) {
+              report.violation = std::move(violation);
             }
-          }
-          if (!report.violation) {
-            if (auto violation = agreement_violation(event.process, result.decision,
-                                                     report.outputs.front())) {
-              report.violation = std::move(*violation);
-            }
+          } else {
+            // Keep the constraint state advancing past an already-reported
+            // violation so later decisions don't re-trip it spuriously.
+            check_output(properties, event.process, result.decision,
+                         distinct_outputs, ever_output, last_output);
           }
         }
         break;

@@ -3,15 +3,21 @@
 // in the paper (Section 3.1's two "bad scenario" discussions) and for
 // re-executing explorer-found violation schedules (sim::Violation::schedule
 // uses the same ScheduleEvent vocabulary).
+//
+// Replay evaluates the given `sim::PropertySet` through the same helpers the
+// other backends use, so a violation of any property reproduces from its
+// schedule with the identical typed identity and description.
 #ifndef RCONS_SIM_REPLAY_HPP
 #define RCONS_SIM_REPLAY_HPP
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "sim/memory.hpp"
 #include "sim/process.hpp"
+#include "sim/properties.hpp"
 #include "sim/schedule.hpp"
 
 namespace rcons::sim {
@@ -21,20 +27,20 @@ struct ReplayReport {
   std::vector<std::optional<typesys::Value>> decisions;
   // Every output event across all runs, in schedule order.
   std::vector<typesys::Value> outputs;
-  std::optional<std::string> violation;  // agreement/validity violation, if any
+  std::optional<PropertyViolation> violation;  // first broken property, if any
   Memory final_memory;
 };
 
 // Runs the events in order. Stepping a process that already decided in its
-// current run is ignored (it has returned). When `valid_outputs` is non-empty
-// every output is additionally checked against it, and when
-// `max_steps_per_run` is positive the per-run step bound is enforced — the
-// same validity and recoverable-wait-freedom properties the explorers
-// verify, so violations of any property reproduce from their schedule.
+// current run is ignored (it has returned). `properties` selects what is
+// verified (the classic trio by default; an empty valid set disables the
+// validity check); `max_steps_per_run` is the bound the wait-freedom property
+// inherits — non-positive leaves per-run steps unbounded, the historical
+// replay default.
 ReplayReport replay(Memory memory, std::vector<Process> processes,
                     const std::vector<ScheduleEvent>& schedule,
-                    const std::vector<typesys::Value>& valid_outputs = {},
-                    long max_steps_per_run = 0);
+                    const PropertySet& properties = {},
+                    std::int64_t max_steps_per_run = 0);
 
 }  // namespace rcons::sim
 

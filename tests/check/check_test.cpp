@@ -44,7 +44,7 @@ CheckRequest broken_request() {
   const sim::RegId reg = request.system.memory.add_register();
   request.system.processes.emplace_back(BrokenConsensus{reg, 1, 0});
   request.system.processes.emplace_back(BrokenConsensus{reg, 2, 0});
-  request.system.valid_outputs = {1, 2};
+  request.system.properties.valid_outputs = {1, 2};
   request.budget.crash_budget = 0;
   return request;
 }
@@ -56,7 +56,7 @@ CheckRequest team_request(const std::string& type_name, int n, int crash_budget)
   CheckRequest request;
   request.system.memory = std::move(system.memory);
   request.system.processes = std::move(system.processes);
-  request.system.valid_outputs = {kInputA, kInputB};
+  request.system.properties.valid_outputs = {kInputA, kInputB};
   request.budget.crash_budget = crash_budget;
   return request;
 }
@@ -181,15 +181,18 @@ TEST(CheckTest, ReplayReportsDecisionsAndOutputs) {
   EXPECT_EQ(report.outputs.size(), 2u);
 }
 
-TEST(CheckTest, BudgetValidOutputsOverrideSystemValidOutputs) {
+TEST(CheckTest, SystemPropertySetIsTheOneSourceOfValidity) {
+  // The old Budget.valid_outputs / system.valid_outputs dual fallback is
+  // gone: the system's PropertySet owns the validity set, and tightening it
+  // is a property-set edit, not a budget knob.
   CheckRequest request;
   request.system.processes.emplace_back(ConstantDecider{2});
-  request.system.valid_outputs = {1, 2};  // system says 2 is fine...
-  request.budget.valid_outputs = {1};     // ...but the budget is stricter
+  request.system.properties.valid_outputs = {1};  // 2 is not a valid output
   request.budget.crash_budget = 0;
   request.strategy = Strategy::kSequentialDFS;
   const CheckReport report = check(std::move(request));
   ASSERT_FALSE(report.clean);
+  EXPECT_EQ(report.violation->property, sim::PropertyKind::kValidity);
   EXPECT_NE(report.violation->description.find("validity"), std::string::npos);
 }
 
@@ -202,7 +205,7 @@ TEST(CheckTest, ReportsNodeStoreStatsOnDecodableSystems) {
   CheckRequest request;
   request.system.memory = system.memory;
   request.system.processes = system.processes;
-  request.system.valid_outputs = {kInputA, kInputB};
+  request.system.properties.valid_outputs = {kInputA, kInputB};
   request.budget.crash_budget = 2;
   request.strategy = Strategy::kSequentialDFS;
   const CheckReport report = check(std::move(request));
@@ -223,7 +226,7 @@ TEST(CheckTest, SymmetryDeclarationShrinksVisitedSetThroughFacade) {
     CheckRequest request;
     request.system.memory = system.memory;
     request.system.processes = system.processes;
-    request.system.valid_outputs = {kInputA, kInputB};
+    request.system.properties.valid_outputs = {kInputA, kInputB};
     if (symmetric) request.system.symmetry_classes = system.symmetry_classes;
     request.budget.crash_budget = 1;
     request.strategy = Strategy::kSequentialDFS;
@@ -245,7 +248,7 @@ TEST(CheckTest, LegacyRepresentationStillWorksThroughFacade) {
   const sim::RegId reg = request.system.memory.add_register();
   request.system.processes.emplace_back(BrokenConsensus{reg, 1, 0});
   request.system.processes.emplace_back(BrokenConsensus{reg, 2, 0});
-  request.system.valid_outputs = {1, 2};
+  request.system.properties.valid_outputs = {1, 2};
   request.budget.crash_budget = 0;
   request.strategy = Strategy::kParallelBFS;
   const CheckReport report = check(std::move(request));

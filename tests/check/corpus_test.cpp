@@ -51,8 +51,8 @@ TEST(CorpusTest, EveryCorpusViolationReproducesThroughReplay) {
     const ViolationParse parse = load_violation_file(path.string());
     ASSERT_TRUE(parse.ok()) << (parse.errors.empty() ? "" : parse.errors.front());
     const ViolationFile& file = *parse.file;
-    const std::string property = violation_property(file.description);
-    ASSERT_FALSE(property.empty());
+    const sim::PropertyKind property = file.property;
+    ASSERT_NE(property, sim::PropertyKind::kNone);
 
     CheckRequest request;
     request.system = build_spec_system(file.scenario);
@@ -67,7 +67,7 @@ TEST(CorpusTest, EveryCorpusViolationReproducesThroughReplay) {
 
     ASSERT_FALSE(report.clean);
     ASSERT_TRUE(report.violation.has_value());
-    EXPECT_EQ(violation_property(report.violation->description), property)
+    EXPECT_EQ(report.violation->property, property)
         << report.violation->description;
   }
 }
@@ -78,6 +78,7 @@ TEST(ViolationIoTest, FormatParseRoundTrip) {
   file.scenario.n = 2;
   file.scenario.crash_budget = 1;
   file.scenario.algo = ScenarioAlgo::kHaltingTournament;
+  file.property = sim::PropertyKind::kAgreement;
   file.description = "agreement violated: process 1 decided 2 but earlier was 1";
   file.schedule = {sim::ScheduleEvent::step(0), sim::ScheduleEvent::crash(0),
                    sim::ScheduleEvent::crash_all(), sim::ScheduleEvent::step(1)};
@@ -86,10 +87,42 @@ TEST(ViolationIoTest, FormatParseRoundTrip) {
   const ViolationParse parse = parse_violation_file(text);
   ASSERT_TRUE(parse.ok()) << (parse.errors.empty() ? "" : parse.errors.front());
   EXPECT_EQ(parse.file->scenario, file.scenario);
+  EXPECT_EQ(parse.file->property, file.property);
   EXPECT_EQ(parse.file->description, file.description);
   EXPECT_EQ(parse.file->schedule, file.schedule);
   // Formatting the parse reproduces the text (canonical form).
   EXPECT_EQ(format_violation_file(*parse.file), text);
+}
+
+TEST(ViolationIoTest, LegacyFilesRecoverThePropertyFromTheDescription) {
+  // Files written before violations were typed have no `property` line; the
+  // parser classifies the description's message prefix instead.
+  const ViolationParse parse = parse_violation_file(
+      "scenario type=register algo=naive-register n=2\n"
+      "description agreement violated: process 1 decided 2\n"
+      "step 0\n");
+  ASSERT_TRUE(parse.ok()) << (parse.errors.empty() ? "" : parse.errors.front());
+  EXPECT_EQ(parse.file->property, sim::PropertyKind::kAgreement);
+}
+
+TEST(ViolationIoTest, PropertyLineCarriesTypedKindAndParam) {
+  const ViolationParse parse = parse_violation_file(
+      "scenario type=Sn(2) algo=k-set n=3 k=2 "
+      "properties=k-set-agreement,validity\n"
+      "property k-set-agreement 2\n"
+      "description k-set agreement violated (k=2): process 0 decided 101\n"
+      "step 1\n");
+  ASSERT_TRUE(parse.ok()) << (parse.errors.empty() ? "" : parse.errors.front());
+  EXPECT_EQ(parse.file->property, sim::PropertyKind::kKSetAgreement);
+  EXPECT_EQ(parse.file->property_param, 2);
+
+  const ViolationParse bad = parse_violation_file(
+      "scenario type=register algo=naive-register n=2\n"
+      "property frobnication\n"
+      "description agreement violated: x\n"
+      "step 0\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.errors.front().find("unknown property"), std::string::npos);
 }
 
 TEST(ViolationIoTest, ParseReportsStructuralErrors) {

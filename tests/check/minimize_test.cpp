@@ -1,6 +1,6 @@
 // check::minimize — greedy event deletion against sim::replay. A minimized
-// schedule must still reproduce the same property on a pristine system, be
-// no longer than the original, and be 1-minimal (dropping any single event
+// schedule must still reproduce the same typed property on a pristine system,
+// be no longer than the original, and be 1-minimal (dropping any single event
 // breaks reproduction).
 #include "check/minimize.hpp"
 
@@ -19,18 +19,28 @@ ScenarioSystem naive_register_system(int n) {
   ScenarioSystem system;
   system.memory = std::move(built.memory);
   system.processes = std::move(built.processes);
-  system.valid_outputs = std::move(built.inputs);
+  system.properties.valid_outputs = std::move(built.inputs);
   return system;
 }
 
-TEST(MinimizeTest, ClassifiesViolationProperties) {
-  EXPECT_EQ(violation_property("agreement violated: process 1 decided 2"),
-            "agreement");
-  EXPECT_EQ(violation_property("validity violated: process 0 decided 99"),
-            "validity");
-  EXPECT_EQ(violation_property("recoverable wait-freedom violated: process 0"),
-            "recoverable wait-freedom");
-  EXPECT_EQ(violation_property("state space exceeded max_visited"), "");
+TEST(MinimizeTest, DescriptionsClassifyToTypedProperties) {
+  // Legacy artifacts carry only descriptions; the typed layer recovers the
+  // kind from the message prefix.
+  EXPECT_EQ(sim::property_from_description("agreement violated: process 1 decided 2"),
+            sim::PropertyKind::kAgreement);
+  EXPECT_EQ(sim::property_from_description("validity violated: process 0 decided 99"),
+            sim::PropertyKind::kValidity);
+  EXPECT_EQ(
+      sim::property_from_description("recoverable wait-freedom violated: process 0"),
+      sim::PropertyKind::kWaitFreedom);
+  EXPECT_EQ(sim::property_from_description(
+                "k-set agreement violated (k=2): process 2 decided 303"),
+            sim::PropertyKind::kKSetAgreement);
+  EXPECT_EQ(sim::property_from_description(
+                "at-most-once decide violated: process 0 decided 7"),
+            sim::PropertyKind::kAtMostOnceDecide);
+  EXPECT_EQ(sim::property_from_description("state space exceeded max_visited"),
+            sim::PropertyKind::kNone);
 }
 
 TEST(MinimizeTest, ShrinksAPaddedScheduleToAMinimalOne) {
@@ -42,8 +52,7 @@ TEST(MinimizeTest, ShrinksAPaddedScheduleToAMinimalOne) {
   request.strategy = Strategy::kSequentialDFS;
   const CheckReport found = check(std::move(request));
   ASSERT_FALSE(found.clean);
-  const std::string property = violation_property(found.violation->description);
-  ASSERT_EQ(property, "agreement");
+  ASSERT_EQ(found.violation->property, sim::PropertyKind::kAgreement);
 
   sim::Violation padded = *found.violation;
   // Redundant prefix: a crash before anything ran is a no-op, and stepping a
@@ -61,15 +70,14 @@ TEST(MinimizeTest, ShrinksAPaddedScheduleToAMinimalOne) {
   EXPECT_EQ(result.removed_events,
             padded.schedule.size() - result.violation.schedule.size());
   EXPECT_GT(result.replays, 1);
-  EXPECT_EQ(violation_property(result.violation.description), property);
+  EXPECT_EQ(result.violation.property, sim::PropertyKind::kAgreement);
 
-  // Still reproduces on a pristine copy.
+  // Still reproduces on a pristine copy, with the same typed property.
   const ScenarioSystem again = naive_register_system(2);
-  const sim::ReplayReport replayed =
-      sim::replay(again.memory, again.processes, result.violation.schedule,
-                  again.valid_outputs);
+  const sim::ReplayReport replayed = sim::replay(
+      again.memory, again.processes, result.violation.schedule, again.properties);
   ASSERT_TRUE(replayed.violation.has_value());
-  EXPECT_EQ(violation_property(*replayed.violation), property);
+  EXPECT_EQ(replayed.violation->property, sim::PropertyKind::kAgreement);
 
   // 1-minimal: deleting any single remaining event stops reproduction.
   for (std::size_t i = 0; i < result.violation.schedule.size(); ++i) {
@@ -77,9 +85,9 @@ TEST(MinimizeTest, ShrinksAPaddedScheduleToAMinimalOne) {
     shorter.erase(shorter.begin() + static_cast<std::ptrdiff_t>(i));
     const ScenarioSystem copy = naive_register_system(2);
     const sim::ReplayReport report =
-        sim::replay(copy.memory, copy.processes, shorter, copy.valid_outputs);
+        sim::replay(copy.memory, copy.processes, shorter, copy.properties);
     EXPECT_FALSE(report.violation.has_value() &&
-                 violation_property(*report.violation) == property)
+                 report.violation->property == sim::PropertyKind::kAgreement)
         << "schedule not 1-minimal: event " << i << " is deletable";
   }
 
@@ -94,13 +102,15 @@ TEST(MinimizeTest, AlreadyMinimalScheduleIsUnchanged) {
       sim::ScheduleEvent::step(0), sim::ScheduleEvent::step(0),
       sim::ScheduleEvent::step(1), sim::ScheduleEvent::step(1)};
   const ScenarioSystem pristine = naive_register_system(2);
-  const sim::ReplayReport direct = sim::replay(
-      pristine.memory, pristine.processes, minimal, pristine.valid_outputs);
+  const sim::ReplayReport direct =
+      sim::replay(pristine.memory, pristine.processes, minimal, pristine.properties);
   ASSERT_TRUE(direct.violation.has_value());
 
   Budget budget;
   const MinimizeResult result = minimize(
-      pristine, budget, sim::Violation{*direct.violation, minimal});
+      pristine, budget,
+      sim::Violation{direct.violation->description, direct.violation->property,
+                     direct.violation->param, minimal});
   EXPECT_EQ(result.violation.schedule, minimal);
   EXPECT_EQ(result.removed_events, 0u);
 }
@@ -110,6 +120,8 @@ TEST(MinimizeTest, NonReproducingViolationIsReturnedUnchanged) {
   // truncation marker) must pass through untouched.
   const ScenarioSystem pristine = naive_register_system(2);
   sim::Violation bogus{"agreement violated: fabricated",
+                       sim::PropertyKind::kAgreement,
+                       1,
                        {sim::ScheduleEvent::step(0)}};
   Budget budget;
   const MinimizeResult result = minimize(pristine, budget, bogus);
@@ -118,6 +130,8 @@ TEST(MinimizeTest, NonReproducingViolationIsReturnedUnchanged) {
   EXPECT_EQ(result.replays, 1);
 
   sim::Violation truncation{"state space exceeded max_visited; verdict incomplete",
+                            sim::PropertyKind::kNone,
+                            0,
                             {sim::ScheduleEvent::step(0)}};
   const MinimizeResult untouched = minimize(pristine, budget, truncation);
   EXPECT_EQ(untouched.violation.schedule, truncation.schedule);

@@ -169,6 +169,125 @@ TEST(ScenarioSpecTest, FormatScenarioLineRoundTrips) {
   EXPECT_EQ(parsed, spec);
 }
 
+TEST(ScenarioSpecTest, ParsesPropertiesAndKFields) {
+  const ScenarioParse parse = parse_scenario_specs(
+      "type=Sn(2) n=3 k=2 algo=k-set properties=k-set-agreement,validity\n"
+      "type=Sn(2) n=2 properties=agreement,validity,wait-freedom,at-most-once\n"
+      "type=Sn(2) n=4 k=2 algo=team\n");  // k is legal outside algo=k-set too
+  ASSERT_TRUE(parse.ok()) << parse.errors.front();
+  ASSERT_EQ(parse.specs.size(), 3u);
+  EXPECT_EQ(parse.specs[0].algo, ScenarioAlgo::kKSetTeamConsensus);
+  EXPECT_EQ(parse.specs[0].k, 2);
+  EXPECT_EQ(parse.specs[0].properties,
+            (std::vector<sim::PropertyKind>{sim::PropertyKind::kKSetAgreement,
+                                            sim::PropertyKind::kValidity}));
+  EXPECT_EQ(parse.specs[1].properties.size(), 4u);
+  EXPECT_EQ(parse.specs[1].properties.back(), sim::PropertyKind::kAtMostOnceDecide);
+  EXPECT_TRUE(parse.specs[2].properties.empty());  // default trio
+
+  // spec_properties materializes the typed set (k threads into the param).
+  const sim::PropertySet set = spec_properties(parse.specs[0]);
+  EXPECT_EQ(set.agreement_k(), 2);
+  EXPECT_TRUE(set.checks_validity());
+  EXPECT_EQ(set.wait_bound(500), -1);  // wait-freedom not listed
+}
+
+TEST(ScenarioSpecTest, RejectsBadPropertiesAndK) {
+  const ScenarioParse parse = parse_scenario_specs(
+      "type=Sn(2) properties=frobnication\n"
+      "type=Sn(2) properties=agreement,agreement\n"
+      "type=Sn(2) k=2 properties=agreement,k-set-agreement\n"
+      "type=Sn(2) properties=k-set-agreement,validity\n"
+      "type=Sn(2) n=3 algo=k-set\n"
+      "type=Sn(2) n=2 k=3 algo=k-set\n"
+      "type=Sn(2) k=1 algo=k-set\n");
+  EXPECT_TRUE(parse.specs.empty());
+  // The last line produces two diagnostics: the bad k value itself, and the
+  // k-set algo left without a usable k.
+  ASSERT_EQ(parse.errors.size(), 8u);
+  EXPECT_NE(parse.errors[0].find("unknown property"), std::string::npos);
+  EXPECT_NE(parse.errors[1].find("duplicate property"), std::string::npos);
+  EXPECT_NE(parse.errors[2].find("mutually exclusive"), std::string::npos);
+  EXPECT_NE(parse.errors[3].find("needs k="), std::string::npos);
+  EXPECT_NE(parse.errors[4].find("algo=k-set needs k="), std::string::npos);
+  EXPECT_NE(parse.errors[5].find("k <= n"), std::string::npos);
+  EXPECT_NE(parse.errors[6].find("k must be an integer >= 2"), std::string::npos);
+  EXPECT_NE(parse.errors[7].find("algo=k-set needs k="), std::string::npos);
+}
+
+TEST(ScenarioSpecTest, RoundTripsAGridOverEveryGrammarField) {
+  // format_scenario_line ∘ parse_scenario_line must be the identity over the
+  // whole grammar, including the properties=/k= extension — every field that
+  // can be written must read back to the same spec.
+  const std::vector<std::vector<sim::PropertyKind>> property_sets = {
+      {},  // default trio (omitted from the line)
+      {sim::PropertyKind::kAgreement, sim::PropertyKind::kValidity},
+      {sim::PropertyKind::kKSetAgreement, sim::PropertyKind::kValidity,
+       sim::PropertyKind::kWaitFreedom},
+      {sim::PropertyKind::kAgreement, sim::PropertyKind::kValidity,
+       sim::PropertyKind::kWaitFreedom, sim::PropertyKind::kAtMostOnceDecide},
+  };
+  int covered = 0;
+  for (const std::string& type : {std::string("Sn(2)"), std::string("test-and-set")}) {
+    for (const int n : {2, 3}) {
+      for (const CrashModel model :
+           {CrashModel::kIndependent, CrashModel::kSimultaneous}) {
+        for (const int budget : {0, 2}) {
+          for (const ScenarioAlgo algo :
+               {ScenarioAlgo::kTeamConsensus, ScenarioAlgo::kHaltingTournament,
+                ScenarioAlgo::kNaiveRegister, ScenarioAlgo::kKSetTeamConsensus}) {
+            for (const int k : {0, 2}) {
+              for (const auto& properties : property_sets) {
+                for (const bool symmetry : {false, true}) {
+                  for (const std::int64_t max_steps : {std::int64_t{-1}, std::int64_t{400}}) {
+                    for (const std::int64_t max_visited :
+                         {std::int64_t{-1}, std::int64_t{12345}}) {
+                      for (const std::string& name :
+                           {std::string(), std::string("grid-name")}) {
+                        const bool wants_k_set =
+                            !properties.empty() &&
+                            properties.front() == sim::PropertyKind::kKSetAgreement;
+                        // Skip combinations the grammar rejects by design.
+                        if ((wants_k_set || algo == ScenarioAlgo::kKSetTeamConsensus) &&
+                            k == 0) {
+                          continue;
+                        }
+                        if (algo == ScenarioAlgo::kKSetTeamConsensus && k > n) continue;
+
+                        ScenarioSpec spec;
+                        spec.type = type;
+                        spec.n = n;
+                        spec.crash_model = model;
+                        spec.crash_budget = budget;
+                        spec.algo = algo;
+                        spec.k = k;
+                        spec.properties = properties;
+                        spec.symmetry = symmetry;
+                        spec.max_steps_per_run = max_steps;
+                        spec.max_visited = max_visited;
+                        spec.name = name;
+
+                        ScenarioSpec parsed;
+                        std::vector<std::string> errors;
+                        parse_scenario_line(format_scenario_line(spec), parsed, errors);
+                        ASSERT_TRUE(errors.empty())
+                            << format_scenario_line(spec) << "\n  -> " << errors.front();
+                        ASSERT_EQ(parsed, spec) << format_scenario_line(spec);
+                        covered += 1;
+                      }
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(covered, 5000);  // the grid really swept the grammar
+}
+
 TEST(ScenarioSpecTest, DefaultSpecFileMatchesBuiltInSet) {
   // examples/scenarios/default.spec is the on-disk mirror of the library's
   // built-in default set; the two must parse to identical scenarios.

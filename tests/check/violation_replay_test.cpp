@@ -46,7 +46,7 @@ ScenarioSystem make_halting_tas_system() {
   ScenarioSystem out;
   out.memory = std::move(system.memory);
   out.processes = std::move(system.processes);
-  out.valid_outputs = {5, 6};
+  out.properties.valid_outputs = {5, 6};
   return out;
 }
 
@@ -55,7 +55,7 @@ ScenarioSystem make_register_race_system() {
   const sim::RegId reg = out.memory.add_register();
   out.processes.emplace_back(BrokenConsensus{reg, 1, 0});
   out.processes.emplace_back(BrokenConsensus{reg, 2, 0});
-  out.valid_outputs = {1, 2};
+  out.properties.valid_outputs = {1, 2};
   return out;
 }
 
@@ -74,13 +74,17 @@ void round_trip(ScenarioSystem found_on, ScenarioSystem replay_on, int crash_bud
       << report.violation->description;
   ASSERT_FALSE(report.violation->schedule.empty());
 
-  const sim::ReplayReport replayed =
-      sim::replay(std::move(replay_on.memory), std::move(replay_on.processes),
-                  report.violation->schedule, replay_on.valid_outputs);
+  const sim::PropertyKind expected_kind = report.violation->property;
+  const sim::ReplayReport replayed = sim::replay(
+      std::move(replay_on.memory), std::move(replay_on.processes),
+      report.violation->schedule, replay_on.properties);
   ASSERT_TRUE(replayed.violation.has_value())
       << "schedule did not reproduce: " << report.violation->trace();
-  EXPECT_NE(replayed.violation->find(expected_property), std::string::npos)
-      << *replayed.violation;
+  EXPECT_NE(replayed.violation->description.find(expected_property),
+            std::string::npos)
+      << replayed.violation->description;
+  // The typed identity survives the cross-backend round trip too.
+  EXPECT_EQ(replayed.violation->property, expected_kind);
 }
 
 TEST(ViolationReplayTest, DiscerningNegativeRoundTripsThroughReplay) {
@@ -117,10 +121,10 @@ TEST(ViolationReplayTest, ParallelEngineViolationRoundTripsToo) {
 TEST(ViolationReplayTest, ValidityViolationRoundTripsWithValiditySet) {
   ScenarioSystem make;
   make.processes.emplace_back(ConstantDecider{99});
-  make.valid_outputs = {1, 2};
+  make.properties.valid_outputs = {1, 2};
   ScenarioSystem again;
   again.processes.emplace_back(ConstantDecider{99});
-  again.valid_outputs = {1, 2};
+  again.properties.valid_outputs = {1, 2};
   round_trip(std::move(make), std::move(again), 0, Strategy::kSequentialDFS,
              "validity");
 }

@@ -129,7 +129,7 @@ TEST(DeterminismStressTest, CleanInstanceMatchesSequentialAtEveryThreadCount) {
   check::ScenarioSystem system;
   system.memory = std::move(built.memory);
   system.processes = std::move(built.processes);
-  system.valid_outputs = {kInputA, kInputB};
+  system.properties.valid_outputs = {kInputA, kInputB};
   check::Budget budget;
   budget.crash_budget = 2;
 

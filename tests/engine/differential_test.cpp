@@ -100,7 +100,7 @@ TEST_P(DifferentialSeedTest, CompactAndLegacyExploreTheIdenticalGraph) {
   sim::ExplorerConfig config;
   config.crash_model = c.crash_model;
   config.crash_budget = c.crash_budget;
-  config.valid_outputs = {kInputA, kInputB};
+  config.properties.valid_outputs = {kInputA, kInputB};
 
   const Outcome seq_legacy =
       run_sequential(system, config, sim::NodeRepr::kLegacy, false);
@@ -149,7 +149,7 @@ TEST(DifferentialTest, ViolatingSystemsReportTheSameLowestViolation) {
 
   sim::ExplorerConfig config;
   config.crash_budget = 1;
-  config.valid_outputs = built.inputs;
+  config.properties.valid_outputs = built.inputs;
 
   const Outcome seq_legacy =
       run_sequential(system, config, sim::NodeRepr::kLegacy, false);
@@ -175,7 +175,7 @@ TEST(DifferentialTest, CanonicalizationOnlyShrinksTheVisitedSet) {
 
     sim::ExplorerConfig config;
     config.crash_budget = 1;
-    config.valid_outputs = {kInputA, kInputB};
+    config.properties.valid_outputs = {kInputA, kInputB};
 
     const Outcome off = run_sequential(system, config, sim::NodeRepr::kCompact, true);
 

@@ -123,7 +123,7 @@ TEST(NodeCodecTest, EncodeDecodeRoundTripsAndMatchesLegacyFingerprint) {
   EXPECT_EQ(scratch.crashes_used, state.crashes_used);
   EXPECT_EQ(scratch.done, state.done);
   EXPECT_EQ(scratch.steps_in_run, state.steps_in_run);
-  EXPECT_EQ(scratch.has_decision, state.has_decision);
+  EXPECT_EQ(scratch.decisions, state.decisions);
 
   // Re-encoding the decoded node reproduces the identical record.
   std::vector<typesys::Value> record_again;

@@ -82,7 +82,7 @@ TEST_P(ParallelParityTest, AgreesWithSequentialExplorer) {
   sim::ExplorerConfig base;
   base.crash_model = c.crash_model;
   base.crash_budget = c.crash_budget;
-  base.valid_outputs = {kInputA, kInputB};
+  base.properties.valid_outputs = {kInputA, kInputB};
 
   sim::Explorer sequential(system.memory, system.processes, base);
   const auto sequential_violation = sequential.run();
@@ -116,7 +116,7 @@ INSTANTIATE_TEST_SUITE_P(Types, ParallelParityTest,
 TEST(ParallelExplorerTest, FindsAgreementViolationDeterministically) {
   sim::ExplorerConfig base;
   base.crash_budget = 0;
-  base.valid_outputs = {1, 2};
+  base.properties.valid_outputs = {1, 2};
 
   std::optional<sim::Violation> first;
   for (int run = 0; run < 2; ++run) {
@@ -153,7 +153,7 @@ TEST(ParallelExplorerTest, ReportsLowestTraceViolation) {
   processes.emplace_back(BrokenConsensus{reg, 2, 0});
   sim::ExplorerConfig base;
   base.crash_budget = 0;
-  base.valid_outputs = {1, 2};
+  base.properties.valid_outputs = {1, 2};
 
   sim::Explorer sequential(memory, processes, base);
   const auto sequential_violation = sequential.run();
@@ -215,7 +215,7 @@ TEST(ParallelExplorerTest, FindsValidityViolation) {
   processes.emplace_back(ConstantDecider{99});
   sim::ExplorerConfig base;
   base.crash_budget = 0;
-  base.valid_outputs = {1, 2};
+  base.properties.valid_outputs = {1, 2};
   ParallelExplorer explorer(std::move(memory), std::move(processes),
                             parallel_config(base));
   const auto violation = explorer.run();
@@ -254,7 +254,7 @@ TEST(ParallelExplorerTest, TruncatesAtMaxVisited) {
       rc::make_team_consensus_system(*type, 3, kInputA, kInputB);
   sim::ExplorerConfig base;
   base.crash_budget = 2;
-  base.valid_outputs = {kInputA, kInputB};
+  base.properties.valid_outputs = {kInputA, kInputB};
   base.max_visited = 100;
   ParallelExplorer explorer(std::move(system.memory), std::move(system.processes),
                             parallel_config(base));
@@ -270,7 +270,7 @@ TEST(ParallelExplorerTest, RunIsRepeatableOnSameInstance) {
       rc::make_team_consensus_system(*type, 2, kInputA, kInputB);
   sim::ExplorerConfig base;
   base.crash_budget = 3;
-  base.valid_outputs = {kInputA, kInputB};
+  base.properties.valid_outputs = {kInputA, kInputB};
   ParallelExplorer explorer(std::move(system.memory), std::move(system.processes),
                             parallel_config(base));
   const auto first = explorer.run();
@@ -288,7 +288,7 @@ TEST(ParallelExplorerTest, SingleThreadSubsumesSequential) {
       rc::make_team_consensus_system(*type, 2, kInputA, kInputB);
   sim::ExplorerConfig base;
   base.crash_budget = 2;
-  base.valid_outputs = {kInputA, kInputB};
+  base.properties.valid_outputs = {kInputA, kInputB};
 
   sim::Explorer sequential(system.memory, system.processes, base);
   const auto sequential_violation = sequential.run();

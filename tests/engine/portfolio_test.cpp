@@ -53,7 +53,7 @@ TEST(PortfolioTest, CustomScenarioReportsViolation) {
     ScenarioSystem system;
     system.processes.emplace_back(DecideOwnInput{1});
     system.processes.emplace_back(DecideOwnInput{2});
-    system.valid_outputs = {1, 2};
+    system.properties.valid_outputs = {1, 2};
     return system;
   };
   portfolio.add(std::move(scenario));

@@ -92,7 +92,7 @@ TEST_P(AppendixHTest, TwoProcessConsensusCorrectWithoutCrashes) {
   check::CheckRequest request;
   request.system.memory = std::move(system.memory);
   request.system.processes = std::move(system.processes);
-  request.system.valid_outputs = {5, 6};
+  request.system.properties.valid_outputs = {5, 6};
   request.budget.crash_budget = 0;
   request.strategy = check::Strategy::kAuto;
   const check::CheckReport report = check::check(std::move(request));
@@ -105,7 +105,7 @@ TEST_P(AppendixHTest, OneCrashBreaksAgreement) {
   check::CheckRequest request;
   request.system.memory = std::move(system.memory);
   request.system.processes = std::move(system.processes);
-  request.system.valid_outputs = {5, 6};
+  request.system.properties.valid_outputs = {5, 6};
   request.budget.crash_budget = 1;
   request.strategy = check::Strategy::kSequentialDFS;
   const check::CheckReport report = check::check(std::move(request));

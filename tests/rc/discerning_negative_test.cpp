@@ -23,7 +23,7 @@ check::CheckRequest halting_request(HaltingConsensusSystem system,
   check::CheckRequest request;
   request.system.memory = std::move(system.memory);
   request.system.processes = std::move(system.processes);
-  request.system.valid_outputs = std::move(inputs);
+  request.system.properties.valid_outputs = std::move(inputs);
   request.budget.crash_budget = crash_budget;
   return request;
 }

@@ -27,7 +27,7 @@ TEST(RaceTest, ExhaustiveWithCasObject) {
   check::CheckRequest request;
   request.system.memory = std::move(memory);
   request.system.processes = std::move(processes);
-  request.system.valid_outputs = {1, 2, 3};
+  request.system.properties.valid_outputs = {1, 2, 3};
   request.budget.crash_budget = 3;
   request.strategy = check::Strategy::kAuto;
   const check::CheckReport report = check::check(std::move(request));
@@ -39,7 +39,7 @@ TEST(RaceTest, ExhaustiveWithConsensusObject) {
   check::CheckRequest request;
   request.system.memory = std::move(memory);
   request.system.processes = std::move(processes);
-  request.system.valid_outputs = {1, 2, 3, 4};
+  request.system.properties.valid_outputs = {1, 2, 3, 4};
   request.budget.crash_budget = 2;
   request.strategy = check::Strategy::kAuto;
   EXPECT_TRUE(check::check(std::move(request)).clean);

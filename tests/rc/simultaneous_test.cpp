@@ -19,7 +19,7 @@ check::CheckRequest exhaustive_request(sim::Memory memory,
   check::CheckRequest request;
   request.system.memory = std::move(memory);
   request.system.processes = std::move(processes);
-  request.system.valid_outputs = std::move(valid);
+  request.system.properties.valid_outputs = std::move(valid);
   request.budget.crash_model = model;
   request.budget.crash_budget = crash_budget;
   request.strategy = check::Strategy::kAuto;
@@ -101,7 +101,7 @@ TEST(SimultaneousTest, RandomStressManySimultaneousCrashes) {
   check::CheckRequest request;
   request.system.memory = std::move(memory);
   request.system.processes = std::move(processes);
-  request.system.valid_outputs = {1, 2, 3, 4};
+  request.system.properties.valid_outputs = {1, 2, 3, 4};
   request.budget.crash_model = sim::CrashModel::kSimultaneous;
   request.budget.crash_budget = 10;
   request.strategy = check::Strategy::kRandomized;

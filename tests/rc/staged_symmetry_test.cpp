@@ -53,7 +53,7 @@ TEST(StagedSymmetryTest, HaltingTournamentDeclarationIsSoundUnderExploration) {
   check::ScenarioSystem plain;
   plain.memory = with.memory;
   plain.processes = with.processes;
-  plain.valid_outputs = inputs;
+  plain.properties.valid_outputs = inputs;
   check::ScenarioSystem declared = plain;
   declared.symmetry_classes = with.symmetry_classes;
 
@@ -100,7 +100,7 @@ TEST(StagedSymmetryTest, StagedReductionShrinksVisitedSetAndPreservesVerdict) {
   check::ScenarioSystem plain;
   plain.memory = built.memory;
   plain.processes = built.processes;
-  plain.valid_outputs = {101, 202};
+  plain.properties.valid_outputs = {101, 202};
   check::ScenarioSystem reduced = plain;
   reduced.symmetry_classes = built.symmetry_classes;
 
@@ -124,7 +124,7 @@ TEST(StagedSymmetryTest, TournamentDeclarationPreservesCleanVerdict) {
   check::ScenarioSystem plain;
   plain.memory = built.memory;
   plain.processes = built.processes;
-  plain.valid_outputs = {11, 22};
+  plain.properties.valid_outputs = {11, 22};
   check::ScenarioSystem declared = plain;
   declared.symmetry_classes = built.symmetry_classes;
 

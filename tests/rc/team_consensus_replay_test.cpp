@@ -70,7 +70,7 @@ TEST(TeamConsensusReplayTest, CrashedWinnerRerunsAndStaysConsistent) {
   }
   const auto report =
       sim::replay(std::move(system.memory), std::move(system.processes), schedule);
-  EXPECT_FALSE(report.violation.has_value()) << *report.violation;
+  EXPECT_FALSE(report.violation.has_value()) << report.violation->description;
   EXPECT_GE(report.outputs.size(), 3u);
   for (const typesys::Value out : report.outputs) {
     EXPECT_EQ(out, report.outputs.front());
@@ -84,7 +84,7 @@ TEST(TeamConsensusReplayTest, SurvivesSimultaneousCrashModelToo) {
   check::CheckRequest request;
   request.system.memory = std::move(system.memory);
   request.system.processes = std::move(system.processes);
-  request.system.valid_outputs = {kInputA, kInputB};
+  request.system.properties.valid_outputs = {kInputA, kInputB};
   request.budget.crash_model = sim::CrashModel::kSimultaneous;
   request.budget.crash_budget = 2;
   request.strategy = check::Strategy::kAuto;

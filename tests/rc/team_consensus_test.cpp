@@ -41,7 +41,7 @@ TEST_P(TeamConsensusModelTest, AgreementValidityWaitFreedomUnderCrashes) {
   check::CheckRequest request;
   request.system.memory = std::move(system.memory);
   request.system.processes = std::move(system.processes);
-  request.system.valid_outputs = {kInputA, kInputB};
+  request.system.properties.valid_outputs = {kInputA, kInputB};
   request.budget.crash_budget = c.crash_budget;
   request.strategy = check::Strategy::kAuto;
   const check::CheckReport report = check::check(std::move(request));
@@ -103,7 +103,7 @@ TEST(TeamConsensusTest, RandomStressLargeInstances) {
   check::CheckRequest request;
   request.system.memory = std::move(system.memory);
   request.system.processes = std::move(system.processes);
-  request.system.valid_outputs = {kInputA, kInputB};
+  request.system.properties.valid_outputs = {kInputA, kInputB};
   request.budget.crash_budget = 12;
   request.strategy = check::Strategy::kRandomized;
   request.seed = 1;
@@ -205,7 +205,7 @@ TEST(TeamConsensusTest, OmittingTeamSizeGuardViolatesAgreement) {
   check::CheckRequest request;
   request.system.memory = std::move(memory);
   request.system.processes = std::move(processes);
-  request.system.valid_outputs = {kInputA, kInputB};
+  request.system.properties.valid_outputs = {kInputA, kInputB};
   request.budget.crash_budget = 0;  // the paper's scenario needs no crashes
   request.strategy = check::Strategy::kSequentialDFS;
   const check::CheckReport report = check::check(std::move(request));

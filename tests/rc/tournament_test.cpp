@@ -45,7 +45,7 @@ TEST_P(TournamentModelTest, ExhaustiveAgreementUnderCrashes) {
   check::CheckRequest request;
   request.system.memory = std::move(system.memory);
   request.system.processes = std::move(system.processes);
-  request.system.valid_outputs = inputs;
+  request.system.properties.valid_outputs = inputs;
   request.budget.crash_budget = c.crash_budget;
   request.strategy = check::Strategy::kAuto;
   const check::CheckReport report = check::check(std::move(request));
@@ -78,7 +78,7 @@ TEST(TournamentTest, RandomStressSn6) {
   check::CheckRequest request;
   request.system.memory = std::move(system.memory);
   request.system.processes = std::move(system.processes);
-  request.system.valid_outputs = inputs;
+  request.system.properties.valid_outputs = inputs;
   request.budget.crash_budget = 15;
   request.strategy = check::Strategy::kRandomized;
   request.seed = 1;
@@ -98,7 +98,7 @@ TEST(TournamentTest, FewerParticipantsThanWitness) {
   check::CheckRequest request;
   request.system.memory = std::move(system.memory);
   request.system.processes = std::move(system.processes);
-  request.system.valid_outputs = {4, 8};
+  request.system.properties.valid_outputs = {4, 8};
   request.budget.crash_budget = 2;
   request.strategy = check::Strategy::kAuto;
   EXPECT_TRUE(check::check(std::move(request)).clean);

@@ -46,7 +46,7 @@ TEST(ExplorerTest, FindsAgreementViolation) {
   processes.emplace_back(BrokenConsensus{reg, 2, 0});
   ExplorerConfig config;
   config.crash_budget = 0;
-  config.valid_outputs = {1, 2};
+  config.properties.valid_outputs = {1, 2};
   Explorer explorer(std::move(memory), std::move(processes), config);
   const auto violation = explorer.run();
   ASSERT_TRUE(violation.has_value());
@@ -60,7 +60,7 @@ TEST(ExplorerTest, FindsValidityViolation) {
   std::vector<Process> processes;
   processes.emplace_back(ConstantDecider{99});
   ExplorerConfig config;
-  config.valid_outputs = {1, 2};
+  config.properties.valid_outputs = {1, 2};
   config.crash_budget = 0;
   Explorer explorer(std::move(memory), std::move(processes), config);
   const auto violation = explorer.run();
@@ -74,7 +74,7 @@ TEST(ExplorerTest, CleanSystemPasses) {
   processes.emplace_back(ConstantDecider{1});
   processes.emplace_back(ConstantDecider{1});
   ExplorerConfig config;
-  config.valid_outputs = {1};
+  config.properties.valid_outputs = {1};
   config.crash_budget = 3;
   Explorer explorer(std::move(memory), std::move(processes), config);
   EXPECT_FALSE(explorer.run().has_value());
@@ -118,7 +118,7 @@ TEST(ExplorerTest, CrashBudgetRespected) {
   processes.emplace_back(BrokenConsensus{reg, 1, 0});
   ExplorerConfig config;
   config.crash_budget = 0;
-  config.valid_outputs = {1};
+  config.properties.valid_outputs = {1};
   Explorer explorer(std::move(memory), std::move(processes), config);
   EXPECT_FALSE(explorer.run().has_value());
 }
@@ -132,12 +132,12 @@ TEST(ExplorerTest, CrashRerunsProduceMoreDecisions) {
   processes.emplace_back(BrokenConsensus{reg, 1, 0});
   ExplorerConfig with_crashes;
   with_crashes.crash_budget = 2;
-  with_crashes.valid_outputs = {1};
+  with_crashes.properties.valid_outputs = {1};
   Explorer explorer(std::move(memory), std::move(processes), with_crashes);
   EXPECT_FALSE(explorer.run().has_value());
   ExplorerConfig no_crashes;
   no_crashes.crash_budget = 0;
-  no_crashes.valid_outputs = {1};
+  no_crashes.properties.valid_outputs = {1};
   Memory memory2;
   const RegId reg2 = memory2.add_register();
   std::vector<Process> processes2;
@@ -159,7 +159,7 @@ TEST(ExplorerTest, SimultaneousModelCrashesEveryone) {
   ExplorerConfig config;
   config.crash_model = CrashModel::kSimultaneous;
   config.crash_budget = 1;
-  config.valid_outputs = {1, 2};
+  config.properties.valid_outputs = {1, 2};
   Explorer explorer(std::move(memory), std::move(processes), config);
   EXPECT_TRUE(explorer.run().has_value());
 }

@@ -1,0 +1,142 @@
+// The typed property layer (sim/properties.hpp): PropertySet construction
+// and its precomputed hot-path flags, the shared check helpers every backend
+// funnels through, and the name/description round trips the spec grammar and
+// `.viol` files rely on.
+#include "sim/properties.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rcons::sim {
+namespace {
+
+TEST(PropertySetTest, DefaultIsTheClassicTrio) {
+  const PropertySet set;
+  EXPECT_EQ(set.agreement_k(), 1);
+  EXPECT_TRUE(set.checks_validity());
+  EXPECT_FALSE(set.at_most_once());
+  EXPECT_EQ(set.wait_bound(500), 500);  // inherits the budget bound
+  EXPECT_EQ(set.specs().size(), 3u);
+  EXPECT_EQ(set.label(), "agreement,validity,wait-freedom");
+  EXPECT_TRUE(set.valid_outputs.empty());
+}
+
+TEST(PropertySetTest, NoneChecksNothing) {
+  const PropertySet set = PropertySet::none();
+  EXPECT_EQ(set.agreement_k(), 0);
+  EXPECT_FALSE(set.checks_validity());
+  EXPECT_FALSE(set.at_most_once());
+  EXPECT_EQ(set.wait_bound(500), -1);  // wait-freedom not in the set
+  EXPECT_TRUE(set.specs().empty());
+
+  std::vector<typesys::Value> distinct;
+  std::vector<std::uint8_t> ever;
+  std::vector<typesys::Value> last;
+  EXPECT_FALSE(check_output(set, 0, 1, distinct, ever, last).has_value());
+  EXPECT_FALSE(check_output(set, 1, 2, distinct, ever, last).has_value());
+  EXPECT_TRUE(distinct.empty());  // no agreement property -> no tracking
+  EXPECT_FALSE(check_wait_freedom(set, 0, 1'000'000, 10).has_value());
+}
+
+TEST(PropertySetTest, WaitFreedomParamOverridesTheBudgetBound) {
+  PropertySet set = PropertySet::none();
+  set.add({PropertyKind::kWaitFreedom, 7});
+  EXPECT_EQ(set.wait_bound(500), 7);
+  ASSERT_TRUE(check_wait_freedom(set, 3, 8, 500).has_value());
+  const PropertyViolation violation = *check_wait_freedom(set, 3, 8, 500);
+  EXPECT_EQ(violation.property, PropertyKind::kWaitFreedom);
+  EXPECT_EQ(violation.param, 7);
+  EXPECT_FALSE(check_wait_freedom(set, 3, 7, 500).has_value());
+}
+
+TEST(PropertySetTest, AgreementIsKSetWithKOne) {
+  const PropertySet set = PropertySet::classic({1, 2});
+  std::vector<typesys::Value> distinct;
+  std::vector<std::uint8_t> ever;
+  std::vector<typesys::Value> last;
+
+  EXPECT_FALSE(check_output(set, 0, 2, distinct, ever, last).has_value());
+  EXPECT_FALSE(check_output(set, 1, 2, distinct, ever, last).has_value());
+  ASSERT_EQ(distinct.size(), 1u);  // duplicates do not grow the set
+
+  const auto violation = check_output(set, 1, 1, distinct, ever, last);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->property, PropertyKind::kAgreement);
+  EXPECT_EQ(violation->description,
+            "agreement violated: process 1 decided 1 but an earlier output was 2");
+}
+
+TEST(PropertySetTest, ValidityRejectsOutputsOutsideTheSet) {
+  const PropertySet set = PropertySet::classic({1, 2});
+  std::vector<typesys::Value> distinct;
+  std::vector<std::uint8_t> ever;
+  std::vector<typesys::Value> last;
+  const auto violation = check_output(set, 0, 99, distinct, ever, last);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->property, PropertyKind::kValidity);
+  EXPECT_TRUE(distinct.empty());  // an invalid output never joins the set
+}
+
+TEST(PropertySetTest, KSetAgreementAllowsKDistinctOutputs) {
+  PropertySet set = PropertySet::none();
+  set.add({PropertyKind::kKSetAgreement, 2});
+  EXPECT_EQ(set.agreement_k(), 2);
+
+  std::vector<typesys::Value> distinct;
+  std::vector<std::uint8_t> ever;
+  std::vector<typesys::Value> last;
+  EXPECT_FALSE(check_output(set, 0, 101, distinct, ever, last).has_value());
+  EXPECT_FALSE(check_output(set, 1, 202, distinct, ever, last).has_value());
+  EXPECT_FALSE(check_output(set, 2, 101, distinct, ever, last).has_value());
+  ASSERT_EQ(distinct.size(), 2u);
+
+  const auto violation = check_output(set, 2, 303, distinct, ever, last);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->property, PropertyKind::kKSetAgreement);
+  EXPECT_EQ(violation->param, 2);
+  EXPECT_NE(violation->description.find("k-set agreement violated (k=2)"),
+            std::string::npos);
+}
+
+TEST(PropertySetTest, AtMostOnceDecideCatchesUnstableReDecisions) {
+  PropertySet set = PropertySet::none();
+  set.add({PropertyKind::kKSetAgreement, 2});
+  set.add({PropertyKind::kAtMostOnceDecide, 0});
+  ASSERT_TRUE(set.at_most_once());
+
+  std::vector<typesys::Value> distinct;
+  std::vector<std::uint8_t> ever(2, 0);
+  std::vector<typesys::Value> last(2, 0);
+  EXPECT_FALSE(check_output(set, 0, 101, distinct, ever, last).has_value());
+  // Re-deciding the same value after a crash is stability, not a violation.
+  EXPECT_FALSE(check_output(set, 0, 101, distinct, ever, last).has_value());
+  // p1 outputs a second distinct value: fine for k=2...
+  EXPECT_FALSE(check_output(set, 1, 202, distinct, ever, last).has_value());
+  // ...but p0 flipping to it is exactly what at-most-once exists to catch —
+  // k-set agreement alone would accept this.
+  const auto violation = check_output(set, 0, 202, distinct, ever, last);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->property, PropertyKind::kAtMostOnceDecide);
+  EXPECT_NE(violation->description.find("after deciding 101"), std::string::npos);
+}
+
+TEST(PropertySetTest, NamesRoundTripForEveryKind) {
+  for (const PropertyKind kind :
+       {PropertyKind::kAgreement, PropertyKind::kKSetAgreement,
+        PropertyKind::kValidity, PropertyKind::kWaitFreedom,
+        PropertyKind::kAtMostOnceDecide}) {
+    EXPECT_EQ(property_from_name(property_name(kind)), kind);
+  }
+  EXPECT_EQ(property_from_name("frobnication"), PropertyKind::kNone);
+  EXPECT_EQ(property_from_name("none"), PropertyKind::kNone);
+}
+
+TEST(PropertySetTest, LabelJoinsNamesInAddOrder) {
+  PropertySet set = PropertySet::none();
+  set.add({PropertyKind::kKSetAgreement, 3});
+  set.add({PropertyKind::kValidity, 0});
+  set.add({PropertyKind::kAtMostOnceDecide, 0});
+  EXPECT_EQ(set.label(), "k-set-agreement,validity,at-most-once");
+}
+
+}  // namespace
+}  // namespace rcons::sim

@@ -26,7 +26,7 @@ TEST(RandomRunnerTest, CompletesAndAgrees) {
   RandomRunConfig config;
   config.seed = 7;
   config.crash_per_mille = 100;
-  config.valid_outputs = {1, 2, 3, 4};
+  config.properties.valid_outputs = {1, 2, 3, 4};
   const auto report = run_random(std::move(memory), std::move(processes), config);
   EXPECT_TRUE(report.all_decided);
   EXPECT_FALSE(report.violation.has_value());
