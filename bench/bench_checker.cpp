@@ -7,8 +7,11 @@
 // BENCH_checker.json.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <ctime>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "check/check.hpp"
 #include "hierarchy/discerning.hpp"
@@ -68,13 +71,30 @@ void BM_CheckTeamConsensus(benchmark::State& state) {
   }
 }
 
+// UTC wall-clock for the JSON rows: comparing artifacts from different
+// machines/runs needs to know *when* and on *how many cores* each was made.
+std::string iso8601_now() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
+}
+
 // The facade path timed once per budget, written to BENCH_checker.json so the
-// perf trajectory accumulates without parsing benchmark text output.
+// perf trajectory accumulates without parsing benchmark text output. Every row
+// carries hardware_concurrency + wall_clock so artifacts produced on small CI
+// runners are detectable after the fact.
 void write_checker_json() {
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
   std::ofstream json_file("BENCH_checker.json");
   util::JsonWriter json(json_file);
   json.begin_object();
   json.key_value("bench", "checker");
+  json.key_value("hardware_concurrency", static_cast<std::int64_t>(hardware_threads));
+  json.key_value("wall_clock", iso8601_now());
   json.key("rows");
   json.begin_array();
   for (int crash_budget = 0; crash_budget <= 3; ++crash_budget) {
@@ -87,6 +107,9 @@ void write_checker_json() {
     json.key_value("verdict", report.clean ? "clean" : "violation");
     json.key_value("visited", report.stats.visited);
     json.key_value("seconds", report.seconds);
+    json.key_value("hardware_concurrency",
+                   static_cast<std::int64_t>(hardware_threads));
+    json.key_value("wall_clock", iso8601_now());
     json.end_object();
   }
   json.end_array();

@@ -28,8 +28,16 @@
 // Exits non-zero when any configuration disagrees on verdict or
 // visited-state count (verdicts_consistent:false in the JSON) — the CI bench
 // smoke job relies on this.
+//
+// Every JSON row carries `hardware_concurrency` and a `wall_clock` stamp so
+// an archived artifact is self-describing: a t=8 row produced on a 1-core
+// runner is detectable (and such rows are flagged `oversubscribed`; the
+// table prints their speedup as "-" since a thread count above the core
+// count measures scheduler thrash, not parallel scaling).
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -126,6 +134,17 @@ std::string fixed(double value, int precision) {
   return out.str();
 }
 
+// UTC wall-clock stamp (ISO 8601) so archived bench artifacts are dateable.
+std::string iso8601_now() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
+}
+
 double states_per_sec(const RunOutcome& outcome) {
   return outcome.seconds > 0.0
              ? static_cast<double>(outcome.visited) / outcome.seconds
@@ -182,31 +201,45 @@ int main(int argc, char** argv) {
                      "states/s", "B/node", "batch", "cache%", "probe", "speedup"});
   bool verdicts_consistent = true;
 
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+
   std::ofstream json_file("BENCH_parallel_engine.json");
   util::JsonWriter json(json_file);
   json.begin_object();
   json.key_value("bench", "parallel_engine");
   json.key_value("repeats", repeats);
   json.key_value("hardware_concurrency",
-                 static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+                 static_cast<std::uint64_t>(hardware_threads));
+  json.key_value("wall_clock", iso8601_now());
   json.key("rows");
   json.begin_array();
 
   auto emit = [&](const Instance& instance, const std::string& config_label,
                   int threads, const RunOutcome& outcome, double speedup) {
     const sim::HotPathStats& hot = outcome.stats.hot;
-    table.add_row({instance.label, config_label, outcome.clean ? "clean" : "VIOLATION",
+    // Requesting more workers than the machine has cores measures scheduler
+    // thrash, not scaling: flag the row and withhold the speedup figure.
+    const bool oversubscribed =
+        threads > 0 && static_cast<unsigned>(threads) > hardware_threads;
+    table.add_row({instance.label,
+                   oversubscribed ? config_label + " (oversub)" : config_label,
+                   outcome.clean ? "clean" : "VIOLATION",
                    std::to_string(outcome.visited), fixed(outcome.seconds, 3),
                    fixed(states_per_sec(outcome), 0),
                    fixed(outcome.stats.store.bytes_per_node(), 1),
                    fixed(hot.avg_batch(), 1),
                    fixed(100.0 * hot.cache_hit_rate(), 0),
-                   fixed(hot.avg_probe(), 2), fixed(speedup, 3) + "x"});
+                   fixed(hot.avg_probe(), 2),
+                   oversubscribed ? "-" : fixed(speedup, 3) + "x"});
     json.begin_object();
     json.key_value("instance", instance.label);
     json.key_value("config", config_label);
     json.key_value("strategy", check::strategy_name(outcome.strategy));
     json.key_value("threads", threads);
+    json.key_value("hardware_concurrency",
+                   static_cast<std::uint64_t>(hardware_threads));
+    json.key_value("wall_clock", iso8601_now());
+    json.key_value("oversubscribed", oversubscribed);
     json.key_value("verdict", outcome.clean ? "clean" : "violation");
     json.key_value("visited", outcome.visited);
     json.key_value("seconds", outcome.seconds);

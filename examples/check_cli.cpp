@@ -6,8 +6,10 @@
 //   $ check_cli scenarios.spec --strategy=bfs --threads=8
 //   $ check_cli scenarios.spec --strategy=random --runs=500 --seed=7
 //   $ check_cli scenarios.spec --minimize --save-viol=corpus/
+//   $ check_cli scenarios.spec --progress         # live stderr heartbeat
+//   $ check_cli scenarios.spec --trace-out=trace.json --metrics-out=m.jsonl
 //   $ check_cli corpus/register_race.viol         # replay a violation file
-//   $ check_cli --list                            # grammar vocabulary
+//   $ check_cli --list                            # grammar + obs vocabulary
 //
 // Each line of the spec file describes one scenario (see
 // examples/scenarios/default.spec for the grammar; algo= selects the
@@ -21,9 +23,20 @@
 // codes: 0 = all scenarios clean (or, for a .viol input, the violation
 // reproduced), 1 = violation found (or a .viol failed to reproduce), 2 = bad
 // usage or input file.
+//
+// Observability (obs/session.hpp): --progress prints a rate-limited stderr
+// heartbeat (states/s, frontier size, dedup rate, ETA vs budget),
+// --trace-out=F exports phase + worker spans as Chrome trace-event JSON
+// (load F in https://ui.perfetto.dev), --metrics-out=F streams periodic
+// JSONL registry snapshots, --obs-interval-ms=N tunes the sampler period.
+// The written trace is self-validated (obs::validate_chrome_trace); an
+// invalid or unwritable trace exits 2. `--list` also prints every documented
+// metric and span name.
 #include <cctype>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -32,6 +45,7 @@
 #include "check/scenario_spec.hpp"
 #include "check/spec_system.hpp"
 #include "check/violation_io.hpp"
+#include "obs/session.hpp"
 #include "sim/replay.hpp"
 #include "typesys/zoo.hpp"
 #include "util/table.hpp"
@@ -50,6 +64,10 @@ struct CliOptions {
   bool minimize = false;
   bool list = false;
   std::string save_viol_dir;
+  bool progress = false;
+  std::string trace_out;
+  std::string metrics_out;
+  int obs_interval_ms = 500;
 };
 
 bool parse_args(int argc, char** argv, CliOptions& options) {
@@ -83,6 +101,18 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.list = true;
     } else if (arg.rfind("--save-viol=", 0) == 0) {
       options.save_viol_dir = arg.substr(12);
+    } else if (arg == "--progress") {
+      options.progress = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      options.trace_out = arg.substr(12);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      options.metrics_out = arg.substr(14);
+    } else if (arg.rfind("--obs-interval-ms=", 0) == 0) {
+      options.obs_interval_ms = std::atoi(arg.c_str() + 18);
+      if (options.obs_interval_ms <= 0) {
+        std::cerr << "--obs-interval-ms needs a positive integer\n";
+        return false;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option " << arg << "\n";
       return false;
@@ -98,7 +128,9 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
                  "                 [--strategy=auto|dfs|bfs|random] [--threads=N]\n"
                  "                 [--runs=R] [--seed=S] [--trace] [--minimize]\n"
                  "                 [--save-viol=DIR]\n"
-                 "       check_cli --list   # spec grammar vocabulary\n";
+                 "                 [--progress] [--trace-out=FILE.json]\n"
+                 "                 [--metrics-out=FILE.jsonl] [--obs-interval-ms=N]\n"
+                 "       check_cli --list   # spec grammar + observability vocabulary\n";
     return false;
   }
   return true;
@@ -133,6 +165,15 @@ int print_list() {
 
   std::cout << "\nstrategies (--strategy=...):\n"
             << "  auto | dfs | bfs | random (plus .viol replay via a file argument)\n";
+
+  std::cout << "\nmetrics (--metrics-out / --progress / CheckReport.metrics):\n";
+  for (const obs::NameDoc& doc : obs::metric_names()) {
+    std::cout << "  " << doc.name << "  " << doc.doc << "\n";
+  }
+  std::cout << "\nspans (--trace-out):\n";
+  for (const obs::NameDoc& doc : obs::span_names()) {
+    std::cout << "  " << doc.name << "  " << doc.doc << "\n";
+  }
   return 0;
 }
 
@@ -155,7 +196,7 @@ check::Budget spec_budget(const check::ScenarioSpec& spec) {
 }
 
 // Replays one persisted violation file and reports whether it reproduces.
-int replay_violation_file(const CliOptions& options) {
+int replay_violation_file(const CliOptions& options, obs::Hooks hooks) {
   const check::ViolationParse parse = check::load_violation_file(options.input_file);
   if (!parse.ok()) {
     for (const std::string& error : parse.errors) std::cerr << error << "\n";
@@ -168,6 +209,7 @@ int replay_violation_file(const CliOptions& options) {
   request.budget = spec_budget(file.scenario);
   request.strategy = check::Strategy::kReplay;
   request.schedule = file.schedule;
+  request.obs = hooks;
   const check::CheckReport report = check::check(std::move(request));
 
   std::cout << check::spec_display_name(file.scenario) << ": ";
@@ -180,28 +222,40 @@ int replay_violation_file(const CliOptions& options) {
   return 1;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  CliOptions options;
-  if (!parse_args(argc, argv, options)) return 2;
-  if (options.list) return print_list();
-
-  if (options.input_file.size() > 5 &&
-      options.input_file.rfind(".viol") == options.input_file.size() - 5) {
-    return replay_violation_file(options);
+// Runs every scenario of a spec file; returns the process exit code.
+int run_spec_file(const CliOptions& options, obs::Hooks hooks) {
+  check::ScenarioParse parse;
+  {
+    obs::Span span(hooks.tracer, 0, "spec_parse");
+    parse = check::load_scenario_file(options.input_file);
   }
-
-  const check::ScenarioParse parse = check::load_scenario_file(options.input_file);
   if (!parse.ok()) {
     for (const std::string& error : parse.errors) std::cerr << error << "\n";
     return 2;
   }
 
+  if (hooks.metrics != nullptr) {
+    hooks.metrics->gauge("portfolio.scenarios_total")
+        .set(static_cast<std::int64_t>(parse.specs.size()));
+  }
+
   util::Table table(
       {"scenario", "strategy", "verdict", "visited", "runs", "time(s)"});
   int violations = 0;
+  std::size_t scenario_index = 0;
   for (const check::ScenarioSpec& spec : parse.specs) {
+    scenario_index += 1;
+    if (hooks.metrics != nullptr) {
+      // Per-scenario counters, same contract as Portfolio::run_all(): clear
+      // the previous scenario's totals, keep the portfolio.* gauges.
+      hooks.metrics->reset("check.");
+      hooks.metrics->reset("engine.");
+      hooks.metrics->reset("store.");
+      hooks.metrics->reset("random.");
+      hooks.metrics->reset("replay.");
+      hooks.metrics->gauge("portfolio.scenario_index")
+          .set(static_cast<std::int64_t>(scenario_index));
+    }
     check::CheckRequest request;
     request.system = check::build_spec_system(spec);
     request.budget = spec_budget(spec);
@@ -209,6 +263,7 @@ int main(int argc, char** argv) {
     request.num_threads = options.num_threads;
     request.runs = options.runs;
     request.seed = options.seed;
+    request.obs = hooks;
 
     // minimize/save need a pristine copy after check() consumes the request.
     const check::ScenarioSystem pristine =
@@ -240,6 +295,7 @@ int main(int argc, char** argv) {
       violations += 1;
       sim::Violation violation = *report.violation;
       if (options.minimize) {
+        obs::Span span(hooks.tracer, 0, "minimize");
         const check::MinimizeResult minimized =
             check::minimize(pristine, budget, violation);
         std::cerr << name << ": minimized " << minimized.original_events << " -> "
@@ -285,4 +341,52 @@ int main(int argc, char** argv) {
   std::cout << "\n" << parse.specs.size() - static_cast<std::size_t>(violations) << "/"
             << parse.specs.size() << " scenarios clean.\n";
   return violations == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse_args(argc, argv, options)) return 2;
+  if (options.list) return print_list();
+
+  obs::SessionOptions session_options;
+  session_options.progress = options.progress;
+  session_options.trace_out = options.trace_out;
+  session_options.metrics_out = options.metrics_out;
+  session_options.interval_ms = options.obs_interval_ms;
+  std::optional<obs::Session> session;
+  if (session_options.any_enabled()) session.emplace(std::move(session_options));
+  const obs::Hooks hooks = session.has_value() ? session->hooks() : obs::Hooks{};
+
+  int exit_code;
+  if (options.input_file.size() > 5 &&
+      options.input_file.rfind(".viol") == options.input_file.size() - 5) {
+    exit_code = replay_violation_file(options, hooks);
+  } else {
+    exit_code = run_spec_file(options, hooks);
+  }
+
+  if (session.has_value()) {
+    std::string error;
+    if (!session->finish(&error)) {
+      std::cerr << "obs: " << error << "\n";
+      return 2;
+    }
+    if (!options.trace_out.empty()) {
+      // Self-check the exported trace so a broken trace fails loudly here
+      // rather than silently in a viewer (CI relies on this exit code).
+      std::ifstream in(options.trace_out);
+      if (!in.is_open()) {
+        std::cerr << "obs: cannot reopen trace file " << options.trace_out << "\n";
+        return 2;
+      }
+      if (!obs::validate_chrome_trace(in, &error)) {
+        std::cerr << "obs: invalid trace " << options.trace_out << ": " << error
+                  << "\n";
+        return 2;
+      }
+    }
+  }
+  return exit_code;
 }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "engine/parallel_explorer.hpp"
+#include "obs/trace.hpp"
 #include "sim/explorer.hpp"
 #include "sim/random_runner.hpp"
 #include "sim/replay.hpp"
@@ -21,16 +22,21 @@ sim::ExplorerConfig explorer_config(const CheckRequest& request) {
   config.properties = request.system.properties;
   config.node_repr = request.node_repr;
   config.symmetry_classes = request.system.symmetry_classes;
+  config.obs = request.obs;
   return config;
 }
 
-CheckReport run_sequential(const CheckRequest& request, std::uint64_t max_visited) {
+CheckReport run_sequential(const CheckRequest& request, std::uint64_t max_visited,
+                           const char* span_name = "explore") {
   sim::ExplorerConfig config = explorer_config(request);
   config.max_visited = static_cast<std::int64_t>(max_visited);
   sim::Explorer explorer(request.system.memory, request.system.processes, config);
   CheckReport report;
   report.strategy = Strategy::kSequentialDFS;
-  report.violation = explorer.run();
+  {
+    obs::Span span(request.obs.tracer, 0, span_name);
+    report.violation = explorer.run();
+  }
   report.stats = explorer.stats();
   report.clean = !report.violation.has_value();
   report.complete = !report.stats.truncated;
@@ -48,7 +54,10 @@ CheckReport run_parallel(const CheckRequest& request,
                                     config);
   CheckReport report;
   report.strategy = Strategy::kParallelBFS;
-  report.violation = explorer.run();
+  {
+    obs::Span span(request.obs.tracer, 0, "explore");
+    report.violation = explorer.run();
+  }
   report.stats = explorer.stats();
   report.clean = !report.violation.has_value();
   report.complete = !report.stats.truncated;
@@ -61,6 +70,7 @@ CheckReport run_randomized(const CheckRequest& request) {
   config.properties = request.system.properties;
   config.crash_per_mille = request.crash_per_mille;
   config.max_total_steps = request.max_total_steps;
+  config.obs = request.obs;
 
   CheckReport report;
   report.strategy = Strategy::kRandomized;
@@ -92,7 +102,8 @@ CheckReport run_randomized(const CheckRequest& request) {
 CheckReport run_replay(const CheckRequest& request) {
   sim::ReplayReport replay_report =
       sim::replay(request.system.memory, request.system.processes, request.schedule,
-                  request.system.properties, request.budget.max_steps_per_run);
+                  request.system.properties, request.budget.max_steps_per_run,
+                  request.obs);
   CheckReport report;
   report.strategy = Strategy::kReplay;
   report.complete = false;  // one schedule, not the whole graph
@@ -118,9 +129,18 @@ CheckReport run_auto(const CheckRequest& request) {
       request.auto_probe_limit < request.budget.visited_cap()
           ? request.auto_probe_limit
           : request.budget.visited_cap();
-  CheckReport probe = run_sequential(request, probe_limit);
+  CheckReport probe = run_sequential(request, probe_limit, "probe");
   if (!probe.stats.truncated || probe_limit == request.budget.visited_cap()) {
     return probe;  // small instance, or the real budget was the probe budget
+  }
+  if (request.obs.tracer != nullptr) request.obs.tracer->instant(0, "auto_select");
+  if (request.obs.metrics != nullptr) {
+    // Keep the probe's count (it is real signal about the instance) but clear
+    // its engine/store totals so the escalated run's counters match the
+    // winning backend's ExplorerStats exactly.
+    request.obs.metrics->counter("check.probe_visited").add(0, probe.stats.visited);
+    request.obs.metrics->reset("engine.");
+    request.obs.metrics->reset("store.");
   }
   // The probe's visited count is a lower bound on the state space — enough
   // signal for the engine to auto-tune shard_bits (engine::pick_shard_bits).
@@ -150,22 +170,28 @@ CheckReport check(CheckRequest request) {
                    "a CheckRequest needs at least one process");
   const auto start = Clock::now();
   CheckReport report;
-  switch (request.strategy) {
-    case Strategy::kAuto:
-      report = run_auto(request);
-      break;
-    case Strategy::kSequentialDFS:
-      report = run_sequential(request, request.budget.max_visited);
-      break;
-    case Strategy::kParallelBFS:
-      report = run_parallel(request);
-      break;
-    case Strategy::kRandomized:
-      report = run_randomized(request);
-      break;
-    case Strategy::kReplay:
-      report = run_replay(request);
-      break;
+  {
+    obs::Span span(request.obs.tracer, 0, "check");
+    switch (request.strategy) {
+      case Strategy::kAuto:
+        report = run_auto(request);
+        break;
+      case Strategy::kSequentialDFS:
+        report = run_sequential(request, request.budget.max_visited);
+        break;
+      case Strategy::kParallelBFS:
+        report = run_parallel(request);
+        break;
+      case Strategy::kRandomized:
+        report = run_randomized(request);
+        break;
+      case Strategy::kReplay:
+        report = run_replay(request);
+        break;
+    }
+  }
+  if (request.obs.metrics != nullptr) {
+    report.metrics = request.obs.metrics->snapshot();
   }
   report.seconds = std::chrono::duration<double>(Clock::now() - start).count();
   return report;

@@ -38,6 +38,8 @@
 #include <vector>
 
 #include "check/budget.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
 #include "sim/explorer_config.hpp"
 #include "sim/memory.hpp"
 #include "sim/process.hpp"
@@ -103,6 +105,17 @@ struct CheckRequest {
 
   // kReplay:
   std::vector<sim::ScheduleEvent> schedule;
+
+  // Observability sinks (obs/hooks.hpp), forwarded to whichever backend runs:
+  // a metrics registry receives the check./engine./store./random./replay.*
+  // taxonomy (obs/session.cpp lists it), a tracer receives phase and worker
+  // spans. Null members (the default) disable the instrumentation. The
+  // registry is not reset by check() — callers sharing one registry across
+  // checks reset between them; the kAuto escalation path does reset the
+  // engine.* and store.* prefixes so the winning backend's totals are not
+  // polluted by the probe's (the probe's count survives as
+  // check.probe_visited).
+  obs::Hooks obs;
 };
 
 // Merged superset of ExplorerStats / RandomRunReport / ReplayReport.
@@ -127,6 +140,12 @@ struct CheckReport {
   // kReplay (and the violating/last run of kRandomized):
   std::vector<typesys::Value> outputs;
   std::vector<std::optional<typesys::Value>> decisions;
+
+  // Final aggregated state of the request's metrics registry (empty when no
+  // registry was installed). Taken after the backend finished, so e.g.
+  // engine.visited_states here equals stats.visited for the exhaustive
+  // strategies — tests/obs/metrics_test.cpp pins that equality.
+  obs::MetricsSnapshot metrics;
 
   double seconds = 0.0;  // wall time of the whole check
 };

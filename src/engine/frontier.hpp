@@ -121,8 +121,13 @@ class FrontierT {
   // first, exactly as the steal-then-re-pop path used to. Returns the number
   // of items appended; 0 means every deque was (momentarily) empty — the
   // caller decides via its pending-work counter whether that means done.
-  std::size_t pop_batch(int worker, std::vector<Item>& out, std::size_t max) {
+  // `stole`, when non-null, reports whether the returned items came from a
+  // victim's deque rather than the worker's own (observability: the engine
+  // emits a "steal" span for these).
+  std::size_t pop_batch(int worker, std::vector<Item>& out, std::size_t max,
+                        bool* stole = nullptr) {
     RCONS_ASSERT(max >= 1);
+    if (stole != nullptr) *stole = false;
     Deque& own = *deques_[static_cast<std::size_t>(worker)];
     {
       std::lock_guard<std::mutex> lock(own.mu);
@@ -149,6 +154,7 @@ class FrontierT {
       if (take > kMaxStealBatch) take = kMaxStealBatch;
       if (take > max) take = max;
       from.take_front(take, out);
+      if (stole != nullptr) *stole = true;
       steals_.fetch_add(1, std::memory_order_relaxed);
       stolen_items_.fetch_add(take, std::memory_order_relaxed);
       pop_batches_.fetch_add(1, std::memory_order_relaxed);

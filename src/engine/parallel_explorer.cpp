@@ -1,7 +1,9 @@
 #include "engine/parallel_explorer.hpp"
 
+#include <string>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace rcons::engine {
@@ -105,7 +107,33 @@ void ParallelExplorer::record_truncation(const PathLink* tail, const Event& even
     truncated_.store(true, std::memory_order_relaxed);
     truncation_path_ = materialize_path(tail);
     truncation_path_.push_back(event);
+    if (obs_cells_.active) obs_cells_.truncations->add(0, 1);
   }
+}
+
+void ParallelExplorer::flush_worker_obs(std::size_t lane, WorkerStats& last_flushed,
+                                        const WorkerStats& local,
+                                        std::uint64_t pending_now) {
+  ObsDeltas delta;
+  delta.visited = local.visited - last_flushed.visited;
+  delta.transitions = local.transitions - last_flushed.transitions;
+  delta.decisions = local.decisions - last_flushed.decisions;
+  delta.terminal_states = local.terminal_states - last_flushed.terminal_states;
+  delta.duplicates = local.duplicates - last_flushed.duplicates;
+  delta.violation_edges = local.violation_edges - last_flushed.violation_edges;
+  delta.encodes = local.encodes - last_flushed.encodes;
+  delta.canonical_hits = local.canonical_hits - last_flushed.canonical_hits;
+  delta.nodes = local.store_nodes - last_flushed.store_nodes;
+  delta.value_bytes = local.store_bytes - last_flushed.store_bytes;
+  delta.cache_probes = local.cache_probes - last_flushed.cache_probes;
+  delta.cache_hits = local.cache_hits - last_flushed.cache_hits;
+  delta.batches = local.batches - last_flushed.batches;
+  delta.batched_items = local.batched_items - last_flushed.batched_items;
+  obs_cells_.flush(lane, delta);
+  // Any recent writer's view of the pending count is equally good (gauge is
+  // last-write-wins), so a plain relaxed sample suffices.
+  obs_cells_.frontier_pending->set(static_cast<std::int64_t>(pending_now));
+  last_flushed = local;
 }
 
 void ParallelExplorer::worker_legacy(int id, Frontier& frontier,
@@ -122,15 +150,37 @@ void ParallelExplorer::worker_legacy(int id, Frontier& frontier,
   std::vector<WorkItem> successors;
   DedupCache cache;
 
+  // Observability: metrics flush at batch boundaries (obs_cells_ inactive =
+  // one predicted branch per batch), spans on the tracer's worker lane.
+  obs::Tracer* const tracer = config_.obs.tracer;
+  const std::size_t obs_lane = 1 + static_cast<std::size_t>(id);
+  const std::size_t trace_lane = tracer != nullptr ? tracer->worker_lane(id) : 0;
+  if (tracer != nullptr) {
+    tracer->set_lane_name(trace_lane, "worker-" + std::to_string(id));
+  }
+  WorkerStats flushed;
+  const std::uint64_t worker_begin = tracer != nullptr ? tracer->now_us() : 0;
+  std::uint64_t batch_begin = 0;
+
   for (;;) {
     if (batch.empty()) {
-      if (frontier.pop_batch(id, batch, kPopBatch) == 0) {
+      if (obs_cells_.active) {
+        flush_worker_obs(obs_lane, flushed, local,
+                         pending.load(std::memory_order_relaxed));
+      }
+      const std::uint64_t pop_begin = tracer != nullptr ? tracer->now_us() : 0;
+      bool stole = false;
+      if (frontier.pop_batch(id, batch, kPopBatch, &stole) == 0) {
         // pending counts items queued, locally buffered, or mid-expansion;
         // 0 means fully drained. After a stop, queued items are still popped
         // (and skipped) below, so the counter always reaches 0.
-        if (pending.load(std::memory_order_acquire) == 0) return;
+        if (pending.load(std::memory_order_acquire) == 0) break;
         std::this_thread::yield();
         continue;
+      }
+      if (tracer != nullptr) {
+        batch_begin = tracer->now_us();
+        if (stole) tracer->complete(trace_lane, "steal", pop_begin, batch_begin);
       }
     }
     WorkItem item = std::move(batch.back());
@@ -146,6 +196,7 @@ void ParallelExplorer::worker_legacy(int id, Frontier& frontier,
         local.transitions += 1;
         Node child = item.node;
         if (auto broken = apply_event(child, event, config_)) {
+          local.violation_edges += 1;
           std::vector<Event> path = materialize_path(item.tail);
           path.push_back(event);
           offer_violation(std::move(path), std::move(*broken));
@@ -156,16 +207,19 @@ void ParallelExplorer::worker_legacy(int id, Frontier& frontier,
         local.cache_probes += 1;
         if (cache.seen(key)) {
           local.cache_hits += 1;
+          local.duplicates += 1;
           continue;
         }
         if (!visited.insert(key)) {
           cache.remember(key);
+          local.duplicates += 1;
           continue;
         }
         cache.remember(key);
 
         const std::uint64_t count =
             visited_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+        local.visited += 1;
         if (count > config_.visited_cap()) {
           record_truncation(item.tail, event);
           break;
@@ -177,12 +231,26 @@ void ParallelExplorer::worker_legacy(int id, Frontier& frontier,
       if (!successors.empty()) {
         local.batches += 1;
         local.batched_items += successors.size();
+        if (obs_cells_.active) {
+          obs_cells_.batch_size->record(obs_lane, successors.size());
+        }
         pending.fetch_add(successors.size(), std::memory_order_release);
         frontier.push_batch(id, successors);
         successors.clear();
       }
     }
     pending.fetch_sub(1, std::memory_order_release);
+    if (tracer != nullptr && batch.empty()) {
+      tracer->complete(trace_lane, "expand_batch", batch_begin, tracer->now_us());
+    }
+  }
+
+  if (obs_cells_.active) {
+    flush_worker_obs(obs_lane, flushed, local,
+                     pending.load(std::memory_order_relaxed));
+  }
+  if (tracer != nullptr) {
+    tracer->complete(trace_lane, "worker", worker_begin, tracer->now_us());
   }
 }
 
@@ -203,12 +271,34 @@ void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
   std::vector<CompactWorkItem> successors;
   DedupCache cache;
 
+  // Observability: metrics flush at batch boundaries (obs_cells_ inactive =
+  // one predicted branch per batch), spans on the tracer's worker lane.
+  obs::Tracer* const tracer = config_.obs.tracer;
+  const std::size_t obs_lane = 1 + static_cast<std::size_t>(id);
+  const std::size_t trace_lane = tracer != nullptr ? tracer->worker_lane(id) : 0;
+  if (tracer != nullptr) {
+    tracer->set_lane_name(trace_lane, "worker-" + std::to_string(id));
+  }
+  WorkerStats flushed;
+  const std::uint64_t worker_begin = tracer != nullptr ? tracer->now_us() : 0;
+  std::uint64_t batch_begin = 0;
+
   for (;;) {
     if (batch.empty()) {
-      if (frontier.pop_batch(id, batch, kPopBatch) == 0) {
-        if (pending.load(std::memory_order_acquire) == 0) return;
+      if (obs_cells_.active) {
+        flush_worker_obs(obs_lane, flushed, local,
+                         pending.load(std::memory_order_relaxed));
+      }
+      const std::uint64_t pop_begin = tracer != nullptr ? tracer->now_us() : 0;
+      bool stole = false;
+      if (frontier.pop_batch(id, batch, kPopBatch, &stole) == 0) {
+        if (pending.load(std::memory_order_acquire) == 0) break;
         std::this_thread::yield();
         continue;
+      }
+      if (tracer != nullptr) {
+        batch_begin = tracer->now_us();
+        if (stole) tracer->complete(trace_lane, "steal", pop_begin, batch_begin);
       }
     }
     const CompactWorkItem item = batch.back();
@@ -234,6 +324,7 @@ void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
         Node& next = i == 0 ? parent : child;
         if (i != 0) codec.decode(item.record, item.length, child);
         if (auto broken = apply_event(next, event, config_)) {
+          local.violation_edges += 1;
           std::vector<Event> path = materialize_path(item.tail);
           path.push_back(event);
           offer_violation(std::move(path), std::move(*broken));
@@ -246,15 +337,23 @@ void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
         local.cache_probes += 1;
         if (cache.seen(encoded.fingerprint)) {
           local.cache_hits += 1;
+          local.duplicates += 1;
           continue;  // guaranteed duplicate: skip the shard lock entirely
         }
         const NodeStore::Intern interned =
             store.intern(encoded.fingerprint, child_record);
         cache.remember(encoded.fingerprint);
-        if (!interned.inserted) continue;
+        if (!interned.inserted) {
+          local.duplicates += 1;
+          continue;
+        }
+        local.store_nodes += 1;
+        local.store_bytes +=
+            static_cast<std::uint64_t>(interned.length) * sizeof(typesys::Value);
 
         const std::uint64_t count =
             visited_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+        local.visited += 1;
         if (count > config_.visited_cap()) {
           record_truncation(item.tail, event);
           break;
@@ -267,12 +366,26 @@ void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
       if (!successors.empty()) {
         local.batches += 1;
         local.batched_items += successors.size();
+        if (obs_cells_.active) {
+          obs_cells_.batch_size->record(obs_lane, successors.size());
+        }
         pending.fetch_add(successors.size(), std::memory_order_release);
         frontier.push_batch(id, successors);
         successors.clear();
       }
     }
     pending.fetch_sub(1, std::memory_order_release);
+    if (tracer != nullptr && batch.empty()) {
+      tracer->complete(trace_lane, "expand_batch", batch_begin, tracer->now_us());
+    }
+  }
+
+  if (obs_cells_.active) {
+    flush_worker_obs(obs_lane, flushed, local,
+                     pending.load(std::memory_order_relaxed));
+  }
+  if (tracer != nullptr) {
+    tracer->complete(trace_lane, "worker", worker_begin, tracer->now_us());
   }
 }
 
@@ -285,6 +398,14 @@ std::optional<sim::Violation> ParallelExplorer::run() {
   best_path_.clear();
   best_violation_ = sim::PropertyViolation{};
   truncation_path_.clear();
+
+  obs_cells_ = ObsCells::resolve(config_.obs.metrics);
+  if (obs_cells_.active) {
+    obs_cells_.visited_cap->set(static_cast<std::int64_t>(config_.visited_cap()));
+    obs_cells_.num_threads->set(num_threads_);
+    obs_cells_.expected_states->set(
+        static_cast<std::int64_t>(config_.expected_states));
+  }
 
   return compact_ ? run_compact() : run_legacy();
 }
@@ -337,6 +458,17 @@ std::optional<sim::Violation> ParallelExplorer::run_compact() {
     const NodeStore::Intern interned = store.intern(encoded.fingerprint, record);
     pending.fetch_add(1, std::memory_order_release);
     frontier.push(0, CompactWorkItem{interned.record, interned.length, nullptr});
+    if (obs_cells_.active) {
+      // The coordinator's root intern, on lane 0, so store.* totals match
+      // store.stats() exactly (the workers account everything else live).
+      ObsDeltas root_delta;
+      root_delta.nodes = 1;
+      root_delta.value_bytes =
+          static_cast<std::uint64_t>(interned.length) * sizeof(typesys::Value);
+      root_delta.encodes = 1;
+      root_delta.canonical_hits = root_canonical_hits;
+      obs_cells_.flush(0, root_delta);
+    }
   }
 
   std::vector<WorkerStats> worker_stats(static_cast<std::size_t>(num_threads_));
@@ -384,6 +516,21 @@ std::optional<sim::Violation> ParallelExplorer::finish(
   stats_.hot.probe_ops = visited_stats_.probes.probe_ops;
   stats_.hot.max_probe = visited_stats_.probes.max_probe;
   stats_.hot.rehashes = visited_stats_.probes.rehashes;
+
+  if (obs_cells_.active) {
+    // Steal and rehash totals live in the frontier/table internals; publish
+    // them once per run rather than threading handles through those layers.
+    if (frontier_stats_.steals != 0) {
+      obs_cells_.steals->add(0, frontier_stats_.steals);
+    }
+    if (frontier_stats_.stolen_items != 0) {
+      obs_cells_.stolen_items->add(0, frontier_stats_.stolen_items);
+    }
+    if (stats_.hot.rehashes != 0) {
+      obs_cells_.store_rehashes->add(0, stats_.hot.rehashes);
+    }
+    obs_cells_.frontier_pending->set(0);
+  }
 
   if (has_violation_) {
     return sim::Violation{best_violation_.description, best_violation_.property,

@@ -53,6 +53,7 @@
 #include "engine/expand.hpp"
 #include "engine/frontier.hpp"
 #include "engine/node_store.hpp"
+#include "engine/obs_cells.hpp"
 #include "engine/path_arena.hpp"
 #include "engine/visited.hpp"
 #include "sim/explorer_config.hpp"
@@ -107,10 +108,23 @@ class ParallelExplorer {
     std::uint64_t batched_items = 0;
     std::uint64_t cache_probes = 0;
     std::uint64_t cache_hits = 0;
+    // Observability-only tallies (not part of ExplorerStats): states this
+    // worker inserted, duplicate successors it skipped, violating edges it
+    // found, and the interned records/bytes it added to the store.
+    std::uint64_t visited = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t violation_edges = 0;
+    std::uint64_t store_nodes = 0;
+    std::uint64_t store_bytes = 0;
   };
 
   std::optional<sim::Violation> run_legacy();
   std::optional<sim::Violation> run_compact();
+
+  // Adds the delta between `local` and the worker's last flush into the
+  // registry cells and refreshes the frontier-pending gauge (obs_cells.hpp).
+  void flush_worker_obs(std::size_t lane, WorkerStats& last_flushed,
+                        const WorkerStats& local, std::uint64_t pending_now);
 
   void worker_legacy(int id, Frontier& frontier, ShardedVisited& visited,
                      PathArena& arena, std::atomic<std::uint64_t>& pending,
@@ -138,6 +152,10 @@ class ParallelExplorer {
   sim::ExplorerStats stats_;
   ShardedVisited::LoadStats visited_stats_;
   Frontier::Stats frontier_stats_;
+
+  // Resolved metric handles for this run (inactive when config_.obs.metrics
+  // is null). Resolved once in run(); workers only touch lane-private cells.
+  ObsCells obs_cells_;
 
   std::atomic<std::uint64_t> visited_count_{0};
   std::atomic<bool> stop_{false};

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "check/spec_system.hpp"
+#include "obs/trace.hpp"
 #include "rc/team_consensus.hpp"
 #include "typesys/object_type.hpp"
 #include "typesys/zoo.hpp"
@@ -80,7 +81,26 @@ void Portfolio::add_specs(const std::vector<check::ScenarioSpec>& specs) {
 std::vector<ScenarioResult> Portfolio::run_all() const {
   std::vector<ScenarioResult> results;
   results.reserve(scenarios_.size());
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->gauge("portfolio.scenarios_total")
+        .set(static_cast<std::int64_t>(scenarios_.size()));
+  }
+  std::size_t index = 0;
   for (const Scenario& scenario : scenarios_) {
+    index += 1;
+    if (config_.obs.metrics != nullptr) {
+      // Per-scenario counters: clear the previous scenario's totals (the
+      // portfolio.* gauges survive — reset is prefix-scoped).
+      config_.obs.metrics->reset("check.");
+      config_.obs.metrics->reset("engine.");
+      config_.obs.metrics->reset("store.");
+      config_.obs.metrics->reset("random.");
+      config_.obs.metrics->reset("replay.");
+      config_.obs.metrics->gauge("portfolio.scenario_index")
+          .set(static_cast<std::int64_t>(index));
+    }
+    obs::Span scenario_span(config_.obs.tracer, 0,
+                            "portfolio_scenario: " + scenario.name);
     ScenarioResult result;
     result.scenario = scenario;
 
@@ -98,6 +118,7 @@ std::vector<ScenarioResult> Portfolio::run_all() const {
     request.strategy = check::Strategy::kAuto;
     request.num_threads = config_.num_threads;
     request.shard_bits = config_.shard_bits;
+    request.obs = config_.obs;
 
     check::CheckReport report = check::check(std::move(request));
     result.clean = report.clean;

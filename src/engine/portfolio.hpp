@@ -62,6 +62,13 @@ struct PortfolioConfig {
   check::Budget budget;
   int num_threads = 0;  // per scenario; 0 = hardware concurrency
   int shard_bits = -1;  // -1 = auto-tune per scenario (engine::pick_shard_bits)
+
+  // Observability sinks (obs/hooks.hpp), forwarded to every scenario's check.
+  // run_all() resets the shared registry's check./engine./store./random./
+  // replay.* prefixes between scenarios (so per-scenario counters read per-
+  // scenario work) and keeps the portfolio.* gauges current; a tracer gets
+  // one "portfolio_scenario" span per scenario.
+  obs::Hooks obs;
 };
 
 class Portfolio {

@@ -1,0 +1,190 @@
+#include "obs/progress.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace rcons::obs {
+
+namespace {
+
+std::uint64_t counter_value(const MetricsSnapshot& snapshot, std::string_view name) {
+  const MetricSample* sample = find_sample(snapshot, name);
+  return sample == nullptr ? 0 : sample->value;
+}
+
+std::string fixed(double value, int precision) {
+  std::ostringstream out;
+  out.precision(precision);
+  out << std::fixed << value;
+  return out.str();
+}
+
+// 740123 -> "740.1k", 2.3e6 -> "2.3M".
+std::string humanize(double value) {
+  if (value >= 1e9) return fixed(value / 1e9, 1) + "G";
+  if (value >= 1e6) return fixed(value / 1e6, 1) + "M";
+  if (value >= 1e3) return fixed(value / 1e3, 1) + "k";
+  return fixed(value, 0);
+}
+
+}  // namespace
+
+std::string render_heartbeat(const MetricsSnapshot& snapshot, double seconds,
+                             double rate) {
+  const std::uint64_t visited = counter_value(snapshot, "engine.visited_states");
+  const std::uint64_t transitions = counter_value(snapshot, "engine.transitions");
+  const std::uint64_t duplicates = counter_value(snapshot, "engine.duplicates");
+  const std::uint64_t nodes = counter_value(snapshot, "store.nodes");
+  const std::uint64_t bytes = counter_value(snapshot, "store.value_bytes");
+
+  std::ostringstream out;
+  out << "[rcons] " << fixed(seconds, 1) << "s";
+  out << " | visited " << humanize(static_cast<double>(visited));
+  out << " | " << (rate < 0 ? std::string("-") : humanize(rate)) << " states/s";
+
+  const MetricSample* frontier = find_sample(snapshot, "engine.frontier_pending");
+  if (frontier != nullptr) {
+    out << " | frontier " << humanize(static_cast<double>(frontier->gauge_value()));
+  }
+  if (transitions > 0) {
+    out << " | dup "
+        << fixed(100.0 * static_cast<double>(duplicates) /
+                     static_cast<double>(transitions),
+                 1)
+        << "%";
+  }
+  if (nodes > 0) {
+    out << " | "
+        << fixed(static_cast<double>(bytes) / static_cast<double>(nodes), 1)
+        << " B/node";
+  }
+
+  const MetricSample* cap = find_sample(snapshot, "engine.visited_cap");
+  if (cap != nullptr && cap->gauge_value() > 0 && rate > 0) {
+    const auto budget = static_cast<std::uint64_t>(cap->gauge_value());
+    if (visited < budget) {
+      const double eta = static_cast<double>(budget - visited) / rate;
+      out << " | budget ETA " << fixed(eta, 0) << "s";
+    } else {
+      out << " | budget exhausted";
+    }
+  }
+
+  const std::uint64_t runs = counter_value(snapshot, "random.runs");
+  if (runs > 0) {
+    out << " | runs " << runs << " steps "
+        << humanize(static_cast<double>(counter_value(snapshot, "random.steps")));
+  }
+  return out.str();
+}
+
+void write_metrics_jsonl(std::ostream& out, const MetricsSnapshot& snapshot,
+                         std::uint64_t t_ms) {
+  util::JsonWriter json(out);
+  json.begin_object();
+  json.key_value("t_ms", t_ms);
+  json.key("metrics");
+  json.begin_object();
+  for (const MetricSample& sample : snapshot) {
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        json.key_value(sample.name, sample.value);
+        break;
+      case MetricKind::kGauge:
+        json.key_value(sample.name, static_cast<long>(sample.gauge_value()));
+        break;
+      case MetricKind::kHistogram:
+        json.key(sample.name);
+        json.begin_object();
+        json.key_value("count", sample.value);
+        json.key_value("sum", sample.sum);
+        json.key_value("max", sample.max);
+        json.end_object();
+        break;
+    }
+  }
+  json.end_object();
+  json.end_object();
+  out << "\n";
+}
+
+Sampler::Sampler(const MetricsRegistry& registry, SamplerOptions options)
+    : registry_(registry), options_(options) {
+  if (options_.interval_ms < 10) options_.interval_ms = 10;
+}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::start() {
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  samples_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+  last_beat_ = epoch_;
+  last_visited_ = 0;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Sampler::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  sample();  // final snapshot so short runs still record one line
+  running_ = false;
+}
+
+void Sampler::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const bool stopping = cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.interval_ms),
+        [this] { return stop_requested_; });
+    if (stopping) return;  // the final sample is taken by stop()
+    lock.unlock();
+    sample();
+    lock.lock();
+  }
+}
+
+void Sampler::sample() {
+  const auto now = std::chrono::steady_clock::now();
+  const MetricsSnapshot snapshot = registry_.snapshot();
+  const auto t_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - epoch_).count());
+  samples_ += 1;
+
+  if (options_.metrics_out != nullptr) {
+    write_metrics_jsonl(*options_.metrics_out, snapshot, t_ms);
+    options_.metrics_out->flush();
+  }
+
+  if (options_.heartbeat_out != nullptr) {
+    const std::uint64_t visited = counter_value(snapshot, "engine.visited_states");
+    const double dt = std::chrono::duration<double>(now - last_beat_).count();
+    double rate = -1.0;
+    if (dt > 0) {
+      // A registry reset between checks moves the counter backwards; restart
+      // the delta from the new value instead of reporting a bogus rate.
+      const std::uint64_t delta = visited >= last_visited_ ? visited - last_visited_
+                                                           : visited;
+      rate = static_cast<double>(delta) / dt;
+    }
+    last_visited_ = visited;
+    last_beat_ = now;
+    *options_.heartbeat_out << render_heartbeat(
+                                   snapshot,
+                                   std::chrono::duration<double>(now - epoch_).count(),
+                                   rate)
+                            << "\n";
+    options_.heartbeat_out->flush();
+  }
+}
+
+}  // namespace rcons::obs

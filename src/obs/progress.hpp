@@ -1,0 +1,86 @@
+// Live progress reporting and periodic metrics snapshots, driven by the
+// metrics registry.
+//
+// A Sampler is a background thread that wakes every `interval_ms`, snapshots
+// the registry (lock-free reads of the lane cells; the registration mutex is
+// uncontended at steady state) and
+//   * appends one JSONL line to `metrics_out` — the machine-readable
+//     trajectory of the run ({"t_ms":..., "counters":{...}, ...}), and/or
+//   * renders a rate-limited single-line heartbeat to `heartbeat_out`
+//     (stderr in check_cli --progress): elapsed time, visited states,
+//     states/s since the previous beat, frontier size, dedup hit rate,
+//     bytes/node, and the ETA toward the visited budget.
+//
+// The sampler never blocks the workers: it only reads atomics. stop() takes
+// one final sample so short runs still produce at least one snapshot line.
+//
+// Heartbeat metric names are the engine taxonomy from obs/session.hpp
+// (engine.visited_states & co.); missing metrics simply render as absent, so
+// the heartbeat degrades gracefully on backends that fill fewer counters.
+#ifndef RCONS_OBS_PROGRESS_HPP
+#define RCONS_OBS_PROGRESS_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace rcons::obs {
+
+struct SamplerOptions {
+  std::ostream* metrics_out = nullptr;    // JSONL snapshot stream; null = off
+  std::ostream* heartbeat_out = nullptr;  // human heartbeat; null = off
+  int interval_ms = 500;
+};
+
+// Renders one human-readable heartbeat line (no trailing newline) from a
+// snapshot. `seconds` is elapsed wall time; `rate` is states/s measured by
+// the caller between beats (negative = unknown, rendered as "-").
+std::string render_heartbeat(const MetricsSnapshot& snapshot, double seconds,
+                             double rate);
+
+// Writes one JSONL metrics line: counters/gauges as name:value, histograms
+// as name:{count,sum,max}.
+void write_metrics_jsonl(std::ostream& out, const MetricsSnapshot& snapshot,
+                         std::uint64_t t_ms);
+
+class Sampler {
+ public:
+  Sampler(const MetricsRegistry& registry, SamplerOptions options);
+  ~Sampler();  // stops (with a final sample) if still running
+
+  void start();
+  void stop();
+
+  bool running() const { return running_; }
+  std::uint64_t samples_taken() const { return samples_; }
+
+ private:
+  void loop();
+  void sample();
+
+  const MetricsRegistry& registry_;
+  SamplerOptions options_;
+
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint64_t samples_ = 0;
+  // Rate computation between beats; a counter that moved backwards (registry
+  // reset between checks) restarts the delta from zero.
+  std::uint64_t last_visited_ = 0;
+  std::chrono::steady_clock::time_point last_beat_;
+};
+
+}  // namespace rcons::obs
+
+#endif  // RCONS_OBS_PROGRESS_HPP

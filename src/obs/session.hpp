@@ -1,0 +1,91 @@
+// One observability session: the owner of the registry, tracer, sampler,
+// and output files for a CLI / bench / daemon run.
+//
+//   obs::SessionOptions options;
+//   options.progress = true;              // stderr heartbeat
+//   options.trace_out = "trace.json";     // Chrome trace (Perfetto-loadable)
+//   options.metrics_out = "metrics.jsonl";// periodic snapshot stream
+//   obs::Session session(options);
+//   request.obs = session.hooks();        // thread through any backend config
+//   ... run checks ...
+//   session.finish(&error);               // stop sampler, write trace file
+//
+// hooks() hands out non-owning pointers (obs/hooks.hpp); disabled sinks stay
+// null so the backends skip their instrumentation entirely. A session whose
+// options enable nothing is valid and hands out all-null hooks — callers can
+// construct one unconditionally.
+//
+// This header also owns the observability *taxonomy*: the documented metric
+// and span names (`metric_names()` / `span_names()`) that `check_cli --list`
+// prints, kept next to the session so the vocabulary has one home.
+#ifndef RCONS_OBS_SESSION_HPP
+#define RCONS_OBS_SESSION_HPP
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
+
+namespace rcons::obs {
+
+struct SessionOptions {
+  bool progress = false;    // live stderr heartbeat
+  std::string trace_out;    // Chrome trace JSON path; empty = tracing off
+  std::string metrics_out;  // JSONL snapshot path; empty = off
+  int interval_ms = 500;    // sampler period for progress / metrics_out
+
+  bool any_enabled() const {
+    return progress || !trace_out.empty() || !metrics_out.empty();
+  }
+};
+
+class Session {
+ public:
+  explicit Session(SessionOptions options);
+  ~Session();
+
+  // Non-owning sink bundle for backend configs. The metrics pointer is set
+  // whenever any sink is enabled (progress and metrics_out read it; the
+  // CheckReport snapshot uses it too); the tracer pointer only when
+  // trace_out is set.
+  Hooks hooks();
+
+  MetricsRegistry& metrics() { return registry_; }
+  Tracer* tracer() { return tracer_.get(); }
+
+  // Stops the sampler (final snapshot included) and writes the trace file.
+  // Idempotent. Returns false (with `error` filled) when an output file
+  // cannot be written.
+  bool finish(std::string* error = nullptr);
+
+ private:
+  SessionOptions options_;
+  MetricsRegistry registry_;
+  std::unique_ptr<Tracer> tracer_;
+  std::ofstream metrics_file_;
+  std::unique_ptr<Sampler> sampler_;
+  bool finished_ = false;
+};
+
+// One documented observability name: taxonomy rows for check_cli --list and
+// the README table.
+struct NameDoc {
+  const char* name;
+  const char* doc;
+};
+
+// Every metric name the backends publish, sorted by name.
+const std::vector<NameDoc>& metric_names();
+
+// Every span / instant-event name the backends emit, plus reserved names for
+// subsystems that publish their activity as counters today.
+const std::vector<NameDoc>& span_names();
+
+}  // namespace rcons::obs
+
+#endif  // RCONS_OBS_SESSION_HPP

@@ -1,0 +1,436 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/json.hpp"
+
+namespace rcons::obs {
+
+Tracer::Tracer(std::size_t lanes, std::size_t max_events_per_lane)
+    : epoch_(std::chrono::steady_clock::now()),
+      lanes_(lanes),
+      max_events_per_lane_(max_events_per_lane) {
+  RCONS_ASSERT_MSG(lanes >= 2, "a tracer needs lane 0 plus at least one worker lane");
+  RCONS_ASSERT(max_events_per_lane >= 1);
+  lanes_[0].name = "check";
+}
+
+bool Tracer::lane_full(Lane& lane) {
+  if (lane.events.size() < max_events_per_lane_) return false;
+  lane.dropped += 1;
+  return true;
+}
+
+void Tracer::complete(std::size_t lane_index, std::string name,
+                      std::uint64_t begin_us, std::uint64_t end_us) {
+  Lane& lane = lanes_[lane_index % lanes_.size()];
+  if (lane_full(lane)) return;
+  Event event;
+  event.name = std::move(name);
+  event.ts_us = begin_us;
+  event.dur_us = end_us >= begin_us ? end_us - begin_us : 0;
+  event.ph = 'X';
+  lane.events.push_back(std::move(event));
+}
+
+void Tracer::instant(std::size_t lane_index, std::string name) {
+  Lane& lane = lanes_[lane_index % lanes_.size()];
+  if (lane_full(lane)) return;
+  Event event;
+  event.name = std::move(name);
+  event.ts_us = now_us();
+  event.ph = 'i';
+  lane.events.push_back(std::move(event));
+}
+
+void Tracer::set_lane_name(std::size_t lane_index, std::string name) {
+  lanes_[lane_index % lanes_.size()].name = std::move(name);
+}
+
+std::uint64_t Tracer::events_recorded() const {
+  std::uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.events.size();
+  return total;
+}
+
+std::uint64_t Tracer::events_dropped() const {
+  std::uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.dropped;
+  return total;
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  util::JsonWriter json(out);
+  json.begin_object();
+  json.key("traceEvents");
+  json.begin_array();
+
+  json.begin_object();
+  json.key_value("name", "process_name");
+  json.key_value("ph", "M");
+  json.key_value("pid", 1);
+  json.key_value("tid", 0);
+  json.key_value("ts", std::uint64_t{0});
+  json.key("args");
+  json.begin_object();
+  json.key_value("name", "rcons");
+  json.end_object();
+  json.end_object();
+
+  for (std::size_t tid = 0; tid < lanes_.size(); ++tid) {
+    const Lane& lane = lanes_[tid];
+    if (lane.name.empty() && lane.events.empty()) continue;
+    if (!lane.name.empty()) {
+      json.begin_object();
+      json.key_value("name", "thread_name");
+      json.key_value("ph", "M");
+      json.key_value("pid", 1);
+      json.key_value("tid", static_cast<std::uint64_t>(tid));
+      json.key_value("ts", std::uint64_t{0});
+      json.key("args");
+      json.begin_object();
+      json.key_value("name", lane.name);
+      json.end_object();
+      json.end_object();
+    }
+    for (const Event& event : lane.events) {
+      json.begin_object();
+      json.key_value("name", event.name);
+      json.key_value("cat", "rcons");
+      json.key("ph");
+      json.value(std::string(1, event.ph));
+      json.key_value("pid", 1);
+      json.key_value("tid", static_cast<std::uint64_t>(tid));
+      json.key_value("ts", event.ts_us);
+      if (event.ph == 'X') json.key_value("dur", event.dur_us);
+      json.end_object();
+    }
+  }
+
+  json.end_array();
+  json.key_value("displayTimeUnit", "ms");
+  json.key("metadata");
+  json.begin_object();
+  json.key_value("events_recorded", events_recorded());
+  json.key_value("events_dropped", events_dropped());
+  json.end_object();
+  json.end_object();
+  out << "\n";
+}
+
+// ---------------------------------------------------------------------------
+// validate_chrome_trace: a self-contained JSON parser (the repo has a writer
+// in util/json.hpp but deliberately no general reader) plus the structural
+// checks described in the header.
+
+namespace {
+
+struct JValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JValue> array;
+  std::vector<std::pair<std::string, JValue>> object;
+
+  const JValue* get(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool parse(JValue& out, std::string& error) {
+    if (!parse_value(out, 0)) {
+      error = error_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = "trailing characters after JSON document";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool parse_value(JValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out, depth);
+    if (c == '[') return parse_array(out, depth);
+    if (c == '"') {
+      out.kind = JValue::Kind::kString;
+      return parse_string(out.string);
+    }
+    if (c == 't' || c == 'f') return parse_literal(out, c == 't');
+    if (c == 'n') {
+      if (text_.compare(pos_, 4, "null") != 0) return fail("bad literal");
+      pos_ += 4;
+      out.kind = JValue::Kind::kNull;
+      return true;
+    }
+    return parse_number(out);
+  }
+
+  bool parse_literal(JValue& out, bool value) {
+    const std::string_view word = value ? "true" : "false";
+    if (text_.compare(pos_, word.size(), word) != 0) return fail("bad literal");
+    pos_ += word.size();
+    out.kind = JValue::Kind::kBool;
+    out.boolean = value;
+    return true;
+  }
+
+  bool parse_number(JValue& out) {
+    const std::size_t begin = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      digits = digits || std::isdigit(static_cast<unsigned char>(text_[pos_]));
+      ++pos_;
+    }
+    if (!digits) return fail("expected a value");
+    out.kind = JValue::Kind::kNumber;
+    out.number = std::strtod(std::string(text_.substr(begin, pos_ - begin)).c_str(),
+                             nullptr);
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    RCONS_ASSERT(text_[pos_] == '"');
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            // Validation only cares about well-formedness; preserve the raw
+            // escape rather than decoding UTF-16.
+            out.append("\\u").append(text_.substr(pos_, 4));
+            pos_ += 4;
+            break;
+          }
+          default:
+            return fail("bad escape character");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_object(JValue& out, int depth) {
+    out.kind = JValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected a key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      JValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JValue& out, int depth) {
+    out.kind = JValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+bool set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+struct SpanInterval {
+  double begin = 0;
+  double end = 0;
+  std::string name;
+};
+
+}  // namespace
+
+bool validate_chrome_trace(std::istream& in, std::string* error) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  if (text.empty()) return set_error(error, "trace file is empty");
+
+  JValue root;
+  std::string parse_error;
+  if (!JsonParser(text).parse(root, parse_error)) {
+    return set_error(error, "invalid JSON: " + parse_error);
+  }
+  if (root.kind != JValue::Kind::kObject) {
+    return set_error(error, "top-level value is not an object");
+  }
+  const JValue* events = root.get("traceEvents");
+  if (events == nullptr || events->kind != JValue::Kind::kArray) {
+    return set_error(error, "missing traceEvents array");
+  }
+
+  // (pid, tid) -> complete-span intervals.
+  std::map<std::pair<double, double>, std::vector<SpanInterval>> spans;
+  std::size_t real_events = 0;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JValue& event = events->array[i];
+    const std::string where = "traceEvents[" + std::to_string(i) + "]";
+    if (event.kind != JValue::Kind::kObject) {
+      return set_error(error, where + " is not an object");
+    }
+    const JValue* name = event.get("name");
+    const JValue* ph = event.get("ph");
+    const JValue* pid = event.get("pid");
+    const JValue* tid = event.get("tid");
+    const JValue* ts = event.get("ts");
+    if (name == nullptr || name->kind != JValue::Kind::kString) {
+      return set_error(error, where + " lacks a string 'name'");
+    }
+    if (ph == nullptr || ph->kind != JValue::Kind::kString || ph->string.empty()) {
+      return set_error(error, where + " lacks a 'ph' phase");
+    }
+    if (pid == nullptr || pid->kind != JValue::Kind::kNumber ||
+        tid == nullptr || tid->kind != JValue::Kind::kNumber) {
+      return set_error(error, where + " lacks numeric pid/tid");
+    }
+    if (ts == nullptr || ts->kind != JValue::Kind::kNumber) {
+      return set_error(error, where + " lacks a numeric 'ts'");
+    }
+    if (ph->string == "M") continue;  // metadata record
+    real_events += 1;
+    if (ph->string == "X") {
+      const JValue* dur = event.get("dur");
+      if (dur == nullptr || dur->kind != JValue::Kind::kNumber || dur->number < 0) {
+        return set_error(error, where + " is a complete event without 'dur'");
+      }
+      spans[{pid->number, tid->number}].push_back(
+          SpanInterval{ts->number, ts->number + dur->number, name->string});
+    }
+  }
+  if (real_events == 0) {
+    return set_error(error, "trace contains no events (only metadata)");
+  }
+
+  // Per lane, complete events must nest like a call stack: sort by start
+  // (ties: longer span first, i.e. the parent), then sweep with a stack —
+  // each span must either start after the stack top ends (sibling) or end
+  // within it (child). Partial overlap is a malformed trace.
+  for (auto& [lane, intervals] : spans) {
+    std::sort(intervals.begin(), intervals.end(),
+              [](const SpanInterval& a, const SpanInterval& b) {
+                if (a.begin != b.begin) return a.begin < b.begin;
+                return a.end > b.end;
+              });
+    std::vector<const SpanInterval*> stack;
+    for (const SpanInterval& span : intervals) {
+      while (!stack.empty() && span.begin >= stack.back()->end) stack.pop_back();
+      if (!stack.empty() && span.end > stack.back()->end) {
+        return set_error(error, "spans '" + stack.back()->name + "' and '" +
+                                    span.name + "' partially overlap on tid " +
+                                    std::to_string(lane.second));
+      }
+      stack.push_back(&span);
+    }
+  }
+  return true;
+}
+
+}  // namespace rcons::obs

@@ -32,14 +32,65 @@ std::optional<Violation> Explorer::run() {
   visited_ = engine::FlatTable();
   path_.clear();
 
-  if (compact_) return run_compact();
+  obs_cells_ = engine::ObsCells::resolve(config_.obs.metrics);
+  obs_flushed_ = engine::ObsDeltas{};
+  obs_duplicates_ = 0;
+  obs_violation_edges_ = 0;
+  obs_store_nodes_ = 0;
+  obs_store_bytes_ = 0;
+  obs_last_flush_transitions_ = 0;
+  if (obs_cells_.active) {
+    obs_cells_.visited_cap->set(static_cast<std::int64_t>(config_.visited_cap()));
+    obs_cells_.num_threads->set(1);
+  }
 
-  engine::Node root =
-      engine::make_root(initial_memory_, initial_processes_, config_.properties);
-  insert_visited(root);
-  std::optional<Violation> result = dfs(root);
-  fill_probe_stats(stats_, visited_.stats());
+  std::optional<Violation> result;
+  if (compact_) {
+    result = run_compact();
+  } else {
+    engine::Node root =
+        engine::make_root(initial_memory_, initial_processes_, config_.properties);
+    insert_visited(root);
+    result = dfs(root);
+    fill_probe_stats(stats_, visited_.stats());
+  }
+
+  if (obs_cells_.active) {
+    flush_obs();
+    if (stats_.hot.rehashes != 0) {
+      obs_cells_.store_rehashes->add(0, stats_.hot.rehashes);
+    }
+  }
   return result;
+}
+
+void Explorer::flush_obs() {
+  engine::ObsDeltas totals;
+  totals.visited = stats_.visited;
+  totals.transitions = stats_.transitions;
+  totals.decisions = stats_.decisions;
+  totals.terminal_states = stats_.terminal_states;
+  totals.duplicates = obs_duplicates_;
+  totals.violation_edges = obs_violation_edges_;
+  totals.encodes = stats_.store.encodes;
+  totals.canonical_hits = stats_.store.canonical_hits;
+  totals.nodes = obs_store_nodes_;
+  totals.value_bytes = obs_store_bytes_;
+
+  engine::ObsDeltas delta;
+  delta.visited = totals.visited - obs_flushed_.visited;
+  delta.transitions = totals.transitions - obs_flushed_.transitions;
+  delta.decisions = totals.decisions - obs_flushed_.decisions;
+  delta.terminal_states = totals.terminal_states - obs_flushed_.terminal_states;
+  delta.duplicates = totals.duplicates - obs_flushed_.duplicates;
+  delta.violation_edges = totals.violation_edges - obs_flushed_.violation_edges;
+  delta.encodes = totals.encodes - obs_flushed_.encodes;
+  delta.canonical_hits = totals.canonical_hits - obs_flushed_.canonical_hits;
+  delta.nodes = totals.nodes - obs_flushed_.nodes;
+  delta.value_bytes = totals.value_bytes - obs_flushed_.value_bytes;
+  obs_cells_.flush(0, delta);
+  obs_flushed_ = totals;
+  obs_last_flush_transitions_ = stats_.transitions;
 }
 
 bool Explorer::insert_visited(const engine::Node& node) {
@@ -59,7 +110,12 @@ std::optional<Violation> Explorer::dfs(const engine::Node& node) {
     engine::Node child = node;
     path_.push_back(event);
     stats_.transitions += 1;
+    if (obs_cells_.active &&
+        stats_.transitions - obs_last_flush_transitions_ >= kObsFlushTransitions) {
+      flush_obs();
+    }
     if (auto broken = engine::apply_event(child, event, config_)) {
+      obs_violation_edges_ += 1;
       Violation violation{std::move(broken->description), broken->property,
                           broken->param, path_};
       path_.pop_back();
@@ -79,6 +135,8 @@ std::optional<Violation> Explorer::dfs(const engine::Node& node) {
         path_.pop_back();
         return violation;
       }
+    } else {
+      obs_duplicates_ += 1;
     }
     path_.pop_back();
   }
@@ -99,6 +157,8 @@ std::optional<Violation> Explorer::run_compact() {
   if (encoded.permuted) stats_.store.canonical_hits += 1;
   const engine::NodeStore::Intern root =
       store_->intern(encoded.fingerprint, encode_scratch_);
+  obs_store_nodes_ += 1;
+  obs_store_bytes_ += static_cast<std::uint64_t>(root.length) * sizeof(typesys::Value);
 
   std::optional<Violation> result = dfs_compact(root.record, root.length);
 
@@ -131,8 +191,13 @@ std::optional<Violation> Explorer::dfs_compact(const typesys::Value* record,
   for (const engine::Event& event : events) {
     path_.push_back(event);
     stats_.transitions += 1;
+    if (obs_cells_.active &&
+        stats_.transitions - obs_last_flush_transitions_ >= kObsFlushTransitions) {
+      flush_obs();
+    }
     codec_->decode(record, size, scratch_node_);
     if (auto broken = engine::apply_event(scratch_node_, event, config_)) {
+      obs_violation_edges_ += 1;
       Violation violation{std::move(broken->description), broken->property,
                           broken->param, path_};
       path_.pop_back();
@@ -146,6 +211,9 @@ std::optional<Violation> Explorer::dfs_compact(const typesys::Value* record,
     const engine::NodeStore::Intern interned =
         store_->intern(encoded.fingerprint, encode_scratch_);
     if (interned.inserted) {
+      obs_store_nodes_ += 1;
+      obs_store_bytes_ +=
+          static_cast<std::uint64_t>(interned.length) * sizeof(typesys::Value);
       stats_.visited += 1;
       if (stats_.visited > config_.visited_cap()) {
         stats_.truncated = true;
@@ -158,6 +226,8 @@ std::optional<Violation> Explorer::dfs_compact(const typesys::Value* record,
         path_.pop_back();
         return violation;
       }
+    } else {
+      obs_duplicates_ += 1;
     }
     path_.pop_back();
   }

@@ -40,6 +40,7 @@
 #include "engine/expand.hpp"
 #include "engine/flat_table.hpp"
 #include "engine/node_store.hpp"
+#include "engine/obs_cells.hpp"
 #include "sim/explorer_config.hpp"
 #include "sim/memory.hpp"
 #include "sim/process.hpp"
@@ -94,6 +95,22 @@ class Explorer {
   std::unique_ptr<engine::NodeCodec> codec_;
   engine::Node scratch_node_;
   std::vector<typesys::Value> encode_scratch_;
+
+  // Observability (engine/obs_cells.hpp): the sequential traversal publishes
+  // the same engine.*/store.* taxonomy the parallel workers do, all on lane 0.
+  // Totals mostly live in stats_ already; the few facts stats_ only learns at
+  // the end (duplicates, violating edges, live store size) get their own
+  // running tallies so flush_obs() can stream deltas every
+  // kObsFlushTransitions transitions plus exactly once at the end of run().
+  void flush_obs();
+  static constexpr std::uint64_t kObsFlushTransitions = 1024;
+  engine::ObsCells obs_cells_;
+  engine::ObsDeltas obs_flushed_;
+  std::uint64_t obs_duplicates_ = 0;
+  std::uint64_t obs_violation_edges_ = 0;
+  std::uint64_t obs_store_nodes_ = 0;
+  std::uint64_t obs_store_bytes_ = 0;
+  std::uint64_t obs_last_flush_transitions_ = 0;
 };
 
 }  // namespace rcons::sim

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "check/budget.hpp"
+#include "obs/hooks.hpp"
 #include "sim/properties.hpp"
 #include "sim/schedule.hpp"
 
@@ -51,6 +52,14 @@ struct ExplorerConfig : check::Budget {
   // node. Verdicts are unaffected; violation schedules are then valid up to a
   // class permutation and may not replay verbatim (see engine/node_store.hpp).
   std::vector<int> symmetry_classes;
+
+  // Observability sinks (obs/hooks.hpp): the metrics registry the explorers
+  // flush their counters into at batch boundaries and the tracer that
+  // receives worker spans. Null members (the default) disable the
+  // corresponding instrumentation entirely — the hot loops keep counting in
+  // their plain per-worker locals either way, so a disabled sink costs
+  // nothing per state.
+  obs::Hooks obs;
 };
 
 // A property violation plus the typed schedule that produced it. The schedule

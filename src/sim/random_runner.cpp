@@ -1,5 +1,7 @@
 #include "sim/random_runner.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -7,8 +9,10 @@ namespace rcons::sim {
 
 using typesys::Value;
 
-RandomRunReport run_random(Memory memory, std::vector<Process> processes,
-                           const RandomRunConfig& config) {
+namespace {
+
+RandomRunReport run_random_impl(Memory& memory, std::vector<Process>& processes,
+                                const RandomRunConfig& config) {
   RCONS_ASSERT(!processes.empty());
   RCONS_ASSERT_MSG(config.crash_per_mille >= 0 && config.crash_per_mille <= 1000,
                    "crash_per_mille is a numerator over 1000");
@@ -100,6 +104,31 @@ RandomRunReport run_random(Memory memory, std::vector<Process> processes,
     }
   }
   return report;  // all_decided stays false: starvation/livelock suspicion
+}
+
+}  // namespace
+
+RandomRunReport run_random(Memory memory, std::vector<Process> processes,
+                           const RandomRunConfig& config) {
+  // One "random_run" span per call on the coordinator lane; run_random is
+  // called from one thread at a time (the check loop), matching the tracer's
+  // single-writer-per-lane contract.
+  obs::Span span(config.obs.tracer, 0, "random_run");
+  RandomRunReport report = run_random_impl(memory, processes, config);
+  if (config.obs.metrics != nullptr) {
+    obs::MetricsRegistry& registry = *config.obs.metrics;
+    registry.counter("random.runs").add(0, 1);
+    if (report.steps > 0) {
+      registry.counter("random.steps")
+          .add(0, static_cast<std::uint64_t>(report.steps));
+    }
+    if (report.crashes > 0) {
+      registry.counter("random.crashes")
+          .add(0, static_cast<std::uint64_t>(report.crashes));
+    }
+    if (report.violation.has_value()) registry.counter("random.violations").add(0, 1);
+  }
+  return report;
 }
 
 }  // namespace rcons::sim

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/hooks.hpp"
 #include "sim/explorer.hpp"
 #include "sim/memory.hpp"
 #include "sim/process.hpp"
@@ -29,6 +30,11 @@ namespace rcons::sim {
 struct RandomRunConfig : check::Budget {
   // What counts as a correct outcome; the classic trio by default.
   PropertySet properties;
+
+  // Observability sinks (obs/hooks.hpp). A non-null metrics registry receives
+  // the random.* counters after each run; a non-null tracer gets one
+  // "random_run" span per call. Null (the default) disables both.
+  obs::Hooks obs;
 
   std::uint64_t seed = 1;
   // Probability (numerator / 1000) that a scheduling slot injects a crash

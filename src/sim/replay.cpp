@@ -1,5 +1,7 @@
 #include "sim/replay.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace rcons::sim {
@@ -8,7 +10,9 @@ using typesys::Value;
 
 ReplayReport replay(Memory memory, std::vector<Process> processes,
                     const std::vector<ScheduleEvent>& schedule,
-                    const PropertySet& properties, std::int64_t max_steps_per_run) {
+                    const PropertySet& properties, std::int64_t max_steps_per_run,
+                    obs::Hooks obs) {
+  obs::Span span(obs.tracer, 0, "replay");
   ReplayReport report;
   report.decisions.assign(processes.size(), std::nullopt);
   std::vector<std::uint8_t> done(processes.size(), 0);
@@ -81,6 +85,16 @@ ReplayReport replay(Memory memory, std::vector<Process> processes,
     }
   }
   report.final_memory = std::move(memory);
+  if (obs.metrics != nullptr) {
+    obs::MetricsRegistry& registry = *obs.metrics;
+    if (!schedule.empty()) {
+      registry.counter("replay.steps").add(0, schedule.size());
+    }
+    if (!report.outputs.empty()) {
+      registry.counter("replay.outputs").add(0, report.outputs.size());
+    }
+    if (report.violation.has_value()) registry.counter("replay.violations").add(0, 1);
+  }
   return report;
 }
 

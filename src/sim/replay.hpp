@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/hooks.hpp"
 #include "sim/memory.hpp"
 #include "sim/process.hpp"
 #include "sim/properties.hpp"
@@ -36,11 +37,12 @@ struct ReplayReport {
 // verified (the classic trio by default; an empty valid set disables the
 // validity check); `max_steps_per_run` is the bound the wait-freedom property
 // inherits — non-positive leaves per-run steps unbounded, the historical
-// replay default.
+// replay default. `obs` (obs/hooks.hpp) optionally receives the replay.*
+// counters and one "replay" span per call; the default disables both.
 ReplayReport replay(Memory memory, std::vector<Process> processes,
                     const std::vector<ScheduleEvent>& schedule,
                     const PropertySet& properties = {},
-                    std::int64_t max_steps_per_run = 0);
+                    std::int64_t max_steps_per_run = 0, obs::Hooks obs = {});
 
 }  // namespace rcons::sim
 
