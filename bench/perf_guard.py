@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Non-gating throughput guard for bench_parallel_engine results.
+
+Compares a freshly produced BENCH_parallel_engine.json against the checked-in
+baseline, row by row, and emits a GitHub Actions `::warning::` annotation for
+every row whose states/s dropped by more than the threshold. Rows are matched
+on (instance, config, threads) so a run is only ever judged against a
+baseline with the same thread count; oversubscribed rows (threads > cores)
+are skipped on either side — they measure scheduler thrash, not the engine.
+
+Always exits 0: shared CI runners are far too noisy for a hard gate, the
+point is a visible annotation on the PR, not a red X. A baseline produced on
+a machine with a different core count still compares at matching thread
+counts, but the mismatch is called out so readers can discount the numbers.
+
+Usage: perf_guard.py BASELINE.json CURRENT.json [--threshold 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return data
+
+
+def row_key(row):
+    return (row.get("instance"), row.get("config"), row.get("threads"))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional states/s drop that triggers a warning (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    try:
+        baseline = load_rows(args.baseline)
+        current = load_rows(args.current)
+    except (OSError, json.JSONDecodeError) as error:
+        # A missing or malformed artifact must not break the build — the
+        # bench's own verdict-consistency exit code is the gating check.
+        print(f"perf_guard: skipping comparison ({error})")
+        return 0
+
+    base_hw = baseline.get("hardware_concurrency")
+    cur_hw = current.get("hardware_concurrency")
+    if base_hw != cur_hw:
+        print(
+            f"perf_guard: baseline ran on {base_hw} core(s), this run on "
+            f"{cur_hw}; comparing matching thread counts only — discount "
+            "absolute numbers accordingly."
+        )
+
+    by_key = {row_key(row): row for row in baseline.get("rows", [])}
+    compared = 0
+    regressions = 0
+    for row in current.get("rows", []):
+        base = by_key.get(row_key(row))
+        if base is None:
+            continue
+        if row.get("oversubscribed") or base.get("oversubscribed"):
+            continue
+        base_rate = base.get("states_per_sec", 0.0)
+        cur_rate = row.get("states_per_sec", 0.0)
+        if base_rate <= 0.0:
+            continue
+        compared += 1
+        ratio = cur_rate / base_rate
+        label = f"{row.get('instance')} [{row.get('config')}]"
+        if ratio < 1.0 - args.threshold:
+            regressions += 1
+            print(
+                f"::warning title=bench regression::{label}: "
+                f"{cur_rate:,.0f} states/s vs baseline {base_rate:,.0f} "
+                f"({(1.0 - ratio) * 100.0:.1f}% slower)"
+            )
+        else:
+            print(f"perf_guard: {label}: {ratio:.2f}x of baseline ok")
+
+    print(
+        f"perf_guard: {compared} row(s) compared, {regressions} regression(s) "
+        f"beyond {args.threshold * 100.0:.0f}% (non-gating)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

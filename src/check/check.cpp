@@ -38,6 +38,7 @@ CheckReport run_sequential(const CheckRequest& request, std::uint64_t max_visite
     report.violation = explorer.run();
   }
   report.stats = explorer.stats();
+  report.threads_used = 1;
   report.clean = !report.violation.has_value();
   report.complete = !report.stats.truncated;
   return report;
@@ -59,6 +60,7 @@ CheckReport run_parallel(const CheckRequest& request,
     report.violation = explorer.run();
   }
   report.stats = explorer.stats();
+  report.threads_used = explorer.num_threads();
   report.clean = !report.violation.has_value();
   report.complete = !report.stats.truncated;
   return report;

@@ -131,6 +131,13 @@ struct CheckReport {
   // representation (stats.compact).
   sim::ExplorerStats stats;
 
+  // Worker threads the executed backend actually resolved and ran with:
+  // 1 for the sequential strategies (and the kAuto probe verdict), the
+  // engine's resolved count — request.num_threads or hardware concurrency —
+  // for kParallelBFS and the kAuto escalation. 0 for non-exhaustive
+  // strategies. Benchmarks report this, never the requested number.
+  int threads_used = 0;
+
   // kRandomized:
   int runs = 0;             // seeded runs executed
   int incomplete_runs = 0;  // runs that hit max_total_steps before all decided

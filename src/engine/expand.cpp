@@ -23,12 +23,27 @@ Node make_root(sim::Memory initial, std::vector<sim::Process> processes,
 
 void enumerate_events(const Node& node, const sim::ExplorerConfig& config,
                       std::vector<Event>& out) {
+  enumerate_events(node, config, out, nullptr, nullptr);
+}
+
+void enumerate_events(const Node& node, const sim::ExplorerConfig& config,
+                      std::vector<Event>& out,
+                      const std::vector<std::uint8_t>* orbit_skip,
+                      std::uint64_t* orbit_skipped) {
   out.clear();
   const int n = static_cast<int>(node.processes.size());
+  const auto skipped = [&](int i) {
+    if (orbit_skip == nullptr || (*orbit_skip)[static_cast<std::size_t>(i)] == 0) {
+      return false;
+    }
+    *orbit_skipped += 1;
+    return true;
+  };
 
   // Step moves.
   for (int i = 0; i < n; ++i) {
     if (node.done[static_cast<std::size_t>(i)] != 0) continue;
+    if (skipped(i)) continue;
     out.push_back(Event{Event::Kind::kStep, i});
   }
 
@@ -42,6 +57,9 @@ void enumerate_events(const Node& node, const sim::ExplorerConfig& config,
       // Crashing a process that has not taken a step in its current run
       // only burns budget; the resulting state is strictly weaker.
       if (!is_done && node.steps_in_run[idx] == 0) continue;
+      // Orbit members have identical blocks *and* sidecars, so a skipped
+      // sibling's crash is the representative's crash up to relabeling.
+      if (skipped(i)) continue;
       out.push_back(Event{Event::Kind::kCrash, i});
     }
   } else {
@@ -130,17 +148,12 @@ util::U128 fingerprint(const Node& node, std::vector<Value>& scratch) {
 }
 
 util::U128 fingerprint_values(const Value* data, std::size_t size) {
-  // Both independent hash streams advance in one sweep over the encoding
-  // (identical math to util::hash_range for `lo` plus the remixed `hi`
-  // stream — fingerprints are unchanged, the data is only read once).
-  std::uint64_t lo = 0x2545f4914f6cdd1dULL ^ size;
-  std::uint64_t hi = 0x6a09e667f3bcc909ULL ^ size;
-  for (std::size_t i = 0; i < size; ++i) {
-    lo = util::hash_combine(lo, static_cast<std::uint64_t>(data[i]));
-    hi = util::mix64(hi +
-                     0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(data[i] + 1));
-  }
-  return util::U128{lo, hi};
+  // One sweep advancing both 64-bit lanes; the length is folded in at the
+  // end (FpStream::finish) so the same stream can absorb the encoding
+  // incrementally while it is being produced.
+  FpStream fp;
+  fp.absorb(data, size);
+  return fp.finish(size);
 }
 
 bool event_less(const Event& a, const Event& b) {

@@ -74,8 +74,21 @@ Node make_root(sim::Memory initial, std::vector<sim::Process> processes,
 // placements that only burn budget without changing reachability (crashing a
 // process that has not taken a step in its current run, or an all-crash when
 // nobody has progressed) are pruned here, identically for both explorers.
+//
+// The orbit-aware overload additionally drops per-process events whose
+// process is marked in `orbit_skip` (a non-representative member of a
+// same-class orbit, see NodeCodec::orbit_skip_mask): the representative's
+// successor canonicalizes identically, so the sibling edge can only ever be
+// a duplicate. Each dropped event bumps `*orbit_skipped`; callers credit the
+// same amount to `transitions` so the exactness invariant becomes
+// transitions == visited + duplicates + violation_edges + orbit_skipped.
+// kCrashAll is never skipped (it is not a per-process event).
 void enumerate_events(const Node& node, const sim::ExplorerConfig& config,
                       std::vector<Event>& out);
+void enumerate_events(const Node& node, const sim::ExplorerConfig& config,
+                      std::vector<Event>& out,
+                      const std::vector<std::uint8_t>* orbit_skip,
+                      std::uint64_t* orbit_skipped);
 
 // True when every process has decided (no step moves exist).
 bool is_terminal(const Node& node);
@@ -121,9 +134,46 @@ inline void encode_process_block(const Node& node, std::size_t i,
 void encode_node(const Node& node, std::vector<typesys::Value>& scratch);
 util::U128 fingerprint(const Node& node, std::vector<typesys::Value>& scratch);
 
-// Fingerprint of an already-encoded canonical prefix. Shared by fingerprint()
-// and the compact NodeCodec (engine/node_store.hpp), so the clone-based and
-// interned representations key the visited set identically.
+// Streaming form of the node fingerprint: both 64-bit hash lanes absorb
+// values as they are appended to the encoding (the compact NodeCodec feeds
+// each record segment right after writing it, while it is still cache-hot),
+// and the encoded length is folded in only at finish(). One pass produces
+// record + hash with no separate fingerprint sweep.
+struct FpStream {
+  std::uint64_t lo = 0x2545f4914f6cdd1dULL;
+  std::uint64_t hi = 0x6a09e667f3bcc909ULL;
+
+  void absorb(const typesys::Value* data, std::size_t count) {
+    // Two independent multiply-accumulate lanes: polynomial hashes with
+    // distinct odd multipliers and distinct injection ops (add vs xor). One
+    // add/xor + one multiply per lane per value, and the lanes carry no
+    // dependency on each other, so both chains pipeline; all avalanche is
+    // deferred to finish(). A cross-lane collision needs one value
+    // difference annihilated by powers of BOTH multipliers mod 2^64.
+    std::uint64_t l = lo;
+    std::uint64_t h = hi;
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto v = static_cast<std::uint64_t>(data[i]);
+      l = (l + v) * 0xff51afd7ed558ccdULL;
+      h = (h ^ v) * 0x9e3779b97f4a7c15ULL;
+    }
+    lo = l;
+    hi = h;
+  }
+
+  util::U128 finish(std::size_t size) const {
+    // Cross the lanes while folding in the encoded length, then avalanche
+    // each output word so every absorbed value diffuses into both halves.
+    const auto s = static_cast<std::uint64_t>(size);
+    return util::U128{util::mix64(lo ^ (hi >> 29) ^ s),
+                      util::mix64(hi + (lo << 31) + s * 0x9e3779b97f4a7c15ULL)};
+  }
+};
+
+// Fingerprint of an already-encoded canonical prefix (== FpStream absorbing
+// the whole prefix). Shared by fingerprint() and the compact NodeCodec
+// (engine/node_store.hpp), so the clone-based and interned representations
+// key the visited set identically.
 util::U128 fingerprint_values(const typesys::Value* data, std::size_t size);
 
 // Deterministic total order on events / event paths, matching the enumeration

@@ -60,6 +60,7 @@ struct CompactWorkItem {
 struct FrontierStats {
   std::uint64_t steals = 0;         // successful batch steals
   std::uint64_t stolen_items = 0;   // items moved by those steals
+  std::uint64_t failed_steals = 0;  // pops that found every deque empty
   std::uint64_t push_batches = 0;   // push/push_batch lock acquisitions
   std::uint64_t pushed_items = 0;   // items across those pushes
   std::uint64_t pop_batches = 0;    // pop_batch calls that returned items
@@ -161,7 +162,18 @@ class FrontierT {
       popped_items_.fetch_add(take, std::memory_order_relaxed);
       return take;
     }
+    // The whole frontier was (momentarily) dry: the steal-pressure signal
+    // the workers' adaptive batch sizing watches (see failed_steals()).
+    failed_steals_.fetch_add(1, std::memory_order_relaxed);
     return 0;
+  }
+
+  // Monotone count of pops that found every deque empty. Workers sample it
+  // to detect starvation pressure: when the counter advanced since their
+  // last look, peers are starving, so they shrink their pop batches (keeping
+  // work visible for steals); while it is quiet they grow them.
+  std::uint64_t failed_steals() const {
+    return failed_steals_.load(std::memory_order_relaxed);
   }
 
   // Single-item convenience over pop_batch (tests, simple drains). Unlike
@@ -179,6 +191,7 @@ class FrontierT {
     Stats stats;
     stats.steals = steals_.load(std::memory_order_relaxed);
     stats.stolen_items = stolen_items_.load(std::memory_order_relaxed);
+    stats.failed_steals = failed_steals_.load(std::memory_order_relaxed);
     stats.push_batches = push_batches_.load(std::memory_order_relaxed);
     stats.pushed_items = pushed_items_.load(std::memory_order_relaxed);
     stats.pop_batches = pop_batches_.load(std::memory_order_relaxed);
@@ -234,6 +247,7 @@ class FrontierT {
   std::vector<std::unique_ptr<Deque>> deques_;
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> stolen_items_{0};
+  std::atomic<std::uint64_t> failed_steals_{0};
   std::atomic<std::uint64_t> push_batches_{0};
   std::atomic<std::uint64_t> pushed_items_{0};
   std::atomic<std::uint64_t> pop_batches_{0};

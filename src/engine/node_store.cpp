@@ -1,6 +1,7 @@
 #include "engine/node_store.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 
 #include "util/assert.hpp"
@@ -98,6 +99,38 @@ bool Canonicalizer::canonicalize(std::vector<Value>& record,
   return true;
 }
 
+int Canonicalizer::orbit_mask(const Value* record,
+                              const std::vector<std::size_t>& block_offsets,
+                              std::vector<std::uint8_t>& skip) const {
+  const std::size_t n = num_processes_;
+  RCONS_ASSERT(block_offsets.size() == n + 1);
+  skip.assign(n, 0);
+  if (groups_.empty()) return 0;
+  const std::size_t sidecar = block_offsets[n];
+  int marked = 0;
+  for (const std::vector<int>& group : groups_) {
+    // In a canonical record the group's blocks are sorted, so every orbit is
+    // a maximal run of adjacent equal (block, sidecar) members; the run's
+    // first member — the lowest process index, which keeps the enumeration
+    // order and hence lowest-trace selection deterministic — represents it.
+    for (std::size_t j = 1; j < group.size(); ++j) {
+      const auto a = static_cast<std::size_t>(group[j - 1]);
+      const auto b = static_cast<std::size_t>(group[j]);
+      const std::size_t a_len = block_offsets[a + 1] - block_offsets[a];
+      const std::size_t b_len = block_offsets[b + 1] - block_offsets[b];
+      if (a_len != b_len) continue;
+      if (record[sidecar + a] != record[sidecar + b]) continue;
+      if (!std::equal(record + block_offsets[a], record + block_offsets[a + 1],
+                      record + block_offsets[b])) {
+        continue;
+      }
+      skip[b] = 1;
+      marked += 1;
+    }
+  }
+  return marked;
+}
+
 // --- NodeCodec --------------------------------------------------------------
 
 bool NodeCodec::decodable(const Node& node) {
@@ -109,13 +142,60 @@ bool NodeCodec::decodable(const Node& node) {
 
 NodeCodec::Encoded NodeCodec::encode(const Node& node, std::vector<Value>& record) {
   record.clear();
+  FpStream fp;
   encode_node_header(node, record);
+  fp.absorb(record.data(), record.size());
 
   const std::size_t n = node.processes.size();
   offsets_.clear();
   for (std::size_t i = 0; i < n; ++i) {
     offsets_.push_back(record.size());
     encode_process_block(node, i, record);
+    // Absorb the block while it is still cache-hot — by the end of the loop
+    // the fingerprint is done without a second sweep over the record.
+    fp.absorb(record.data() + offsets_.back(), record.size() - offsets_.back());
+  }
+  offsets_.push_back(record.size());
+  for (std::size_t i = 0; i < n; ++i) record.push_back(node.steps_in_run[i]);
+
+  Encoded encoded;
+  encoded.permuted = canonicalizer_.canonicalize(record, offsets_);
+  encoded.fingerprint_length = record.size() - n;
+  // A canonical permutation reorders the absorbed blocks, so only then is a
+  // fresh sweep over the (now canonical) prefix needed.
+  encoded.fingerprint =
+      encoded.permuted ? fingerprint_values(record.data(), encoded.fingerprint_length)
+                       : fp.finish(encoded.fingerprint_length);
+  return encoded;
+}
+
+NodeCodec::Encoded NodeCodec::encode_successor(const Value* parent,
+                                               std::size_t parent_size,
+                                               const Node& node, int changed_process,
+                                               std::vector<Value>& record) {
+  const std::size_t n = node.processes.size();
+  RCONS_ASSERT_MSG(block_offsets_.size() == n + 1,
+                   "encode_successor needs the parent's captured layout");
+  RCONS_ASSERT(parent_size == block_offsets_[n] + n);
+  RCONS_ASSERT(changed_process >= 0 && static_cast<std::size_t>(changed_process) < n);
+
+  record.clear();
+  FpStream fp;
+  encode_node_header(node, record);
+  fp.absorb(record.data(), record.size());
+
+  offsets_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t begin = record.size();
+    offsets_.push_back(begin);
+    if (static_cast<int>(i) == changed_process) {
+      encode_process_block(node, i, record);
+    } else {
+      // Unchanged process: its block is byte-identical to the parent's.
+      record.insert(record.end(), parent + block_offsets_[i],
+                    parent + block_offsets_[i + 1]);
+    }
+    fp.absorb(record.data() + begin, record.size() - begin);
   }
   offsets_.push_back(record.size());
   for (std::size_t i = 0; i < n; ++i) record.push_back(node.steps_in_run[i]);
@@ -124,11 +204,12 @@ NodeCodec::Encoded NodeCodec::encode(const Node& node, std::vector<Value>& recor
   encoded.permuted = canonicalizer_.canonicalize(record, offsets_);
   encoded.fingerprint_length = record.size() - n;
   encoded.fingerprint =
-      fingerprint_values(record.data(), encoded.fingerprint_length);
+      encoded.permuted ? fingerprint_values(record.data(), encoded.fingerprint_length)
+                       : fp.finish(encoded.fingerprint_length);
   return encoded;
 }
 
-void NodeCodec::decode(const Value* record, std::size_t size, Node& out) const {
+void NodeCodec::decode(const Value* record, std::size_t size, Node& out) {
   RCONS_ASSERT_MSG(size >= 2, "truncated node record");
   out.crashes_used = static_cast<int>(record[0]);
   const auto ndecisions = static_cast<std::size_t>(record[1]);
@@ -137,12 +218,15 @@ void NodeCodec::decode(const Value* record, std::size_t size, Node& out) const {
   out.decisions.clear();
   for (std::size_t i = 0; i < ndecisions; ++i) out.decisions.push_back(record[at++]);
   at += out.memory.decode(record + at, size - at);
+  header_end_ = at;
 
   // Whether records carry the at-most-once (ever, last) pair is a run-level
   // invariant reflected in the root-shaped scratch node.
   const std::size_t n = out.processes.size();
   const bool track_outputs = !out.ever_output.empty();
+  block_offsets_.clear();
   for (std::size_t i = 0; i < n; ++i) {
+    block_offsets_.push_back(at);
     RCONS_ASSERT_MSG(at < size, "truncated node record");
     out.done[i] = record[at++] != 0 ? 1 : 0;
     if (track_outputs) {
@@ -152,6 +236,7 @@ void NodeCodec::decode(const Value* record, std::size_t size, Node& out) const {
     }
     at += out.processes[i].decode(record + at, size - at);
   }
+  block_offsets_.push_back(at);
   for (std::size_t i = 0; i < n; ++i) {
     RCONS_ASSERT_MSG(at < size, "truncated node record");
     out.steps_in_run[i] = static_cast<std::int64_t>(record[at++]);
@@ -159,94 +244,135 @@ void NodeCodec::decode(const Value* record, std::size_t size, Node& out) const {
   RCONS_ASSERT_MSG(at == size, "node record has trailing values");
 }
 
+void NodeCodec::restore(const Value* record, std::size_t size, Node& out,
+                        int dirty) {
+  if (dirty == kDirtyAll) {
+    decode(record, size, out);
+    return;
+  }
+  const std::size_t n = out.processes.size();
+  RCONS_ASSERT_MSG(block_offsets_.size() == n + 1,
+                   "restore needs the record's captured layout");
+  RCONS_ASSERT(size == block_offsets_[n] + n);
+
+  // Shared flat fields are always refilled — any event can touch them.
+  out.crashes_used = static_cast<int>(record[0]);
+  const auto ndecisions = static_cast<std::size_t>(record[1]);
+  out.decisions.clear();
+  for (std::size_t i = 0; i < ndecisions; ++i) out.decisions.push_back(record[2 + i]);
+  out.memory.decode(record + 2 + ndecisions, size - 2 - ndecisions);
+
+  const bool track_outputs = !out.ever_output.empty();
+  const std::size_t sidecar = block_offsets_[n];
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t at = block_offsets_[i];
+    out.done[i] = record[at++] != 0 ? 1 : 0;
+    if (track_outputs) {
+      out.ever_output[i] = record[at++] != 0 ? 1 : 0;
+      out.last_output[i] = record[at++];
+    }
+    // Program state: only the dirtied process actually diverged from the
+    // record; everyone else's object is already byte-equivalent.
+    if (static_cast<int>(i) == dirty) {
+      out.processes[i].decode(record + at, size - at);
+    }
+    out.steps_in_run[i] = static_cast<std::int64_t>(record[sidecar + i]);
+  }
+}
+
+int NodeCodec::orbit_skip_mask(const Value* record,
+                               std::vector<std::uint8_t>& skip) const {
+  return canonicalizer_.orbit_mask(record, block_offsets_, skip);
+}
+
 // --- NodeStore --------------------------------------------------------------
 
-NodeStore::NodeStore(int shard_bits, std::uint64_t expected_states)
+NodeStore::NodeStore(int shard_bits, std::uint64_t expected_states, int num_arenas)
     : shard_bits_(shard_bits) {
   RCONS_ASSERT_MSG(shard_bits >= 0 && shard_bits <= 16,
                    "shard_bits must be in [0, 16]");
+  RCONS_ASSERT_MSG(num_arenas >= 1, "need at least one arena");
   const std::size_t count = std::size_t{1} << shard_bits;
   const std::uint64_t expected_per_shard = expected_states / count;
   shards_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     shards_.push_back(std::make_unique<Shard>(expected_per_shard));
   }
+  arenas_.reserve(static_cast<std::size_t>(num_arenas));
+  for (int i = 0; i < num_arenas; ++i) arenas_.push_back(std::make_unique<Arena>());
+}
+
+Value* NodeStore::arena_refill(Arena& arena, std::size_t need) {
+  RCONS_ASSERT_MSG(need <= kChunkValues, "node record exceeds chunk size");
+  // Cold path: one lock per kChunkValues interned values per worker, the
+  // arena analogue of the index's growth mutex. The bump pointer handoff to
+  // readers stays lock-free — records become visible through the index
+  // slot's release-publish, never through this lock.
+  std::lock_guard<std::mutex> lock(chunk_mu_);
+  chunks_.push_back(std::make_unique<Value[]>(kChunkValues));
+  arena.cur = chunks_.back().get();
+  arena.end = arena.cur + kChunkValues;
+  return arena.cur;
 }
 
 NodeStore::Intern NodeStore::intern(util::U128 fingerprint,
-                                    const std::vector<Value>& record) {
-  RCONS_ASSERT_MSG(record.size() <= kChunkValues, "node record exceeds chunk size");
-  const std::size_t shard_idx = shard_index(fingerprint);
-  Shard& shard = *shards_[shard_idx];
-  std::lock_guard<std::mutex> lock(shard.mu);
+                                    const std::vector<Value>& record, int arena_index,
+                                    CasTable::OpStats* stats) {
+  RCONS_ASSERT(arena_index >= 0 &&
+               static_cast<std::size_t>(arena_index) < arenas_.size());
+  Arena& arena = *arenas_[static_cast<std::size_t>(arena_index)];
+  Shard& shard = *shards_[shard_index(fingerprint)];
+  const std::size_t length = record.size();
 
-  // Speculative insert keyed to the next local index: one probe resolves both
-  // the duplicate check and the placement.
-  const std::uint64_t local = shard.records.size();
-  const FlatTable::Found found = shard.index.insert(fingerprint, local);
-  if (!found.inserted) {
-    shard.duplicate_hits += 1;
-    const Record& existing = shard.records[static_cast<std::size_t>(found.value)];
-    const std::vector<Value>& existing_chunk = shard.chunks[existing.chunk];
-    return Intern{(static_cast<NodeId>(shard_idx) << kShardShift) | found.value,
-                  false, existing_chunk.data() + existing.offset, existing.length};
-  }
+  // The record copy is staged from the caller's private arena only inside
+  // the claimed window — after the lock-free duplicate check — so a
+  // duplicate intern never copies and never allocates.
+  const CasTable::Found found = shard.index.insert_with(
+      fingerprint,
+      [&]() -> std::uint64_t {
+        Value* header = arena.cur;
+        if (header == nullptr ||
+            static_cast<std::size_t>(arena.end - header) < length + 1) {
+          header = arena_refill(arena, length + 1);
+        }
+        header[0] = static_cast<Value>(length);
+        std::memcpy(header + 1, record.data(), length * sizeof(Value));
+        arena.cur = header + 1 + length;
+        arena.payload_values += length;
+        return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(header));
+      },
+      stats);
 
-  if (shard.chunks.empty() ||
-      shard.chunks.back().size() + record.size() > kChunkValues) {
-    shard.chunks.emplace_back();
-    shard.chunks.back().reserve(kChunkValues);
-  }
-  std::vector<Value>& chunk = shard.chunks.back();
-  Record entry;
-  entry.chunk = static_cast<std::uint32_t>(shard.chunks.size() - 1);
-  entry.offset = static_cast<std::uint32_t>(chunk.size());
-  entry.length = static_cast<std::uint32_t>(record.size());
-  chunk.insert(chunk.end(), record.begin(), record.end());
-
-  shard.records.push_back(entry);
-  return Intern{(static_cast<NodeId>(shard_idx) << kShardShift) | local, true,
-                chunk.data() + entry.offset, entry.length};
+  const Value* header =
+      reinterpret_cast<const Value*>(static_cast<std::uintptr_t>(found.value));
+  if (!found.inserted) arena.duplicate_hits += 1;
+  return Intern{found.value, found.inserted, header + 1,
+                static_cast<std::uint32_t>(header[0])};
 }
 
 void NodeStore::fetch(NodeId id, std::vector<Value>& out) const {
-  const std::size_t shard_idx = static_cast<std::size_t>(id >> kShardShift);
-  const std::uint64_t local = id & ((std::uint64_t{1} << kShardShift) - 1);
-  RCONS_ASSERT(shard_idx < shards_.size());
-  const Shard& shard = *shards_[shard_idx];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  RCONS_ASSERT(local < shard.records.size());
-  const Record& record = shard.records[static_cast<std::size_t>(local)];
-  const std::vector<Value>& chunk = shard.chunks[record.chunk];
-  out.assign(chunk.begin() + record.offset,
-             chunk.begin() + record.offset + record.length);
+  const Value* header =
+      reinterpret_cast<const Value*>(static_cast<std::uintptr_t>(id));
+  RCONS_ASSERT(header != nullptr);
+  const auto length = static_cast<std::size_t>(header[0]);
+  out.assign(header + 1, header + 1 + length);
 }
 
 std::uint64_t NodeStore::size() const {
   std::uint64_t total = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->records.size();
-  }
+  for (const auto& shard : shards_) total += shard->index.size();
   return total;
 }
 
 NodeStore::Stats NodeStore::stats() const {
   Stats stats;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    stats.nodes += shard->records.size();
-    stats.duplicate_hits += shard->duplicate_hits;
-    for (const Record& record : shard->records) {
-      stats.value_bytes += static_cast<std::uint64_t>(record.length) * sizeof(Value);
-    }
-    const FlatTable::Stats& probes = shard->index.stats();
-    stats.probes.probe_total += probes.probe_total;
-    stats.probes.probe_ops += probes.probe_ops;
-    if (probes.max_probe > stats.probes.max_probe) {
-      stats.probes.max_probe = probes.max_probe;
-    }
-    stats.probes.rehashes += probes.rehashes;
+    stats.nodes += shard->index.size();
+    stats.rehashes += shard->index.rehashes();
+  }
+  for (const auto& arena : arenas_) {
+    stats.value_bytes += arena->payload_values * sizeof(Value);
+    stats.duplicate_hits += arena->duplicate_hits;
   }
   return stats;
 }
@@ -255,20 +381,13 @@ ShardedVisited::LoadStats NodeStore::load_stats() const {
   ShardedVisited::LoadStats stats;
   stats.min_shard = ~0ULL;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    const std::uint64_t count = shard->records.size();
+    const std::uint64_t count = shard->index.size();
     stats.total += count;
     if (count < stats.min_shard) stats.min_shard = count;
     if (count > stats.max_shard) stats.max_shard = count;
-    stats.duplicate_inserts += shard->duplicate_hits;
-    const FlatTable::Stats& probes = shard->index.stats();
-    stats.probes.probe_total += probes.probe_total;
-    stats.probes.probe_ops += probes.probe_ops;
-    if (probes.max_probe > stats.probes.max_probe) {
-      stats.probes.max_probe = probes.max_probe;
-    }
-    stats.probes.rehashes += probes.rehashes;
+    stats.rehashes += shard->index.rehashes();
   }
+  for (const auto& arena : arenas_) stats.duplicate_inserts += arena->duplicate_hits;
   if (stats.total == 0) {
     stats.min_shard = 0;
     stats.imbalance = 1.0;

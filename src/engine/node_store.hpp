@@ -3,12 +3,13 @@
 // The clone-based representation copies `Memory` plus N type-erased `Process`
 // objects (two heap clones each) for every successor generated — the dominant
 // cost of the expansion hot path. Here a node is its canonical encoding: a
-// flat `std::vector<typesys::Value>` record interned once in a sharded arena
-// keyed by the node's 128-bit fingerprint. The store doubles as the visited
-// set (interning *is* deduplication), frontier items carry interned ids
-// instead of owning nodes, and expansion decodes a record into a reusable
-// per-worker scratch `Node` — zero allocations and zero program clones per
-// successor.
+// flat `std::vector<typesys::Value>` record interned once in a per-worker
+// bump arena, keyed by the node's 128-bit fingerprint through a lock-free
+// CAS-claimed slot index (engine/cas_table.hpp). The store doubles as the
+// visited set (interning *is* deduplication), frontier items carry interned
+// ids instead of owning nodes, and expansion decodes a record into a reusable
+// per-worker scratch `Node` — zero allocations, zero program clones, and zero
+// locks per successor on both the hit and the miss path.
 //
 // Record layout (NodeCodec):
 //
@@ -26,7 +27,9 @@
 // identical deduplicated graph. The sidecar (per-run step counts for the
 // recoverable-wait-freedom bound) is intentionally outside the fingerprint,
 // matching the legacy dedup semantics where the first path to reach a state
-// fixes its step counts.
+// fixes its step counts. The fingerprint is computed *during* encoding
+// (engine::FpStream): each record segment is absorbed right after it is
+// written, so the separate fingerprint sweep of the record is gone.
 //
 // Symmetry reduction: a `Canonicalizer` built from a symmetry declaration
 // (ExplorerConfig::symmetry_classes) sorts the per-process blocks of each
@@ -38,16 +41,24 @@
 // identical this preserves every verdict, but a violating schedule found
 // under reduction is a schedule of representatives — valid up to a class
 // permutation, not guaranteed to replay verbatim on the concrete system.
+//
+// The canonicalizer is also *stabilizer-aware*: from a canonical parent
+// record it can compute, once per expansion, which same-class processes are
+// in the same orbit of the state's stabilizer — identical block AND identical
+// sidecar step count — so expansion enumerates one representative event per
+// orbit and credits the skipped siblings (Canonicalizer::orbit_mask,
+// NodeCodec::orbit_skip_mask, engine.orbit_skipped).
 #ifndef RCONS_ENGINE_NODE_STORE_HPP
 #define RCONS_ENGINE_NODE_STORE_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "engine/cas_table.hpp"
 #include "engine/expand.hpp"
-#include "engine/flat_table.hpp"
 #include "engine/visited.hpp"
 #include "util/hash.hpp"
 
@@ -78,6 +89,17 @@ class Canonicalizer {
   bool canonicalize(std::vector<typesys::Value>& record,
                     const std::vector<std::size_t>& block_offsets);
 
+  // Stabilizer orbits of a *canonical* record: marks skip[p] = 1 for every
+  // same-class process whose block and sidecar step count equal those of an
+  // earlier class member (canonical order sorts equal blocks adjacent, so
+  // one adjacent compare per member suffices). Such a process is a
+  // non-representative orbit member — any event on it produces a state that
+  // canonicalizes identically to the representative's — and expansion may
+  // skip its events entirely. Returns the number of processes marked.
+  int orbit_mask(const typesys::Value* record,
+                 const std::vector<std::size_t>& block_offsets,
+                 std::vector<std::uint8_t>& skip) const;
+
  private:
   std::size_t num_processes_ = 0;
   std::vector<std::vector<int>> groups_;  // classes with >= 2 members
@@ -89,8 +111,24 @@ class Canonicalizer {
 // Encodes nodes into interned records and decodes records back into a
 // structurally compatible scratch node. One codec per worker (it owns scratch
 // buffers); all codecs of a run must share the same symmetry declaration.
+//
+// decode() additionally captures the record's *layout* (per-process block
+// offsets), which unlocks two per-successor fast paths against that record:
+//   * restore() — refill only the shared header/memory/sidecar plus the one
+//     process block a previous event dirtied, instead of decoding all n
+//     process programs again;
+//   * encode_successor() — build a successor's record by memcpy-ing the n-1
+//     unchanged process blocks straight from the parent record, encoding
+//     only the stepped/crashed process.
+// Both are pure record-level optimizations: the resulting records and
+// fingerprints are identical to full decode()+encode().
 class NodeCodec {
  public:
+  // `dirty` argument of restore(): no process block needs re-decoding, or
+  // all of them do (also refreshes the captured layout via full decode()).
+  static constexpr int kDirtyNone = -1;
+  static constexpr int kDirtyAll = -2;
+
   NodeCodec() = default;
   explicit NodeCodec(const std::vector<int>& symmetry_classes)
       : canonicalizer_(symmetry_classes) {}
@@ -106,51 +144,93 @@ class NodeCodec {
   };
 
   // Writes the full record (canonical encoding + sidecar) for `node` into
-  // `record` and fingerprints the canonical prefix.
+  // `record`, fingerprinting the canonical prefix in the same pass.
   Encoded encode(const Node& node, std::vector<typesys::Value>& record);
+
+  // Like encode(), but every process block except `changed_process` is
+  // copied verbatim from `parent` (the record most recently decode()d by
+  // this codec — its captured layout supplies the block spans). The header,
+  // memory, changed block, and sidecar come from `node`.
+  Encoded encode_successor(const typesys::Value* parent, std::size_t parent_size,
+                           const Node& node, int changed_process,
+                           std::vector<typesys::Value>& record);
 
   // Restores `out` — which must be structurally a copy of the run's root
   // (same memory layout, same programs) — from a record produced by encode().
-  void decode(const typesys::Value* record, std::size_t size, Node& out) const;
+  // Captures the record's layout for restore()/encode_successor()/
+  // orbit_skip_mask() against the same record.
+  void decode(const typesys::Value* record, std::size_t size, Node& out);
+
+  // Partial re-decode of the record last passed to decode(): always refills
+  // the header, decisions, memory, per-process scalar fields and sidecar
+  // (cheap flat reads), but re-decodes only the program state of process
+  // `dirty` (kDirtyNone: none; kDirtyAll: delegates to decode(), refreshing
+  // the layout). Between successors of one expansion exactly one process —
+  // the previous event's target — is dirty, so this replaces n program
+  // decodes with one.
+  void restore(const typesys::Value* record, std::size_t size, Node& out,
+               int dirty);
+
+  // Orbit mask of the record last passed to decode() (see
+  // Canonicalizer::orbit_mask). Returns the number of processes marked.
+  int orbit_skip_mask(const typesys::Value* record,
+                      std::vector<std::uint8_t>& skip) const;
 
   bool canonicalizing() const { return canonicalizer_.active(); }
 
  private:
   Canonicalizer canonicalizer_;
   std::vector<std::size_t> offsets_;  // scratch: per-process block offsets
+
+  // Layout of the record most recently decode()d: where the process blocks
+  // and the sidecar live. Valid until the next decode().
+  std::size_t header_end_ = 0;                 // first process block offset
+  std::vector<std::size_t> block_offsets_;     // n+1 entries; [n] = sidecar
 };
 
-// Sharded interning arena: record payloads live in chunked per-shard arenas,
-// keyed by fingerprint through a flat open-addressing index
-// (engine/flat_table.hpp — no per-intern node allocation, incremental
-// growth). Interning an already-present fingerprint is the deduplication hit
-// that replaces the separate visited set. Thread-safe.
+// Interning store: record payloads live in per-worker chunked bump arenas,
+// keyed by fingerprint through lock-free CAS-claimed slot tables
+// (engine/cas_table.hpp). Interning an already-present fingerprint is the
+// deduplication hit that replaces the separate visited set.
+//
+// intern() is mutex-free on both the hit and the miss path: the duplicate
+// check is a lock-free probe, and a miss claims its index slot by CAS and
+// bump-allocates the record copy from the calling worker's private arena
+// *inside the claimed window* (CasTable::insert_with), so duplicates never
+// pay a record copy and new records are published to concurrent readers by
+// the slot's release-store. The only locks left are cold: index growth
+// (CasTable's epoch migration) and fresh chunk allocation (once per
+// kChunkValues interned values per worker).
 class NodeStore {
  public:
   using NodeId = std::uint64_t;
 
-  // Valid shard_bits: 0 (single shard — the sequential layout) through 16.
-  // `expected_states` pre-sizes the shard indexes so a run of the
+  // Valid shard_bits: 0 (single index shard — the sequential layout) through
+  // 16. `expected_states` pre-sizes the shard indexes so a run of the
   // anticipated size never rehashes (0 = unknown, start minimal).
-  explicit NodeStore(int shard_bits, std::uint64_t expected_states = 0);
+  // `num_arenas` is the number of concurrent interning callers (one arena
+  // per worker; arena i must only ever be used by one thread at a time).
+  explicit NodeStore(int shard_bits, std::uint64_t expected_states = 0,
+                     int num_arenas = 1);
 
   struct Intern {
     NodeId id = 0;
     bool inserted = false;  // true when the fingerprint was new
 
-    // Direct view of the interned payload in the shard arena. Records are
-    // immutable once written and chunk buffers never reallocate (fixed
-    // capacity, reserved up front), so the pointer is stable for the store's
-    // lifetime and safe to read without the shard lock once the owning item
-    // has been published through the frontier — expansion decodes in place
-    // instead of paying a lock + copy per fetch.
+    // Direct view of the interned payload in its arena chunk. Records are
+    // immutable once written and chunks never move, so the pointer is stable
+    // for the store's lifetime; the index's publish/acquire tag protocol
+    // orders the payload writes before any reader that found the id, so
+    // expansion decodes in place — no lock, no copy per fetch.
     const typesys::Value* record = nullptr;
     std::uint32_t length = 0;
   };
 
-  // Interns `record` under `fingerprint`; returns the (existing or new) id
-  // and the resident payload view.
-  Intern intern(util::U128 fingerprint, const std::vector<typesys::Value>& record);
+  // Interns `record` under `fingerprint` using the caller's arena; returns
+  // the (existing or new) id and the resident payload view. Probe/CAS
+  // counters accumulate into `stats` when non-null.
+  Intern intern(util::U128 fingerprint, const std::vector<typesys::Value>& record,
+                int arena = 0, CasTable::OpStats* stats = nullptr);
 
   // Copies record `id` into `out` (cleared first). Safe to call concurrently
   // with intern().
@@ -160,12 +240,13 @@ class NodeStore {
   std::uint64_t size() const;
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_arenas() const { return static_cast<int>(arenas_.size()); }
 
   struct Stats {
     std::uint64_t nodes = 0;
-    std::uint64_t value_bytes = 0;      // payload bytes across all records
-    std::uint64_t duplicate_hits = 0;   // interns that found the key present
-    FlatTable::Stats probes;            // aggregated index probe/growth work
+    std::uint64_t value_bytes = 0;     // payload bytes across all records
+    std::uint64_t duplicate_hits = 0;  // interns that found the key present
+    std::uint64_t rehashes = 0;        // index growth epochs across shards
   };
   Stats stats() const;
 
@@ -175,24 +256,27 @@ class NodeStore {
 
  private:
   // Fixed-capacity chunks keep record payloads contiguous without ever
-  // reallocating (ids and payload addresses are stable once written).
+  // moving (ids and payload addresses are stable once written). A record is
+  // stored as [length][values...]; the id is the header's address.
   static constexpr std::size_t kChunkValues = std::size_t{1} << 14;
-  static constexpr int kShardShift = 40;  // NodeId = shard << 40 | local index
 
-  struct Record {
-    std::uint32_t chunk = 0;
-    std::uint32_t offset = 0;
-    std::uint32_t length = 0;
+  // One per interning worker; cache-line separated so two workers' bump
+  // pointers and tallies never false-share.
+  struct alignas(64) Arena {
+    typesys::Value* cur = nullptr;
+    typesys::Value* end = nullptr;
+    std::uint64_t payload_values = 0;  // record values staged (excl. headers)
+    std::uint64_t duplicate_hits = 0;
   };
 
   struct alignas(64) Shard {
     explicit Shard(std::uint64_t expected) : index(expected) {}
-    mutable std::mutex mu;
-    std::vector<std::vector<typesys::Value>> chunks;
-    std::vector<Record> records;
-    FlatTable index;  // fingerprint -> local record index
-    std::uint64_t duplicate_hits = 0;
+    CasTable index;  // fingerprint -> record header address
   };
+
+  // Points the arena at a fresh chunk with >= `need` free values. Cold path:
+  // takes chunk_mu_ once per kChunkValues interned values per worker.
+  typesys::Value* arena_refill(Arena& arena, std::size_t need);
 
   std::size_t shard_index(util::U128 key) const {
     return shard_bits_ == 0
@@ -202,6 +286,9 @@ class NodeStore {
 
   int shard_bits_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Arena>> arenas_;
+  std::mutex chunk_mu_;  // cold: guards chunk allocation, never per-intern
+  std::vector<std::unique_ptr<typesys::Value[]>> chunks_;
 };
 
 }  // namespace rcons::engine

@@ -37,6 +37,9 @@ struct ObsDeltas {
   std::uint64_t cache_hits = 0;
   std::uint64_t batches = 0;
   std::uint64_t batched_items = 0;
+  std::uint64_t orbit_skipped = 0;
+  std::uint64_t cas_retries = 0;
+  std::uint64_t migration_stripes = 0;
 };
 
 struct ObsCells {
@@ -48,6 +51,9 @@ struct ObsCells {
   obs::Counter* terminal_states = nullptr;
   obs::Counter* duplicates = nullptr;
   obs::Counter* violation_edges = nullptr;
+  obs::Counter* orbit_skipped = nullptr;
+  obs::Counter* cas_retries = nullptr;
+  obs::Counter* migration_stripes = nullptr;
   obs::Counter* truncations = nullptr;
   obs::Counter* dedup_cache_probes = nullptr;
   obs::Counter* dedup_cache_hits = nullptr;
@@ -78,6 +84,9 @@ struct ObsCells {
     cells.terminal_states = &registry->counter("engine.terminal_states");
     cells.duplicates = &registry->counter("engine.duplicates");
     cells.violation_edges = &registry->counter("engine.violation_edges");
+    cells.orbit_skipped = &registry->counter("engine.orbit_skipped");
+    cells.cas_retries = &registry->counter("engine.cas_retries");
+    cells.migration_stripes = &registry->counter("engine.migration_stripes");
     cells.truncations = &registry->counter("engine.truncations");
     cells.dedup_cache_probes = &registry->counter("engine.dedup_cache_probes");
     cells.dedup_cache_hits = &registry->counter("engine.dedup_cache_hits");
@@ -117,6 +126,9 @@ struct ObsCells {
     if (d.cache_hits != 0) dedup_cache_hits->add(lane, d.cache_hits);
     if (d.batches != 0) frontier_batches->add(lane, d.batches);
     if (d.batched_items != 0) frontier_batched_items->add(lane, d.batched_items);
+    if (d.orbit_skipped != 0) orbit_skipped->add(lane, d.orbit_skipped);
+    if (d.cas_retries != 0) cas_retries->add(lane, d.cas_retries);
+    if (d.migration_stripes != 0) migration_stripes->add(lane, d.migration_stripes);
   }
 };
 

@@ -10,9 +10,18 @@ namespace rcons::engine {
 
 namespace {
 
-// How many items a worker drains from the frontier per lock acquisition, and
-// the cap on one local run between frontier interactions.
-constexpr std::size_t kPopBatch = 32;
+// Adaptive pop-batch sizing: how many items a worker drains from the
+// frontier per lock acquisition. Fixed batches lose both ways — too large
+// and a worker hoards frontier items while its peers' steals come back
+// empty; too small and every worker pays a lock round-trip per handful of
+// nodes. Each worker sizes its own batch inside [kMinPopBatch, kMaxPopBatch]
+// from two observations at its next pop: the frontier-wide failed-steal
+// counter advanced since it last looked (peers are starving — halve, keep
+// work visible to steals), or its previous pop came back full from its own
+// deque (the local deque runs deep and nobody is starving — double).
+constexpr std::size_t kMinPopBatch = 4;
+constexpr std::size_t kInitPopBatch = 16;
+constexpr std::size_t kMaxPopBatch = 128;
 
 // Per-worker recently-inserted fingerprint cache: direct-mapped, fixed size.
 // A hit proves the fingerprint is already interned (everything remembered
@@ -129,6 +138,10 @@ void ParallelExplorer::flush_worker_obs(std::size_t lane, WorkerStats& last_flus
   delta.cache_hits = local.cache_hits - last_flushed.cache_hits;
   delta.batches = local.batches - last_flushed.batches;
   delta.batched_items = local.batched_items - last_flushed.batched_items;
+  delta.orbit_skipped = local.orbit_skipped - last_flushed.orbit_skipped;
+  delta.cas_retries = local.ops.cas_retries - last_flushed.ops.cas_retries;
+  delta.migration_stripes =
+      local.ops.migration_stripes - last_flushed.ops.migration_stripes;
   obs_cells_.flush(lane, delta);
   // Any recent writer's view of the pending count is equally good (gauge is
   // last-write-wins), so a plain relaxed sample suffices.
@@ -161,6 +174,8 @@ void ParallelExplorer::worker_legacy(int id, Frontier& frontier,
   WorkerStats flushed;
   const std::uint64_t worker_begin = tracer != nullptr ? tracer->now_us() : 0;
   std::uint64_t batch_begin = 0;
+  std::size_t pop_batch = kInitPopBatch;
+  std::uint64_t steal_mark = frontier.failed_steals();
 
   for (;;) {
     if (batch.empty()) {
@@ -168,15 +183,25 @@ void ParallelExplorer::worker_legacy(int id, Frontier& frontier,
         flush_worker_obs(obs_lane, flushed, local,
                          pending.load(std::memory_order_relaxed));
       }
+      // Adapt the batch size to observed steal pressure before popping.
+      const std::uint64_t failed = frontier.failed_steals();
+      if (failed != steal_mark) {
+        steal_mark = failed;
+        pop_batch = pop_batch / 2 < kMinPopBatch ? kMinPopBatch : pop_batch / 2;
+      }
       const std::uint64_t pop_begin = tracer != nullptr ? tracer->now_us() : 0;
       bool stole = false;
-      if (frontier.pop_batch(id, batch, kPopBatch, &stole) == 0) {
+      const std::size_t got = frontier.pop_batch(id, batch, pop_batch, &stole);
+      if (got == 0) {
         // pending counts items queued, locally buffered, or mid-expansion;
         // 0 means fully drained. After a stop, queued items are still popped
         // (and skipped) below, so the counter always reaches 0.
         if (pending.load(std::memory_order_acquire) == 0) break;
         std::this_thread::yield();
         continue;
+      }
+      if (!stole && got == pop_batch && pop_batch < kMaxPopBatch) {
+        pop_batch *= 2;  // local deque runs deep, nobody is starving
       }
       if (tracer != nullptr) {
         batch_begin = tracer->now_us();
@@ -210,7 +235,7 @@ void ParallelExplorer::worker_legacy(int id, Frontier& frontier,
           local.duplicates += 1;
           continue;
         }
-        if (!visited.insert(key)) {
+        if (!visited.insert(key, &local.ops)) {
           cache.remember(key);
           local.duplicates += 1;
           continue;
@@ -258,18 +283,19 @@ void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
                                       NodeStore& store, PathArena& arena,
                                       std::atomic<std::uint64_t>& pending,
                                       WorkerStats& local) {
-  // Per-worker reusable state: the decoded parent, the child being expanded
-  // (re-decoded from the parent's record per successor — no Node copies),
-  // the record/event buffers, the popped and successor batches, and the
+  // Per-worker reusable state: one scratch node (restored from the parent's
+  // record between successors — no Node copies), the record/event buffers,
+  // the orbit mask, the popped and successor batches, and the
   // recently-inserted cache. Zero allocations per successor after warmup.
   NodeCodec codec(config_.symmetry_classes);
   Node parent = make_root(initial_memory_, initial_processes_, config_.properties);
-  Node child = parent;
   std::vector<Event> events;
   std::vector<typesys::Value> child_record;
+  std::vector<std::uint8_t> orbit_skip;
   std::vector<CompactWorkItem> batch;
   std::vector<CompactWorkItem> successors;
   DedupCache cache;
+  const bool orbits = codec.canonicalizing();
 
   // Observability: metrics flush at batch boundaries (obs_cells_ inactive =
   // one predicted branch per batch), spans on the tracer's worker lane.
@@ -282,6 +308,8 @@ void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
   WorkerStats flushed;
   const std::uint64_t worker_begin = tracer != nullptr ? tracer->now_us() : 0;
   std::uint64_t batch_begin = 0;
+  std::size_t pop_batch = kInitPopBatch;
+  std::uint64_t steal_mark = frontier.failed_steals();
 
   for (;;) {
     if (batch.empty()) {
@@ -289,12 +317,22 @@ void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
         flush_worker_obs(obs_lane, flushed, local,
                          pending.load(std::memory_order_relaxed));
       }
+      // Adapt the batch size to observed steal pressure before popping.
+      const std::uint64_t failed = frontier.failed_steals();
+      if (failed != steal_mark) {
+        steal_mark = failed;
+        pop_batch = pop_batch / 2 < kMinPopBatch ? kMinPopBatch : pop_batch / 2;
+      }
       const std::uint64_t pop_begin = tracer != nullptr ? tracer->now_us() : 0;
       bool stole = false;
-      if (frontier.pop_batch(id, batch, kPopBatch, &stole) == 0) {
+      const std::size_t got = frontier.pop_batch(id, batch, pop_batch, &stole);
+      if (got == 0) {
         if (pending.load(std::memory_order_acquire) == 0) break;
         std::this_thread::yield();
         continue;
+      }
+      if (!stole && got == pop_batch && pop_batch < kMaxPopBatch) {
+        pop_batch *= 2;  // local deque runs deep, nobody is starving
       }
       if (tracer != nullptr) {
         batch_begin = tracer->now_us();
@@ -306,42 +344,63 @@ void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
 
     if (!stop_.load(std::memory_order_relaxed)) {
       // The item's record view reads straight from the store arena — no
-      // fetch lock, no copy (see NodeStore::Intern).
+      // fetch lock, no copy (see NodeStore::Intern). decode() also captures
+      // the record's layout for the restore/patch-encode fast paths below.
       codec.decode(item.record, item.length, parent);
-      enumerate_events(parent, config_, events);
+      // Stabilizer orbits: enumerate one representative event per orbit of
+      // interchangeable processes; the skipped siblings still count as
+      // transitions (they are edges of the unreduced graph) plus
+      // orbit_skipped.
+      const std::uint64_t orbit_before = local.orbit_skipped;
+      const int orbit_count =
+          orbits ? codec.orbit_skip_mask(item.record, orbit_skip) : 0;
+      enumerate_events(parent, config_, events,
+                       orbit_count > 0 ? &orbit_skip : nullptr,
+                       &local.orbit_skipped);
+      local.transitions += local.orbit_skipped - orbit_before;
       if (is_terminal(parent)) local.terminal_states += 1;
       successors.clear();
       // Codec header: record[1] counts the distinct outputs so far.
       const auto parent_decisions = static_cast<std::size_t>(item.record[1]);
 
-      for (std::size_t i = 0; i < events.size(); ++i) {
-        const Event& event = events[i];
+      // Between successors the scratch node diverges from the parent record
+      // only where the previous event touched it: the shared flat fields
+      // plus exactly one process (or all of them after a crash-all). restore
+      // re-decodes just that — one program decode per successor instead of n.
+      int dirty = NodeCodec::kDirtyNone;
+      for (const Event& event : events) {
         if (stop_.load(std::memory_order_relaxed)) break;
         local.transitions += 1;
-        // The first successor mutates the freshly-decoded parent in place
-        // (its pristine state is not needed again); later ones re-decode the
-        // record into the child scratch — one decode per successor total.
-        Node& next = i == 0 ? parent : child;
-        if (i != 0) codec.decode(item.record, item.length, child);
-        if (auto broken = apply_event(next, event, config_)) {
+        if (dirty != NodeCodec::kDirtyNone) {
+          codec.restore(item.record, item.length, parent, dirty);
+        }
+        dirty = event.kind == Event::Kind::kCrashAll ? NodeCodec::kDirtyAll
+                                                     : event.process;
+        if (auto broken = apply_event(parent, event, config_)) {
           local.violation_edges += 1;
           std::vector<Event> path = materialize_path(item.tail);
           path.push_back(event);
           offer_violation(std::move(path), std::move(*broken));
           continue;  // a violating edge is never expanded further
         }
-        if (next.decisions.size() > parent_decisions) local.decisions += 1;
-        const NodeCodec::Encoded encoded = codec.encode(next, child_record);
+        if (parent.decisions.size() > parent_decisions) local.decisions += 1;
+        // Per-process events leave n-1 blocks byte-identical to the parent
+        // record: patch-encode copies them instead of re-encoding programs.
+        const NodeCodec::Encoded encoded =
+            event.kind == Event::Kind::kCrashAll
+                ? codec.encode(parent, child_record)
+                : codec.encode_successor(item.record, item.length, parent,
+                                         event.process, child_record);
         local.encodes += 1;
         if (encoded.permuted) local.canonical_hits += 1;
         local.cache_probes += 1;
         if (cache.seen(encoded.fingerprint)) {
           local.cache_hits += 1;
           local.duplicates += 1;
-          continue;  // guaranteed duplicate: skip the shard lock entirely
+          continue;  // guaranteed duplicate: skip the table probe entirely
         }
         const NodeStore::Intern interned =
-            store.intern(encoded.fingerprint, child_record);
+            store.intern(encoded.fingerprint, child_record, id, &local.ops);
         cache.remember(encoded.fingerprint);
         if (!interned.inserted) {
           local.duplicates += 1;
@@ -444,7 +503,7 @@ std::optional<sim::Violation> ParallelExplorer::run_legacy() {
 
 std::optional<sim::Violation> ParallelExplorer::run_compact() {
   CompactFrontier frontier(num_threads_);
-  NodeStore store(shard_bits_, presize_states());
+  NodeStore store(shard_bits_, presize_states(), num_threads_);
   std::vector<PathArena> arenas(static_cast<std::size_t>(num_threads_));
   std::atomic<std::uint64_t> pending{0};
 
@@ -504,6 +563,7 @@ std::optional<sim::Violation> ParallelExplorer::finish(
     stats_.transitions += local.transitions;
     stats_.decisions += local.decisions;
     stats_.terminal_states += local.terminal_states;
+    stats_.orbit_skipped += local.orbit_skipped;
     stats_.store.encodes += local.encodes;
     stats_.store.canonical_hits += local.canonical_hits;
     stats_.hot.allocations_avoided += local.allocations_avoided;
@@ -511,11 +571,17 @@ std::optional<sim::Violation> ParallelExplorer::finish(
     stats_.hot.batched_items += local.batched_items;
     stats_.hot.dedup_cache_probes += local.cache_probes;
     stats_.hot.dedup_cache_hits += local.cache_hits;
+    // Probe/contention counters are caller-side OpStats (the lock-free
+    // tables hold no shared tallies); aggregate across workers here.
+    stats_.hot.probe_total += local.ops.probe_total;
+    stats_.hot.probe_ops += local.ops.probe_ops;
+    if (local.ops.max_probe > stats_.hot.max_probe) {
+      stats_.hot.max_probe = local.ops.max_probe;
+    }
+    stats_.hot.cas_retries += local.ops.cas_retries;
+    stats_.hot.migration_stripes += local.ops.migration_stripes;
   }
-  stats_.hot.probe_total = visited_stats_.probes.probe_total;
-  stats_.hot.probe_ops = visited_stats_.probes.probe_ops;
-  stats_.hot.max_probe = visited_stats_.probes.max_probe;
-  stats_.hot.rehashes = visited_stats_.probes.rehashes;
+  stats_.hot.rehashes = visited_stats_.rehashes;
 
   if (obs_cells_.active) {
     // Steal and rehash totals live in the frontier/table internals; publish

@@ -15,13 +15,15 @@
 // which pins the report for algorithms whose local state advances every
 // step — all of the repository's real ones.
 //
-// The hot path is allocation-free and batch-oriented: frontier items are
-// stored inline and submitted/drained in batches (engine/frontier.hpp), path
-// backlinks come from per-worker append-only arenas instead of shared_ptr
-// allocations (engine/path_arena.hpp), dedup probes hit flat open-addressing
-// tables (engine/flat_table.hpp) behind a small per-worker recently-inserted
-// fingerprint cache that short-circuits duplicate probes before touching a
-// shard lock. ExplorerStats::hot counts the work saved.
+// The hot path is allocation-free, batch-oriented, and mutex-free: frontier
+// items are stored inline and submitted/drained in batches
+// (engine/frontier.hpp) with pop-batch sizes adapted to observed steal
+// pressure, path backlinks come from per-worker append-only arenas instead
+// of shared_ptr allocations (engine/path_arena.hpp), and dedup probes hit
+// lock-free CAS-claimed slot tables (engine/cas_table.hpp) behind a small
+// per-worker recently-inserted fingerprint cache that short-circuits
+// duplicate probes before touching the shared tables at all.
+// ExplorerStats::hot counts the work saved and the contention observed.
 //
 // Two node representations share this driver (sim::NodeRepr selects):
 //
@@ -101,6 +103,7 @@ class ParallelExplorer {
     std::uint64_t transitions = 0;
     std::uint64_t decisions = 0;
     std::uint64_t terminal_states = 0;
+    std::uint64_t orbit_skipped = 0;
     std::uint64_t encodes = 0;
     std::uint64_t canonical_hits = 0;
     std::uint64_t allocations_avoided = 0;
@@ -108,6 +111,10 @@ class ParallelExplorer {
     std::uint64_t batched_items = 0;
     std::uint64_t cache_probes = 0;
     std::uint64_t cache_hits = 0;
+    // Lock-free table work (probe lengths, lost claim CASes, migration
+    // stripes helped) — accumulated caller-side so the tables never bounce a
+    // shared stats cache line between workers.
+    CasTable::OpStats ops;
     // Observability-only tallies (not part of ExplorerStats): states this
     // worker inserted, duplicate successors it skipped, violating edges it
     // found, and the interned records/bytes it added to the store.

@@ -16,20 +16,13 @@ ShardedVisited::ShardedVisited(int shard_bits, std::uint64_t expected_states)
   }
 }
 
-bool ShardedVisited::insert(util::U128 key) {
-  Shard& shard = *shards_[shard_index(key)];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  const bool inserted = shard.table.insert(key, 0).inserted;
-  if (!inserted) shard.duplicate_inserts += 1;
-  return inserted;
+bool ShardedVisited::insert(util::U128 key, CasTable::OpStats* stats) {
+  return shards_[shard_index(key)]->table.insert(key, 0, stats).inserted;
 }
 
 std::uint64_t ShardedVisited::size() const {
   std::uint64_t total = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->table.size();
-  }
+  for (const auto& shard : shards_) total += shard->table.size();
   return total;
 }
 
@@ -37,19 +30,11 @@ ShardedVisited::LoadStats ShardedVisited::load_stats() const {
   LoadStats stats;
   stats.min_shard = ~0ULL;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
     const std::uint64_t count = shard->table.size();
     stats.total += count;
     if (count < stats.min_shard) stats.min_shard = count;
     if (count > stats.max_shard) stats.max_shard = count;
-    stats.duplicate_inserts += shard->duplicate_inserts;
-    const FlatTable::Stats& probes = shard->table.stats();
-    stats.probes.probe_total += probes.probe_total;
-    stats.probes.probe_ops += probes.probe_ops;
-    if (probes.max_probe > stats.probes.max_probe) {
-      stats.probes.max_probe = probes.max_probe;
-    }
-    stats.probes.rehashes += probes.rehashes;
+    stats.rehashes += shard->table.rehashes();
   }
   if (stats.total == 0) {
     stats.min_shard = 0;

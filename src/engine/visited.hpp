@@ -1,25 +1,28 @@
 // Sharded visited-state set for parallel exploration.
 //
-// The sequential explorer keeps one table; under T workers a single table
-// (or a single lock) serializes every insert. Here the 128-bit fingerprint
-// space is split across 2^shard_bits independent shards, each a
-// mutex-protected *flat open-addressing table* (engine/flat_table.hpp) — no
-// per-insert node allocation, a handful of contiguous loads per probe, and
-// incremental growth so no insert stalls on an O(n) rehash while holding the
-// shard lock. Concurrent inserts only contend when they land in the same
-// shard (probability 2^-k for unrelated states). Shard selection uses the
-// top bits of the `hi` half; the intra-shard slot index comes from
-// `util::U128Hash`, which mixes both halves, so shard selection does not
-// degrade slot distribution.
+// The sequential legacy explorer keeps one single-threaded flat table; under
+// T workers every insert must be concurrent. Here the 128-bit fingerprint
+// space is split across 2^shard_bits independent shards, each a *lock-free
+// CAS-claimed slot table* (engine/cas_table.hpp): inserts claim a slot by
+// CAS-ing its atomic tag and publish with a release store — no mutex on the
+// insert path at all (the only lock left in the table guards the cold growth
+// allocation). Sharding still pays: it splits the atomic size counters and
+// growth sweeps, and unrelated inserts probe disjoint cache regions. Shard
+// selection uses the top bits of the `hi` half; the intra-shard slot index
+// comes from `util::U128Hash`, which mixes both halves, so shard selection
+// does not degrade slot distribution.
+//
+// Probe/contention counters accumulate into caller-owned CasTable::OpStats
+// (one per worker) rather than shared table fields — load_stats() reports
+// only what the tables themselves track contention-free (sizes, growths).
 #ifndef RCONS_ENGINE_VISITED_HPP
 #define RCONS_ENGINE_VISITED_HPP
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
-#include "engine/flat_table.hpp"
+#include "engine/cas_table.hpp"
 #include "util/hash.hpp"
 
 namespace rcons::engine {
@@ -31,8 +34,9 @@ class ShardedVisited {
   // run of the anticipated size never rehashes (0 = unknown, start minimal).
   explicit ShardedVisited(int shard_bits, std::uint64_t expected_states = 0);
 
-  // Inserts `key`; returns true when it was not already present. Thread-safe.
-  bool insert(util::U128 key);
+  // Inserts `key`; returns true when it was not already present. Thread-safe
+  // and lock-free; probe/CAS counters accumulate into `stats` when non-null.
+  bool insert(util::U128 key, CasTable::OpStats* stats = nullptr);
 
   // Exact at quiescence; a racy snapshot while workers are inserting.
   std::uint64_t size() const;
@@ -41,26 +45,26 @@ class ShardedVisited {
 
   // Occupancy statistics for tuning shard_bits: total entries, the
   // fullest/emptiest shard, and the imbalance ratio max/(total/shards)
-  // (1.0 = perfectly even). Collisions counts inserts that found the key
-  // already present (revisits deduplicated away). The probe counters
-  // aggregate the flat tables' linear-probe work (engine/flat_table.hpp).
+  // (1.0 = perfectly even). `rehashes` counts growth epochs across the
+  // shards. Duplicate inserts are visible to callers via insert()'s return
+  // value (the workers tally them); `duplicate_inserts` here is filled only
+  // by owners with out-of-band tracking (NodeStore's arenas) and stays 0 for
+  // a bare ShardedVisited.
   struct LoadStats {
     std::uint64_t total = 0;
     std::uint64_t min_shard = 0;
     std::uint64_t max_shard = 0;
     double imbalance = 1.0;
     std::uint64_t duplicate_inserts = 0;
-    FlatTable::Stats probes;
+    std::uint64_t rehashes = 0;
   };
   LoadStats load_stats() const;
 
  private:
-  // Shards are cache-line separated so neighbouring locks don't false-share.
+  // Shards are cache-line separated so neighbouring atomics don't false-share.
   struct alignas(64) Shard {
     explicit Shard(std::uint64_t expected) : table(expected) {}
-    mutable std::mutex mu;
-    FlatTable table;
-    std::uint64_t duplicate_inserts = 0;
+    CasTable table;
   };
 
   std::size_t shard_index(util::U128 key) const {
@@ -76,9 +80,9 @@ class ShardedVisited {
 // Picks shard_bits for a parallel run instead of a fixed default. Two forces:
 //
 //   * contention — with T workers inserting concurrently we want enough
-//     shards that two unrelated inserts rarely meet on one mutex: at least
-//     8×T shards (collision probability <= 1/8 per pair), rounded up to the
-//     next power of two;
+//     shards that two unrelated inserts rarely meet on one table's atomics:
+//     at least 8×T shards (collision probability <= 1/8 per pair), rounded
+//     up to the next power of two;
 //   * occupancy — a state space of S states should not be spread over more
 //     than S/64 shards, or most shards sit empty and load stats (and cache
 //     locality) degrade.

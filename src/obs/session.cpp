@@ -56,6 +56,7 @@ const std::vector<NameDoc>& metric_names() {
   static const std::vector<NameDoc> kNames = {
       {"check.probe_visited", "states the kAuto probe explored before escalating"},
       {"engine.batch_size", "histogram of successor batch sizes pushed per expansion"},
+      {"engine.cas_retries", "lock-free slot claims lost to a racing worker and retried"},
       {"engine.decisions", "decide transitions taken (== ExplorerStats.decisions)"},
       {"engine.dedup_cache_hits", "duplicate probes answered by the per-worker cache"},
       {"engine.dedup_cache_probes", "lookups in the per-worker recently-inserted cache"},
@@ -64,7 +65,9 @@ const std::vector<NameDoc>& metric_names() {
       {"engine.frontier_batched_items", "items across those batches"},
       {"engine.frontier_batches", "successor batches submitted to the frontier"},
       {"engine.frontier_pending", "gauge: items queued or mid-expansion right now"},
+      {"engine.migration_stripes", "table-growth stripes migrated cooperatively by workers"},
       {"engine.num_threads", "gauge: resolved engine worker count"},
+      {"engine.orbit_skipped", "orbit-equivalent sibling events skipped by symmetry"},
       {"engine.steals", "successful frontier batch steals"},
       {"engine.stolen_items", "items moved by those steals"},
       {"engine.terminal_states", "states where every process has decided"},

@@ -31,6 +31,7 @@ std::optional<Violation> Explorer::run() {
   stats_ = ExplorerStats{};
   visited_ = engine::FlatTable();
   path_.clear();
+  table_ops_ = engine::CasTable::OpStats{};
 
   obs_cells_ = engine::ObsCells::resolve(config_.obs.metrics);
   obs_flushed_ = engine::ObsDeltas{};
@@ -76,6 +77,9 @@ void Explorer::flush_obs() {
   totals.canonical_hits = stats_.store.canonical_hits;
   totals.nodes = obs_store_nodes_;
   totals.value_bytes = obs_store_bytes_;
+  totals.orbit_skipped = stats_.orbit_skipped;
+  totals.cas_retries = table_ops_.cas_retries;
+  totals.migration_stripes = table_ops_.migration_stripes;
 
   engine::ObsDeltas delta;
   delta.visited = totals.visited - obs_flushed_.visited;
@@ -88,6 +92,10 @@ void Explorer::flush_obs() {
   delta.canonical_hits = totals.canonical_hits - obs_flushed_.canonical_hits;
   delta.nodes = totals.nodes - obs_flushed_.nodes;
   delta.value_bytes = totals.value_bytes - obs_flushed_.value_bytes;
+  delta.orbit_skipped = totals.orbit_skipped - obs_flushed_.orbit_skipped;
+  delta.cas_retries = totals.cas_retries - obs_flushed_.cas_retries;
+  delta.migration_stripes =
+      totals.migration_stripes - obs_flushed_.migration_stripes;
   obs_cells_.flush(0, delta);
   obs_flushed_ = totals;
   obs_last_flush_transitions_ = stats_.transitions;
@@ -145,9 +153,11 @@ std::optional<Violation> Explorer::dfs(const engine::Node& node) {
 }
 
 std::optional<Violation> Explorer::run_compact() {
-  // Single shard: the sequential traversal has no concurrent inserters.
+  // Single shard, single arena: the sequential traversal has no concurrent
+  // inserters (the lock-free table degenerates to plain probes).
   store_ = std::make_unique<engine::NodeStore>(0);
   codec_ = std::make_unique<engine::NodeCodec>(config_.symmetry_classes);
+  orbit_reduction_ = codec_->canonicalizing();
   scratch_node_ =
       engine::make_root(initial_memory_, initial_processes_, config_.properties);
 
@@ -156,7 +166,7 @@ std::optional<Violation> Explorer::run_compact() {
   stats_.store.encodes += 1;
   if (encoded.permuted) stats_.store.canonical_hits += 1;
   const engine::NodeStore::Intern root =
-      store_->intern(encoded.fingerprint, encode_scratch_);
+      store_->intern(encoded.fingerprint, encode_scratch_, 0, &table_ops_);
   obs_store_nodes_ += 1;
   obs_store_bytes_ += static_cast<std::uint64_t>(root.length) * sizeof(typesys::Value);
 
@@ -166,7 +176,12 @@ std::optional<Violation> Explorer::run_compact() {
   const engine::NodeStore::Stats store_stats = store_->stats();
   stats_.store.nodes = store_stats.nodes;
   stats_.store.value_bytes = store_stats.value_bytes;
-  fill_probe_stats(stats_, store_stats.probes);
+  stats_.hot.probe_total = table_ops_.probe_total;
+  stats_.hot.probe_ops = table_ops_.probe_ops;
+  stats_.hot.max_probe = table_ops_.max_probe;
+  stats_.hot.cas_retries = table_ops_.cas_retries;
+  stats_.hot.migration_stripes = table_ops_.migration_stripes;
+  stats_.hot.rehashes = store_stats.rehashes;
   store_.reset();  // release the arena; the stats survive in stats_
   codec_.reset();
   return result;
@@ -175,19 +190,33 @@ std::optional<Violation> Explorer::run_compact() {
 std::optional<Violation> Explorer::dfs_compact(const typesys::Value* record,
                                                std::size_t size) {
   // Same traversal as dfs(), but the parent is its interned record, read in
-  // place from the store arena: each successor re-decodes the record into
-  // the one scratch node and applies its event in place — no Memory/Process
-  // clones, no per-depth record copies.
+  // place from the store arena — no Memory/Process clones, no per-depth
+  // record copies. Between successors the one scratch node diverges from the
+  // record only where the previous event touched it, so restore() refills
+  // just that (one program decode per successor instead of n), and
+  // per-process successors patch-encode by copying the n-1 unchanged blocks
+  // from the parent record.
   const std::size_t depth = path_.size();
   while (events_pool_.size() <= depth) events_pool_.emplace_back();
   std::vector<engine::Event>& events = events_pool_[depth];
 
   codec_->decode(record, size, scratch_node_);
-  engine::enumerate_events(scratch_node_, config_, events);
+  // Stabilizer orbits: enumerate one representative event per orbit of
+  // interchangeable processes; skipped siblings still count as transitions
+  // (edges of the unreduced graph) plus orbit_skipped. The mask is consumed
+  // by enumerate_events here, before recursion can overwrite the buffer.
+  const std::uint64_t orbit_before = stats_.orbit_skipped;
+  const int orbit_count =
+      orbit_reduction_ ? codec_->orbit_skip_mask(record, orbit_skip_) : 0;
+  engine::enumerate_events(scratch_node_, config_, events,
+                           orbit_count > 0 ? &orbit_skip_ : nullptr,
+                           &stats_.orbit_skipped);
+  stats_.transitions += stats_.orbit_skipped - orbit_before;
   if (engine::is_terminal(scratch_node_)) stats_.terminal_states += 1;
   // Codec header layout: record[1] counts the distinct outputs so far.
   const auto parent_decisions = static_cast<std::size_t>(record[1]);
 
+  int dirty = engine::NodeCodec::kDirtyNone;
   for (const engine::Event& event : events) {
     path_.push_back(event);
     stats_.transitions += 1;
@@ -195,7 +224,12 @@ std::optional<Violation> Explorer::dfs_compact(const typesys::Value* record,
         stats_.transitions - obs_last_flush_transitions_ >= kObsFlushTransitions) {
       flush_obs();
     }
-    codec_->decode(record, size, scratch_node_);
+    if (dirty != engine::NodeCodec::kDirtyNone) {
+      codec_->restore(record, size, scratch_node_, dirty);
+    }
+    dirty = event.kind == engine::Event::Kind::kCrashAll
+                ? engine::NodeCodec::kDirtyAll
+                : event.process;
     if (auto broken = engine::apply_event(scratch_node_, event, config_)) {
       obs_violation_edges_ += 1;
       Violation violation{std::move(broken->description), broken->property,
@@ -205,11 +239,14 @@ std::optional<Violation> Explorer::dfs_compact(const typesys::Value* record,
     }
     if (scratch_node_.decisions.size() > parent_decisions) stats_.decisions += 1;
     const engine::NodeCodec::Encoded encoded =
-        codec_->encode(scratch_node_, encode_scratch_);
+        event.kind == engine::Event::Kind::kCrashAll
+            ? codec_->encode(scratch_node_, encode_scratch_)
+            : codec_->encode_successor(record, size, scratch_node_,
+                                       event.process, encode_scratch_);
     stats_.store.encodes += 1;
     if (encoded.permuted) stats_.store.canonical_hits += 1;
     const engine::NodeStore::Intern interned =
-        store_->intern(encoded.fingerprint, encode_scratch_);
+        store_->intern(encoded.fingerprint, encode_scratch_, 0, &table_ops_);
     if (interned.inserted) {
       obs_store_nodes_ += 1;
       obs_store_bytes_ +=
@@ -226,6 +263,10 @@ std::optional<Violation> Explorer::dfs_compact(const typesys::Value* record,
         path_.pop_back();
         return violation;
       }
+      // Recursion re-pointed the codec's captured layout at descendant
+      // records; a full re-decode (restore with kDirtyAll) re-captures this
+      // record's layout before the next sibling.
+      dirty = engine::NodeCodec::kDirtyAll;
     } else {
       obs_duplicates_ += 1;
     }

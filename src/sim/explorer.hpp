@@ -86,15 +86,21 @@ class Explorer {
   std::vector<typesys::Value> scratch_;
 
   // Compact-representation state (unused on the legacy path): the interning
-  // store, one decoded scratch node shared by every depth (re-decoded from
-  // the parent's record before each apply), and the codec with its
-  // canonicalizer. Parent records are read in place from the store arena
-  // (stable, immutable — NodeStore::Intern), so recursion holds pointers
-  // instead of per-depth record copies.
+  // store, one decoded scratch node shared by every depth (restored from the
+  // parent's record between successors — see NodeCodec::restore), and the
+  // codec with its canonicalizer. Parent records are read in place from the
+  // store arena (stable, immutable — NodeStore::Intern), so recursion holds
+  // pointers instead of per-depth record copies. Probe/CAS work accumulates
+  // caller-side in table_ops_ (the lock-free table keeps no shared tallies);
+  // orbit_skip_ is the per-expansion stabilizer mask, fully consumed by
+  // enumerate_events before any recursion can overwrite it.
   std::unique_ptr<engine::NodeStore> store_;
   std::unique_ptr<engine::NodeCodec> codec_;
   engine::Node scratch_node_;
   std::vector<typesys::Value> encode_scratch_;
+  std::vector<std::uint8_t> orbit_skip_;
+  engine::CasTable::OpStats table_ops_;
+  bool orbit_reduction_ = false;
 
   // Observability (engine/obs_cells.hpp): the sequential traversal publishes
   // the same engine.*/store.* taxonomy the parallel workers do, all on lane 0.

@@ -117,11 +117,18 @@ struct HotPathStats {
   std::uint64_t dedup_cache_probes = 0;
   std::uint64_t dedup_cache_hits = 0;
 
-  // Flat-table probing across the visited/NodeStore shards.
+  // Probing across the visited/NodeStore dedup tables (legacy: FlatTable;
+  // compact/parallel: the lock-free CasTable, counted per worker).
   std::uint64_t probe_total = 0;  // slots inspected
   std::uint64_t probe_ops = 0;    // operations that probed
   std::uint64_t max_probe = 0;    // longest single probe sequence
-  std::uint64_t rehashes = 0;     // incremental table growths
+  std::uint64_t rehashes = 0;     // table growth epochs
+
+  // Lock-free table contention (zero on the single-threaded paths):
+  // slot-claim CASes lost to a racing worker, and growth stripes migrated
+  // cooperatively while helping an epoch-based table resize.
+  std::uint64_t cas_retries = 0;
+  std::uint64_t migration_stripes = 0;
 
   double avg_batch() const {
     return batches == 0
@@ -145,6 +152,13 @@ struct ExplorerStats {
   std::uint64_t transitions = 0;
   std::uint64_t decisions = 0;
   std::uint64_t terminal_states = 0;
+
+  // Per-process events dropped because their process was a non-representative
+  // member of a stabilizer orbit (symmetry reduction only; see
+  // engine::Canonicalizer::orbit_mask). Counted as transitions, so
+  // transitions == visited + duplicates + violation_edges + orbit_skipped.
+  std::uint64_t orbit_skipped = 0;
+
   bool truncated = false;  // hit max_visited — verdict incomplete
 
   bool compact = false;  // ran on the interned node representation

@@ -76,8 +76,11 @@ class Process {
   StepResult step(Memory& memory) { return current_->step(memory); }
 
   // Crash: discard all local state; the next step() begins a fresh run of the
-  // algorithm from the top (shared memory is untouched).
-  void reset() { current_ = initial_->clone(); }
+  // algorithm from the top (shared memory is untouched). Copy-assigns the
+  // pristine program into the existing model — crashes and decided-run resets
+  // sit on the explorers' hot path, and `initial_`/`current_` are always the
+  // same Model<P> (constructed together, cloned pairwise), so no allocation.
+  void reset() { current_->assign_from(*initial_); }
 
   // Canonical encoding of the current run's local state.
   void encode(std::vector<typesys::Value>& out) const { current_->encode(out); }
@@ -95,6 +98,7 @@ class Process {
   struct Concept {
     virtual ~Concept() = default;
     virtual std::unique_ptr<Concept> clone() const = 0;
+    virtual void assign_from(const Concept& other) = 0;
     virtual StepResult step(Memory& memory) = 0;
     virtual void encode(std::vector<typesys::Value>& out) const = 0;
     virtual bool decodable() const = 0;
@@ -106,6 +110,9 @@ class Process {
     explicit Model(P p) : program(std::move(p)) {}
     std::unique_ptr<Concept> clone() const override {
       return std::make_unique<Model<P>>(program);
+    }
+    void assign_from(const Concept& other) override {
+      program = static_cast<const Model<P>&>(other).program;
     }
     StepResult step(Memory& memory) override { return program.step(memory); }
     void encode(std::vector<typesys::Value>& out) const override {

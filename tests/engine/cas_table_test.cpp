@@ -1,0 +1,203 @@
+#include "engine/cas_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace rcons::engine {
+namespace {
+
+util::U128 key(std::uint64_t i) {
+  return util::U128{util::mix64(i), util::mix64(i + 0xabcd'1234ULL)};
+}
+
+TEST(CasTableTest, InsertFindAndDuplicates) {
+  CasTable table;
+  EXPECT_TRUE(table.insert(key(1), 11).inserted);
+  EXPECT_TRUE(table.insert(key(2), 22).inserted);
+
+  // A duplicate loses and reports the resident value, not its own.
+  const CasTable::Found dup = table.insert(key(1), 99);
+  EXPECT_FALSE(dup.inserted);
+  EXPECT_EQ(dup.value, 11u);
+
+  std::uint64_t value = 0;
+  EXPECT_TRUE(table.find(key(2), value));
+  EXPECT_EQ(value, 22u);
+  EXPECT_TRUE(table.contains(key(1)));
+  EXPECT_FALSE(table.contains(key(3)));
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(CasTableTest, AllZeroKeyIsAnOrdinaryKey) {
+  // The slot encoding must not confuse U128{0,0} with an EMPTY slot: presence
+  // is carried by the tag, never by the key bytes.
+  CasTable table;
+  EXPECT_TRUE(table.insert(util::U128{0, 0}, 7).inserted);
+  std::uint64_t value = 0;
+  EXPECT_TRUE(table.find(util::U128{0, 0}, value));
+  EXPECT_EQ(value, 7u);
+  EXPECT_FALSE(table.insert(util::U128{0, 0}, 8).inserted);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(CasTableTest, GrowthKeepsEveryKeyAndValue) {
+  CasTable table;  // minimal capacity: forces several growth epochs
+  constexpr std::uint64_t kKeys = 20'000;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(table.insert(key(i), i).inserted) << i;
+  }
+  EXPECT_GT(table.rehashes(), 0u);
+  EXPECT_EQ(table.size(), kKeys);
+  // Every key survived every migration with its original payload.
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    std::uint64_t value = ~std::uint64_t{0};
+    ASSERT_TRUE(table.find(key(i), value)) << i;
+    ASSERT_EQ(value, i) << i;
+  }
+  // And duplicates still lose against the migrated originals.
+  for (std::uint64_t i = 0; i < kKeys; i += 97) {
+    const CasTable::Found dup = table.insert(key(i), ~i);
+    EXPECT_FALSE(dup.inserted);
+    EXPECT_EQ(dup.value, i);
+  }
+}
+
+TEST(CasTableTest, PresizedTableNeverGrows) {
+  CasTable table(/*expected=*/10'000);
+  for (std::uint64_t i = 0; i < 10'000; ++i) table.insert(key(i), i);
+  EXPECT_EQ(table.size(), 10'000u);
+  EXPECT_EQ(table.rehashes(), 0u);
+  EXPECT_FALSE(table.migrating());
+}
+
+TEST(CasTableTest, CooperativeSweepFinishesUnderDuplicateTraffic) {
+  // Helping is driven by the insert path itself — even duplicate inserts
+  // migrate a stripe while a sweep is pending, so bounded traffic after a
+  // growth must finish the sweep without any dedicated migrator thread.
+  CasTable table;
+  std::uint64_t i = 0;
+  while (table.rehashes() == 0) {
+    table.insert(key(i), i);
+    i += 1;
+  }
+  for (std::size_t spins = 0; table.migrating() && spins < table.capacity();
+       ++spins) {
+    table.insert(key(0), 0);  // duplicate: no size change, still helps
+  }
+  EXPECT_FALSE(table.migrating());
+  EXPECT_EQ(table.size(), i);
+}
+
+TEST(CasTableTest, InsertWithMaterializesThePayloadExactlyOnce) {
+  CasTable table;
+  int calls = 0;
+  const auto make = [&calls] {
+    calls += 1;
+    return std::uint64_t{42};
+  };
+  EXPECT_TRUE(table.insert_with(key(5), make).inserted);
+  EXPECT_EQ(calls, 1);
+  // The duplicate path never materializes a payload.
+  EXPECT_FALSE(table.insert_with(key(5), make).inserted);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CasTableTest, OpStatsAccumulateCallerSide) {
+  CasTable table;
+  CasTable::OpStats ops;
+  for (std::uint64_t i = 0; i < 2'000; ++i) table.insert(key(i), i, &ops);
+  EXPECT_GE(ops.probe_ops, 2'000u);  // growth helpers probe too
+  EXPECT_GE(ops.probe_total, ops.probe_ops);
+  EXPECT_GE(ops.max_probe, 1u);
+  // A minimal table growing to 2000 keys swept stripes via this caller.
+  EXPECT_GT(ops.migration_stripes, 0u);
+}
+
+TEST(CasTableTest, ConcurrentInsertersAgreeOnWinners) {
+  // T threads race the same key range with thread-distinct payloads: exactly
+  // one insert per key may win, and every loser must observe the winner's
+  // payload — the published-slot acquire contract.
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kKeys = 10'000;
+  CasTable table;
+  std::vector<std::uint64_t> wins(kThreads, 0);
+  std::vector<CasTable::OpStats> ops(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &table, &wins, &ops] {
+      const auto tag = static_cast<std::uint64_t>(t + 1) << 32;
+      for (std::uint64_t i = 0; i < kKeys; ++i) {
+        const CasTable::Found found =
+            table.insert(key(i), tag | i, &ops[static_cast<std::size_t>(t)]);
+        if (found.inserted) {
+          wins[static_cast<std::size_t>(t)] += 1;
+        } else {
+          // The resident value must be a complete (tag | i) write by SOME
+          // thread for THIS key — a torn or missing payload fails here.
+          ASSERT_EQ(found.value & 0xffff'ffffULL, i);
+          ASSERT_NE(found.value >> 32, 0u);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::uint64_t total_wins = 0;
+  std::uint64_t total_probe_ops = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    total_wins += wins[static_cast<std::size_t>(t)];
+    total_probe_ops += ops[static_cast<std::size_t>(t)].probe_ops;
+  }
+  EXPECT_EQ(total_wins, kKeys);
+  EXPECT_EQ(table.size(), kKeys);
+  EXPECT_GE(total_probe_ops, kKeys * kThreads);
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    std::uint64_t value = 0;
+    ASSERT_TRUE(table.find(key(i), value)) << i;
+    ASSERT_EQ(value & 0xffff'ffffULL, i);
+  }
+}
+
+TEST(CasTableTest, ConcurrentGrowthMigrationStress) {
+  // Start minimal so the table must grow many times while all threads are
+  // mid-insert: every epoch's seal/tombstone/retry handshake and the shared
+  // stripe sweep run under real contention. Disjoint per-thread key ranges
+  // make the final size exact.
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kKeysPerThread = 8'000;
+  CasTable table;
+  std::vector<CasTable::OpStats> ops(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &table, &ops] {
+      const std::uint64_t base = static_cast<std::uint64_t>(t) * kKeysPerThread;
+      for (std::uint64_t i = 0; i < kKeysPerThread; ++i) {
+        ASSERT_TRUE(
+            table.insert(key(base + i), base + i, &ops[static_cast<std::size_t>(t)])
+                .inserted);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(table.size(), kThreads * kKeysPerThread);
+  EXPECT_GT(table.rehashes(), 0u);
+  std::uint64_t total_stripes = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    total_stripes += ops[static_cast<std::size_t>(t)].migration_stripes;
+  }
+  EXPECT_GT(total_stripes, 0u);
+  for (std::uint64_t i = 0; i < kThreads * kKeysPerThread; ++i) {
+    std::uint64_t value = 0;
+    ASSERT_TRUE(table.find(key(i), value)) << i;
+    ASSERT_EQ(value, i) << i;
+  }
+}
+
+}  // namespace
+}  // namespace rcons::engine

@@ -152,6 +152,55 @@ TEST(DeterminismStressTest, CleanInstanceMatchesSequentialAtEveryThreadCount) {
   }
 }
 
+TEST(DeterminismStressTest, SymmetryReductionIsDeterministicAcrossThreadCounts) {
+  // The orbit-aware expansion (one representative event per stabilizer orbit)
+  // must not disturb determinism: on a symmetric instance the sequential DFS
+  // and every parallel thread count agree on the reduced visited count, the
+  // transition total, and the clean verdict. The orbit_skipped tally itself
+  // is NOT pinned across backends: the orbit partition reads the sidecar
+  // (steps_in_run), which lies outside the fingerprint, so which
+  // sidecar-variant record wins an intern race is scheduling-dependent. That
+  // only moves events between "enumerated" and "skipped" — their sum per
+  // record, and hence visited / transitions / the verdict, is invariant.
+  constexpr typesys::Value kInputA = 101;
+  constexpr typesys::Value kInputB = 202;
+  auto type = typesys::make_type("Sn(4)");
+  ASSERT_NE(type, nullptr);
+  rc::TeamConsensusSystem built =
+      rc::make_team_consensus_system(*type, 4, kInputA, kInputB);
+  check::ScenarioSystem system;
+  system.memory = std::move(built.memory);
+  system.processes = std::move(built.processes);
+  system.properties.valid_outputs = {kInputA, kInputB};
+  system.symmetry_classes = built.symmetry_classes;
+  check::Budget budget;
+  budget.crash_budget = 1;
+
+  const check::CheckReport sequential =
+      run(system, budget, check::Strategy::kSequentialDFS, 0);
+  ASSERT_TRUE(sequential.clean);
+  ASSERT_TRUE(sequential.complete);
+  EXPECT_EQ(sequential.threads_used, 1);
+  // The reduction actually engaged: siblings were skipped, and every skip is
+  // still accounted as a transition of the unreduced graph.
+  EXPECT_GT(sequential.stats.orbit_skipped, 0u);
+  EXPECT_GE(sequential.stats.transitions, sequential.stats.orbit_skipped);
+
+  for (const int threads : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const check::CheckReport parallel =
+        run(system, budget, check::Strategy::kParallelBFS, threads);
+    EXPECT_TRUE(parallel.clean);
+    EXPECT_TRUE(parallel.complete);
+    EXPECT_EQ(parallel.threads_used, threads);
+    EXPECT_EQ(parallel.stats.visited, sequential.stats.visited);
+    EXPECT_EQ(parallel.stats.transitions, sequential.stats.transitions);
+    EXPECT_EQ(parallel.stats.terminal_states, sequential.stats.terminal_states);
+    EXPECT_GT(parallel.stats.orbit_skipped, 0u);
+    expect_hot_path_engaged(parallel);
+  }
+}
+
 TEST(DeterminismStressTest, LegacyRepresentationIsDeterministicToo) {
   // The clone-based path shares the batched frontier and arena links; pin its
   // determinism on the register race (decodable or not, NodeRepr::kLegacy

@@ -72,12 +72,15 @@ TEST(NodeStoreTest, StatsCountNodesAndBytes) {
 TEST(NodeStoreTest, ConcurrentInternsAgreeOnWinners) {
   constexpr int kThreads = 4;
   constexpr std::uint64_t kKeys = 2000;
-  NodeStore store(4);
+  // One bump arena per thread: arenas are single-owner by contract (the
+  // explorers hand each worker its own index), so racing threads must not
+  // share arena 0.
+  NodeStore store(4, /*expected_states=*/0, /*num_arenas=*/kThreads);
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&store] {
+    threads.emplace_back([&store, t] {
       for (std::uint64_t i = 0; i < kKeys; ++i) {
-        store.intern(key(i), record_of(i, 3));
+        store.intern(key(i), record_of(i, 3), t);
       }
     });
   }

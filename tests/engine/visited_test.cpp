@@ -35,10 +35,15 @@ TEST(ShardedVisitedTest, LoadStatsTrackOccupancyAndDuplicates) {
   ShardedVisited visited(3);
   EXPECT_EQ(visited.num_shards(), 8);
   for (std::uint64_t i = 0; i < 1000; ++i) visited.insert(key(i));
-  for (std::uint64_t i = 0; i < 10; ++i) visited.insert(key(i));
+  // Duplicates are reported to the caller (the lock-free table keeps no
+  // shared duplicate tally), so count the losing inserts here.
+  std::uint64_t duplicates = 0;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    if (!visited.insert(key(i))) duplicates += 1;
+  }
+  EXPECT_EQ(duplicates, 10u);
   const auto stats = visited.load_stats();
   EXPECT_EQ(stats.total, 1000u);
-  EXPECT_EQ(stats.duplicate_inserts, 10u);
   EXPECT_GE(stats.max_shard, stats.min_shard);
   // Mixed keys should spread roughly evenly: no shard more than 2x the mean.
   EXPECT_LT(stats.imbalance, 2.0);
@@ -66,22 +71,24 @@ TEST(ShardedVisitedTest, ConcurrentInsertsAgreeOnWinners) {
   EXPECT_EQ(visited.size(), kKeys);
 }
 
-TEST(ShardedVisitedTest, ProbeStatsAccumulateAcrossShards) {
+TEST(ShardedVisitedTest, ProbeStatsAccumulateCallerSide) {
+  // Probe work is tallied in the caller's OpStats (the lock-free table keeps
+  // no shared counters a hot insert would have to touch).
   ShardedVisited visited(2);
-  for (std::uint64_t i = 0; i < 500; ++i) visited.insert(key(i));
-  const auto stats = visited.load_stats();
-  EXPECT_GE(stats.probes.probe_ops, 500u);
-  EXPECT_GE(stats.probes.probe_total, stats.probes.probe_ops);
-  EXPECT_GE(stats.probes.max_probe, 1u);
+  CasTable::OpStats ops;
+  for (std::uint64_t i = 0; i < 500; ++i) visited.insert(key(i), &ops);
+  EXPECT_GE(ops.probe_ops, 500u);
+  EXPECT_GE(ops.probe_total, ops.probe_ops);
+  EXPECT_GE(ops.max_probe, 1u);
   // 500 keys over 4 minimally-sized shards must have grown incrementally.
-  EXPECT_GT(stats.probes.rehashes, 0u);
+  EXPECT_GT(visited.load_stats().rehashes, 0u);
 }
 
 TEST(ShardedVisitedTest, PresizingAvoidsRehashes) {
   ShardedVisited visited(2, /*expected_states=*/10'000);
   for (std::uint64_t i = 0; i < 10'000; ++i) visited.insert(key(i));
   EXPECT_EQ(visited.size(), 10'000u);
-  EXPECT_EQ(visited.load_stats().probes.rehashes, 0u);
+  EXPECT_EQ(visited.load_stats().rehashes, 0u);
 }
 
 TEST(PickShardBitsTest, SingleWorkerGetsSequentialLayout) {

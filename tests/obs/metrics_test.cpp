@@ -104,7 +104,7 @@ TEST(MetricsRegistryTest, ResetIsPrefixScopedAndKeepsHandlesValid) {
 
 // --- the counter contract against the check facade -------------------------
 
-check::CheckRequest team_request(int n, int crash_budget) {
+check::CheckRequest team_request(int n, int crash_budget, bool symmetry = false) {
   auto type = typesys::make_type("Sn(" + std::to_string(n) + ")");
   rc::TeamConsensusSystem system =
       rc::make_team_consensus_system(*type, n, kInputA, kInputB);
@@ -112,6 +112,7 @@ check::CheckRequest team_request(int n, int crash_budget) {
   request.system.memory = std::move(system.memory);
   request.system.processes = std::move(system.processes);
   request.system.properties.valid_outputs = {kInputA, kInputB};
+  if (symmetry) request.system.symmetry_classes = system.symmetry_classes;
   request.budget.crash_budget = crash_budget;
   return request;
 }
@@ -151,16 +152,20 @@ std::uint64_t counter_value(const MetricsSnapshot& snapshot, std::string_view na
 }
 
 // Pins the contract the doc comments promise: metric totals equal the
-// ExplorerStats values in the same report, and every applied transition falls
-// in exactly one of {new state, duplicate, violating edge}.
+// ExplorerStats values in the same report, and every transition of the
+// unreduced graph falls in exactly one of {new state, duplicate, violating
+// edge, orbit-skipped sibling} — the exactness invariant
+//   transitions == visited + duplicates + violation_edges + orbit_skipped.
 void expect_exhaustive_contract(const check::CheckReport& report) {
   const MetricsSnapshot& m = report.metrics;
   EXPECT_EQ(counter_value(m, "engine.visited_states"), report.stats.visited);
   EXPECT_EQ(counter_value(m, "engine.transitions"), report.stats.transitions);
   EXPECT_EQ(counter_value(m, "engine.decisions"), report.stats.decisions);
   EXPECT_EQ(counter_value(m, "engine.terminal_states"), report.stats.terminal_states);
+  EXPECT_EQ(counter_value(m, "engine.orbit_skipped"), report.stats.orbit_skipped);
   EXPECT_EQ(counter_value(m, "engine.duplicates") +
-                counter_value(m, "engine.violation_edges") + report.stats.visited,
+                counter_value(m, "engine.violation_edges") +
+                counter_value(m, "engine.orbit_skipped") + report.stats.visited,
             report.stats.transitions);
   if (report.stats.compact) {
     EXPECT_EQ(counter_value(m, "store.nodes"), report.stats.store.nodes);
@@ -216,6 +221,32 @@ TEST(MetricsContractTest, ParallelCountersEqualAcrossThreadCounts) {
           "store.nodes", "store.value_bytes"}) {
       EXPECT_EQ(counter_value(report.metrics, name), counter_value(baseline, name))
           << name << " diverged at " << threads << " threads";
+    }
+  }
+}
+
+TEST(MetricsContractTest, SymmetricInstanceCreditsOrbitSkipsExactly) {
+  // With a symmetry declaration the orbit-aware expansion skips sibling
+  // events; every skip must surface in engine.orbit_skipped AND keep the
+  // exactness invariant (skips count as transitions of the unreduced graph).
+  // Pinned at both exhaustive backends so the credit path of each is covered.
+  for (const int threads : {0, 2}) {
+    const check::Strategy strategy = threads == 0
+                                         ? check::Strategy::kSequentialDFS
+                                         : check::Strategy::kParallelBFS;
+    MetricsRegistry registry;
+    const check::CheckReport report =
+        run_with_registry(team_request(4, 1, /*symmetry=*/true), strategy,
+                          threads, registry);
+    EXPECT_TRUE(report.clean) << check::strategy_name(strategy);
+    expect_exhaustive_contract(report);
+    EXPECT_GT(counter_value(report.metrics, "engine.orbit_skipped"), 0u)
+        << check::strategy_name(strategy);
+    // The lock-free table counters are registered (resolve creates the cells
+    // up front) even when uncontended; sequential runs must report zero CAS
+    // retries — there is nobody to lose a claim to.
+    if (strategy == check::Strategy::kSequentialDFS) {
+      EXPECT_EQ(counter_value(report.metrics, "engine.cas_retries"), 0u);
     }
   }
 }
