@@ -10,19 +10,40 @@
 //   $ check_cli scenarios.spec --trace-out=trace.json --metrics-out=m.jsonl
 //   $ check_cli corpus/register_race.viol         # replay a violation file
 //   $ check_cli --list                            # grammar + obs vocabulary
+//   $ check_cli one.spec --checkpoint-out=run.ckpt --checkpoint-every=10000
+//   $ check_cli one.spec --resume=run.ckpt --checkpoint-out=run.ckpt
+//   $ check_cli one.spec --fault-inject=die@batch=50   # deterministic faults
 //
 // Each line of the spec file describes one scenario (see
 // examples/scenarios/default.spec for the grammar; algo= selects the
-// construction, properties=/k= the typed property set). `--list` prints the
-// vocabulary spec authors need: every zoo type name, the algo= values, the
-// property names, and the strategies. A `.viol` argument instead replays one
-// persisted violation (check/violation_io.hpp) and verifies it still
-// reproduces the recorded typed property. On violations, --minimize greedily
-// shrinks the schedule (check/minimize.hpp) before printing/saving, and
-// --save-viol=DIR persists each violation as DIR/<scenario>.viol. Exit
-// codes: 0 = all scenarios clean (or, for a .viol input, the violation
-// reproduced), 1 = violation found (or a .viol failed to reproduce), 2 = bad
-// usage or input file.
+// construction, properties=/k= the typed property set, time_limit=/mem_limit=
+// the resource-sentinel budgets). `--list` prints the vocabulary spec authors
+// need: every zoo type name, the algo= values, the property names, the budget
+// keys, and the strategies. A `.viol` argument instead replays one persisted
+// violation (check/violation_io.hpp) and verifies it still reproduces the
+// recorded typed property. On violations, --minimize greedily shrinks the
+// schedule (check/minimize.hpp) before printing/saving, and --save-viol=DIR
+// persists each violation as DIR/<scenario>.viol.
+//
+// Exit-code contract (pinned by tests/cli/exit_code_test.cpp):
+//   0 = every scenario clean (or, for a .viol input, the violation reproduced)
+//   1 = a property violation was found (or a .viol failed to reproduce);
+//       takes precedence over truncation
+//   2 = bad usage or invalid input (unparsable spec, unknown flag, corrupt or
+//       mismatched checkpoint without --resume-or-fresh, bad fault plan)
+//   3 = no violation, but at least one scenario was truncated (visited cap,
+//       time/memory sentinel, watchdog, or forced stop — the verdict names
+//       the reason); the verdict is incomplete, not a proof
+//
+// Crash-recoverable checking: --checkpoint-out=F writes a durable checkpoint
+// (temp file + rename, CRC-framed) at exit and — with --checkpoint-every=N —
+// every N further visited states; --resume=F seeds the run from F (the
+// scenario line and config hash must match, else exit 2), while
+// --resume-or-fresh=F falls back to a fresh run when F is missing or corrupt.
+// Checkpointing needs a single-scenario spec file and an exhaustive parallel
+// strategy (auto/bfs). --fault-inject=PLAN arms the deterministic fault
+// harness (engine/fault_inject.hpp: alloc|stall|stop|die|trunc at
+// batch|intern|ckpt-write).
 //
 // Observability (obs/session.hpp): --progress prints a rate-limited stderr
 // heartbeat (states/s, frontier size, dedup rate, ETA vs budget),
@@ -45,6 +66,8 @@
 #include "check/scenario_spec.hpp"
 #include "check/spec_system.hpp"
 #include "check/violation_io.hpp"
+#include "engine/checkpoint.hpp"
+#include "engine/fault_inject.hpp"
 #include "obs/session.hpp"
 #include "sim/replay.hpp"
 #include "typesys/zoo.hpp"
@@ -68,6 +91,13 @@ struct CliOptions {
   std::string trace_out;
   std::string metrics_out;
   int obs_interval_ms = 500;
+  std::string checkpoint_out;
+  std::uint64_t checkpoint_every = 0;
+  std::string resume_path;
+  bool resume_or_fresh = false;
+  std::string fault_plan_text;
+  int sentinel_interval_ms = 50;
+  int watchdog_stall_intervals = 0;
 };
 
 bool parse_args(int argc, char** argv, CliOptions& options) {
@@ -113,6 +143,50 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
         std::cerr << "--obs-interval-ms needs a positive integer\n";
         return false;
       }
+    } else if (arg.rfind("--checkpoint-out=", 0) == 0) {
+      options.checkpoint_out = arg.substr(17);
+      if (options.checkpoint_out.empty()) {
+        std::cerr << "--checkpoint-out needs a file path\n";
+        return false;
+      }
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      options.checkpoint_every = std::strtoull(arg.c_str() + 19, nullptr, 10);
+      if (options.checkpoint_every == 0) {
+        std::cerr << "--checkpoint-every needs a positive state count\n";
+        return false;
+      }
+    } else if (arg.rfind("--resume=", 0) == 0) {
+      options.resume_path = arg.substr(9);
+      options.resume_or_fresh = false;
+      if (options.resume_path.empty()) {
+        std::cerr << "--resume needs a checkpoint path\n";
+        return false;
+      }
+    } else if (arg.rfind("--resume-or-fresh=", 0) == 0) {
+      options.resume_path = arg.substr(18);
+      options.resume_or_fresh = true;
+      if (options.resume_path.empty()) {
+        std::cerr << "--resume-or-fresh needs a checkpoint path\n";
+        return false;
+      }
+    } else if (arg.rfind("--watchdog=", 0) == 0) {
+      options.watchdog_stall_intervals = std::atoi(arg.c_str() + 11);
+      if (options.watchdog_stall_intervals <= 0) {
+        std::cerr << "--watchdog needs a positive interval count\n";
+        return false;
+      }
+    } else if (arg.rfind("--sentinel-interval-ms=", 0) == 0) {
+      options.sentinel_interval_ms = std::atoi(arg.c_str() + 23);
+      if (options.sentinel_interval_ms <= 0) {
+        std::cerr << "--sentinel-interval-ms needs a positive integer\n";
+        return false;
+      }
+    } else if (arg.rfind("--fault-inject=", 0) == 0) {
+      options.fault_plan_text = arg.substr(15);
+      if (options.fault_plan_text.empty()) {
+        std::cerr << "--fault-inject needs a plan (e.g. die@batch=50)\n";
+        return false;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option " << arg << "\n";
       return false;
@@ -130,7 +204,15 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
                  "                 [--save-viol=DIR]\n"
                  "                 [--progress] [--trace-out=FILE.json]\n"
                  "                 [--metrics-out=FILE.jsonl] [--obs-interval-ms=N]\n"
+                 "                 [--checkpoint-out=FILE.ckpt] [--checkpoint-every=N]\n"
+                 "                 [--resume=FILE.ckpt | --resume-or-fresh=FILE.ckpt]\n"
+                 "                 [--fault-inject=action@site=N]\n"
+                 "                 [--sentinel-interval-ms=N] [--watchdog=INTERVALS]\n"
                  "       check_cli --list   # spec grammar + observability vocabulary\n";
+    return false;
+  }
+  if (options.checkpoint_every != 0 && options.checkpoint_out.empty()) {
+    std::cerr << "--checkpoint-every needs --checkpoint-out=FILE\n";
     return false;
   }
   return true;
@@ -163,8 +245,18 @@ int print_list() {
     std::cout << "\n";
   }
 
+  std::cout << "\nbudget keys (per scenario line; -1/absent = inherit):\n"
+            << "  max_steps=N    per-run wait-freedom bound\n"
+            << "  max_visited=N  visited-state cap (typed TRUNCATED verdict)\n"
+            << "  time_limit=N   wall-clock budget in ms (resource sentinel;\n"
+            << "                 typed TRUNCATED(deadline) verdict, exit 3)\n"
+            << "  mem_limit=N    resident-set budget in MiB (TRUNCATED(memory))\n";
+
   std::cout << "\nstrategies (--strategy=...):\n"
             << "  auto | dfs | bfs | random (plus .viol replay via a file argument)\n";
+
+  std::cout << "\nexit codes:\n"
+            << "  0 clean   1 violation   2 invalid input   3 truncated\n";
 
   std::cout << "\nmetrics (--metrics-out / --progress / CheckReport.metrics):\n";
   for (const obs::NameDoc& doc : obs::metric_names()) {
@@ -192,7 +284,21 @@ check::Budget spec_budget(const check::ScenarioSpec& spec) {
   budget.crash_budget = spec.crash_budget;
   if (spec.max_steps_per_run >= 0) budget.max_steps_per_run = spec.max_steps_per_run;
   if (spec.max_visited >= 0) budget.max_visited = spec.max_visited;
+  if (spec.time_limit_ms >= 0) budget.time_limit_ms = spec.time_limit_ms;
+  if (spec.mem_limit_mb >= 0) budget.mem_limit_mb = spec.mem_limit_mb;
   return budget;
+}
+
+// The identity a checkpoint's config hash covers, rebuilt exactly the way
+// check::check() builds the explorer config (so the CLI can reject a
+// mismatched resume gracefully instead of tripping the engine's assert).
+std::uint64_t spec_config_hash(const check::ScenarioSystem& system,
+                               const check::Budget& budget) {
+  sim::ExplorerConfig config;
+  static_cast<check::Budget&>(config) = budget;
+  config.properties = system.properties;
+  config.symmetry_classes = system.symmetry_classes;
+  return engine::checkpoint_config_hash(config);
 }
 
 // Replays one persisted violation file and reports whether it reproduces.
@@ -234,6 +340,50 @@ int run_spec_file(const CliOptions& options, obs::Hooks hooks) {
     return 2;
   }
 
+  const bool checkpointing =
+      !options.checkpoint_out.empty() || !options.resume_path.empty();
+  if (checkpointing) {
+    if (parse.specs.size() != 1) {
+      std::cerr << "checkpoint/resume needs a spec file with exactly one "
+                   "scenario, got "
+                << parse.specs.size() << "\n";
+      return 2;
+    }
+    if (options.strategy != check::Strategy::kAuto &&
+        options.strategy != check::Strategy::kParallelBFS) {
+      std::cerr << "checkpoint/resume needs --strategy=auto or bfs (the "
+                   "parallel engine owns the checkpoint format)\n";
+      return 2;
+    }
+  }
+
+  engine::FaultPlan fault_plan;
+  bool have_fault = false;
+  if (!options.fault_plan_text.empty()) {
+    std::string error;
+    if (!engine::parse_fault_plan(options.fault_plan_text, fault_plan, error)) {
+      std::cerr << error << "\n";
+      return 2;
+    }
+    have_fault = true;
+  }
+
+  engine::CheckpointData resume_data;
+  bool have_resume = false;
+  if (!options.resume_path.empty()) {
+    std::string error;
+    const engine::CheckpointLoad load =
+        engine::load_checkpoint(options.resume_path, resume_data, error);
+    if (load == engine::CheckpointLoad::kOk) {
+      have_resume = true;
+    } else if (options.resume_or_fresh) {
+      std::cerr << "resume: " << error << " — starting fresh\n";
+    } else {
+      std::cerr << "resume: " << error << "\n";
+      return 2;
+    }
+  }
+
   if (hooks.metrics != nullptr) {
     hooks.metrics->gauge("portfolio.scenarios_total")
         .set(static_cast<std::int64_t>(parse.specs.size()));
@@ -242,6 +392,7 @@ int run_spec_file(const CliOptions& options, obs::Hooks hooks) {
   util::Table table(
       {"scenario", "strategy", "verdict", "visited", "runs", "time(s)"});
   int violations = 0;
+  int truncations = 0;
   std::size_t scenario_index = 0;
   for (const check::ScenarioSpec& spec : parse.specs) {
     scenario_index += 1;
@@ -264,6 +415,32 @@ int run_spec_file(const CliOptions& options, obs::Hooks hooks) {
     request.runs = options.runs;
     request.seed = options.seed;
     request.obs = hooks;
+    request.sentinel_interval_ms = options.sentinel_interval_ms;
+    request.watchdog_stall_intervals = options.watchdog_stall_intervals;
+    if (have_fault) request.fault = &fault_plan;
+    if (checkpointing) {
+      request.checkpoint_path = options.checkpoint_out;
+      request.checkpoint_every = options.checkpoint_every;
+      request.checkpoint_label = check::format_scenario_line(spec);
+      if (have_resume) {
+        // Reject a checkpoint from a different scenario or config before the
+        // engine ever sees it — a human-readable label diff plus the exact
+        // config hash the checkpoint was written under.
+        if (resume_data.label != request.checkpoint_label) {
+          std::cerr << "resume: checkpoint is from a different scenario\n"
+                    << "  checkpoint: " << resume_data.label << "\n"
+                    << "  requested:  " << request.checkpoint_label << "\n";
+          return 2;
+        }
+        if (resume_data.config_hash !=
+            spec_config_hash(request.system, request.budget)) {
+          std::cerr << "resume: checkpoint config hash mismatch (different "
+                       "budget/properties/symmetry)\n";
+          return 2;
+        }
+        request.resume = &resume_data;
+      }
+    }
 
     // minimize/save need a pristine copy after check() consumes the request.
     const check::ScenarioSystem pristine =
@@ -278,20 +455,28 @@ int run_spec_file(const CliOptions& options, obs::Hooks hooks) {
     std::ostringstream time;
     time.precision(3);
     time << std::fixed << report.seconds;
+    // A report can be both truncated and violating (the parallel engine keeps
+    // the best violation found before the stop); a real property violation
+    // always wins — in the verdict column and in the exit code.
+    const bool real_violation =
+        report.violation.has_value() &&
+        report.violation->property != sim::PropertyKind::kNone;
     std::string verdict = "clean";
-    if (!report.clean) {
-      verdict = "VIOLATION";
-      if (report.violation.has_value() &&
-          report.violation->property != sim::PropertyKind::kNone) {
-        verdict += std::string("(") +
-                   sim::property_name(report.violation->property) + ")";
+    if (real_violation) {
+      verdict = std::string("VIOLATION(") +
+                sim::property_name(report.violation->property) + ")";
+    } else if (report.stats.truncated) {
+      verdict = std::string("TRUNCATED(") +
+                sim::stop_reason_name(report.stats.stop_reason) + ")";
+      truncations += 1;
+      if (report.violation.has_value()) {
+        std::cerr << name << ": " << report.violation->description << "\n";
       }
     }
-    if (report.stats.truncated) verdict = "TRUNCATED";
     table.add_row({name, check::strategy_name(report.strategy), verdict,
                    std::to_string(report.stats.visited), std::to_string(report.runs),
                    time.str()});
-    if (!report.clean) {
+    if (real_violation) {
       violations += 1;
       sim::Violation violation = *report.violation;
       if (options.minimize) {
@@ -338,9 +523,16 @@ int run_spec_file(const CliOptions& options, obs::Hooks hooks) {
     }
   }
   table.print(std::cout);
-  std::cout << "\n" << parse.specs.size() - static_cast<std::size_t>(violations) << "/"
-            << parse.specs.size() << " scenarios clean.\n";
-  return violations == 0 ? 0 : 1;
+  std::cout << "\n"
+            << parse.specs.size() - static_cast<std::size_t>(violations) -
+                   static_cast<std::size_t>(truncations)
+            << "/" << parse.specs.size() << " scenarios clean";
+  if (truncations != 0) std::cout << " (" << truncations << " truncated)";
+  std::cout << ".\n";
+  // Exit contract: violations dominate truncations (a found bug is a found
+  // bug even if the search also hit a budget).
+  if (violations != 0) return 1;
+  return truncations != 0 ? 3 : 0;
 }
 
 }  // namespace

@@ -45,10 +45,27 @@ struct Budget {
   std::int64_t max_visited = 20'000'000;
 
   // max_visited as the unsigned cap the explorers' visited counters compare
-  // against (non-positive budgets mean "truncate immediately").
+  // against. Non-positive budgets mean "truncate immediately": the first
+  // state inserted during expansion already exceeds the cap, so the explorers
+  // stop right away — but they still return the typed truncated verdict
+  // (StopReason::kVisitedCap) with whatever partial stats exist, never an
+  // empty report (tests/check/robustness_test.cpp pins this edge).
   std::uint64_t visited_cap() const {
     return max_visited < 0 ? 0 : static_cast<std::uint64_t>(max_visited);
   }
+
+  // Wall-clock budget in milliseconds; 0 = unlimited. The exhaustive
+  // backends' resource sentinel flips a cooperative stop flag when the run
+  // exceeds it, and the run returns a typed truncated verdict
+  // (StopReason::kDeadline) with full partial stats — never an abort.
+  // Ignored by random/replay (they are bounded by runs/schedule length).
+  std::int64_t time_limit_ms = 0;
+
+  // Resident-set budget in MiB; 0 = unlimited. Same sentinel contract as
+  // time_limit_ms, with StopReason::kMemory. The sentinel samples the
+  // process RSS (engine/sentinel.hpp), so the limit covers the whole
+  // process, not just the explorer's tables.
+  std::int64_t mem_limit_mb = 0;
 
   // Whether crash events may hit a process that already decided in its
   // current run (the paper's model allows it; some scenarios disable it).

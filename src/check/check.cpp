@@ -23,6 +23,13 @@ sim::ExplorerConfig explorer_config(const CheckRequest& request) {
   config.node_repr = request.node_repr;
   config.symmetry_classes = request.system.symmetry_classes;
   config.obs = request.obs;
+  config.sentinel_interval_ms = request.sentinel_interval_ms;
+  config.watchdog_stall_intervals = request.watchdog_stall_intervals;
+  config.checkpoint_path = request.checkpoint_path;
+  config.checkpoint_every = request.checkpoint_every;
+  config.checkpoint_label = request.checkpoint_label;
+  config.resume = request.resume;
+  config.fault = request.fault;
   return config;
 }
 
@@ -122,6 +129,12 @@ CheckReport run_replay(const CheckRequest& request) {
 }
 
 CheckReport run_auto(const CheckRequest& request) {
+  // Checkpointing and resume live in the parallel engine's compact
+  // representation only — route straight there, skipping the probe (a probe
+  // would waste the budget of exactly the long runs checkpoints exist for).
+  if (!request.checkpoint_path.empty() || request.resume != nullptr) {
+    return run_parallel(request);
+  }
   // Estimate the state-space size with a bounded sequential probe: explore at
   // most `auto_probe_limit` states. A probe that finishes (verdict, clean or
   // not) IS the sequential check of a small instance, so return it directly;

@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "check/budget.hpp"
@@ -105,6 +106,19 @@ struct CheckRequest {
 
   // kReplay:
   std::vector<sim::ScheduleEvent> schedule;
+
+  // Robustness layer (exhaustive strategies; see sim/explorer_config.hpp for
+  // the field contracts). Durable checkpoints and resume require the parallel
+  // engine's compact representation, so kAuto routes straight to the engine —
+  // no probe — whenever checkpoint_path or resume is set. The budget's
+  // time_limit_ms / mem_limit_mb ride along inside `budget`.
+  int sentinel_interval_ms = 50;
+  int watchdog_stall_intervals = 0;
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every = 0;
+  std::string checkpoint_label;
+  const engine::CheckpointData* resume = nullptr;
+  engine::FaultPlan* fault = nullptr;
 
   // Observability sinks (obs/hooks.hpp), forwarded to whichever backend runs:
   // a metrics registry receives the check./engine./store./random./replay.*

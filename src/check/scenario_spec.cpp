@@ -113,6 +113,20 @@ void parse_scenario_line(const std::string& line, ScenarioSpec& spec,
       } else {
         spec.max_visited = number;
       }
+    } else if (key == "time_limit") {
+      if (!parse_int(value, number) || number < 1) {
+        errors.push_back("time_limit must be an integer >= 1 (milliseconds), got '" +
+                         value + "'");
+      } else {
+        spec.time_limit_ms = number;
+      }
+    } else if (key == "mem_limit") {
+      if (!parse_int(value, number) || number < 1) {
+        errors.push_back("mem_limit must be an integer >= 1 (MiB), got '" + value +
+                         "'");
+      } else {
+        spec.mem_limit_mb = number;
+      }
     } else if (key == "algo") {
       if (value == "team") {
         spec.algo = ScenarioAlgo::kTeamConsensus;
@@ -216,6 +230,8 @@ std::string format_scenario_line(const ScenarioSpec& spec) {
   if (spec.symmetry) out << " symmetry=on";
   if (spec.max_steps_per_run >= 0) out << " max_steps=" << spec.max_steps_per_run;
   if (spec.max_visited >= 0) out << " max_visited=" << spec.max_visited;
+  if (spec.time_limit_ms >= 0) out << " time_limit=" << spec.time_limit_ms;
+  if (spec.mem_limit_mb >= 0) out << " mem_limit=" << spec.mem_limit_mb;
   if (!spec.name.empty()) out << " name=" << spec.name;
   return out.str();
 }

@@ -22,6 +22,10 @@
 //   name        scenario label                      (default: generated)
 //   max_steps   per-run wait-freedom bound override (default: inherit)
 //   max_visited visited-state cap override          (default: inherit)
+//   time_limit  wall-clock budget override, ms      (default: inherit;
+//               the resource sentinel returns a typed truncated verdict)
+//   mem_limit   resident-set budget override, MiB   (default: inherit;
+//               same sentinel contract, StopReason::kMemory)
 //   algo        team | halting | naive-register | k-set   (default team)
 //   k           group count for algo=k-set and the k of
 //               k-set-agreement, 2 <= k             (required by both)
@@ -75,6 +79,8 @@ struct ScenarioSpec {
   int crash_budget = 2;
   std::int64_t max_steps_per_run = -1;  // -1 = inherit the sweep's budget
   std::int64_t max_visited = -1;        // -1 = inherit the sweep's budget
+  std::int64_t time_limit_ms = -1;      // -1 = inherit (0 would mean unlimited)
+  std::int64_t mem_limit_mb = -1;       // -1 = inherit (0 would mean unlimited)
   ScenarioAlgo algo = ScenarioAlgo::kTeamConsensus;
   int k = 0;  // 0 = unset; required >= 2 by algo=k-set / k-set-agreement
   // Property kinds in the order listed (parameters come from `k` and the

@@ -168,6 +168,26 @@ class CasTable {
     return live_.load(std::memory_order_acquire)->capacity;
   }
 
+  // Quiescent iteration for checkpointing: visits every PUBLISHED slot of
+  // every epoch array still owned by the table (live and sealed), calling
+  // `fn(key, value)`. Caller contract: no concurrent inserts (the engine
+  // calls this only while every worker is parked at the pause barrier or
+  // after they joined). A key carried over by a partial migration sweep
+  // appears in both its sealed and its destination array with the SAME
+  // value, so callers needing uniqueness dedup by value.
+  template <typename F>
+  void for_each_published(F&& fn) {
+    std::lock_guard<std::mutex> lock(growth_mu_);
+    for (const std::unique_ptr<Array>& array : arrays_) {
+      for (std::size_t i = 0; i < array->capacity; ++i) {
+        const Slot& slot = array->slots[i];
+        if (slot.tag.load(std::memory_order_acquire) == kPublished) {
+          fn(util::U128{slot.key_lo, slot.key_hi}, slot.value);
+        }
+      }
+    }
+  }
+
  private:
   // Slot tag states. 32-bit so the CAS is narrow and the slot stays 32 bytes.
   static constexpr std::uint32_t kEmpty = 0;

@@ -1,0 +1,241 @@
+// Deterministic fault-injection harness for the exhaustive engine.
+//
+// A FaultPlan arms one action at one injection site after a chosen number of
+// hits, so tests (and the CI fault matrix) can prove that every failure mode
+// the robustness layer claims to survive — allocation failure, a wedged
+// worker, an external stop, a torn checkpoint write — ends in a clean typed
+// verdict or a correct resume, never a hang or an abort.
+//
+// The plan is compiled in always and costs nothing when unset: the explorer
+// holds a `FaultPlan*` that is null by default, and every injection point is
+// one predicted null check. Sites count hits with a single shared atomic per
+// site (fetch_add, relaxed), so with T workers the Nth hit is deterministic
+// in the *count* domain even though which worker trips it is scheduling-
+// dependent — exactly the determinism the harness needs, since every outcome
+// it provokes (typed verdict / resume) is itself scheduling-independent.
+//
+// Sites (where the explorer consults the plan):
+//   batch       once per frontier batch a worker pops (engine hot loop)
+//   intern      once per NodeStore/visited-set insert attempt
+//   ckpt-write  once per durable checkpoint write (engine/checkpoint.cpp)
+//
+// Actions:
+//   alloc  throw std::bad_alloc from the site — exercises the "allocation
+//          failure becomes StopReason::kMemory, never an abort" contract
+//   stall  park the hitting worker until release_stalls() (the explorer
+//          releases on any stop) or a safety timeout — trips the watchdog
+//   stop   request a cooperative stop — the run returns the typed
+//          StopReason::kForcedStop truncated verdict
+//   die    std::_Exit(137) — the process vanishes as if SIGKILLed, leaving
+//          the last durable checkpoint behind for --resume
+//   trunc  (ckpt-write only) the writer truncates its temp file mid-stream
+//          and skips the rename, so the previous checkpoint stays intact and
+//          the loader's CRC check has a real torn write to reject
+//
+// Plan grammar (parse_fault_plan): `action@site=N` — fire on the Nth hit of
+// the site (1-based). `N` may be written `~M`: a pseudo-random hit in [1, M]
+// drawn from the plan seed, so a seeded sweep covers many placements
+// reproducibly. An optional `:ms=T` bounds a stall (default 30000).
+//   die@batch=50   alloc@intern=5000   stall@batch=100:ms=60000
+//   stop@batch=~200:seed=7   trunc@ckpt-write=1
+#ifndef RCONS_ENGINE_FAULT_INJECT_HPP
+#define RCONS_ENGINE_FAULT_INJECT_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+
+namespace rcons::engine {
+
+class FaultPlan {
+ public:
+  enum class Site { kBatch, kIntern, kCkptWrite };
+  enum class Action { kNone, kAllocFail, kStall, kStop, kDie, kTruncateWrite };
+
+  FaultPlan() = default;
+  FaultPlan(Site site, Action action, std::uint64_t at_hit) {
+    arm(site, action, at_hit);
+  }
+
+  // (Re-)arms the plan in place — the atomics make FaultPlan unassignable.
+  void arm(Site site, Action action, std::uint64_t at_hit) {
+    site_ = site;
+    action_ = action;
+    at_hit_ = at_hit == 0 ? 1 : at_hit;
+    stall_ms_ = 30'000;
+    hits_.store(0, std::memory_order_relaxed);
+    fired_.store(false, std::memory_order_relaxed);
+    released_.store(false, std::memory_order_relaxed);
+  }
+
+  Site site() const { return site_; }
+  Action action() const { return action_; }
+  std::uint64_t at_hit() const { return at_hit_; }
+  std::int64_t stall_ms() const { return stall_ms_; }
+  void set_stall_ms(std::int64_t ms) { stall_ms_ = ms; }
+
+  // True when the plan already fired (the armed hit was reached).
+  bool fired() const { return fired_.load(std::memory_order_relaxed); }
+
+  // Lets any stalled worker continue. The explorer calls this whenever its
+  // cooperative stop flag flips (watchdog, sentinel, or verdict), so a stall
+  // can never outlive the run.
+  void release_stalls() { released_.store(true, std::memory_order_release); }
+
+  // Called by an injection point. Returns the action to perform *now* (kNone
+  // almost always). kAllocFail/kStall/kDie are fully handled here — the
+  // throw, the park, the exit — so hot loops only have to handle kStop
+  // (flip their stop flag) and the checkpoint writer kTruncateWrite.
+  Action hit(Site site) {
+    if (site != site_ || action_ == Action::kNone) return Action::kNone;
+    const std::uint64_t count = hits_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (count != at_hit_) return Action::kNone;
+    fired_.store(true, std::memory_order_relaxed);
+    switch (action_) {
+      case Action::kAllocFail:
+        throw std::bad_alloc();
+      case Action::kStall:
+        stall();
+        return Action::kNone;  // stall resolved (released or timed out)
+      case Action::kDie:
+        std::_Exit(137);  // the SIGKILL exit status — nothing runs after this
+      case Action::kStop:
+      case Action::kTruncateWrite:
+        return action_;
+      case Action::kNone:
+        break;
+    }
+    return Action::kNone;
+  }
+
+ private:
+  void stall() {
+    // Cooperative spin: the worker is alive but makes no progress, which is
+    // exactly the failure the watchdog exists to detect. The safety timeout
+    // keeps an un-watched test from hanging forever.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(stall_ms_);
+    while (!released_.load(std::memory_order_acquire) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  Site site_ = Site::kBatch;
+  Action action_ = Action::kNone;
+  std::uint64_t at_hit_ = 1;
+  std::int64_t stall_ms_ = 30'000;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<bool> fired_{false};
+  std::atomic<bool> released_{false};
+};
+
+// Parses the `action@site=N[:ms=T][:seed=S]` grammar above into `plan`.
+// Returns true on success; on failure fills `error` and leaves `plan`
+// untouched. Deliberately header-only (with the rest of the harness) so the
+// CLI and tests share one grammar without a new translation unit.
+inline bool parse_fault_plan(const std::string& text, FaultPlan& plan,
+                             std::string& error) {
+  const auto fail = [&](const std::string& message) {
+    error = "fault plan '" + text + "': " + message;
+    return false;
+  };
+  const std::size_t at = text.find('@');
+  const std::size_t eq = text.find('=', at == std::string::npos ? 0 : at);
+  if (at == std::string::npos || eq == std::string::npos || at == 0) {
+    return fail("expected action@site=N");
+  }
+
+  const std::string action_name = text.substr(0, at);
+  FaultPlan::Action action;
+  if (action_name == "alloc") {
+    action = FaultPlan::Action::kAllocFail;
+  } else if (action_name == "stall") {
+    action = FaultPlan::Action::kStall;
+  } else if (action_name == "stop") {
+    action = FaultPlan::Action::kStop;
+  } else if (action_name == "die") {
+    action = FaultPlan::Action::kDie;
+  } else if (action_name == "trunc") {
+    action = FaultPlan::Action::kTruncateWrite;
+  } else {
+    return fail("unknown action '" + action_name +
+                "' (alloc|stall|stop|die|trunc)");
+  }
+
+  const std::string site_name = text.substr(at + 1, eq - at - 1);
+  FaultPlan::Site site;
+  if (site_name == "batch") {
+    site = FaultPlan::Site::kBatch;
+  } else if (site_name == "intern") {
+    site = FaultPlan::Site::kIntern;
+  } else if (site_name == "ckpt-write") {
+    site = FaultPlan::Site::kCkptWrite;
+  } else {
+    return fail("unknown site '" + site_name + "' (batch|intern|ckpt-write)");
+  }
+  if (action == FaultPlan::Action::kTruncateWrite &&
+      site != FaultPlan::Site::kCkptWrite) {
+    return fail("trunc only applies to the ckpt-write site");
+  }
+
+  // Suffix: `N` or `~M`, then optional `:ms=T` / `:seed=S` in any order.
+  std::string count_text = text.substr(eq + 1);
+  std::int64_t stall_ms = -1;
+  std::uint64_t seed = 1;
+  std::size_t colon;
+  while ((colon = count_text.rfind(':')) != std::string::npos) {
+    const std::string opt = count_text.substr(colon + 1);
+    count_text.resize(colon);
+    const std::size_t opt_eq = opt.find('=');
+    if (opt_eq == std::string::npos) return fail("expected :key=value, got ':" + opt + "'");
+    const std::string key = opt.substr(0, opt_eq);
+    const std::string value = opt.substr(opt_eq + 1);
+    char* end = nullptr;
+    const long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (value.empty() || end == nullptr || *end != '\0' || parsed < 0) {
+      return fail("bad value in ':" + opt + "'");
+    }
+    if (key == "ms") {
+      stall_ms = parsed;
+    } else if (key == "seed") {
+      seed = static_cast<std::uint64_t>(parsed);
+    } else {
+      return fail("unknown option ':" + key + "=' (ms|seed)");
+    }
+  }
+
+  bool randomized = false;
+  if (!count_text.empty() && count_text[0] == '~') {
+    randomized = true;
+    count_text.erase(0, 1);
+  }
+  if (count_text.empty()) return fail("missing hit count");
+  std::uint64_t hit = 0;
+  for (const char ch : count_text) {
+    if (ch < '0' || ch > '9') return fail("hit count must be a positive integer");
+    hit = hit * 10 + static_cast<std::uint64_t>(ch - '0');
+    if (hit > (std::uint64_t{1} << 62)) return fail("hit count overflow");
+  }
+  if (hit == 0) return fail("hit count must be >= 1");
+  if (randomized) {
+    // splitmix64 over the seed: a reproducible placement in [1, hit].
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    hit = 1 + z % hit;
+  }
+
+  plan.arm(site, action, hit);
+  if (stall_ms >= 0) plan.set_stall_ms(stall_ms);
+  return true;
+}
+
+}  // namespace rcons::engine
+
+#endif  // RCONS_ENGINE_FAULT_INJECT_HPP

@@ -186,6 +186,20 @@ class FrontierT {
     return true;
   }
 
+  // Copies every queued item into `out` (appended) for checkpointing.
+  // Caller contract: every worker is parked (no concurrent push/pop) — the
+  // per-deque locks are still taken so a racy caller corrupts nothing, but
+  // the snapshot is only a consistent cut at quiescence. Items are copied,
+  // not drained; the run continues unchanged afterwards.
+  void snapshot(std::vector<Item>& out) const {
+    for (const std::unique_ptr<Deque>& deque : deques_) {
+      std::lock_guard<std::mutex> lock(deque->mu);
+      for (std::size_t i = deque->head; i < deque->items.size(); ++i) {
+        out.push_back(deque->items[i]);
+      }
+    }
+  }
+
   using Stats = FrontierStats;
   Stats stats() const {
     Stats stats;

@@ -51,10 +51,12 @@
 #ifndef RCONS_ENGINE_NODE_STORE_HPP
 #define RCONS_ENGINE_NODE_STORE_HPP
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "engine/cas_table.hpp"
@@ -253,6 +255,35 @@ class NodeStore {
   // Shard occupancy in the same shape ShardedVisited reports, so shard_bits
   // tuning reads one format for either backend.
   ShardedVisited::LoadStats load_stats() const;
+
+  // Quiescent iteration over every interned record for checkpointing:
+  // `fn(fingerprint, payload, length)` where `payload` points at the record
+  // values (the slice intern() copied, excluding the length header). Caller
+  // contract: no concurrent interns. Keys migrated by a partial index sweep
+  // appear in two epoch arrays with the same header address; they are
+  // deduplicated here (by that address) so each record is yielded once.
+  template <typename F>
+  void for_each_record(F&& fn) {
+    std::vector<std::pair<util::U128, std::uint64_t>> entries;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      entries.clear();
+      shard->index.for_each_published([&](util::U128 key, std::uint64_t value) {
+        entries.emplace_back(key, value);
+      });
+      std::sort(entries.begin(), entries.end(),
+                [](const auto& a, const auto& b) { return a.second < b.second; });
+      std::uint64_t last = 0;
+      bool first = true;
+      for (const auto& [key, value] : entries) {
+        if (!first && value == last) continue;  // migrated duplicate
+        first = false;
+        last = value;
+        const auto* header =
+            reinterpret_cast<const typesys::Value*>(static_cast<std::uintptr_t>(value));
+        fn(key, header + 1, static_cast<std::uint32_t>(header[0]));
+      }
+    }
+  }
 
  private:
   // Fixed-capacity chunks keep record payloads contiguous without ever

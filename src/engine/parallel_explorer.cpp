@@ -1,8 +1,15 @@
 #include "engine/parallel_explorer.hpp"
 
+#include <chrono>
+#include <new>
 #include <string>
 #include <thread>
+#include <type_traits>
+#include <unordered_map>
 
+#include "engine/checkpoint.hpp"
+#include "engine/fault_inject.hpp"
+#include "engine/sentinel.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 
@@ -87,6 +94,11 @@ ParallelExplorer::ParallelExplorer(sim::Memory initial,
   RCONS_ASSERT_MSG(config_.symmetry_classes.empty() ||
                        config_.symmetry_classes.size() == initial_processes_.size(),
                    "symmetry_classes must be empty or name every process");
+  RCONS_ASSERT_MSG(
+      (config_.checkpoint_path.empty() && config_.resume == nullptr) || compact_,
+      "checkpointing requires the compact node representation");
+  RCONS_ASSERT_MSG(config_.sentinel_interval_ms >= 1,
+                   "sentinel_interval_ms must be >= 1");
 }
 
 std::uint64_t ParallelExplorer::presize_states() const {
@@ -107,8 +119,19 @@ void ParallelExplorer::offer_violation(std::vector<Event> path,
   }
 }
 
-void ParallelExplorer::record_truncation(const PathLink* tail, const Event& event) {
+void ParallelExplorer::request_stop(sim::StopReason reason) {
+  int expected = static_cast<int>(sim::StopReason::kNone);
+  stop_reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                       std::memory_order_relaxed);
   stop_.store(true, std::memory_order_relaxed);
+  // A stop must never leave anyone waiting: release fault-injected stalls
+  // and wake the monitor so it can skip straight to its exit check.
+  if (config_.fault != nullptr) config_.fault->release_stalls();
+  monitor_cv_.notify_all();
+}
+
+void ParallelExplorer::record_truncation(const PathLink* tail, const Event& event) {
+  request_stop(sim::StopReason::kVisitedCap);
   // Best-effort trace of where the budget ran out (like the sequential
   // explorer's partial trace); first recorder wins.
   std::lock_guard<std::mutex> lock(violation_mu_);
@@ -118,6 +141,181 @@ void ParallelExplorer::record_truncation(const PathLink* tail, const Event& even
     truncation_path_.push_back(event);
     if (obs_cells_.active) obs_cells_.truncations->add(0, 1);
   }
+}
+
+std::string ParallelExplorer::truncation_description() const {
+  switch (static_cast<sim::StopReason>(stop_reason_.load(std::memory_order_relaxed))) {
+    case sim::StopReason::kNone:
+      break;
+    case sim::StopReason::kVisitedCap:
+      return "state space exceeded max_visited; verdict incomplete";
+    case sim::StopReason::kDeadline:
+      return "time limit exceeded (time_limit_ms=" +
+             std::to_string(config_.time_limit_ms) + "); verdict incomplete";
+    case sim::StopReason::kMemory:
+      return "memory limit exceeded or allocation failed (mem_limit_mb=" +
+             std::to_string(config_.mem_limit_mb) + "); verdict incomplete";
+    case sim::StopReason::kWatchdog:
+      return "watchdog: worker made no progress; verdict incomplete —" +
+             watchdog_dump_;
+    case sim::StopReason::kForcedStop:
+      return "run stopped by external request; verdict incomplete";
+  }
+  return "run stopped; verdict incomplete";
+}
+
+// --- pause barrier ----------------------------------------------------------
+
+bool ParallelExplorer::pause_workers() {
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    pause_requested_ = true;
+    pause_flag_.store(true, std::memory_order_relaxed);
+  }
+  std::unique_lock<std::mutex> lock(pause_mu_);
+  // Grace period: a worker wedged by fault injection (or a real stall — the
+  // very condition the watchdog reports) must not deadlock checkpointing.
+  const auto grace = std::chrono::milliseconds(
+      config_.sentinel_interval_ms * 100 < 5000 ? 5000
+                                                : config_.sentinel_interval_ms * 100);
+  const bool parked = parked_cv_.wait_for(lock, grace, [&] {
+    return parked_ == live_workers_ || stop_.load(std::memory_order_relaxed);
+  });
+  if (!parked || stop_.load(std::memory_order_relaxed)) {
+    pause_requested_ = false;
+    pause_flag_.store(false, std::memory_order_relaxed);
+    lock.unlock();
+    pause_cv_.notify_all();
+    return false;
+  }
+  return true;  // every live worker is parked; frontier + store quiescent
+}
+
+void ParallelExplorer::resume_workers() {
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    pause_requested_ = false;
+    pause_flag_.store(false, std::memory_order_relaxed);
+  }
+  pause_cv_.notify_all();
+}
+
+void ParallelExplorer::worker_pause_point() {
+  std::unique_lock<std::mutex> lock(pause_mu_);
+  if (!pause_requested_) return;  // raced with resume (or an aborted pause)
+  parked_ += 1;
+  parked_cv_.notify_all();
+  pause_cv_.wait(lock, [&] { return !pause_requested_; });
+  parked_ -= 1;
+}
+
+void ParallelExplorer::worker_exit(int id) {
+  heartbeats_[static_cast<std::size_t>(id)].beats.store(kHeartbeatExited,
+                                                        std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    live_workers_ -= 1;
+  }
+  // A pause in flight may be waiting on this worker's park; its exit
+  // satisfies the barrier the same way.
+  parked_cv_.notify_all();
+}
+
+// --- monitor (resource sentinels, watchdog, periodic checkpoints) -----------
+
+bool ParallelExplorer::monitor_needed() const {
+  return config_.time_limit_ms > 0 || config_.mem_limit_mb > 0 ||
+         config_.watchdog_stall_intervals > 0 ||
+         (!config_.checkpoint_path.empty() && config_.checkpoint_every > 0);
+}
+
+void ParallelExplorer::monitor_loop(const std::function<bool()>& write_snapshot) {
+  const std::int64_t deadline_ms =
+      config_.time_limit_ms > 0 ? steady_now_ms() + config_.time_limit_ms : 0;
+  const std::uint64_t rss_cap_bytes =
+      config_.mem_limit_mb > 0
+          ? static_cast<std::uint64_t>(config_.mem_limit_mb) << 20
+          : 0;
+  const std::uint64_t ckpt_every =
+      write_snapshot != nullptr ? config_.checkpoint_every : 0;
+
+  std::vector<std::uint64_t> last_beats(static_cast<std::size_t>(num_threads_), 0);
+  std::vector<int> stalled(static_cast<std::size_t>(num_threads_), 0);
+  std::uint64_t last_ckpt_visited = resume_visited_;
+
+  std::unique_lock<std::mutex> lock(monitor_mu_);
+  for (;;) {
+    monitor_cv_.wait_for(lock,
+                         std::chrono::milliseconds(config_.sentinel_interval_ms),
+                         [&] { return monitor_exit_; });
+    if (monitor_exit_) return;
+    if (stop_.load(std::memory_order_relaxed)) continue;  // wait for the join
+
+    if (deadline_ms != 0 && steady_now_ms() >= deadline_ms) {
+      request_stop(sim::StopReason::kDeadline);
+      continue;
+    }
+    if (rss_cap_bytes != 0) {
+      const std::uint64_t rss = current_rss_bytes();
+      // A 0 reading means RSS is unavailable here; never trip on it.
+      if (rss != 0 && rss > rss_cap_bytes) {
+        request_stop(sim::StopReason::kMemory);
+        continue;
+      }
+    }
+    if (config_.watchdog_stall_intervals > 0) {
+      std::string dump;
+      for (int i = 0; i < num_threads_; ++i) {
+        const auto slot = static_cast<std::size_t>(i);
+        const std::uint64_t beats = heartbeats_[slot].beats.load(std::memory_order_relaxed);
+        if (beats == kHeartbeatExited) {
+          stalled[slot] = 0;
+          continue;
+        }
+        if (beats == last_beats[slot]) {
+          stalled[slot] += 1;
+        } else {
+          stalled[slot] = 0;
+          last_beats[slot] = beats;
+        }
+        if (stalled[slot] >= config_.watchdog_stall_intervals) {
+          dump += " worker " + std::to_string(i) + ": no progress for " +
+                  std::to_string(stalled[slot]) + " intervals (heartbeat=" +
+                  std::to_string(beats) + ")";
+        }
+      }
+      if (!dump.empty()) {
+        {
+          std::lock_guard<std::mutex> vlock(violation_mu_);
+          watchdog_dump_ = dump;
+        }
+        request_stop(sim::StopReason::kWatchdog);
+        continue;
+      }
+    }
+    if (ckpt_every != 0) {
+      const std::uint64_t visited = visited_count_.load(std::memory_order_relaxed);
+      if (visited >= last_ckpt_visited + ckpt_every) {
+        // The snapshot pauses the workers itself; drop monitor_mu_ so
+        // request_stop (from a worker hitting the cap meanwhile) never
+        // queues behind the pause.
+        lock.unlock();
+        const bool written = write_snapshot();
+        lock.lock();
+        if (written) last_ckpt_visited = visited;
+      }
+    }
+  }
+}
+
+void ParallelExplorer::stop_monitor(std::thread& monitor) {
+  if (!monitor.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(monitor_mu_);
+    monitor_exit_ = true;
+  }
+  monitor_cv_.notify_all();
+  monitor.join();
 }
 
 void ParallelExplorer::flush_worker_obs(std::size_t lane, WorkerStats& last_flushed,
@@ -176,48 +374,79 @@ void ParallelExplorer::worker_legacy(int id, Frontier& frontier,
   std::uint64_t batch_begin = 0;
   std::size_t pop_batch = kInitPopBatch;
   std::uint64_t steal_mark = frontier.failed_steals();
+  Heartbeat& heartbeat = heartbeats_[static_cast<std::size_t>(id)];
+  std::uint64_t beats = 0;
+  FaultPlan* const fault = config_.fault;
 
-  for (;;) {
-    if (batch.empty()) {
-      if (obs_cells_.active) {
-        flush_worker_obs(obs_lane, flushed, local,
-                         pending.load(std::memory_order_relaxed));
-      }
-      // Adapt the batch size to observed steal pressure before popping.
-      const std::uint64_t failed = frontier.failed_steals();
-      if (failed != steal_mark) {
-        steal_mark = failed;
-        pop_batch = pop_batch / 2 < kMinPopBatch ? kMinPopBatch : pop_batch / 2;
-      }
-      const std::uint64_t pop_begin = tracer != nullptr ? tracer->now_us() : 0;
-      bool stole = false;
-      const std::size_t got = frontier.pop_batch(id, batch, pop_batch, &stole);
-      if (got == 0) {
-        // pending counts items queued, locally buffered, or mid-expansion;
-        // 0 means fully drained. After a stop, queued items are still popped
-        // (and skipped) below, so the counter always reaches 0.
-        if (pending.load(std::memory_order_acquire) == 0) break;
-        std::this_thread::yield();
+  // Any allocation failure — a fault-injected one or a real bad_alloc out of
+  // table/deque/arena growth — lands here and becomes the typed
+  // StopReason::kMemory truncated verdict; it never escapes the worker.
+  try {
+    for (;;) {
+      heartbeat.beats.store(++beats, std::memory_order_relaxed);
+      if (batch.empty()) {
+        // Cooperative stop: exit immediately. Queued work stays queued (and
+        // pending-counted), so a checkpoint taken after the join still sees
+        // every outstanding item; every worker leaves through this check, so
+        // pending never reaching 0 cannot hang anyone.
+        if (stop_.load(std::memory_order_relaxed)) break;
+        if (pause_flag_.load(std::memory_order_relaxed)) {
+          worker_pause_point();
+          continue;
+        }
+        if (obs_cells_.active) {
+          flush_worker_obs(obs_lane, flushed, local,
+                           pending.load(std::memory_order_relaxed));
+        }
+        // Adapt the batch size to observed steal pressure before popping.
+        const std::uint64_t failed = frontier.failed_steals();
+        if (failed != steal_mark) {
+          steal_mark = failed;
+          pop_batch = pop_batch / 2 < kMinPopBatch ? kMinPopBatch : pop_batch / 2;
+        }
+        const std::uint64_t pop_begin = tracer != nullptr ? tracer->now_us() : 0;
+        bool stole = false;
+        const std::size_t got = frontier.pop_batch(id, batch, pop_batch, &stole);
+        if (got == 0) {
+          // pending counts items queued, locally buffered, or mid-expansion;
+          // 0 means fully drained.
+          if (pending.load(std::memory_order_acquire) == 0) break;
+          std::this_thread::yield();
+          continue;
+        }
+        if (fault != nullptr &&
+            fault->hit(FaultPlan::Site::kBatch) == FaultPlan::Action::kStop) {
+          request_stop(sim::StopReason::kForcedStop);
+        }
+        if (!stole && got == pop_batch && pop_batch < kMaxPopBatch) {
+          pop_batch *= 2;  // local deque runs deep, nobody is starving
+        }
+        if (tracer != nullptr) {
+          batch_begin = tracer->now_us();
+          if (stole) tracer->complete(trace_lane, "steal", pop_begin, batch_begin);
+        }
+      } else if (stop_.load(std::memory_order_relaxed) ||
+                 pause_flag_.load(std::memory_order_relaxed)) {
+        // Hand the unprocessed remainder back (still pending-counted) so a
+        // pause or post-stop checkpoint sees every outstanding item; the
+        // next iteration parks or exits.
+        frontier.push_batch(id, batch);
+        batch.clear();
         continue;
       }
-      if (!stole && got == pop_batch && pop_batch < kMaxPopBatch) {
-        pop_batch *= 2;  // local deque runs deep, nobody is starving
-      }
-      if (tracer != nullptr) {
-        batch_begin = tracer->now_us();
-        if (stole) tracer->complete(trace_lane, "steal", pop_begin, batch_begin);
-      }
-    }
-    WorkItem item = std::move(batch.back());
-    batch.pop_back();
+      WorkItem item = std::move(batch.back());
+      batch.pop_back();
 
-    if (!stop_.load(std::memory_order_relaxed)) {
       enumerate_events(item.node, config_, events);
       if (is_terminal(item.node)) local.terminal_states += 1;
       successors.clear();
+      bool incomplete = false;
 
       for (const Event& event : events) {
-        if (stop_.load(std::memory_order_relaxed)) break;
+        if (stop_.load(std::memory_order_relaxed)) {
+          incomplete = true;
+          break;
+        }
         local.transitions += 1;
         Node child = item.node;
         if (auto broken = apply_event(child, event, config_)) {
@@ -247,6 +476,7 @@ void ParallelExplorer::worker_legacy(int id, Frontier& frontier,
         local.visited += 1;
         if (count > config_.visited_cap()) {
           record_truncation(item.tail, event);
+          incomplete = true;
           break;
         }
         successors.push_back(WorkItem{std::move(child), arena.add(event, item.tail)});
@@ -263,11 +493,21 @@ void ParallelExplorer::worker_legacy(int id, Frontier& frontier,
         frontier.push_batch(id, successors);
         successors.clear();
       }
+      if (incomplete) {
+        // A stop interrupted this expansion: re-queue the item WITHOUT
+        // releasing its pending slot. A resumed run re-expands it and the
+        // already-inserted successors dedup away, so nothing is lost and
+        // visited counts stay exact.
+        frontier.push(id, std::move(item));
+      } else {
+        pending.fetch_sub(1, std::memory_order_release);
+      }
+      if (tracer != nullptr && batch.empty()) {
+        tracer->complete(trace_lane, "expand_batch", batch_begin, tracer->now_us());
+      }
     }
-    pending.fetch_sub(1, std::memory_order_release);
-    if (tracer != nullptr && batch.empty()) {
-      tracer->complete(trace_lane, "expand_batch", batch_begin, tracer->now_us());
-    }
+  } catch (const std::bad_alloc&) {
+    request_stop(sim::StopReason::kMemory);
   }
 
   if (obs_cells_.active) {
@@ -277,6 +517,7 @@ void ParallelExplorer::worker_legacy(int id, Frontier& frontier,
   if (tracer != nullptr) {
     tracer->complete(trace_lane, "worker", worker_begin, tracer->now_us());
   }
+  worker_exit(id);
 }
 
 void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
@@ -310,39 +551,67 @@ void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
   std::uint64_t batch_begin = 0;
   std::size_t pop_batch = kInitPopBatch;
   std::uint64_t steal_mark = frontier.failed_steals();
+  Heartbeat& heartbeat = heartbeats_[static_cast<std::size_t>(id)];
+  std::uint64_t beats = 0;
+  FaultPlan* const fault = config_.fault;
 
-  for (;;) {
-    if (batch.empty()) {
-      if (obs_cells_.active) {
-        flush_worker_obs(obs_lane, flushed, local,
-                         pending.load(std::memory_order_relaxed));
-      }
-      // Adapt the batch size to observed steal pressure before popping.
-      const std::uint64_t failed = frontier.failed_steals();
-      if (failed != steal_mark) {
-        steal_mark = failed;
-        pop_batch = pop_batch / 2 < kMinPopBatch ? kMinPopBatch : pop_batch / 2;
-      }
-      const std::uint64_t pop_begin = tracer != nullptr ? tracer->now_us() : 0;
-      bool stole = false;
-      const std::size_t got = frontier.pop_batch(id, batch, pop_batch, &stole);
-      if (got == 0) {
-        if (pending.load(std::memory_order_acquire) == 0) break;
-        std::this_thread::yield();
+  // Any allocation failure — fault-injected at the batch/intern sites or a
+  // real bad_alloc out of index/arena/deque growth — lands here and becomes
+  // the typed StopReason::kMemory truncated verdict; it never escapes.
+  try {
+    for (;;) {
+      heartbeat.beats.store(++beats, std::memory_order_relaxed);
+      if (batch.empty()) {
+        // Cooperative stop: exit immediately. Queued work stays queued (and
+        // pending-counted), so a checkpoint taken after the join still sees
+        // every outstanding item; every worker leaves through this check, so
+        // pending never reaching 0 cannot hang anyone.
+        if (stop_.load(std::memory_order_relaxed)) break;
+        if (pause_flag_.load(std::memory_order_relaxed)) {
+          worker_pause_point();
+          continue;
+        }
+        if (obs_cells_.active) {
+          flush_worker_obs(obs_lane, flushed, local,
+                           pending.load(std::memory_order_relaxed));
+        }
+        // Adapt the batch size to observed steal pressure before popping.
+        const std::uint64_t failed = frontier.failed_steals();
+        if (failed != steal_mark) {
+          steal_mark = failed;
+          pop_batch = pop_batch / 2 < kMinPopBatch ? kMinPopBatch : pop_batch / 2;
+        }
+        const std::uint64_t pop_begin = tracer != nullptr ? tracer->now_us() : 0;
+        bool stole = false;
+        const std::size_t got = frontier.pop_batch(id, batch, pop_batch, &stole);
+        if (got == 0) {
+          if (pending.load(std::memory_order_acquire) == 0) break;
+          std::this_thread::yield();
+          continue;
+        }
+        if (fault != nullptr &&
+            fault->hit(FaultPlan::Site::kBatch) == FaultPlan::Action::kStop) {
+          request_stop(sim::StopReason::kForcedStop);
+        }
+        if (!stole && got == pop_batch && pop_batch < kMaxPopBatch) {
+          pop_batch *= 2;  // local deque runs deep, nobody is starving
+        }
+        if (tracer != nullptr) {
+          batch_begin = tracer->now_us();
+          if (stole) tracer->complete(trace_lane, "steal", pop_begin, batch_begin);
+        }
+      } else if (stop_.load(std::memory_order_relaxed) ||
+                 pause_flag_.load(std::memory_order_relaxed)) {
+        // Hand the unprocessed remainder back (still pending-counted) so a
+        // pause or post-stop checkpoint sees every outstanding item; the
+        // next iteration parks or exits.
+        frontier.push_batch(id, batch);
+        batch.clear();
         continue;
       }
-      if (!stole && got == pop_batch && pop_batch < kMaxPopBatch) {
-        pop_batch *= 2;  // local deque runs deep, nobody is starving
-      }
-      if (tracer != nullptr) {
-        batch_begin = tracer->now_us();
-        if (stole) tracer->complete(trace_lane, "steal", pop_begin, batch_begin);
-      }
-    }
-    const CompactWorkItem item = batch.back();
-    batch.pop_back();
+      const CompactWorkItem item = batch.back();
+      batch.pop_back();
 
-    if (!stop_.load(std::memory_order_relaxed)) {
       // The item's record view reads straight from the store arena — no
       // fetch lock, no copy (see NodeStore::Intern). decode() also captures
       // the record's layout for the restore/patch-encode fast paths below.
@@ -360,6 +629,7 @@ void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
       local.transitions += local.orbit_skipped - orbit_before;
       if (is_terminal(parent)) local.terminal_states += 1;
       successors.clear();
+      bool incomplete = false;
       // Codec header: record[1] counts the distinct outputs so far.
       const auto parent_decisions = static_cast<std::size_t>(item.record[1]);
 
@@ -369,7 +639,10 @@ void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
       // re-decodes just that — one program decode per successor instead of n.
       int dirty = NodeCodec::kDirtyNone;
       for (const Event& event : events) {
-        if (stop_.load(std::memory_order_relaxed)) break;
+        if (stop_.load(std::memory_order_relaxed)) {
+          incomplete = true;
+          break;
+        }
         local.transitions += 1;
         if (dirty != NodeCodec::kDirtyNone) {
           codec.restore(item.record, item.length, parent, dirty);
@@ -399,6 +672,7 @@ void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
           local.duplicates += 1;
           continue;  // guaranteed duplicate: skip the table probe entirely
         }
+        if (fault != nullptr) fault->hit(FaultPlan::Site::kIntern);
         const NodeStore::Intern interned =
             store.intern(encoded.fingerprint, child_record, id, &local.ops);
         cache.remember(encoded.fingerprint);
@@ -415,6 +689,7 @@ void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
         local.visited += 1;
         if (count > config_.visited_cap()) {
           record_truncation(item.tail, event);
+          incomplete = true;
           break;
         }
         successors.push_back(CompactWorkItem{interned.record, interned.length,
@@ -432,11 +707,21 @@ void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
         frontier.push_batch(id, successors);
         successors.clear();
       }
+      if (incomplete) {
+        // A stop interrupted this expansion: re-queue the item WITHOUT
+        // releasing its pending slot. A resumed run re-expands it and the
+        // already-interned successors dedup away, so nothing is lost and
+        // visited counts stay exact.
+        frontier.push(id, item);
+      } else {
+        pending.fetch_sub(1, std::memory_order_release);
+      }
+      if (tracer != nullptr && batch.empty()) {
+        tracer->complete(trace_lane, "expand_batch", batch_begin, tracer->now_us());
+      }
     }
-    pending.fetch_sub(1, std::memory_order_release);
-    if (tracer != nullptr && batch.empty()) {
-      tracer->complete(trace_lane, "expand_batch", batch_begin, tracer->now_us());
-    }
+  } catch (const std::bad_alloc&) {
+    request_stop(sim::StopReason::kMemory);
   }
 
   if (obs_cells_.active) {
@@ -446,6 +731,7 @@ void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
   if (tracer != nullptr) {
     tracer->complete(trace_lane, "worker", worker_begin, tracer->now_us());
   }
+  worker_exit(id);
 }
 
 std::optional<sim::Violation> ParallelExplorer::run() {
@@ -453,10 +739,35 @@ std::optional<sim::Violation> ParallelExplorer::run() {
   visited_count_.store(0, std::memory_order_relaxed);
   stop_.store(false, std::memory_order_relaxed);
   truncated_.store(false, std::memory_order_relaxed);
+  stop_reason_.store(static_cast<int>(sim::StopReason::kNone),
+                     std::memory_order_relaxed);
+  checkpoints_written_.store(0, std::memory_order_relaxed);
+  resume_visited_ = 0;
+  resume_transitions_ = 0;
+  resume_decisions_ = 0;
+  resume_terminal_states_ = 0;
+  resume_orbit_skipped_ = 0;
+  resume_encodes_ = 0;
+  resume_canonical_hits_ = 0;
+  resume_checkpoints_ = 0;
   has_violation_ = false;
   best_path_.clear();
   best_violation_ = sim::PropertyViolation{};
   truncation_path_.clear();
+  watchdog_dump_.clear();
+
+  heartbeats_ = std::make_unique<Heartbeat[]>(static_cast<std::size_t>(num_threads_));
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    pause_requested_ = false;
+    parked_ = 0;
+    live_workers_ = num_threads_;
+  }
+  pause_flag_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(monitor_mu_);
+    monitor_exit_ = false;
+  }
 
   obs_cells_ = ObsCells::resolve(config_.obs.metrics);
   if (obs_cells_.active) {
@@ -485,6 +796,12 @@ std::optional<sim::Violation> ParallelExplorer::run_legacy() {
   }
 
   std::vector<WorkerStats> worker_stats(static_cast<std::size_t>(num_threads_));
+  std::thread monitor;
+  if (monitor_needed()) {
+    // The legacy representation supports the sentinels and the watchdog but
+    // not checkpoints (the ctor rejects that combination).
+    monitor = std::thread([this] { monitor_loop(std::function<bool()>{}); });
+  }
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(num_threads_));
   for (int id = 0; id < num_threads_; ++id) {
@@ -495,6 +812,7 @@ std::optional<sim::Violation> ParallelExplorer::run_legacy() {
         });
   }
   for (std::thread& thread : threads) thread.join();
+  stop_monitor(monitor);
 
   visited_stats_ = visited.load_stats();
   frontier_stats_ = frontier.stats();
@@ -506,15 +824,60 @@ std::optional<sim::Violation> ParallelExplorer::run_compact() {
   NodeStore store(shard_bits_, presize_states(), num_threads_);
   std::vector<PathArena> arenas(static_cast<std::size_t>(num_threads_));
   std::atomic<std::uint64_t> pending{0};
+  std::vector<WorkerStats> worker_stats(static_cast<std::size_t>(num_threads_));
 
-  std::uint64_t root_canonical_hits = 0;
-  {
-    NodeCodec codec(config_.symmetry_classes);
-    Node root_node = make_root(initial_memory_, initial_processes_, config_.properties);
-    std::vector<typesys::Value> record;
-    const NodeCodec::Encoded encoded = codec.encode(root_node, record);
-    if (encoded.permuted) root_canonical_hits = 1;
-    const NodeStore::Intern interned = store.intern(encoded.fingerprint, record);
+  // The root is always encoded — a resume checks its fingerprint against the
+  // checkpoint's (same initial memory + programs) before trusting the file.
+  NodeCodec codec(config_.symmetry_classes);
+  Node root_node = make_root(initial_memory_, initial_processes_, config_.properties);
+  std::vector<typesys::Value> root_record;
+  const NodeCodec::Encoded root_encoded = codec.encode(root_node, root_record);
+  const std::uint64_t root_canonical_hits = root_encoded.permuted ? 1 : 0;
+
+  if (config_.resume != nullptr) {
+    const CheckpointData& ckpt = *config_.resume;
+    RCONS_ASSERT_MSG(ckpt.root_fp.lo == root_encoded.fingerprint.lo &&
+                         ckpt.root_fp.hi == root_encoded.fingerprint.hi,
+                     "resume checkpoint was taken from a different root state");
+    RCONS_ASSERT_MSG(ckpt.config_hash == checkpoint_config_hash(config_),
+                     "resume checkpoint was taken under a different config");
+    // Re-intern the checkpointed records: the store again doubles as the
+    // visited set, so every state expanded before the cut dedups away when
+    // the resumed frontier re-reaches it.
+    static_assert(std::is_same_v<typesys::Value, std::int64_t>,
+                  "checkpoint records are raw value vectors");
+    std::vector<NodeStore::Intern> interned;
+    interned.reserve(ckpt.nodes.size());
+    for (const CheckpointData::Node& node : ckpt.nodes) {
+      interned.push_back(store.intern(node.fp, node.values));
+    }
+    visited_count_.store(ckpt.visited, std::memory_order_relaxed);
+    resume_visited_ = ckpt.visited;
+    resume_transitions_ = ckpt.transitions;
+    resume_decisions_ = ckpt.decisions;
+    resume_terminal_states_ = ckpt.terminal_states;
+    resume_orbit_skipped_ = ckpt.orbit_skipped;
+    resume_encodes_ = ckpt.encodes;
+    resume_canonical_hits_ = ckpt.canonical_hits;
+    resume_checkpoints_ = ckpt.checkpoints_written;
+    if (ckpt.has_violation) {
+      has_violation_ = true;
+      best_violation_.description = ckpt.violation_description;
+      best_violation_.property = ckpt.violation_property;
+      best_violation_.param = ckpt.violation_param;
+      best_path_ = ckpt.violation_schedule;
+    }
+    // Re-seed the frontier round-robin (path backlinks are not checkpointed:
+    // post-resume violation traces are suffixes rooted at the cut).
+    for (std::size_t i = 0; i < ckpt.frontier.size(); ++i) {
+      const NodeStore::Intern& node = interned[ckpt.frontier[i]];
+      pending.fetch_add(1, std::memory_order_release);
+      frontier.push(static_cast<int>(i % static_cast<std::size_t>(num_threads_)),
+                    CompactWorkItem{node.record, node.length, nullptr});
+    }
+  } else {
+    const NodeStore::Intern interned =
+        store.intern(root_encoded.fingerprint, root_record);
     pending.fetch_add(1, std::memory_order_release);
     frontier.push(0, CompactWorkItem{interned.record, interned.length, nullptr});
     if (obs_cells_.active) {
@@ -529,8 +892,93 @@ std::optional<sim::Violation> ParallelExplorer::run_compact() {
       obs_cells_.flush(0, root_delta);
     }
   }
+  // A resume's root re-encode was already counted by the original run.
+  const std::uint64_t fresh_encodes = config_.resume == nullptr ? 1 : 0;
+  const std::uint64_t fresh_canonical_hits =
+      config_.resume == nullptr ? root_canonical_hits : 0;
 
-  std::vector<WorkerStats> worker_stats(static_cast<std::size_t>(num_threads_));
+  const std::uint64_t config_hash = checkpoint_config_hash(config_);
+
+  // Fills a checkpoint from the current state. Caller contract: the workers
+  // are parked at the pause barrier or have all joined (frontier + store
+  // quiescent, worker_stats stable).
+  auto gather = [&](CheckpointData& data) {
+    data.config_hash = config_hash;
+    data.label = config_.checkpoint_label;
+    data.root_fp = root_encoded.fingerprint;
+    data.visited = visited_count_.load(std::memory_order_relaxed);
+    data.transitions = resume_transitions_;
+    data.decisions = resume_decisions_;
+    data.terminal_states = resume_terminal_states_;
+    data.orbit_skipped = resume_orbit_skipped_;
+    data.encodes = resume_encodes_ + fresh_encodes;
+    data.canonical_hits = resume_canonical_hits_ + fresh_canonical_hits;
+    for (const WorkerStats& local : worker_stats) {
+      data.transitions += local.transitions;
+      data.decisions += local.decisions;
+      data.terminal_states += local.terminal_states;
+      data.orbit_skipped += local.orbit_skipped;
+      data.encodes += local.encodes;
+      data.canonical_hits += local.canonical_hits;
+    }
+    data.checkpoints_written =
+        resume_checkpoints_ + checkpoints_written_.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(violation_mu_);
+      data.has_violation = has_violation_;
+      if (has_violation_) {
+        data.violation_description = best_violation_.description;
+        data.violation_property = best_violation_.property;
+        data.violation_param = best_violation_.param;
+        data.violation_schedule = best_path_;
+      }
+    }
+    data.nodes.clear();
+    data.frontier.clear();
+    std::unordered_map<const typesys::Value*, std::uint64_t> record_index;
+    store.for_each_record(
+        [&](util::U128 fp, const typesys::Value* values, std::uint32_t length) {
+          record_index.emplace(values, data.nodes.size());
+          CheckpointData::Node node;
+          node.fp = fp;
+          node.values.assign(values, values + length);
+          data.nodes.push_back(std::move(node));
+        });
+    std::vector<CompactWorkItem> items;
+    frontier.snapshot(items);
+    data.frontier.reserve(items.size());
+    for (const CompactWorkItem& item : items) {
+      const auto it = record_index.find(item.record);
+      RCONS_ASSERT_MSG(it != record_index.end(),
+                       "frontier item missing from the node store");
+      data.frontier.push_back(it->second);
+    }
+  };
+
+  // Periodic snapshot (monitor thread): park everyone, gather, resume, then
+  // write outside the barrier so a slow disk never blocks exploration.
+  auto write_snapshot = [&]() -> bool {
+    if (!pause_workers()) return false;  // stop in flight or a wedged worker
+    CheckpointData data;
+    gather(data);
+    resume_workers();
+    std::string error;
+    if (!write_checkpoint(config_.checkpoint_path, data, config_.fault, error)) {
+      return false;
+    }
+    checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  };
+
+  std::thread monitor;
+  if (monitor_needed()) {
+    std::function<bool()> snapshot_fn;
+    if (!config_.checkpoint_path.empty() && config_.checkpoint_every > 0) {
+      snapshot_fn = write_snapshot;
+    }
+    monitor = std::thread([this, snapshot_fn] { monitor_loop(snapshot_fn); });
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(num_threads_));
   for (int id = 0; id < num_threads_; ++id) {
@@ -541,13 +989,25 @@ std::optional<sim::Violation> ParallelExplorer::run_compact() {
         });
   }
   for (std::thread& thread : threads) thread.join();
+  stop_monitor(monitor);
+
+  // Final checkpoint at exit — complete, truncated, or violating alike. The
+  // workers joined, so the cut is trivially consistent (no pause needed).
+  if (!config_.checkpoint_path.empty()) {
+    CheckpointData data;
+    gather(data);
+    std::string error;
+    if (write_checkpoint(config_.checkpoint_path, data, config_.fault, error)) {
+      checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 
   const NodeStore::Stats store_stats = store.stats();
   stats_.compact = true;
   stats_.store.nodes = store_stats.nodes;
   stats_.store.value_bytes = store_stats.value_bytes;
-  stats_.store.encodes = 1;  // the root encode
-  stats_.store.canonical_hits = root_canonical_hits;
+  stats_.store.encodes = fresh_encodes;
+  stats_.store.canonical_hits = fresh_canonical_hits;
   visited_stats_ = store.load_stats();
   frontier_stats_ = frontier.stats();
   return finish(worker_stats);
@@ -558,7 +1018,17 @@ std::optional<sim::Violation> ParallelExplorer::finish(
   // Like the sequential explorer, `visited` counts the states inserted during
   // expansion (the root insert is not counted).
   stats_.visited = visited_count_.load(std::memory_order_relaxed);
-  stats_.truncated = truncated_.load(std::memory_order_relaxed);
+  stats_.stop_reason =
+      static_cast<sim::StopReason>(stop_reason_.load(std::memory_order_relaxed));
+  stats_.truncated = stats_.stop_reason != sim::StopReason::kNone;
+  stats_.checkpoints_written =
+      resume_checkpoints_ + checkpoints_written_.load(std::memory_order_relaxed);
+  stats_.transitions = resume_transitions_;
+  stats_.decisions = resume_decisions_;
+  stats_.terminal_states = resume_terminal_states_;
+  stats_.orbit_skipped = resume_orbit_skipped_;
+  stats_.store.encodes += resume_encodes_;
+  stats_.store.canonical_hits += resume_canonical_hits_;
   for (const WorkerStats& local : worker_stats) {
     stats_.transitions += local.transitions;
     stats_.decisions += local.decisions;
@@ -603,8 +1073,11 @@ std::optional<sim::Violation> ParallelExplorer::finish(
                           best_violation_.param, best_path_};
   }
   if (stats_.truncated) {
-    return sim::Violation{"state space exceeded max_visited; verdict incomplete",
-                          sim::PropertyKind::kNone, 0, truncation_path_};
+    // Typed truncated verdict: full partial stats, a reason-specific
+    // description, and (for the visited-cap case) a best-effort partial
+    // trace. Never an abort, never an empty report.
+    return sim::Violation{truncation_description(), sim::PropertyKind::kNone, 0,
+                          truncation_path_};
   }
   return std::nullopt;
 }

@@ -47,9 +47,14 @@
 #define RCONS_ENGINE_PARALLEL_EXPLORER_HPP
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/expand.hpp"
@@ -128,6 +133,42 @@ class ParallelExplorer {
   std::optional<sim::Violation> run_legacy();
   std::optional<sim::Violation> run_compact();
 
+  // --- robustness layer -----------------------------------------------------
+  //
+  // Cooperative stop: request_stop records the first reason (CAS,
+  // first-writer-wins) and flips stop_. Workers observe stop_ at their loop
+  // top, hand any in-hand batch back to the frontier (still pending-counted,
+  // so a checkpoint sees every outstanding item) and exit; a worker stopped
+  // mid-expansion re-queues the partially-expanded item without releasing
+  // its pending slot — re-expansion after a resume only produces duplicate
+  // interns, so visited counts stay exact. Workers may therefore exit with
+  // pending > 0; every exit path is either "frontier drained" (pending == 0)
+  // or "stop observed".
+  void request_stop(sim::StopReason reason);
+
+  // Pause barrier for consistent checkpoints: the monitor sets
+  // pause_flag_, workers hand their batches back and park in
+  // worker_pause_point() until resume_workers(). When every live worker is
+  // parked the frontier holds ALL pending items and the store is quiescent —
+  // the consistent cut the checkpoint serializes. pause_workers() aborts
+  // (returning false) on a stop or if a worker fails to park within a grace
+  // period (e.g. wedged by fault injection) — a checkpoint is then skipped,
+  // never deadlocked on.
+  bool pause_workers();
+  void resume_workers();
+  void worker_pause_point();
+  void worker_exit(int id);
+
+  // Resource sentinel / watchdog / periodic-checkpoint monitor. Runs only
+  // when one of those features is enabled (monitor_needed()); hot paths with
+  // everything off never touch a clock. `write_snapshot` (null when
+  // checkpointing is off) pauses the workers, gathers, resumes, and writes.
+  bool monitor_needed() const;
+  void monitor_loop(const std::function<bool()>& write_snapshot);
+  void stop_monitor(std::thread& monitor);
+
+  std::string truncation_description() const;
+
   // Adds the delta between `local` and the worker's last flush into the
   // registry cells and refreshes the frontier-pending gauge (obs_cells.hpp).
   void flush_worker_obs(std::size_t lane, WorkerStats& last_flushed,
@@ -166,13 +207,51 @@ class ParallelExplorer {
 
   std::atomic<std::uint64_t> visited_count_{0};
   std::atomic<bool> stop_{false};
-  std::atomic<bool> truncated_{false};
+  std::atomic<bool> truncated_{false};  // a truncation path was recorded
+
+  // First stop reason wins (holds sim::StopReason as int; 0 = kNone).
+  std::atomic<int> stop_reason_{0};
+  std::atomic<std::uint64_t> checkpoints_written_{0};
+
+  // Per-worker progress heartbeats, bumped once per frontier item; the
+  // monitor's watchdog samples them per sentinel interval. kHeartbeatExited
+  // marks a worker that returned (never a stall).
+  struct alignas(64) Heartbeat {
+    std::atomic<std::uint64_t> beats{0};
+  };
+  static constexpr std::uint64_t kHeartbeatExited = ~std::uint64_t{0};
+  std::unique_ptr<Heartbeat[]> heartbeats_;
+
+  // Pause barrier state (see pause_workers). pause_flag_ mirrors
+  // pause_requested_ for the workers' relaxed fast-path check.
+  std::mutex pause_mu_;
+  std::condition_variable pause_cv_;   // workers wait here while paused
+  std::condition_variable parked_cv_;  // coordinator waits for a full park
+  bool pause_requested_ = false;       // guarded by pause_mu_
+  int parked_ = 0;                     // guarded by pause_mu_
+  int live_workers_ = 0;               // guarded by pause_mu_
+  std::atomic<bool> pause_flag_{false};
+
+  std::mutex monitor_mu_;
+  std::condition_variable monitor_cv_;
+  bool monitor_exit_ = false;  // guarded by monitor_mu_
+
+  // Baseline carried in from a resumed checkpoint, added back in finish().
+  std::uint64_t resume_visited_ = 0;
+  std::uint64_t resume_transitions_ = 0;
+  std::uint64_t resume_decisions_ = 0;
+  std::uint64_t resume_terminal_states_ = 0;
+  std::uint64_t resume_orbit_skipped_ = 0;
+  std::uint64_t resume_encodes_ = 0;
+  std::uint64_t resume_canonical_hits_ = 0;
+  std::uint64_t resume_checkpoints_ = 0;
 
   std::mutex violation_mu_;
   bool has_violation_ = false;
   std::vector<Event> best_path_;
   sim::PropertyViolation best_violation_;  // typed property + description
   std::vector<Event> truncation_path_;     // guarded by violation_mu_
+  std::string watchdog_dump_;              // guarded by violation_mu_
 };
 
 }  // namespace rcons::engine

@@ -70,6 +70,8 @@ void Portfolio::add_spec(const check::ScenarioSpec& spec) {
   scenario.properties_label = shared->properties.label();
   scenario.max_steps_per_run = spec.max_steps_per_run;
   scenario.max_visited = spec.max_visited;
+  scenario.time_limit_ms = spec.time_limit_ms;
+  scenario.mem_limit_mb = spec.mem_limit_mb;
   scenario.build = [shared] { return *shared; };
   scenarios_.push_back(std::move(scenario));
 }
@@ -115,6 +117,12 @@ std::vector<ScenarioResult> Portfolio::run_all() const {
     if (scenario.max_visited >= 0) {
       request.budget.max_visited = scenario.max_visited;
     }
+    if (scenario.time_limit_ms >= 0) {
+      request.budget.time_limit_ms = scenario.time_limit_ms;
+    }
+    if (scenario.mem_limit_mb >= 0) {
+      request.budget.mem_limit_mb = scenario.mem_limit_mb;
+    }
     request.strategy = check::Strategy::kAuto;
     request.num_threads = config_.num_threads;
     request.shard_bits = config_.shard_bits;
@@ -144,7 +152,10 @@ util::Table Portfolio::verdict_table(const std::vector<ScenarioResult>& results)
       verdict = std::string("VIOLATION(") +
                 sim::property_name(result.violation->property) + ")";
     }
-    if (result.stats.truncated) verdict = "TRUNCATED";
+    if (result.stats.truncated) {
+      verdict = std::string("TRUNCATED(") +
+                sim::stop_reason_name(result.stats.stop_reason) + ")";
+    }
     table.add_row({result.scenario.name, crash_model_name(result.scenario.crash_model),
                    std::to_string(result.scenario.crash_budget),
                    std::to_string(result.scenario.num_processes),

@@ -43,6 +43,8 @@ struct Scenario {
   std::string properties_label = sim::PropertySet().label();
   std::int64_t max_steps_per_run = -1;  // -1 = inherit the portfolio budget
   std::int64_t max_visited = -1;
+  std::int64_t time_limit_ms = -1;  // -1 = inherit (resource sentinel budgets)
+  std::int64_t mem_limit_mb = -1;
   std::function<ScenarioSystem()> build;
 };
 

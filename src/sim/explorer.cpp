@@ -1,8 +1,29 @@
 #include "sim/explorer.hpp"
 
+#include <new>
+
+#include "engine/sentinel.hpp"
 #include "util/assert.hpp"
 
 namespace rcons::sim {
+
+const char* stop_reason_name(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kVisitedCap:
+      return "visited-cap";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kMemory:
+      return "memory";
+    case StopReason::kWatchdog:
+      return "watchdog";
+    case StopReason::kForcedStop:
+      return "forced-stop";
+  }
+  return "unknown";
+}
 
 Explorer::Explorer(Memory initial, std::vector<Process> processes, ExplorerConfig config)
     : initial_memory_(std::move(initial)),
@@ -45,15 +66,34 @@ std::optional<Violation> Explorer::run() {
     obs_cells_.num_threads->set(1);
   }
 
+  deadline_ms_ = config_.time_limit_ms > 0
+                     ? engine::steady_now_ms() + config_.time_limit_ms
+                     : 0;
+  rss_cap_bytes_ = config_.mem_limit_mb > 0
+                       ? static_cast<std::uint64_t>(config_.mem_limit_mb) << 20
+                       : 0;
+  next_limit_poll_ = kLimitPollTransitions;
+
   std::optional<Violation> result;
-  if (compact_) {
-    result = run_compact();
-  } else {
-    engine::Node root =
-        engine::make_root(initial_memory_, initial_processes_, config_.properties);
-    insert_visited(root);
-    result = dfs(root);
-    fill_probe_stats(stats_, visited_.stats());
+  try {
+    if (compact_) {
+      result = run_compact();
+    } else {
+      engine::Node root =
+          engine::make_root(initial_memory_, initial_processes_, config_.properties);
+      insert_visited(root);
+      result = dfs(root);
+      fill_probe_stats(stats_, visited_.stats());
+    }
+  } catch (const std::bad_alloc&) {
+    // An allocation failure becomes the typed truncated verdict with whatever
+    // partial stats accumulated — never an abort.
+    stats_.truncated = true;
+    stats_.stop_reason = StopReason::kMemory;
+    result = Violation{
+        "memory limit exceeded or allocation failed (mem_limit_mb=" +
+            std::to_string(config_.mem_limit_mb) + "); verdict incomplete",
+        PropertyKind::kNone, 0, path_};
   }
 
   if (obs_cells_.active) {
@@ -105,6 +145,33 @@ bool Explorer::insert_visited(const engine::Node& node) {
   return visited_.insert(engine::fingerprint(node, scratch_), 0).inserted;
 }
 
+std::optional<Violation> Explorer::poll_limits() {
+  if (deadline_ms_ == 0 && rss_cap_bytes_ == 0) return std::nullopt;
+  if (stats_.transitions < next_limit_poll_) return std::nullopt;
+  next_limit_poll_ = stats_.transitions + kLimitPollTransitions;
+  if (deadline_ms_ != 0 && engine::steady_now_ms() >= deadline_ms_) {
+    stats_.truncated = true;
+    stats_.stop_reason = StopReason::kDeadline;
+    return Violation{"time limit exceeded (time_limit_ms=" +
+                         std::to_string(config_.time_limit_ms) +
+                         "); verdict incomplete",
+                     PropertyKind::kNone, 0, path_};
+  }
+  if (rss_cap_bytes_ != 0) {
+    const std::uint64_t rss = engine::current_rss_bytes();
+    // A 0 reading means RSS is unavailable on this platform; never trip.
+    if (rss != 0 && rss > rss_cap_bytes_) {
+      stats_.truncated = true;
+      stats_.stop_reason = StopReason::kMemory;
+      return Violation{"memory limit exceeded or allocation failed (mem_limit_mb=" +
+                           std::to_string(config_.mem_limit_mb) +
+                           "); verdict incomplete",
+                       PropertyKind::kNone, 0, path_};
+    }
+  }
+  return std::nullopt;
+}
+
 std::optional<Violation> Explorer::dfs(const engine::Node& node) {
   // Depth-indexed scratch: one event buffer per recursion level, reused
   // across siblings so expansion does not allocate per node.
@@ -122,6 +189,10 @@ std::optional<Violation> Explorer::dfs(const engine::Node& node) {
         stats_.transitions - obs_last_flush_transitions_ >= kObsFlushTransitions) {
       flush_obs();
     }
+    if (auto truncated = poll_limits()) {
+      path_.pop_back();
+      return truncated;
+    }
     if (auto broken = engine::apply_event(child, event, config_)) {
       obs_violation_edges_ += 1;
       Violation violation{std::move(broken->description), broken->property,
@@ -134,6 +205,7 @@ std::optional<Violation> Explorer::dfs(const engine::Node& node) {
       stats_.visited += 1;
       if (stats_.visited > config_.visited_cap()) {
         stats_.truncated = true;
+        stats_.stop_reason = StopReason::kVisitedCap;
         Violation violation{"state space exceeded max_visited; verdict incomplete",
                             PropertyKind::kNone, 0, path_};
         path_.pop_back();
@@ -224,6 +296,10 @@ std::optional<Violation> Explorer::dfs_compact(const typesys::Value* record,
         stats_.transitions - obs_last_flush_transitions_ >= kObsFlushTransitions) {
       flush_obs();
     }
+    if (auto truncated = poll_limits()) {
+      path_.pop_back();
+      return truncated;
+    }
     if (dirty != engine::NodeCodec::kDirtyNone) {
       codec_->restore(record, size, scratch_node_, dirty);
     }
@@ -254,6 +330,7 @@ std::optional<Violation> Explorer::dfs_compact(const typesys::Value* record,
       stats_.visited += 1;
       if (stats_.visited > config_.visited_cap()) {
         stats_.truncated = true;
+        stats_.stop_reason = StopReason::kVisitedCap;
         Violation violation{"state space exceeded max_visited; verdict incomplete",
                             PropertyKind::kNone, 0, path_};
         path_.pop_back();

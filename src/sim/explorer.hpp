@@ -66,6 +66,12 @@ class Explorer {
   std::optional<Violation> dfs(const engine::Node& node);
   bool insert_visited(const engine::Node& node);
 
+  // Resource sentinels, polled inline every kLimitPollTransitions transitions
+  // (the sequential explorer has no monitor thread). Returns the typed
+  // truncated verdict when a limit tripped; the hot path with no limits set
+  // never touches a clock.
+  std::optional<Violation> poll_limits();
+
   std::optional<Violation> run_compact();
   std::optional<Violation> dfs_compact(const typesys::Value* record,
                                        std::size_t size);
@@ -101,6 +107,14 @@ class Explorer {
   std::vector<std::uint8_t> orbit_skip_;
   engine::CasTable::OpStats table_ops_;
   bool orbit_reduction_ = false;
+
+  // Resource-sentinel state for poll_limits(): the absolute deadline and RSS
+  // cap resolved from the budget at run() (0 = unlimited), and the next
+  // transition count at which to sample the clock.
+  static constexpr std::uint64_t kLimitPollTransitions = 1024;
+  std::int64_t deadline_ms_ = 0;
+  std::uint64_t rss_cap_bytes_ = 0;
+  std::uint64_t next_limit_poll_ = 0;
 
   // Observability (engine/obs_cells.hpp): the sequential traversal publishes
   // the same engine.*/store.* taxonomy the parallel workers do, all on lane 0.

@@ -17,7 +17,28 @@
 #include "sim/properties.hpp"
 #include "sim/schedule.hpp"
 
+namespace rcons::engine {
+class FaultPlan;        // engine/fault_inject.hpp
+struct CheckpointData;  // engine/checkpoint.hpp
+}  // namespace rcons::engine
+
 namespace rcons::sim {
+
+// Why an exhaustive run stopped before draining the state space. kNone means
+// it did not stop early (the verdict is exhaustive). Every other reason
+// produces the typed truncated verdict: a sim::Violation with
+// PropertyKind::kNone whose description names the reason, full partial stats,
+// and ExplorerStats::stop_reason carrying the enum — never an abort.
+enum class StopReason {
+  kNone,        // ran to completion (or to a property violation)
+  kVisitedCap,  // Budget::max_visited exhausted
+  kDeadline,    // Budget::time_limit_ms exceeded (resource sentinel)
+  kMemory,      // Budget::mem_limit_mb exceeded, or an allocation failed
+  kWatchdog,    // a worker made no progress for N sentinel intervals
+  kForcedStop,  // external cooperative stop (fault injection / harness)
+};
+
+const char* stop_reason_name(StopReason reason);
 
 // Historical spelling of the crash models; the definition now lives with the
 // rest of the shared budget in check/budget.hpp.
@@ -60,6 +81,41 @@ struct ExplorerConfig : check::Budget {
   // their plain per-worker locals either way, so a disabled sink costs
   // nothing per state.
   obs::Hooks obs;
+
+  // --- robustness layer (engine/sentinel.hpp, engine/checkpoint.hpp) ------
+
+  // Resource-sentinel sampling period. The parallel engine runs a monitor
+  // thread at this cadence whenever a time/memory limit, the watchdog, or
+  // periodic checkpointing is enabled; the sequential explorer polls its
+  // limits inline at the same granularity as its obs flushes. Hot paths with
+  // everything off never touch a clock.
+  int sentinel_interval_ms = 50;
+
+  // Watchdog: fail the run (StopReason::kWatchdog, with a per-worker
+  // heartbeat dump in the verdict description) when any live worker's
+  // heartbeat does not advance for this many consecutive sentinel intervals.
+  // 0 disables the watchdog.
+  int watchdog_stall_intervals = 0;
+
+  // Durable checkpoints (parallel engine, compact representation only):
+  // when checkpoint_path is non-empty the run writes a final checkpoint at
+  // exit, plus an intermediate one each time `checkpoint_every` further
+  // states have been visited (0 = final only). `resume`, when non-null,
+  // seeds the run from a previously loaded checkpoint instead of the root;
+  // the caller must have validated the checkpoint's config hash
+  // (engine::checkpoint_config_hash).
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every = 0;
+  // Caller-chosen identity line stored in every checkpoint (the CLI uses the
+  // formatted scenario spec) so a resume can reject a mismatched file with a
+  // human-readable diff, not just a hash mismatch.
+  std::string checkpoint_label;
+  const engine::CheckpointData* resume = nullptr;
+
+  // Deterministic fault injection (engine/fault_inject.hpp). Null — the
+  // default — is the zero-cost path: one predicted null check per injection
+  // point.
+  engine::FaultPlan* fault = nullptr;
 };
 
 // A property violation plus the typed schedule that produced it. The schedule
@@ -159,7 +215,16 @@ struct ExplorerStats {
   // transitions == visited + duplicates + violation_edges + orbit_skipped.
   std::uint64_t orbit_skipped = 0;
 
-  bool truncated = false;  // hit max_visited — verdict incomplete
+  bool truncated = false;  // stopped early — verdict incomplete
+
+  // Why the run stopped early (kNone when !truncated). The legacy boolean is
+  // kept in sync so existing callers keep working: truncated == (stop_reason
+  // != kNone).
+  StopReason stop_reason = StopReason::kNone;
+
+  // Durable checkpoints written during the run (0 when checkpointing is off
+  // or every write was faulted away).
+  std::uint64_t checkpoints_written = 0;
 
   bool compact = false;  // ran on the interned node representation
   NodeStoreStats store;

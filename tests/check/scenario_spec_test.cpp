@@ -215,6 +215,26 @@ TEST(ScenarioSpecTest, RejectsBadPropertiesAndK) {
   EXPECT_NE(parse.errors[7].find("algo=k-set needs k="), std::string::npos);
 }
 
+TEST(ScenarioSpecTest, ParsesResourceLimitFields) {
+  const ScenarioParse parse =
+      parse_scenario_specs("type=Sn(2) n=2 time_limit=5000 mem_limit=2048\n");
+  ASSERT_TRUE(parse.ok()) << parse.errors.front();
+  EXPECT_EQ(parse.specs.front().time_limit_ms, 5000);
+  EXPECT_EQ(parse.specs.front().mem_limit_mb, 2048);
+}
+
+TEST(ScenarioSpecTest, RejectsBadResourceLimits) {
+  const ScenarioParse parse = parse_scenario_specs(
+      "type=Sn(2) time_limit=0\n"
+      "type=Sn(2) time_limit=-5\n"
+      "type=Sn(2) mem_limit=abc\n");
+  EXPECT_TRUE(parse.specs.empty());
+  ASSERT_EQ(parse.errors.size(), 3u);
+  EXPECT_NE(parse.errors[0].find("time_limit must be"), std::string::npos);
+  EXPECT_NE(parse.errors[1].find("time_limit must be"), std::string::npos);
+  EXPECT_NE(parse.errors[2].find("mem_limit must be"), std::string::npos);
+}
+
 TEST(ScenarioSpecTest, RoundTripsAGridOverEveryGrammarField) {
   // format_scenario_line ∘ parse_scenario_line must be the identity over the
   // whole grammar, including the properties=/k= extension — every field that
@@ -242,6 +262,10 @@ TEST(ScenarioSpecTest, RoundTripsAGridOverEveryGrammarField) {
                   for (const std::int64_t max_steps : {std::int64_t{-1}, std::int64_t{400}}) {
                     for (const std::int64_t max_visited :
                          {std::int64_t{-1}, std::int64_t{12345}}) {
+                     for (const std::int64_t time_limit :
+                          {std::int64_t{-1}, std::int64_t{250}}) {
+                     for (const std::int64_t mem_limit :
+                          {std::int64_t{-1}, std::int64_t{512}}) {
                       for (const std::string& name :
                            {std::string(), std::string("grid-name")}) {
                         const bool wants_k_set =
@@ -265,6 +289,8 @@ TEST(ScenarioSpecTest, RoundTripsAGridOverEveryGrammarField) {
                         spec.symmetry = symmetry;
                         spec.max_steps_per_run = max_steps;
                         spec.max_visited = max_visited;
+                        spec.time_limit_ms = time_limit;
+                        spec.mem_limit_mb = mem_limit;
                         spec.name = name;
 
                         ScenarioSpec parsed;
@@ -275,6 +301,8 @@ TEST(ScenarioSpecTest, RoundTripsAGridOverEveryGrammarField) {
                         ASSERT_EQ(parsed, spec) << format_scenario_line(spec);
                         covered += 1;
                       }
+                     }
+                     }
                     }
                   }
                 }
