@@ -99,7 +99,7 @@ int main(int argc, char** argv) {
             rng.below(static_cast<std::uint64_t>(num_ops)));
         universal::OpRecord record;
         record.process = p;
-        record.invoke_ts = clock.fetch_add(1);
+        record.invoke_ts = clock.fetch_add(1, std::memory_order_seq_cst);
         const int before = kv.last_announced(p);
         try {
           const auto completion = kv.invoke(p, op, injector);
@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
           record.response = completion.response;
           record.completed = true;
         } catch (const runtime::CrashException&) {
-          crashes.fetch_add(1);
+          crashes.fetch_add(1, std::memory_order_relaxed);  // stat; read after join
           if (kv.last_announced(p) != before) {
             // Detectable recovery: the op was announced, so finish it.
             runtime::CrashInjector clean = runtime::CrashInjector::none();
@@ -116,11 +116,11 @@ int main(int argc, char** argv) {
             record.response = completion.response;
             record.completed = true;
           } else {
-            not_executed.fetch_add(1);
+            not_executed.fetch_add(1, std::memory_order_relaxed);  // stat; read after join
             record.completed = false;  // op never took effect — caller knows
           }
         }
-        record.return_ts = clock.fetch_add(1);
+        record.return_ts = clock.fetch_add(1, std::memory_order_seq_cst);
         records[static_cast<std::size_t>(p)].push_back(record);
       }
     });
@@ -134,8 +134,8 @@ int main(int argc, char** argv) {
   const universal::CertResult cert = universal::certify_history(kv, all);
 
   std::cout << "ops attempted:   " << kThreads * kOpsPerThread << "\n"
-            << "crashes:         " << crashes.load() << "\n"
-            << "ops not executed (detected on recovery): " << not_executed.load()
+            << "crashes:         " << crashes.load(std::memory_order_relaxed) << "\n"
+            << "ops not executed (detected on recovery): " << not_executed.load(std::memory_order_relaxed)
             << "\n"
             << "linearized ops:  " << cert.list_length << "\n"
             << "linearizability: " << (cert.ok ? "CERTIFIED" : cert.error) << "\n";

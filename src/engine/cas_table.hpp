@@ -1,4 +1,5 @@
 // Lock-free open-addressing fingerprint table — the concurrent replacement
+// rcons-lint: hot-path
 // for the per-shard `mutex + FlatTable` pairs in ShardedVisited and the
 // NodeStore intern index.
 //
@@ -177,6 +178,7 @@ class CasTable {
   // value, so callers needing uniqueness dedup by value.
   template <typename F>
   void for_each_published(F&& fn) {
+    // rcons-lint: allow(hot-path-no-mutex) enumeration runs offline (stats/checkpoint), never per-insert
     std::lock_guard<std::mutex> lock(growth_mu_);
     for (const std::unique_ptr<Array>& array : arrays_) {
       for (std::size_t i = 0; i < array->capacity; ++i) {
@@ -322,6 +324,8 @@ class CasTable {
             if (a.sealed.load(std::memory_order_seq_cst)) {
               // Claimed a slot in an array that sealed under us: kill the
               // slot and retry in the replacement (see header comment).
+              RCONS_DCHECK_MSG(slot.tag.load(std::memory_order_relaxed) == kClaimed,
+                               "tombstone transition from a tag we do not own");
               slot.tag.store(kTombstone, std::memory_order_release);
               note_probe(stats, probes);
               return Claim{Claim::kSealed, 0};
@@ -329,6 +333,10 @@ class CasTable {
             slot.key_lo = key.lo;
             slot.key_hi = key.hi;
             slot.value = make_value();
+            // Only the claimer publishes: claimed -> published is the sole
+            // legal transition out of a slot we won the CAS for.
+            RCONS_DCHECK_MSG(slot.tag.load(std::memory_order_relaxed) == kClaimed,
+                             "publish transition from a tag we do not own");
             slot.tag.store(kPublished, std::memory_order_release);
             note_probe(stats, probes);
             return Claim{Claim::kInserted, slot.value};
@@ -422,6 +430,7 @@ class CasTable {
 
   void maybe_grow(Array* claimed_in) {
     if (size_.load(std::memory_order_relaxed) <= claimed_in->capacity / 8 * 5) return;
+    // rcons-lint: allow(hot-path-no-mutex) growth only; inserts reach here after the lock-free size gate
     std::lock_guard<std::mutex> lock(growth_mu_);  // cold path: growth only
     Array* head = live_.load(std::memory_order_relaxed);
     if (head != claimed_in) return;  // someone else already grew
@@ -444,6 +453,7 @@ class CasTable {
   // traverse the whole chain, and migrate_insert dedups against every array
   // newer than its floor); refusing to stack would spin forever.
   void force_grow(Array* full) {
+    // rcons-lint: allow(hot-path-no-mutex) taken once per array exhaustion, the sanctioned growth path
     std::lock_guard<std::mutex> lock(growth_mu_);
     Array* head = live_.load(std::memory_order_relaxed);
     if (head != full) return;  // someone else already grew past it
@@ -468,7 +478,8 @@ class CasTable {
   std::atomic<Array*> live_{nullptr};
   std::atomic<std::uint64_t> size_{0};
   std::atomic<std::uint64_t> rehashes_{0};
-  std::mutex growth_mu_;  // serializes growth (cold); never taken by inserts
+  // rcons-lint: allow(hot-path-no-mutex) serializes growth (cold); never taken by inserts
+  std::mutex growth_mu_;
   std::vector<std::unique_ptr<Array>> arrays_;  // guarded by growth_mu_
 };
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "engine/fault_inject.hpp"
+#include "util/assert.hpp"
 
 namespace rcons::engine {
 
@@ -125,6 +126,15 @@ std::uint64_t checkpoint_config_hash(const sim::ExplorerConfig& config) {
 }
 
 std::string serialize_checkpoint(const CheckpointData& data) {
+  // Producer-side frame invariants: catch an inconsistent cut before it is
+  // made durable (the loader re-validates the same bounds on read, but by
+  // then the bad frame has already replaced a good one on disk).
+  for (const std::uint64_t index : data.frontier) {
+    RCONS_DCHECK_MSG(index < data.nodes.size(),
+                     "checkpoint frame references a node it does not carry");
+  }
+  RCONS_DCHECK_MSG(data.has_violation || data.violation_schedule.empty(),
+                   "violation schedule present without the violation flag");
   std::string out;
   out.append(kMagic, sizeof(kMagic));
   put_u32(out, CheckpointData::kVersion);

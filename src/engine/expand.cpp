@@ -1,3 +1,4 @@
+// rcons-lint: hot-path
 #include "engine/expand.hpp"
 
 #include "util/assert.hpp"

@@ -1,4 +1,5 @@
 // Node-expansion core shared by the sequential `sim::Explorer` and the
+// rcons-lint: hot-path
 // parallel `engine::ParallelExplorer`.
 //
 // A `Node` is one deduplicatable global state: shared memory, every process's

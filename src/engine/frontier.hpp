@@ -1,4 +1,5 @@
 // Work-stealing frontier for parallel state-space exploration.
+// rcons-lint: hot-path
 //
 // Each worker owns a deque of pending exploration items. A worker pushes the
 // children it generates onto the back of its own deque and pops from the back
@@ -89,6 +90,7 @@ class FrontierT {
   void push(int worker, Item item) {
     Deque& deque = *deques_[static_cast<std::size_t>(worker)];
     {
+      // rcons-lint: allow(hot-path-no-mutex) single-item push is the slow API; batch paths amortize
       std::lock_guard<std::mutex> lock(deque.mu);
       deque.items.push_back(std::move(item));
     }
@@ -107,6 +109,7 @@ class FrontierT {
       // geometric growth and reallocate on every submit while the frontier
       // ramps up; amortized push_back keeps steady-state pushes
       // allocation-free.
+      // rcons-lint: allow(hot-path-no-mutex) one acquisition per pushed batch, amortized over batch size
       std::lock_guard<std::mutex> lock(deque.mu);
       for (Item& item : batch) deque.items.push_back(std::move(item));
     }
@@ -131,6 +134,7 @@ class FrontierT {
     if (stole != nullptr) *stole = false;
     Deque& own = *deques_[static_cast<std::size_t>(worker)];
     {
+      // rcons-lint: allow(hot-path-no-mutex) one acquisition per popped batch, amortized over batch size
       std::lock_guard<std::mutex> lock(own.mu);
       const std::size_t avail = own.size();
       if (avail != 0) {
@@ -146,6 +150,7 @@ class FrontierT {
     for (int offset = 1; offset < n; ++offset) {
       const int victim = (worker + offset) % n;
       Deque& from = *deques_[static_cast<std::size_t>(victim)];
+      // rcons-lint: allow(hot-path-no-mutex) steals are rare (own deque empty) and take half a deque per lock
       std::lock_guard<std::mutex> lock(from.mu);
       const std::size_t avail = from.size();
       if (avail == 0) continue;
@@ -193,6 +198,7 @@ class FrontierT {
   // not drained; the run continues unchanged afterwards.
   void snapshot(std::vector<Item>& out) const {
     for (const std::unique_ptr<Deque>& deque : deques_) {
+      // rcons-lint: allow(hot-path-no-mutex) checkpoint snapshot runs only at quiescence (workers parked)
       std::lock_guard<std::mutex> lock(deque->mu);
       for (std::size_t i = deque->head; i < deque->items.size(); ++i) {
         out.push_back(deque->items[i]);
@@ -220,6 +226,7 @@ class FrontierT {
   // vector operations; front-steals advance `head` and the dead prefix is
   // compacted amortized-O(1). No per-item allocation anywhere.
   struct alignas(64) Deque {
+    // rcons-lint: allow(hot-path-no-mutex) per-deque lock; every acquisition above is batch-amortized
     mutable std::mutex mu;
     std::vector<Item> items;
     std::size_t head = 0;  // live range is items[head, items.size())

@@ -1,3 +1,4 @@
+// rcons-lint: hot-path
 #include "engine/node_store.hpp"
 
 #include <algorithm>
@@ -166,6 +167,14 @@ NodeCodec::Encoded NodeCodec::encode(const Node& node, std::vector<Value>& recor
   encoded.fingerprint =
       encoded.permuted ? fingerprint_values(record.data(), encoded.fingerprint_length)
                        : fp.finish(encoded.fingerprint_length);
+  // Codec round-trip contract: the fused absorb-during-encode stream must
+  // agree with a reference sweep over the finished record. Divergence means
+  // an encode path mutated values after absorbing them.
+  RCONS_DCHECK_MSG(
+      encoded.permuted ||
+          encoded.fingerprint ==
+              fingerprint_values(record.data(), encoded.fingerprint_length),
+      "fused fingerprint diverged from reference sweep");
   return encoded;
 }
 
@@ -206,6 +215,14 @@ NodeCodec::Encoded NodeCodec::encode_successor(const Value* parent,
   encoded.fingerprint =
       encoded.permuted ? fingerprint_values(record.data(), encoded.fingerprint_length)
                        : fp.finish(encoded.fingerprint_length);
+  // Codec round-trip contract: the fused absorb-during-encode stream must
+  // agree with a reference sweep over the finished record. Divergence means
+  // an encode path mutated values after absorbing them.
+  RCONS_DCHECK_MSG(
+      encoded.permuted ||
+          encoded.fingerprint ==
+              fingerprint_values(record.data(), encoded.fingerprint_length),
+      "fused fingerprint diverged from reference sweep");
   return encoded;
 }
 
@@ -308,6 +325,7 @@ Value* NodeStore::arena_refill(Arena& arena, std::size_t need) {
   // arena analogue of the index's growth mutex. The bump pointer handoff to
   // readers stays lock-free — records become visible through the index
   // slot's release-publish, never through this lock.
+  // rcons-lint: allow(hot-path-no-mutex) one lock per kChunkValues interned values, arena refill only
   std::lock_guard<std::mutex> lock(chunk_mu_);
   chunks_.push_back(std::make_unique<Value[]>(kChunkValues));
   arena.cur = chunks_.back().get();

@@ -1,4 +1,5 @@
 // Compact interned node representation for the exhaustive explorers.
+// rcons-lint: hot-path
 //
 // The clone-based representation copies `Memory` plus N type-erased `Process`
 // objects (two heap clones each) for every successor generated — the dominant
@@ -318,7 +319,8 @@ class NodeStore {
   int shard_bits_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<Arena>> arenas_;
-  std::mutex chunk_mu_;  // cold: guards chunk allocation, never per-intern
+  // rcons-lint: allow(hot-path-no-mutex) cold: guards chunk allocation, never per-intern
+  std::mutex chunk_mu_;
   std::vector<std::unique_ptr<typesys::Value[]>> chunks_;
 };
 

@@ -188,6 +188,11 @@ bool ParallelExplorer::pause_workers() {
     pause_cv_.notify_all();
     return false;
   }
+  // Barrier postcondition: the predicate can only have passed via the parked
+  // count (the stop branch returned above), and parked workers cannot leave
+  // while we hold pause_mu_ with pause_requested_ still set.
+  RCONS_DCHECK_MSG(parked_ == live_workers_ && pause_requested_,
+                   "pause barrier reported success without full quiescence");
   return true;  // every live worker is parked; frontier + store quiescent
 }
 
@@ -321,6 +326,9 @@ void ParallelExplorer::stop_monitor(std::thread& monitor) {
 void ParallelExplorer::flush_worker_obs(std::size_t lane, WorkerStats& last_flushed,
                                         const WorkerStats& local,
                                         std::uint64_t pending_now) {
+  // Workers flush only at event-classification boundaries, where the
+  // conservation law must hold exactly.
+  dcheck_transitions_identity(local);
   ObsDeltas delta;
   delta.visited = local.visited - last_flushed.visited;
   delta.transitions = local.transitions - last_flushed.transitions;
@@ -507,9 +515,22 @@ void ParallelExplorer::worker_legacy(int id, Frontier& frontier,
       }
     }
   } catch (const std::bad_alloc&) {
+    // An allocation failed mid-event (real exhaustion or an injected alloc
+    // fault): the in-flight event was already tallied as a transition but its
+    // classification never completed. Drop the half-counted transition so
+    // the conservation law stays exact at the flush/exit DCHECK below — the
+    // run is truncated (kMemory) either way, and an unclassified transition
+    // would overstate the explored edge count.
+    // (The deviation is the one unclassified event, or — in the compact
+    // worker — orbit skips recorded by an interrupted expansion before their
+    // transition credit landed; reconciling to the classified sum restores
+    // the law in both directions.)
+    local.transitions =
+        local.visited + local.duplicates + local.violation_edges + local.orbit_skipped;
     request_stop(sim::StopReason::kMemory);
   }
 
+  dcheck_transitions_identity(local);  // holds even when obs flushing is off
   if (obs_cells_.active) {
     flush_worker_obs(obs_lane, flushed, local,
                      pending.load(std::memory_order_relaxed));
@@ -721,9 +742,22 @@ void ParallelExplorer::worker_compact(int id, CompactFrontier& frontier,
       }
     }
   } catch (const std::bad_alloc&) {
+    // An allocation failed mid-event (real exhaustion or an injected alloc
+    // fault): the in-flight event was already tallied as a transition but its
+    // classification never completed. Drop the half-counted transition so
+    // the conservation law stays exact at the flush/exit DCHECK below — the
+    // run is truncated (kMemory) either way, and an unclassified transition
+    // would overstate the explored edge count.
+    // (The deviation is the one unclassified event, or — in the compact
+    // worker — orbit skips recorded by an interrupted expansion before their
+    // transition credit landed; reconciling to the classified sum restores
+    // the law in both directions.)
+    local.transitions =
+        local.visited + local.duplicates + local.violation_edges + local.orbit_skipped;
     request_stop(sim::StopReason::kMemory);
   }
 
+  dcheck_transitions_identity(local);  // holds even when obs flushing is off
   if (obs_cells_.active) {
     flush_worker_obs(obs_lane, flushed, local,
                      pending.load(std::memory_order_relaxed));
@@ -946,6 +980,13 @@ std::optional<sim::Violation> ParallelExplorer::run_compact() {
         });
     std::vector<CompactWorkItem> items;
     frontier.snapshot(items);
+    // Quiescence invariant (PR 8): with every worker parked or joined, each
+    // pending-counted item is physically in the frontier — none are buffered
+    // worker-side or mid-expansion. A mismatch means the cut is not
+    // consistent and the checkpoint would silently lose or duplicate work.
+    RCONS_DCHECK_MSG(pending.load(std::memory_order_relaxed) == items.size(),
+                     "checkpoint cut taken without frontier quiescence "
+                     "(pending != snapshot size)");
     data.frontier.reserve(items.size());
     for (const CompactWorkItem& item : items) {
       const auto it = record_index.find(item.record);

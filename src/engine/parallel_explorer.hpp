@@ -66,6 +66,7 @@
 #include "sim/explorer_config.hpp"
 #include "sim/memory.hpp"
 #include "sim/process.hpp"
+#include "util/assert.hpp"
 
 namespace rcons::engine {
 
@@ -103,7 +104,8 @@ class ParallelExplorer {
   // config.node_repr and the processes' decode support).
   bool compact() const { return compact_; }
 
- private:
+  // Public (not private) so the contract test can violate it on purpose and
+  // watch the DCHECK fire under -DRCONS_FORCE_DCHECK=ON.
   struct WorkerStats {
     std::uint64_t transitions = 0;
     std::uint64_t decisions = 0;
@@ -130,6 +132,20 @@ class ParallelExplorer {
     std::uint64_t store_bytes = 0;
   };
 
+  // Per-worker conservation law: every counted transition is classified
+  // exactly once — it discovered a new state (visited), hit a duplicate, was
+  // a violating edge (never expanded further), or was skipped whole by orbit
+  // reduction. Both worker loops restore this identity at every obs-flush
+  // boundary and at worker exit; drift means a classification branch was
+  // added without its tally (or a tally without its transition).
+  static void dcheck_transitions_identity(const WorkerStats& w) {
+    RCONS_DCHECK_MSG(
+        w.visited + w.duplicates + w.violation_edges + w.orbit_skipped == w.transitions,
+        "transitions identity violated: visited + duplicates + violation_edges + "
+        "orbit_skipped != transitions");
+  }
+
+ private:
   std::optional<sim::Violation> run_legacy();
   std::optional<sim::Violation> run_compact();
 

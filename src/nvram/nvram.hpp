@@ -19,6 +19,9 @@
 
 namespace rcons::nvram {
 
+// All cells use seq_cst: the paper's shared-memory model is sequentially
+// consistent, and simulated base-object steps must form one total order.
+
 // Busy-wait persistence model shared by the cells of one heap.
 struct PersistenceModel {
   long delay_ns = 0;
@@ -38,10 +41,10 @@ class NvRegister {
                       const PersistenceModel* persistence = nullptr)
       : value_(initial), persistence_(persistence) {}
 
-  typesys::Value read() const { return value_.load(); }
+  typesys::Value read() const { return value_.load(std::memory_order_seq_cst); }
 
   void write(typesys::Value value) {
-    value_.store(value);
+    value_.store(value, std::memory_order_seq_cst);
     if (persistence_ != nullptr) persistence_->on_persist();
   }
 
@@ -49,7 +52,8 @@ class NvRegister {
   // `expected`. (The primitive behind the RC cell of Section 4.)
   typesys::Value compare_and_swap(typesys::Value expected, typesys::Value desired) {
     typesys::Value current = expected;
-    if (value_.compare_exchange_strong(current, desired)) {
+    if (value_.compare_exchange_strong(current, desired, std::memory_order_seq_cst,
+                                       std::memory_order_seq_cst)) {
       if (persistence_ != nullptr) persistence_->on_persist();
       return expected;
     }
@@ -71,10 +75,11 @@ class NvObject {
       : table_(std::move(table)), state_(q0), persistence_(persistence) {}
 
   typesys::Value apply(typesys::OpId op) {
-    typesys::StateId current = state_.load();
+    typesys::StateId current = state_.load(std::memory_order_seq_cst);
     for (;;) {
       const ClosedTable::Entry entry = table_->apply(current, op);
-      if (state_.compare_exchange_weak(current, entry.next)) {
+      if (state_.compare_exchange_weak(current, entry.next, std::memory_order_seq_cst,
+                                       std::memory_order_seq_cst)) {
         if (persistence_ != nullptr) persistence_->on_persist();
         return entry.response;
       }
@@ -83,9 +88,9 @@ class NvObject {
   }
 
   // The Read operation of a readable type.
-  typesys::StateId read_state() const { return state_.load(); }
+  typesys::StateId read_state() const { return state_.load(std::memory_order_seq_cst); }
 
-  void reset(typesys::StateId q0) { state_.store(q0); }
+  void reset(typesys::StateId q0) { state_.store(q0, std::memory_order_seq_cst); }
 
   const ClosedTable& table() const { return *table_; }
 

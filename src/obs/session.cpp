@@ -100,13 +100,13 @@ const std::vector<NameDoc>& span_names() {
       {"check", "one check() call end-to-end"},
       {"expand_batch", "one popped batch expanded by an engine worker"},
       {"explore", "the exhaustive backend's full exploration"},
-      {"minimize", "greedy schedule minimization of a violation"},
+      {"minimize", "reserved: greedy schedule minimization of a violation"},
       {"portfolio_scenario", "one portfolio scenario end-to-end (': <name>' suffixed)"},
       {"probe", "the kAuto bounded sequential probe"},
       {"random_run", "one seeded random execution"},
       {"rehash", "reserved: table growth publishes store.rehashes today"},
       {"replay", "scripted schedule replay"},
-      {"spec_parse", "scenario spec file parse"},
+      {"spec_parse", "reserved: scenario spec file parse"},
       {"spill_candidate", "reserved for the out-of-core store (ROADMAP)"},
       {"steal", "a pop that came back with a victim's items (span covers the probe)"},
       {"worker", "one engine worker thread within a run"},

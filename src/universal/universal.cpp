@@ -1,11 +1,19 @@
 #include "universal/universal.hpp"
 
+#include <atomic>
+
 #include "util/assert.hpp"
 
 namespace rcons::universal {
 
 using runtime::CrashInjector;
 using typesys::Value;
+
+// Memory orders: the PODC'22 algorithm (Figure 7 / Appendix F) is stated in
+// the sequentially-consistent shared-memory model, and its correctness proof
+// leans on a single total order over all base-object steps. Every atomic here
+// therefore spells out seq_cst; do not weaken individual sites without
+// re-deriving the persist/visibility argument.
 
 Universal::Universal(std::shared_ptr<const nvram::ClosedTable> table,
                      typesys::StateId q0, int n, Options options)
@@ -21,12 +29,12 @@ Universal::Universal(std::shared_ptr<const nvram::ClosedTable> table,
   RCONS_ASSERT(table_ != nullptr);
   RCONS_ASSERT(n_ >= 1);
   // Dummy node at index 0: seq 1, carries the initial state (Appendix F).
-  nodes_[0].seq.store(1);
-  nodes_[0].new_state.store(q0_);
+  nodes_[0].seq.store(1, std::memory_order_seq_cst);
+  nodes_[0].new_state.store(q0_, std::memory_order_seq_cst);
   for (int i = 0; i < n_; ++i) {
-    announce_[static_cast<std::size_t>(i)].store(0);
-    head_[static_cast<std::size_t>(i)].store(0);
-    next_free_[static_cast<std::size_t>(i)].store(0);
+    announce_[static_cast<std::size_t>(i)].store(0, std::memory_order_seq_cst);
+    head_[static_cast<std::size_t>(i)].store(0, std::memory_order_seq_cst);
+    next_free_[static_cast<std::size_t>(i)].store(0, std::memory_order_seq_cst);
   }
 }
 
@@ -34,7 +42,7 @@ int Universal::alloc_node(int process) {
   // Bump allocation from the process's private region. The counter is
   // advanced before the node is used, so a crash mid-invocation leaks at most
   // one node — never reuses one (no ABA on next cells).
-  const int offset = next_free_[static_cast<std::size_t>(process)].fetch_add(1);
+  const int offset = next_free_[static_cast<std::size_t>(process)].fetch_add(1, std::memory_order_seq_cst);
   RCONS_ASSERT_MSG(offset < options_.nodes_per_process, "node pool exhausted");
   return 1 + process * options_.nodes_per_process + offset;
 }
@@ -45,18 +53,18 @@ Universal::Completion Universal::invoke(int process, typesys::OpId op,
   // Figure 7, Universal(op): prepare and announce a fresh node.
   crash.point();
   const int nd = alloc_node(process);
-  nodes_[static_cast<std::size_t>(nd)].op.store(op);
+  nodes_[static_cast<std::size_t>(nd)].op.store(op, std::memory_order_seq_cst);
   crash.point();
-  announce_[static_cast<std::size_t>(process)].store(nd);
+  announce_[static_cast<std::size_t>(process)].store(nd, std::memory_order_seq_cst);
 
   // Lines 121-125: make sure Head[i] is not too far out of date.
   for (int j = 0; j < n_; ++j) {
     crash.point();
-    const int theirs = head_[static_cast<std::size_t>(j)].load();
-    const int mine = head_[static_cast<std::size_t>(process)].load();
-    if (nodes_[static_cast<std::size_t>(theirs)].seq.load() >
-        nodes_[static_cast<std::size_t>(mine)].seq.load()) {
-      head_[static_cast<std::size_t>(process)].store(theirs);
+    const int theirs = head_[static_cast<std::size_t>(j)].load(std::memory_order_seq_cst);
+    const int mine = head_[static_cast<std::size_t>(process)].load(std::memory_order_seq_cst);
+    if (nodes_[static_cast<std::size_t>(theirs)].seq.load(std::memory_order_seq_cst) >
+        nodes_[static_cast<std::size_t>(mine)].seq.load(std::memory_order_seq_cst)) {
+      head_[static_cast<std::size_t>(process)].store(theirs, std::memory_order_seq_cst);
     }
   }
   return apply_operation(process, crash);
@@ -71,23 +79,23 @@ Universal::Completion Universal::apply_operation(int process, CrashInjector& cra
   const auto pidx = static_cast<std::size_t>(process);
   for (;;) {
     crash.point();
-    const int my = announce_[pidx].load();
+    const int my = announce_[pidx].load(std::memory_order_seq_cst);
     Node& my_node = nodes_[static_cast<std::size_t>(my)];
-    if (my_node.seq.load() != 0) {
-      return Completion{my, my_node.response.load()};
+    if (my_node.seq.load(std::memory_order_seq_cst) != 0) {
+      return Completion{my, my_node.response.load(std::memory_order_seq_cst)};
     }
 
-    const int h = head_[pidx].load();
+    const int h = head_[pidx].load(std::memory_order_seq_cst);
     Node& head = nodes_[static_cast<std::size_t>(h)];
-    const long head_seq = head.seq.load();
+    const long head_seq = head.seq.load(std::memory_order_seq_cst);
 
     // Round-robin helping: the process whose id matches the next position
     // gets priority (guarantees wait-freedom).
     const int priority = static_cast<int>((head_seq + 1) % n_);
     crash.point();
-    const int candidate = announce_[static_cast<std::size_t>(priority)].load();
+    const int candidate = announce_[static_cast<std::size_t>(priority)].load(std::memory_order_seq_cst);
     const int pointer =
-        nodes_[static_cast<std::size_t>(candidate)].seq.load() == 0 ? candidate : my;
+        nodes_[static_cast<std::size_t>(candidate)].seq.load(std::memory_order_seq_cst) == 0 ? candidate : my;
 
     // Recoverable consensus on the next pointer.
     crash.point();
@@ -99,22 +107,22 @@ Universal::Completion Universal::apply_operation(int process, CrashInjector& cra
     // the sequence number LAST — apply_operation treats seq != 0 as "fields
     // final", and the head chain transfers the necessary ordering.
     const nvram::ClosedTable::Entry entry =
-        table_->apply(head.new_state.load(), winner_node.op.load());
+        table_->apply(head.new_state.load(std::memory_order_seq_cst), winner_node.op.load(std::memory_order_seq_cst));
     crash.point();
-    winner_node.new_state.store(entry.next);
-    winner_node.response.store(entry.response);
+    winner_node.new_state.store(entry.next, std::memory_order_seq_cst);
+    winner_node.response.store(entry.response, std::memory_order_seq_cst);
     if (options_.persistence != nullptr) options_.persistence->on_persist();
     crash.point();
-    winner_node.seq.store(head_seq + 1);
+    winner_node.seq.store(head_seq + 1, std::memory_order_seq_cst);
     if (options_.persistence != nullptr) options_.persistence->on_persist();
     crash.point();
-    head_[pidx].store(winner);
+    head_[pidx].store(winner, std::memory_order_seq_cst);
   }
 }
 
 int Universal::last_announced(int process) const {
   RCONS_ASSERT(process >= 0 && process < n_);
-  return announce_[static_cast<std::size_t>(process)].load();
+  return announce_[static_cast<std::size_t>(process)].load(std::memory_order_seq_cst);
 }
 
 std::vector<int> Universal::list_order() const {
@@ -125,7 +133,7 @@ std::vector<int> Universal::list_order() const {
     if (next == typesys::kBottom) break;
     current = static_cast<int>(next);
     // Include only fully appended nodes (seq published).
-    if (nodes_[static_cast<std::size_t>(current)].seq.load() == 0) break;
+    if (nodes_[static_cast<std::size_t>(current)].seq.load(std::memory_order_seq_cst) == 0) break;
     order.push_back(current);
   }
   return order;
@@ -133,7 +141,8 @@ std::vector<int> Universal::list_order() const {
 
 Universal::NodeInfo Universal::node_info(int node) const {
   const Node& n = nodes_[static_cast<std::size_t>(node)];
-  return NodeInfo{n.op.load(), n.response.load(), n.new_state.load(), n.seq.load()};
+  return NodeInfo{n.op.load(std::memory_order_seq_cst), n.response.load(std::memory_order_seq_cst), n.new_state.load(std::memory_order_seq_cst),
+                  n.seq.load(std::memory_order_seq_cst)};
 }
 
 }  // namespace rcons::universal

@@ -98,13 +98,13 @@ TEST(FaultPlanTest, ReleaseStallsUnblocksAStalledThread) {
   std::atomic<bool> returned{false};
   std::thread stalled([&] {
     plan.hit(FaultPlan::Site::kBatch);
-    returned.store(true);
+    returned.store(true, std::memory_order_seq_cst);
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  EXPECT_FALSE(returned.load());
+  EXPECT_FALSE(returned.load(std::memory_order_seq_cst));
   plan.release_stalls();
   stalled.join();
-  EXPECT_TRUE(returned.load());
+  EXPECT_TRUE(returned.load(std::memory_order_seq_cst));
 }
 
 // --- the matrix: injected failures end in typed verdicts, at every scale ---

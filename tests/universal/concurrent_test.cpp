@@ -31,7 +31,7 @@ std::vector<OpRecord> run_workload(Universal& universal, int n, int ops,
       for (int i = 0; i < ops; ++i) {
         OpRecord record;
         record.process = p;
-        record.invoke_ts = clock.fetch_add(1);
+        record.invoke_ts = clock.fetch_add(1, std::memory_order_seq_cst);
         const int before = universal.last_announced(p);
         for (;;) {
           try {
@@ -60,7 +60,7 @@ std::vector<OpRecord> run_workload(Universal& universal, int n, int ops,
             // Not announced: simply re-invoke (the op never took effect).
           }
         }
-        record.return_ts = clock.fetch_add(1);
+        record.return_ts = clock.fetch_add(1, std::memory_order_seq_cst);
         results[static_cast<std::size_t>(p)].records.push_back(record);
       }
     });

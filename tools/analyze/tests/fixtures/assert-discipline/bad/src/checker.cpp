@@ -1,0 +1,7 @@
+#include <cassert>
+#include <cstdlib>
+int check(int v) {
+  assert(v >= 0);
+  if (v == 42) std::abort();
+  return v;
+}

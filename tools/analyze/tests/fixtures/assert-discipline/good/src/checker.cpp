@@ -1,0 +1,7 @@
+#include "util/assert.hpp"
+int check(int v) {
+  RCONS_ASSERT(v >= 0);
+  RCONS_DCHECK_MSG(v < 100, "value out of calibrated range");
+  if (v == 42) RCONS_UNREACHABLE("42 filtered by the parser");
+  return v;
+}

@@ -1,0 +1,9 @@
+// Exemplar: implicit seq_cst on every op — each one is a finding.
+#include <atomic>
+void bad(std::atomic<int>& a) {
+  a.store(1);
+  (void)a.load();
+  a.fetch_add(1);
+  int expected = 0;
+  a.compare_exchange_weak(expected, 2);
+}

@@ -1,0 +1,13 @@
+// Exemplar: every atomic op names its order, including multi-line calls.
+#include <atomic>
+void good(std::atomic<int>& a) {
+  a.store(1, std::memory_order_release);
+  (void)a.load(std::memory_order_acquire);
+  a.fetch_add(1, std::memory_order_relaxed);
+  int expected = 0;
+  a.compare_exchange_strong(expected, 2,
+                            std::memory_order_seq_cst,
+                            std::memory_order_acquire);
+  // rcons-lint: allow(atomics-discipline) exercising the allow grammar on a deliberate omission
+  a.store(3);
+}

@@ -1,0 +1,8 @@
+#include "sim/explorer_config.hpp"
+const char* name(sim::StopReason r) {
+  switch (r) {
+    case sim::StopReason::kNone: return "none";
+    case sim::StopReason::kVisitedCap: return "cap";
+  }
+  return "?";
+}

@@ -1,0 +1,16 @@
+#include "sim/explorer_config.hpp"
+const char* name(sim::StopReason r) {
+  switch (r) {
+    case sim::StopReason::kNone: return "none";
+    case sim::StopReason::kVisitedCap: return "cap";
+    case sim::StopReason::kDeadline: return "deadline";
+  }
+  return "?";
+}
+const char* terse(sim::StopReason r) {
+  switch (r) {
+    case sim::StopReason::kNone: return "none";
+    default:  // forward compatibility: unnamed reasons render as stopped
+      return "stopped";
+  }
+}

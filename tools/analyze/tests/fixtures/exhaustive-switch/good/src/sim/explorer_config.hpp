@@ -1,0 +1,3 @@
+namespace sim {
+enum class StopReason { kNone, kVisitedCap, kDeadline };
+}

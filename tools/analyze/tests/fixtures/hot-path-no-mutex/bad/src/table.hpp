@@ -1,0 +1,9 @@
+// rcons-lint: hot-path
+#include <mutex>
+struct Table {
+  std::mutex per_insert_mu;  // unannotated lock in a hot-tagged file
+  int get() {
+    std::lock_guard<std::mutex> lock(per_insert_mu);
+    return 0;
+  }
+};

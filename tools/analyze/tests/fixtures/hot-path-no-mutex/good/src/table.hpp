@@ -1,0 +1,6 @@
+// rcons-lint: hot-path
+#include <mutex>
+struct Table {
+  // rcons-lint: allow(hot-path-no-mutex) growth-only lock, never taken per insert
+  std::mutex growth_mu;
+};

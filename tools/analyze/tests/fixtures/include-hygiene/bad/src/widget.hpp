@@ -1,0 +1,4 @@
+#pragma once
+#include <string>
+using namespace std;
+struct Widget { string name; };

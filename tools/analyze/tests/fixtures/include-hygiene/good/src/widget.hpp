@@ -1,0 +1,4 @@
+#ifndef RCONS_WIDGET_HPP
+#define RCONS_WIDGET_HPP
+struct Widget { int id = 0; };
+#endif  // RCONS_WIDGET_HPP

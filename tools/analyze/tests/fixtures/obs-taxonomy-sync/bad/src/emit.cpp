@@ -1,0 +1,6 @@
+namespace obs { struct Span { Span(int, const char*); }; }
+void emit(int session) {
+  const char* undocumented = "engine.mystery_counter";
+  obs::Span span(session, "undocumented_span");
+  (void)undocumented;
+}

@@ -1,0 +1,15 @@
+#include <utility>
+#include <vector>
+namespace obs {
+std::vector<std::pair<const char*, const char*>> metric_names() {
+  return {
+      {"engine.visited", "states inserted into the visited set"},
+      {"engine.orphaned", "documented but never published anywhere"},
+  };
+}
+std::vector<std::pair<const char*, const char*>> span_names() {
+  return {
+      {"probe", "pre-sizing probe run"},
+  };
+}
+}  // namespace obs

@@ -1,0 +1,16 @@
+#include <utility>
+#include <vector>
+namespace obs {
+std::vector<std::pair<const char*, const char*>> metric_names() {
+  return {
+      {"engine.visited", "states inserted into the visited set"},
+      {"engine.rehashes", "reserved: table growth events"},
+  };
+}
+std::vector<std::pair<const char*, const char*>> span_names() {
+  return {
+      {"probe", "pre-sizing probe run"},
+      {"minimize", "reserved: schedule minimization"},
+  };
+}
+}  // namespace obs
